@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # rda-baseline — comparison algorithms
+//!
+//! The strategies the paper's structures are measured against:
+//!
+//! * [`materialize`] — compute and sort the full answer set, the only
+//!   general-purpose strategy on the intractable side of the dichotomies
+//!   (O(|out|) space, O(|out| log |out|) time, then O(1) access). Also
+//!   serves as the correctness oracle for the whole test suite.
+//! * [`ranked_enum`] — ranked enumeration by SUM over full acyclic CQs
+//!   (a Lawler-style any-k algorithm in the spirit of \[41, 42, 44\]):
+//!   logarithmic delay after quasilinear preprocessing, but reaching the
+//!   k-th answer costs Θ(k log n) — direct access does it in O(log n)
+//!   (Section 2.5's contrast).
+//! * [`reductions`] — the paper's 3SUM reductions (Lemmas 5.6–5.8),
+//!   executable: solving 3SUM through ordered access to CQ answers.
+
+pub mod materialize;
+pub mod ranked_enum;
+pub mod reductions;
+
+pub use materialize::{all_answers, MaterializedAccess};
+pub use ranked_enum::RankedEnumerator;

@@ -1,0 +1,10 @@
+//! # rda-bench — workloads and the experiment harness
+//!
+//! Synthetic workload generators for every experiment in EXPERIMENTS.md
+//! (the paper has no datasets — its claims quantify over all databases;
+//! see DESIGN.md's substitution table), shared by the Criterion benches
+//! and the `experiments` binary.
+
+pub mod workloads;
+
+pub use workloads::*;

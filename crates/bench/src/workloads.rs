@@ -1,0 +1,232 @@
+//! Workload generators.
+//!
+//! Each generator returns a `(query, database[, order/weights])` triple
+//! whose shape matches a paper experiment: joins with controllable
+//! output blow-up, the 3SUM-encoding construction of Example 5.3, the
+//! pandemic schema of Section 1, and FD-constrained instances for
+//! Section 8.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rda_db::{Database, Relation, Tuple, Value};
+use rda_query::parser::parse;
+use rda_query::{Cq, FdSet};
+
+/// Deterministic RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn int_rows(rng: &mut StdRng, rows: usize, domains: &[i64]) -> Vec<Tuple> {
+    (0..rows)
+        .map(|_| {
+            domains
+                .iter()
+                .map(|&d| Value::int(rng.random_range(0..d)))
+                .collect()
+        })
+        .collect()
+}
+
+/// The 2-path join `Q(x, y, z) :- R(x, y), S(y, z)` with `n` tuples per
+/// relation and `join_domain` distinct join values: expected output
+/// size ≈ n²/join_domain.
+pub fn two_path(n: usize, join_domain: i64, seed: u64) -> (Cq, Database) {
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let mut r = rng(seed);
+    let x_dom = (n as i64).max(1);
+    let db = Database::new()
+        .with(Relation::from_tuples(
+            "R",
+            2,
+            int_rows(&mut r, n, &[x_dom, join_domain]),
+        ))
+        .with(Relation::from_tuples(
+            "S",
+            2,
+            int_rows(&mut r, n, &[join_domain, x_dom]),
+        ));
+    (q, db)
+}
+
+/// The cartesian-product query of Example 3.5 with interleaved order
+/// variables: `Q(v1, v2, v3, v4) :- R(v1, v3), S(v2, v4)`; output size
+/// is |R|·|S| = n².
+pub fn product_query(n: usize, seed: u64) -> (Cq, Database) {
+    let q = parse("Q(v1, v2, v3, v4) :- R(v1, v3), S(v2, v4)").unwrap();
+    let mut r = rng(seed);
+    let dom = (n as i64).max(1);
+    let db = Database::new()
+        .with(Relation::from_tuples(
+            "R",
+            2,
+            int_rows(&mut r, n, &[dom, dom]),
+        ))
+        .with(Relation::from_tuples(
+            "S",
+            2,
+            int_rows(&mut r, n, &[dom, dom]),
+        ));
+    (q, db)
+}
+
+/// Star query with one covering atom: `Q(a, b) :- R(a, b), S(b, c)` —
+/// SUM direct access's tractable shape (free vars inside R).
+pub fn covering_query(n: usize, join_domain: i64, seed: u64) -> (Cq, Database) {
+    let q = parse("Q(a, b) :- R(a, b), S(b, c)").unwrap();
+    let mut r = rng(seed);
+    let dom = (n as i64).max(1);
+    let db = Database::new()
+        .with(Relation::from_tuples(
+            "R",
+            2,
+            int_rows(&mut r, n, &[dom, join_domain]),
+        ))
+        .with(Relation::from_tuples(
+            "S",
+            2,
+            int_rows(&mut r, n, &[join_domain, dom]),
+        ));
+    (q, db)
+}
+
+/// Example 5.3's construction: `R = [1,n] × {0}`, `S = {0} × [1,n]` for
+/// `Q(x, y) :- R(x, u), S(u, y)` — the full product appears in the
+/// output, so any SUM strategy must handle all n² weight combinations.
+pub fn three_sum_encoding(n: usize) -> (Cq, Database) {
+    let q = parse("Q(x, y) :- R(x, u), S(u, y)").unwrap();
+    let r: Vec<Tuple> = (1..=n as i64)
+        .map(|i| [Value::int(i), Value::int(0)].into_iter().collect())
+        .collect();
+    let s: Vec<Tuple> = (1..=n as i64)
+        .map(|i| [Value::int(0), Value::int(i)].into_iter().collect())
+        .collect();
+    let db = Database::new()
+        .with(Relation::from_tuples("R", 2, r))
+        .with(Relation::from_tuples("S", 2, s));
+    (q, db)
+}
+
+/// The full 3-path `Q(x, y, z, u)` — the SUM-selection *intractable*
+/// shape (fmh = 3); baselines only.
+pub fn three_path(n: usize, join_domain: i64, seed: u64) -> (Cq, Database) {
+    let q = parse("Q(x, y, z, u) :- R(x, y), S(y, z), T(z, u)").unwrap();
+    let mut r = rng(seed);
+    let dom = (n as i64).max(1);
+    let db = Database::new()
+        .with(Relation::from_tuples(
+            "R",
+            2,
+            int_rows(&mut r, n, &[dom, join_domain]),
+        ))
+        .with(Relation::from_tuples(
+            "S",
+            2,
+            int_rows(&mut r, n, &[join_domain, join_domain]),
+        ))
+        .with(Relation::from_tuples(
+            "T",
+            2,
+            int_rows(&mut r, n, &[join_domain, dom]),
+        ));
+    (q, db)
+}
+
+/// The pandemic schema of Section 1 with `people` visit rows and
+/// `reports` case rows over `cities` cities.
+pub fn pandemic(people: usize, reports: usize, cities: i64, seed: u64) -> (Cq, Database) {
+    let q = parse(
+        "Q(person, age, city, date, cases) :- \
+         Visits(person, age, city), Cases(city, date, cases)",
+    )
+    .unwrap();
+    let mut r = rng(seed);
+    let visits: Vec<Tuple> = (0..people)
+        .map(|p| {
+            [
+                Value::int(p as i64),
+                Value::int(r.random_range(1..100)),
+                Value::int(r.random_range(0..cities)),
+            ]
+            .into_iter()
+            .collect()
+        })
+        .collect();
+    let cases: Vec<Tuple> = (0..reports)
+        .map(|d| {
+            [
+                Value::int(r.random_range(0..cities)),
+                Value::int(d as i64),
+                Value::int(r.random_range(0..10_000)),
+            ]
+            .into_iter()
+            .collect()
+        })
+        .collect();
+    let db = Database::new()
+        .with(Relation::from_tuples("Visits", 3, visits))
+        .with(Relation::from_tuples("Cases", 3, cases));
+    (q, db)
+}
+
+/// Example 8.3's FD workload: `Q(x, z) :- R(x, y), S(y, z)` with
+/// `S: y → z` satisfied by construction. Returns the FD set too.
+pub fn fd_two_path(n: usize, y_domain: i64, seed: u64) -> (Cq, Database, FdSet) {
+    let q = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+    let fds = FdSet::parse(&q, &[("S", "y", "z")]);
+    let mut r = rng(seed);
+    let dom = (n as i64).max(1);
+    let s: Vec<Tuple> = (0..y_domain)
+        .map(|y| {
+            [Value::int(y), Value::int((y * 31 + 7) % dom)]
+                .into_iter()
+                .collect()
+        })
+        .collect();
+    let rrows: Vec<Tuple> = int_rows(&mut r, n, &[dom, y_domain]);
+    let db = Database::new()
+        .with(Relation::from_tuples("R", 2, rrows))
+        .with(Relation::from_tuples("S", 2, s));
+    (q, db, fds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_requested_sizes() {
+        let (_, db) = two_path(100, 10, 1);
+        assert_eq!(db.size(), 200);
+        let (_, db) = product_query(50, 1);
+        assert_eq!(db.size(), 100);
+        let (_, db) = three_sum_encoding(30);
+        assert_eq!(db.size(), 60);
+        let (_, db) = three_path(40, 5, 1);
+        assert_eq!(db.size(), 120);
+        let (_, db) = pandemic(70, 30, 5, 1);
+        assert_eq!(db.size(), 100);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let (_, a) = two_path(50, 5, 9);
+        let (_, b) = two_path(50, 5, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn three_sum_encoding_is_a_full_product() {
+        let (q, db) = three_sum_encoding(12);
+        let answers = rda_baseline::all_answers(&q, &db);
+        assert_eq!(answers.len(), 144);
+    }
+
+    #[test]
+    fn fd_workload_satisfies_the_fd() {
+        let (q, db, fds) = fd_two_path(200, 20, 3);
+        let lex = q.vars(&["x", "z"]);
+        // Building the structure implies check_fds passed.
+        assert!(rda_core::LexDirectAccess::build(&q, &db, &lex, &fds).is_ok());
+    }
+}

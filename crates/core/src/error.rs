@@ -1,0 +1,54 @@
+//! Errors reported by the access-structure builders.
+
+use rda_query::classify::Verdict;
+use rda_query::fd::Fd;
+use std::fmt;
+
+/// Why an access structure could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// The query/order combination is on the intractable side of the
+    /// relevant dichotomy; the verdict carries the structural witness.
+    NotTractable(Verdict),
+    /// The database lacks a relation the query mentions.
+    MissingRelation(String),
+    /// A relation's arity differs from its atom's.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity the atom expects.
+        expected: usize,
+        /// Arity the relation has.
+        found: usize,
+    },
+    /// The database violates a declared functional dependency.
+    FdViolated(Fd),
+    /// A lexicographic order mentioned a non-free or repeated variable.
+    InvalidOrder(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NotTractable(v) => match v.reason() {
+                Some(r) => write!(f, "intractable query/order combination: {r}"),
+                None => write!(f, "intractable query/order combination"),
+            },
+            BuildError::MissingRelation(r) => write!(f, "relation {r} missing from database"),
+            BuildError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "relation {relation} has arity {found}, atom expects {expected}"
+                )
+            }
+            BuildError::FdViolated(fd) => write!(f, "database violates FD {fd}"),
+            BuildError::InvalidOrder(msg) => write!(f, "invalid lexicographic order: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}

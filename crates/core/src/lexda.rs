@@ -1,0 +1,714 @@
+//! Direct access by lexicographic orders (Sections 3, 4, and 8.2).
+//!
+//! Pipeline, following the paper:
+//!
+//! 1. normalize the instance (self-joins copied apart, repeated
+//!    variables filtered);
+//! 2. apply the FD-extension to query, order, and instance
+//!    (Definitions 8.2/8.13, Lemma 8.5) — identity without FDs;
+//! 3. reduce the free-connex query to a full acyclic query over its free
+//!    variables (Proposition 2.3 / Lemma 3.10);
+//! 4. complete the partial order (Lemma 4.4) and build the layered join
+//!    tree (Definition 3.4 / Lemma 3.9);
+//! 5. materialize one relation per layer, remove dangling tuples
+//!    (Yannakakis), bucket by the preceding variables, sort each bucket
+//!    by the layer variable, and run the counting DP (Figure 4);
+//! 6. answer accesses with Algorithm 1 (binary search per layer) and
+//!    inverted/next-answer accesses with Algorithm 2 / Remark 3.
+
+use crate::error::BuildError;
+use crate::fdtransform::{check_fds, extend_instance};
+use crate::instance::{normalize_instance, positions_of, reduce_to_full, sorted_vars};
+use rda_db::{Database, Relation, Tuple, Value};
+use rda_query::classify::{classify, Problem, Verdict};
+use rda_query::connex::complete_order;
+use rda_query::fd::{fd_extension, fd_reordered_order, ExtensionStep, FdSet};
+use rda_query::jointree::{JoinTree, NodeSource};
+use rda_query::layered::layered_join_tree;
+use rda_query::query::Cq;
+use rda_query::VarId;
+use std::collections::HashMap;
+
+/// One sorted run of a layer relation: all tuples agreeing on the
+/// preceding variables, ordered by the layer's own variable.
+#[derive(Debug, Clone)]
+struct Bucket {
+    /// `(value, weight, start)` per tuple, ascending by value
+    /// (Figure 4's `w` and `s` columns).
+    entries: Vec<(Value, u64, u64)>,
+    /// Sum of entry weights.
+    total: u64,
+}
+
+impl Bucket {
+    /// Index of the first entry with value ≥ `v`, and whether it equals `v`.
+    fn lower_bound(&self, v: &Value) -> (usize, bool) {
+        let idx = self.entries.partition_point(|(ev, _, _)| ev < v);
+        let exact = idx < self.entries.len() && &self.entries[idx].0 == v;
+        (idx, exact)
+    }
+
+    /// Total weight of entries with value strictly below index `idx`.
+    fn start_at(&self, idx: usize) -> u64 {
+        if idx < self.entries.len() {
+            self.entries[idx].2
+        } else {
+            self.total
+        }
+    }
+}
+
+/// Per-layer access structure.
+#[derive(Debug, Clone)]
+struct Layer {
+    /// The layer's variable `v_i`.
+    var: VarId,
+    /// Bucket-key variables (ascending), for building keys from a
+    /// partial assignment.
+    key_vars: Vec<VarId>,
+    /// Child layers in the layered join tree.
+    children: Vec<usize>,
+    /// Buckets keyed by the projection onto `key_vars`.
+    buckets: HashMap<Tuple, Bucket>,
+}
+
+/// How a promoted (FD-implied) variable's value is derived from an
+/// already-known variable, for inverted access under FDs.
+#[derive(Debug, Clone)]
+struct Derivation {
+    var: VarId,
+    from: VarId,
+    lookup: HashMap<Value, Value>,
+}
+
+/// A direct-access structure for the answers of a conjunctive query
+/// sorted by a (possibly partial) lexicographic order (Theorem 3.3 /
+/// 4.1 / 8.21: ⟨n log n⟩ construction, ⟨log n⟩ per access).
+///
+/// ```
+/// use rda_core::LexDirectAccess;
+/// use rda_db::Database;
+/// use rda_query::{parser::parse, FdSet};
+///
+/// let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+/// let db = Database::new()
+///     .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+///     .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]]);
+/// let lex = q.vars(&["x", "y", "z"]);
+/// let da = LexDirectAccess::build(&q, &db, &lex, &FdSet::empty()).unwrap();
+/// assert_eq!(da.len(), 5);
+/// // Figure 2b: the 3rd answer (index 2) is (1, 5, 4).
+/// assert_eq!(da.access(2).unwrap().values()[2], 4.into());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LexDirectAccess {
+    /// Head variables of the original query, defining the output tuple.
+    out_vars: Vec<VarId>,
+    /// The complete order over `free(Q⁺)` actually used internally.
+    order: Vec<VarId>,
+    /// Number of variables interned in the query (assignment array size).
+    var_slots: usize,
+    layers: Vec<Layer>,
+    derivations: Vec<Derivation>,
+    total: u64,
+}
+
+impl LexDirectAccess {
+    /// Build the structure for query `q` over `db`, ordered by the
+    /// (partial) lexicographic order `lex`, under unary FDs `fds`.
+    ///
+    /// Fails with [`BuildError::NotTractable`] exactly on the paper's
+    /// intractable side (Theorem 4.1 / 8.21).
+    pub fn build(q: &Cq, db: &Database, lex: &[VarId], fds: &FdSet) -> Result<Self, BuildError> {
+        validate_lex(q, lex)?;
+        if !fds.is_empty() && !q.is_self_join_free() {
+            return Err(BuildError::InvalidOrder(
+                "functional dependencies require a self-join-free query".to_string(),
+            ));
+        }
+        match classify(q, fds, &Problem::DirectAccessLex(lex.to_vec())) {
+            Verdict::Tractable { .. } => {}
+            v => return Err(BuildError::NotTractable(v)),
+        }
+
+        let (nq, ndb) = normalize_instance(q, db)?;
+        check_fds(&nq, &ndb, fds)?;
+        let ext = fd_extension(&nq, fds);
+        let idb = extend_instance(&ext, &ndb)?;
+        let qp = ext.query.clone();
+        let l_plus = fd_reordered_order(&ext, lex);
+        let derivations = build_derivations(&ext, &idb)?;
+
+        let red = reduce_to_full(&qp, &idb)
+            .expect("classification guarantees the extension is free-connex");
+
+        // Boolean (or fully-implied) case: no order variables at all.
+        let order =
+            complete_order(&qp, &l_plus).expect("classification guarantees a trio-free completion");
+        if order.is_empty() {
+            return Ok(LexDirectAccess {
+                out_vars: q.free().to_vec(),
+                order,
+                var_slots: qp.var_count(),
+                layers: Vec::new(),
+                derivations,
+                total: u64::from(!red.known_empty),
+            });
+        }
+
+        // Layered join tree over the reduced full query.
+        let edges: Vec<_> = red.query.atoms().iter().map(|a| a.var_set()).collect();
+        let layered = layered_join_tree(&edges, &order)
+            .expect("Lemma 3.10: the reduction preserves trio-freeness");
+
+        // Materialize a relation per layer: project the defining edge,
+        // then filter by every assigned edge.
+        let f = order.len();
+        let mut layer_rels: Vec<Relation> = Vec::with_capacity(f);
+        let mut layer_vars: Vec<Vec<VarId>> = Vec::with_capacity(f);
+        for (i, node) in layered.layers.iter().enumerate() {
+            let vars = sorted_vars(node.vars);
+            let def = &red.query.atoms()[node.defining_edge];
+            let def_rel = red.db.get(&def.relation).expect("reduced relation exists");
+            let mut rel = def_rel.project(format!("L{i}"), &positions_of(&def.terms, &vars));
+            for &e in &node.assigned_edges {
+                let atom = &red.query.atoms()[e];
+                let e_vars = sorted_vars(atom.var_set());
+                let self_keys = positions_of(&vars, &e_vars);
+                let other = red.db.get(&atom.relation).expect("reduced relation exists");
+                let other_keys = positions_of(&atom.terms, &e_vars);
+                rel.semijoin(&self_keys, other, &other_keys);
+            }
+            layer_rels.push(rel);
+            layer_vars.push(vars);
+        }
+
+        // Remove dangling tuples across the layered tree so every stored
+        // tuple has positive weight (Figure 4's invariant).
+        let mut jt = JoinTree::new();
+        for (i, node) in layered.layers.iter().enumerate() {
+            let idx = jt.add_node(node.vars, NodeSource::Synthetic(None));
+            debug_assert_eq!(idx, i);
+        }
+        for (i, node) in layered.layers.iter().enumerate() {
+            if let Some(p) = node.parent {
+                jt.add_edge(p, i);
+            }
+        }
+        crate::instance::full_reduce(&jt, &layer_vars, &mut layer_rels);
+
+        // Counting DP, deepest layer first (children have larger index).
+        let mut layers: Vec<Option<Layer>> = (0..f).map(|_| None).collect();
+        for i in (0..f).rev() {
+            let vars = &layer_vars[i];
+            let var = order[i];
+            let value_pos = vars
+                .iter()
+                .position(|&v| v == var)
+                .expect("layer var in node");
+            let key_positions: Vec<usize> = (0..vars.len()).filter(|&p| p != value_pos).collect();
+            let key_vars: Vec<VarId> = key_positions.iter().map(|&p| vars[p]).collect();
+            let children = layered.children(i);
+
+            // Weight per tuple = product over children of the matching
+            // bucket's total.
+            let mut grouped: HashMap<Tuple, Vec<(Value, u64)>> = HashMap::new();
+            for t in layer_rels[i].tuples() {
+                let mut w: u64 = 1;
+                for &c in &children {
+                    let child = layers[c].as_ref().expect("children already built");
+                    let child_key: Tuple = child
+                        .key_vars
+                        .iter()
+                        .map(|ck| {
+                            let p = vars
+                                .iter()
+                                .position(|v| v == ck)
+                                .expect("running intersection: child keys lie in the parent node");
+                            t[p].clone()
+                        })
+                        .collect();
+                    w = w.saturating_mul(child.buckets.get(&child_key).map_or(0, |b| b.total));
+                }
+                if w == 0 {
+                    continue;
+                }
+                grouped
+                    .entry(t.project(&key_positions))
+                    .or_default()
+                    .push((t[value_pos].clone(), w));
+            }
+            let mut buckets = HashMap::with_capacity(grouped.len());
+            for (key, mut vals) in grouped {
+                vals.sort_by(|a, b| a.0.cmp(&b.0));
+                let mut entries = Vec::with_capacity(vals.len());
+                let mut start = 0u64;
+                for (v, w) in vals {
+                    entries.push((v, w, start));
+                    start += w;
+                }
+                buckets.insert(
+                    key,
+                    Bucket {
+                        entries,
+                        total: start,
+                    },
+                );
+            }
+            layers[i] = Some(Layer {
+                var,
+                key_vars,
+                children,
+                buckets,
+            });
+        }
+        let layers: Vec<Layer> = layers.into_iter().map(|l| l.expect("all built")).collect();
+        let total = layers[0]
+            .buckets
+            .get(&Tuple::new(vec![]))
+            .map_or(0, |b| b.total);
+
+        Ok(LexDirectAccess {
+            out_vars: q.free().to_vec(),
+            order,
+            var_slots: qp.var_count(),
+            layers,
+            derivations,
+            total,
+        })
+    }
+
+    /// Number of answers (`|Q(I)|`).
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when the query has no answers.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The complete internal order over `free(Q⁺)` (the requested prefix
+    /// completed per Lemma 4.4, FD-reordered per Definition 8.13).
+    pub fn internal_order(&self) -> &[VarId] {
+        &self.order
+    }
+
+    /// Algorithm 1: the answer at index `k` of the sorted answer array,
+    /// or `None` ("out-of-bound") if `k ≥ len()`. O(log n).
+    pub fn access(&self, k: u64) -> Option<Tuple> {
+        if k >= self.total {
+            return None;
+        }
+        let mut assignment: Vec<Option<Value>> = vec![None; self.var_slots];
+        let mut k = k;
+        let mut factor = self.total;
+        let mut chosen: Vec<Option<&Bucket>> = vec![None; self.layers.len()];
+        if let Some(layer) = self.layers.first() {
+            chosen[0] = layer.buckets.get(&Tuple::new(vec![]));
+        }
+        for i in 0..self.layers.len() {
+            let bucket = chosen[i].expect("positive-weight path");
+            factor /= bucket.total;
+            // Last entry with start·factor ≤ k.
+            let idx = bucket.entries.partition_point(|(_, _, s)| *s * factor <= k) - 1;
+            let (value, _, start) = &bucket.entries[idx];
+            k -= start * factor;
+            assignment[self.layers[i].var.index()] = Some(value.clone());
+            self.descend(i, &mut chosen, &mut factor, &assignment);
+        }
+        Some(self.emit(&assignment))
+    }
+
+    /// Algorithm 2: the index of `answer` in the sorted answer array, or
+    /// `None` ("not-an-answer"). `answer` is a tuple over the original
+    /// query's head variables. O(log n).
+    pub fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
+        let target = self.target_values(answer)?;
+        let (rank, exact) = self.rank_lower_bound(&target);
+        exact.then_some(rank)
+    }
+
+    /// Remark 3: the number of answers strictly before `answer` in the
+    /// order, whether or not `answer` itself is an answer. Combined with
+    /// [`LexDirectAccess::access`] this yields "return the next answer
+    /// in order" for non-answers. Returns `None` if the tuple cannot be
+    /// consistently derived (under FDs). O(log n).
+    pub fn rank_of_lower_bound(&self, answer: &Tuple) -> Option<u64> {
+        Some(self.rank_lower_bound(&self.target_values(answer)?).0)
+    }
+
+    /// Remark 3's "inverted access for missing answers": the first
+    /// answer `≥ answer` together with its index, or `None` when every
+    /// answer precedes `answer`.
+    pub fn next_at_or_after(&self, answer: &Tuple) -> Option<(u64, Tuple)> {
+        let rank = self.rank_of_lower_bound(answer)?;
+        self.access(rank).map(|t| (rank, t))
+    }
+
+    /// Iterate over all answers in order (log-delay enumeration via
+    /// repeated access).
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        (0..self.total).map(|k| self.access(k).expect("k < total"))
+    }
+
+    /// Values for each order position derived from an output tuple;
+    /// `None` if a promoted variable's value cannot be derived.
+    fn target_values(&self, answer: &Tuple) -> Option<Vec<Value>> {
+        assert_eq!(
+            answer.arity(),
+            self.out_vars.len(),
+            "answer must match the query head"
+        );
+        let mut assignment: Vec<Option<Value>> = vec![None; self.var_slots];
+        for (i, &v) in self.out_vars.iter().enumerate() {
+            assignment[v.index()] = Some(answer[i].clone());
+        }
+        for d in &self.derivations {
+            let from = assignment[d.from.index()].clone()?;
+            assignment[d.var.index()] = Some(d.lookup.get(&from)?.clone());
+        }
+        self.order
+            .iter()
+            .map(|v| assignment[v.index()].clone())
+            .collect()
+    }
+
+    /// Core of Algorithm 2 and Remark 3: count answers strictly before
+    /// the (possibly absent) tuple with the given order values; the
+    /// boolean reports whether the tuple is an actual answer.
+    fn rank_lower_bound(&self, target: &[Value]) -> (u64, bool) {
+        debug_assert_eq!(target.len(), self.layers.len());
+        let mut assignment: Vec<Option<Value>> = vec![None; self.var_slots];
+        let mut rank = 0u64;
+        let mut factor = self.total;
+        let mut chosen: Vec<Option<&Bucket>> = vec![None; self.layers.len()];
+        if let Some(layer) = self.layers.first() {
+            chosen[0] = layer.buckets.get(&Tuple::new(vec![]));
+        }
+        if self.layers.is_empty() {
+            return (0, self.total == 1);
+        }
+        for i in 0..self.layers.len() {
+            let Some(bucket) = chosen[i] else {
+                return (rank, false);
+            };
+            factor /= bucket.total;
+            let (idx, exact) = bucket.lower_bound(&target[i]);
+            rank += bucket.start_at(idx) * factor;
+            if !exact {
+                return (rank, false);
+            }
+            assignment[self.layers[i].var.index()] = Some(target[i].clone());
+            self.descend(i, &mut chosen, &mut factor, &assignment);
+        }
+        (rank, true)
+    }
+
+    /// Shared Algorithm 1/2 step: after choosing entry `idx` in layer
+    /// `i`'s bucket, select the agreeing bucket in every child and fold
+    /// its weight into `factor`.
+    fn descend<'a>(
+        &'a self,
+        i: usize,
+        chosen: &mut [Option<&'a Bucket>],
+        factor: &mut u64,
+        assignment: &[Option<Value>],
+    ) {
+        for &c in &self.layers[i].children {
+            let key: Tuple = self.layers[c]
+                .key_vars
+                .iter()
+                .map(|kv| {
+                    assignment[kv.index()]
+                        .clone()
+                        .expect("child keys are assigned before the child layer")
+                })
+                .collect();
+            let b = self.layers[c].buckets.get(&key);
+            chosen[c] = b;
+            *factor = factor.saturating_mul(b.map_or(0, |b| b.total));
+        }
+    }
+
+    /// Build the output tuple (original head order) from an assignment.
+    fn emit(&self, assignment: &[Option<Value>]) -> Tuple {
+        self.out_vars
+            .iter()
+            .map(|v| {
+                assignment[v.index()]
+                    .clone()
+                    .expect("all head variables assigned")
+            })
+            .collect()
+    }
+}
+
+pub(crate) fn validate_lex(q: &Cq, lex: &[VarId]) -> Result<(), BuildError> {
+    let free = q.free_set();
+    let mut seen = rda_query::VarSet::EMPTY;
+    for &v in lex {
+        if !free.contains(v) {
+            return Err(BuildError::InvalidOrder(format!(
+                "{} is not a free variable",
+                q.var_name(v)
+            )));
+        }
+        if seen.contains(v) {
+            return Err(BuildError::InvalidOrder(format!(
+                "{} repeats in the order",
+                q.var_name(v)
+            )));
+        }
+        seen = seen.with(v);
+    }
+    Ok(())
+}
+
+/// For every promoted variable, record how to derive its value from an
+/// earlier variable (needed by inverted access under FDs).
+fn build_derivations(
+    ext: &rda_query::fd::FdExtension,
+    idb: &Database,
+) -> Result<Vec<Derivation>, BuildError> {
+    let mut known: rda_query::VarSet = ext.original.free_set();
+    let mut out = Vec::new();
+    for step in &ext.steps {
+        let ExtensionStep::PromoteVar { var } = step else {
+            continue;
+        };
+        let fd = ext
+            .fds
+            .iter()
+            .find(|fd| fd.rhs == *var && known.contains(fd.lhs))
+            .expect("promoted variables are implied by an earlier free variable");
+        // The FD's relation already carries both columns in the extended
+        // instance (schemas only grow).
+        let atom = ext
+            .query
+            .atoms()
+            .iter()
+            .find(|a| a.relation == fd.relation)
+            .expect("FD names an atom");
+        let lp = atom.position_of(fd.lhs).expect("lhs in atom");
+        let rp = atom.position_of(fd.rhs).expect("rhs in atom");
+        let rel = idb
+            .get(&fd.relation)
+            .ok_or_else(|| BuildError::MissingRelation(fd.relation.clone()))?;
+        let mut lookup = HashMap::with_capacity(rel.len());
+        for t in rel.tuples() {
+            lookup.insert(t[lp].clone(), t[rp].clone());
+        }
+        out.push(Derivation {
+            var: *var,
+            from: fd.lhs,
+            lookup,
+        });
+        known = known.with(*var);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rda_db::tup;
+    use rda_query::parser::parse;
+
+    /// Figure 2's database.
+    fn fig2_db() -> Database {
+        Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+            .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]])
+    }
+
+    fn build(q: &Cq, db: &Database, lex: &[&str]) -> LexDirectAccess {
+        LexDirectAccess::build(q, db, &q.vars(lex), &FdSet::empty()).unwrap()
+    }
+
+    #[test]
+    fn figure_2b_ordering() {
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let da = build(&q, &fig2_db(), &["x", "y", "z"]);
+        let got: Vec<Tuple> = da.iter().collect();
+        let expect = vec![
+            tup![1, 2, 5],
+            tup![1, 5, 3],
+            tup![1, 5, 4],
+            tup![1, 5, 6],
+            tup![6, 2, 5],
+        ];
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn example_3_6_and_3_7() {
+        // Q3(v1..v4) :- R(v1,v3), S(v2,v4) with Figure 4's database;
+        // access 12 must return (a2, b1, c3, d2).
+        let q = parse("Q(v1, v2, v3, v4) :- R(v1, v3), S(v2, v4)").unwrap();
+        let db = Database::new()
+            .with(rda_db::Relation::from_tuples(
+                "R",
+                2,
+                vec![
+                    tup!["a1", "c1"],
+                    tup!["a1", "c2"],
+                    tup!["a2", "c2"],
+                    tup!["a2", "c3"],
+                ],
+            ))
+            .with(rda_db::Relation::from_tuples(
+                "S",
+                2,
+                vec![
+                    tup!["b1", "d1"],
+                    tup!["b1", "d2"],
+                    tup!["b1", "d3"],
+                    tup!["b2", "d4"],
+                ],
+            ));
+        let da = build(&q, &db, &["v1", "v2", "v3", "v4"]);
+        assert_eq!(da.len(), 16);
+        assert_eq!(da.access(12).unwrap(), tup!["a2", "b1", "c3", "d2"]);
+        // Inverted access round-trips every index (Remark 3).
+        for k in 0..16 {
+            let t = da.access(k).unwrap();
+            assert_eq!(da.inverted_access(&t), Some(k), "k={k}");
+        }
+        assert_eq!(da.access(16), None);
+    }
+
+    #[test]
+    fn inverted_access_rejects_non_answers() {
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let da = build(&q, &fig2_db(), &["x", "y", "z"]);
+        assert_eq!(da.inverted_access(&tup![1, 2, 3]), None);
+        assert_eq!(da.inverted_access(&tup![0, 0, 0]), None);
+    }
+
+    #[test]
+    fn next_at_or_after_finds_successors() {
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let da = build(&q, &fig2_db(), &["x", "y", "z"]);
+        // (1, 3, 0) is not an answer; the next answer is (1, 5, 3) at index 1.
+        assert_eq!(
+            da.next_at_or_after(&tup![1, 3, 0]),
+            Some((1, tup![1, 5, 3]))
+        );
+        // Before everything.
+        assert_eq!(
+            da.next_at_or_after(&tup![0, 0, 0]),
+            Some((0, tup![1, 2, 5]))
+        );
+        // After everything.
+        assert_eq!(da.next_at_or_after(&tup![9, 9, 9]), None);
+        // Exactly an answer: returns itself.
+        assert_eq!(
+            da.next_at_or_after(&tup![1, 5, 4]),
+            Some((2, tup![1, 5, 4]))
+        );
+    }
+
+    #[test]
+    fn partial_order_is_a_prefix_of_some_full_order() {
+        // Theorem 4.1 positive side: <z, y> on the 2-path.
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let da = build(&q, &fig2_db(), &["z", "y"]);
+        assert_eq!(da.len(), 5);
+        // Answers must be non-decreasing on (z, y).
+        let answers: Vec<Tuple> = da.iter().collect();
+        for w in answers.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let ka = (a[2].clone(), a[1].clone());
+            let kb = (b[2].clone(), b[1].clone());
+            assert!(ka <= kb, "{a} !<= {b} on (z, y)");
+        }
+    }
+
+    #[test]
+    fn intractable_order_is_rejected() {
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let r = LexDirectAccess::build(&q, &fig2_db(), &q.vars(&["x", "z", "y"]), &FdSet::empty());
+        assert!(matches!(r, Err(BuildError::NotTractable(_))));
+    }
+
+    #[test]
+    fn invalid_orders_are_rejected() {
+        let q = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+        let y = q.var("y").unwrap();
+        let r = LexDirectAccess::build(&q, &fig2_db(), &[y], &FdSet::empty());
+        assert!(matches!(r, Err(BuildError::InvalidOrder(_))));
+        let x = q.var("x").unwrap();
+        let r = LexDirectAccess::build(&q, &fig2_db(), &[x, x], &FdSet::empty());
+        assert!(matches!(r, Err(BuildError::InvalidOrder(_))));
+    }
+
+    #[test]
+    fn projection_queries_work() {
+        // Q(x, y) :- R(x, y), S(y, z): free-connex; answers are R tuples
+        // with a join partner.
+        let q = parse("Q(x, y) :- R(x, y), S(y, z)").unwrap();
+        let da = build(&q, &fig2_db(), &["x", "y"]);
+        let got: Vec<Tuple> = da.iter().collect();
+        assert_eq!(got, vec![tup![1, 2], tup![1, 5], tup![6, 2]]);
+    }
+
+    #[test]
+    fn boolean_query() {
+        let q = parse("Q() :- R(x, y), S(y, z)").unwrap();
+        let da = build(&q, &fig2_db(), &[]);
+        assert_eq!(da.len(), 1);
+        assert_eq!(da.access(0), Some(Tuple::new(vec![])));
+        assert_eq!(da.access(1), None);
+
+        let empty_db = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 100]])
+            .with_i64_rows("S", 2, vec![vec![5, 3]]);
+        let da = build(&q, &empty_db, &[]);
+        assert_eq!(da.len(), 0);
+        assert_eq!(da.access(0), None);
+    }
+
+    #[test]
+    fn empty_join_gives_zero_answers() {
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let db = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 100]])
+            .with_i64_rows("S", 2, vec![vec![5, 3]]);
+        let da = build(&q, &db, &["x", "y", "z"]);
+        assert_eq!(da.len(), 0);
+        assert!(da.is_empty());
+    }
+
+    #[test]
+    fn self_join_supported_without_fds() {
+        let q = parse("Q(x, y, z) :- R(x, y), R(y, z)").unwrap();
+        let db = Database::new().with_i64_rows("R", 2, vec![vec![1, 2], vec![2, 3], vec![2, 1]]);
+        let da = build(&q, &db, &["x", "y", "z"]);
+        let got: Vec<Tuple> = da.iter().collect();
+        assert_eq!(got, vec![tup![1, 2, 1], tup![1, 2, 3], tup![2, 1, 2]]);
+    }
+
+    #[test]
+    fn fd_makes_hard_order_accessible() {
+        // Example 1.1: LEX <x,z,y> with FD R: x → y (order becomes
+        // equivalent to <x,y,z>).
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let fds = FdSet::parse(&q, &[("R", "x", "y")]);
+        // R satisfies x → y: drop (1,5) vs (1,2) conflict by changing data.
+        let db = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5], vec![6, 2]])
+            .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![2, 5]]);
+        let lex = q.vars(&["x", "z", "y"]);
+        let da = LexDirectAccess::build(&q, &db, &lex, &fds).unwrap();
+        let got: Vec<Tuple> = da.iter().collect();
+        // Answers: (1,5,3), (1,5,4), (6,2,5); sorted by <x,z,y>:
+        // (1,3,5), (1,4,5), (6,5,2) as (x,z,y) — i.e. same sequence.
+        assert_eq!(got, vec![tup![1, 5, 3], tup![1, 5, 4], tup![6, 2, 5]]);
+        // Inverted access still works with the derived variable.
+        for k in 0..da.len() {
+            let t = da.access(k).unwrap();
+            assert_eq!(da.inverted_access(&t), Some(k));
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Selection by lexicographic orders (Section 6, Theorems 6.1/8.22).
+//!
+//! Tractable for *every* free-connex CQ — disruptive trios and
+//! L-connexity do not matter when only one access is needed. The
+//! algorithm (Lemma 6.6) assigns the order's variables one at a time:
+//! it counts, for each value of the next variable, how many answers
+//! agree with the assignment so far (Lemma 6.5's histogram, a counting
+//! DP over a join tree), selects the value containing weighted rank `k`
+//! without sorting (weighted selection), filters the relations, and
+//! recurses. Each round is expected O(n) and there are constantly many
+//! rounds, giving the paper's ⟨1, n⟩.
+
+use crate::error::BuildError;
+use crate::fdtransform::{check_fds, extend_instance};
+use crate::instance::{normalize_instance, positions_of, reduce_to_full};
+use rda_db::{Database, Relation, Tuple, Value};
+use rda_orderstat::weighted_select;
+use rda_query::classify::{classify, Problem, Verdict};
+use rda_query::connex::complete_order;
+use rda_query::fd::{fd_extension, fd_reordered_order, FdSet};
+use rda_query::gyo;
+use rda_query::query::Cq;
+use rda_query::{VarId, VarSet};
+use std::collections::HashMap;
+
+/// Lemma 6.5: for each value `c` in the active domain of `var`, count the
+/// answers of the full acyclic query (`atom_vars[i]`/`rels[i]`) that
+/// assign `c` to `var`. Linear in the instance.
+fn histogram(atom_vars: &[Vec<VarId>], rels: &[Relation], var: VarId) -> Vec<(Value, u64)> {
+    let edges: Vec<VarSet> = atom_vars
+        .iter()
+        .map(|vs| vs.iter().copied().collect())
+        .collect();
+    let h = rda_query::hypergraph::Hypergraph::new(edges);
+    let tree = gyo::join_tree(&h).expect("reduced query is acyclic");
+    let root = atom_vars
+        .iter()
+        .position(|vs| vs.contains(&var))
+        .expect("every free variable occurs in some reduced atom");
+    let (parent, order) = tree.rooted_at(root);
+
+    // Bottom-up counting DP: weight(t) = Π over children of the summed
+    // weight of the child's agreeing tuples.
+    let mut bucket_sums: Vec<HashMap<Tuple, u64>> = vec![HashMap::new(); rels.len()];
+    let mut tuple_weights: Vec<Vec<u64>> = vec![Vec::new(); rels.len()];
+    for &i in order.iter().rev() {
+        let children: Vec<usize> = (0..rels.len()).filter(|&j| parent[j] == i).collect();
+        let child_keys: Vec<(usize, Vec<usize>)> = children
+            .iter()
+            .map(|&c| {
+                let shared: Vec<VarId> = atom_vars[c]
+                    .iter()
+                    .copied()
+                    .filter(|v| atom_vars[i].contains(v))
+                    .collect();
+                (c, positions_of(&atom_vars[i], &shared))
+            })
+            .collect();
+        let mut weights = Vec::with_capacity(rels[i].len());
+        for t in rels[i].tuples() {
+            let mut w: u64 = 1;
+            for (c, key_pos) in &child_keys {
+                let key = t.project(key_pos);
+                w = w.saturating_mul(bucket_sums[*c].get(&key).copied().unwrap_or(0));
+            }
+            weights.push(w);
+        }
+        if parent[i] != usize::MAX {
+            let shared: Vec<VarId> = atom_vars[i]
+                .iter()
+                .copied()
+                .filter(|v| atom_vars[parent[i]].contains(v))
+                .collect();
+            let my_key = positions_of(&atom_vars[i], &shared);
+            let mut sums: HashMap<Tuple, u64> = HashMap::new();
+            for (t, &w) in rels[i].tuples().iter().zip(&weights) {
+                *sums.entry(t.project(&my_key)).or_insert(0) += w;
+            }
+            bucket_sums[i] = sums;
+        }
+        tuple_weights[i] = weights;
+    }
+
+    // Aggregate root weights per value of `var`.
+    let vp = atom_vars[root]
+        .iter()
+        .position(|&v| v == var)
+        .expect("var in root");
+    let mut counts: HashMap<Value, u64> = HashMap::new();
+    for (t, &w) in rels[root].tuples().iter().zip(&tuple_weights[root]) {
+        *counts.entry(t[vp].clone()).or_insert(0) += w;
+    }
+    counts.into_iter().collect()
+}
+
+/// Theorem 6.1 / 8.22: the answer of `q` over `db` at index `k` when the
+/// answers are sorted by the (possibly partial) lexicographic order
+/// `lex` (ties broken by a fixed completion of the order), or
+/// `Ok(None)` ("out-of-bound") when `k ≥ |Q(I)|`.
+///
+/// Runs in expected O(n) per call; nothing is cached between calls.
+pub fn selection_lex(
+    q: &Cq,
+    db: &Database,
+    lex: &[VarId],
+    k: u64,
+    fds: &FdSet,
+) -> Result<Option<Tuple>, BuildError> {
+    crate::lexda::validate_lex(q, lex)?;
+    if !fds.is_empty() && !q.is_self_join_free() {
+        return Err(BuildError::InvalidOrder(
+            "functional dependencies require a self-join-free query".to_string(),
+        ));
+    }
+    match classify(q, fds, &Problem::SelectionLex(lex.to_vec())) {
+        Verdict::Tractable { .. } => {}
+        v => return Err(BuildError::NotTractable(v)),
+    }
+
+    let (nq, ndb) = normalize_instance(q, db)?;
+    check_fds(&nq, &ndb, fds)?;
+    let ext = fd_extension(&nq, fds);
+    let idb = extend_instance(&ext, &ndb)?;
+    let qp = ext.query.clone();
+    let l_plus = fd_reordered_order(&ext, lex);
+
+    let red =
+        reduce_to_full(&qp, &idb).expect("classification guarantees the extension is free-connex");
+    if red.known_empty {
+        return Ok(None);
+    }
+
+    // Complete the order over all free variables. Selection does not
+    // need trio-freeness; prefer the Lemma 4.4 completion when it exists
+    // (so results agree with LexDirectAccess), otherwise append the
+    // remaining variables in VarId order.
+    let order = complete_order(&qp, &l_plus).unwrap_or_else(|| {
+        let mut o = l_plus.clone();
+        let placed: VarSet = o.iter().copied().collect();
+        o.extend(qp.free_set().minus(placed).iter());
+        o
+    });
+
+    if order.is_empty() {
+        // Boolean query with a non-empty join.
+        return Ok((k == 0).then(|| Tuple::new(vec![])));
+    }
+
+    let atom_vars: Vec<Vec<VarId>> = red.query.atoms().iter().map(|a| a.terms.clone()).collect();
+    let mut rels: Vec<Relation> = red
+        .query
+        .atoms()
+        .iter()
+        .map(|a| {
+            red.db
+                .get(&a.relation)
+                .expect("reduced relation exists")
+                .clone()
+        })
+        .collect();
+
+    let mut k = k;
+    let mut assignment: Vec<Option<Value>> = vec![None; qp.var_count()];
+    for &v in &order {
+        let counts = histogram(&atom_vars, &rels, v);
+        let Some((idx, before)) = weighted_select(&counts, k, Value::cmp) else {
+            return Ok(None); // k out of bounds (only possible on round one)
+        };
+        let value = counts[idx].0.clone();
+        k -= before;
+        assignment[v.index()] = Some(value.clone());
+        for (vs, rel) in atom_vars.iter().zip(rels.iter_mut()) {
+            if let Some(p) = vs.iter().position(|&u| u == v) {
+                *rel = rel.select_eq(p, &value);
+            }
+        }
+    }
+
+    Ok(Some(
+        q.free()
+            .iter()
+            .map(|v| {
+                assignment[v.index()]
+                    .clone()
+                    .expect("all free variables assigned")
+            })
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rda_db::tup;
+    use rda_query::parser::parse;
+
+    fn fig2_db() -> Database {
+        Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+            .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]])
+    }
+
+    fn sel(q: &Cq, db: &Database, lex: &[&str], k: u64) -> Option<Tuple> {
+        selection_lex(q, db, &q.vars(lex), k, &FdSet::empty()).unwrap()
+    }
+
+    #[test]
+    fn figure_2b_all_ranks() {
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let expect = [
+            tup![1, 2, 5],
+            tup![1, 5, 3],
+            tup![1, 5, 4],
+            tup![1, 5, 6],
+            tup![6, 2, 5],
+        ];
+        for (k, e) in expect.iter().enumerate() {
+            assert_eq!(
+                sel(&q, &fig2_db(), &["x", "y", "z"], k as u64).as_ref(),
+                Some(e)
+            );
+        }
+        assert_eq!(sel(&q, &fig2_db(), &["x", "y", "z"], 5), None);
+    }
+
+    #[test]
+    fn figure_2c_trio_order_still_selectable() {
+        // <x, z, y> has a disruptive trio — direct access is hard, but
+        // selection works (Example 1.1). Expected order from Figure 2c.
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        // Figure 2c lists answers by <x, z, y>:
+        // (1,3,5) -> (x,y,z) = (1,5,3)
+        // (1,4,5) -> (1,5,4)
+        // (1,5,2) -> (1,2,5)
+        // (1,6,5) -> (1,5,6)
+        // (6,5,2) -> (6,2,5)
+        let expect = [
+            tup![1, 5, 3],
+            tup![1, 5, 4],
+            tup![1, 2, 5],
+            tup![1, 5, 6],
+            tup![6, 2, 5],
+        ];
+        for (k, e) in expect.iter().enumerate() {
+            assert_eq!(
+                sel(&q, &fig2_db(), &["x", "z", "y"], k as u64).as_ref(),
+                Some(e),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_order_not_l_connex_still_selectable() {
+        // <x, z> is not L-connex; selection remains tractable.
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let first = sel(&q, &fig2_db(), &["x", "z"], 0).unwrap();
+        assert_eq!((first[0].clone(), first[2].clone()), (1.into(), 3.into()));
+    }
+
+    #[test]
+    fn median_of_projection_query() {
+        let q = parse("Q(x, y) :- R(x, y), S(y, z)").unwrap();
+        // Answers: (1,2), (1,5), (6,2).
+        assert_eq!(sel(&q, &fig2_db(), &["x", "y"], 1), Some(tup![1, 5]));
+    }
+
+    #[test]
+    fn non_free_connex_rejected() {
+        let q = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+        let r = selection_lex(&q, &fig2_db(), &q.vars(&["x", "z"]), 0, &FdSet::empty());
+        assert!(matches!(r, Err(BuildError::NotTractable(_))));
+    }
+
+    #[test]
+    fn fd_unlocks_selection() {
+        // Example 8.3: Q(x,z) :- R(x,y), S(y,z) with S: y → z becomes
+        // free-connex.
+        let q = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+        let fds = FdSet::parse(&q, &[("S", "y", "z")]);
+        let db = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 10], vec![2, 20], vec![2, 10]])
+            .with_i64_rows("S", 2, vec![vec![10, 7], vec![20, 8]]);
+        // Answers: (1,7), (2,8), (2,7); by <x,z>: (1,7), (2,7), (2,8).
+        let lex = q.vars(&["x", "z"]);
+        let got: Vec<Tuple> = (0..3)
+            .map(|k| selection_lex(&q, &db, &lex, k, &fds).unwrap().unwrap())
+            .collect();
+        assert_eq!(got, vec![tup![1, 7], tup![2, 7], tup![2, 8]]);
+        assert_eq!(selection_lex(&q, &db, &lex, 3, &fds).unwrap(), None);
+    }
+
+    #[test]
+    fn boolean_query_selection() {
+        let q = parse("Q() :- R(x, y), S(y, z)").unwrap();
+        assert_eq!(sel(&q, &fig2_db(), &[], 0), Some(Tuple::new(vec![])));
+        assert_eq!(sel(&q, &fig2_db(), &[], 1), None);
+    }
+}

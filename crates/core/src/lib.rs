@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # rda-core — ranked direct access and selection for conjunctive queries
+//!
+//! The algorithms of Carmeli, Tziavelis, Gatterbauer, Kimelfeld,
+//! Riedewald, *"Tractable Orders for Direct Access to Ranked Answers of
+//! Conjunctive Queries"* (PODS 2021):
+//!
+//! * [`LexDirectAccess`] — direct access by (partial) lexicographic
+//!   orders in ⟨n log n, log n⟩ (Sections 3–4: layered join trees,
+//!   Algorithm 1), with inverted access (Algorithm 2) and
+//!   next-answer access (Remark 3);
+//! * [`selection_lex`] — selection by lexicographic orders in ⟨1, n⟩
+//!   for every free-connex CQ (Section 6, Lemmas 6.5/6.6);
+//! * [`SumDirectAccess`] — direct access by sum-of-weights in
+//!   ⟨n log n, 1⟩ when one atom covers the free variables (Section 5,
+//!   Lemma 5.9);
+//! * [`selection_sum`] — selection by sum-of-weights in ⟨1, n log n⟩
+//!   when `fmh(Q) ≤ 2` (Section 7, Lemmas 7.8/7.10);
+//! * all four transparently handle unary functional dependencies via
+//!   the FD-(reordered-)extension (Section 8).
+//!
+//! Builders verify the paper's tractability criteria and return
+//! [`BuildError::NotTractable`] with the structural witness otherwise;
+//! see [`rda_query::classify`] for the bare decision procedures.
+
+pub mod decompose;
+pub mod error;
+pub mod fdtransform;
+pub mod instance;
+pub mod lexda;
+pub mod lexsel;
+pub mod random_order;
+pub mod sumda;
+pub mod sumsel;
+pub mod tupleweights;
+pub mod weights;
+
+pub use decompose::{lex_direct_access_decomposed, rewrite_by_decomposition};
+pub use error::BuildError;
+pub use lexda::LexDirectAccess;
+pub use lexsel::selection_lex;
+pub use random_order::{Quantiles, RandomOrderEnumerator};
+pub use sumda::SumDirectAccess;
+pub use sumsel::selection_sum;
+pub use tupleweights::{selection_sum_tw, SumDirectAccessTw, TupleWeights};
+pub use weights::Weights;

@@ -1,0 +1,202 @@
+//! Direct access by sum-of-weights orders (Section 5, Theorems 5.1/8.9).
+//!
+//! The dichotomy's tractable side is narrow: the (FD-extended) query
+//! must be acyclic with one atom containing all free variables
+//! (equivalently `αfree(Q⁺) ≤ 1`, Lemma 5.4). Then a semijoin reduction
+//! plus one sort materializes the answer array (Lemma 5.9) and accesses
+//! are O(1) — everything else is 3SUM-hard (Lemmas 5.7/5.8).
+
+use crate::error::BuildError;
+use crate::fdtransform::{check_fds, extend_instance};
+use crate::instance::{normalize_instance, positions_of};
+use crate::weights::Weights;
+use rda_db::{Database, Relation, Tuple};
+use rda_orderstat::TotalF64;
+use rda_query::classify::{classify, Problem, Verdict};
+use rda_query::fd::{fd_extension, FdSet};
+use rda_query::gyo;
+use rda_query::query::Cq;
+use rda_query::VarId;
+
+/// A materialized, weight-sorted answer array with O(1) direct access
+/// (Theorem 5.1 / 8.9 positive side).
+///
+/// Ties on weight are broken by the answer tuple itself, making the
+/// order deterministic.
+#[derive(Debug, Clone)]
+pub struct SumDirectAccess {
+    answers: Vec<(TotalF64, Tuple)>,
+}
+
+impl SumDirectAccess {
+    /// Build for `q` over `db` with attribute weights `w`, under unary
+    /// FDs `fds`. Fails with [`BuildError::NotTractable`] exactly on the
+    /// paper's intractable side.
+    pub fn build(q: &Cq, db: &Database, w: &Weights, fds: &FdSet) -> Result<Self, BuildError> {
+        if !fds.is_empty() && !q.is_self_join_free() {
+            return Err(BuildError::InvalidOrder(
+                "functional dependencies require a self-join-free query".to_string(),
+            ));
+        }
+        match classify(q, fds, &Problem::DirectAccessSum) {
+            Verdict::Tractable { .. } => {}
+            v => return Err(BuildError::NotTractable(v)),
+        }
+
+        let (nq, ndb) = normalize_instance(q, db)?;
+        check_fds(&nq, &ndb, fds)?;
+        let ext = fd_extension(&nq, fds);
+        let idb = extend_instance(&ext, &ndb)?;
+        let qp = ext.query;
+
+        // Full reducer over the extension's join tree.
+        let tree = gyo::join_tree(&qp.hypergraph()).expect("classification guarantees acyclicity");
+        let atom_vars: Vec<Vec<VarId>> = qp.atoms().iter().map(|a| a.terms.clone()).collect();
+        let mut rels: Vec<Relation> = qp
+            .atoms()
+            .iter()
+            .map(|a| idb.get(&a.relation).expect("normalized instance").clone())
+            .collect();
+        crate::instance::full_reduce(&tree, &atom_vars, &mut rels);
+
+        // Project the covering atom onto the *original* head (weights
+        // range over the original free variables; promoted variables are
+        // determined and weightless — Lemma 8.5).
+        let free_plus = qp.free_set();
+        let cover = qp
+            .atoms()
+            .iter()
+            .position(|a| free_plus.is_subset(a.var_set()))
+            .expect("classification guarantees a covering atom");
+        let out_vars = q.free().to_vec();
+        let answers_rel = if qp.atoms().is_empty() {
+            unreachable!("queries have at least one atom")
+        } else {
+            rels[cover].project("answers", &positions_of(&atom_vars[cover], &out_vars))
+        };
+
+        // Boolean queries: one empty answer iff the join is non-empty.
+        let mut answers: Vec<(TotalF64, Tuple)> = if out_vars.is_empty() {
+            if rels.iter().any(Relation::is_empty) {
+                Vec::new()
+            } else {
+                vec![(TotalF64(0.0), Tuple::new(vec![]))]
+            }
+        } else {
+            answers_rel
+                .tuples()
+                .iter()
+                .map(|t| (w.answer_weight(&out_vars, t.values()), t.clone()))
+                .collect()
+        };
+        answers.sort();
+        Ok(SumDirectAccess { answers })
+    }
+
+    /// Number of answers.
+    pub fn len(&self) -> u64 {
+        self.answers.len() as u64
+    }
+
+    /// `true` when there are no answers.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+
+    /// The answer at index `k` in ascending weight order, O(1).
+    pub fn access(&self, k: u64) -> Option<&Tuple> {
+        self.answers.get(k as usize).map(|(_, t)| t)
+    }
+
+    /// The answer at index `k` together with its weight.
+    pub fn access_weighted(&self, k: u64) -> Option<(TotalF64, &Tuple)> {
+        self.answers.get(k as usize).map(|(w, t)| (*w, t))
+    }
+
+    /// Iterate answers in weight order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.answers.iter().map(|(_, t)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rda_db::tup;
+    use rda_query::parser::parse;
+
+    #[test]
+    fn single_atom_query_sorts_by_weight() {
+        let q = parse("Q(x, y) :- R(x, y)").unwrap();
+        let db = Database::new().with_i64_rows("R", 2, vec![vec![3, 1], vec![1, 1], vec![2, 5]]);
+        let da = SumDirectAccess::build(&q, &db, &Weights::identity(), &FdSet::empty()).unwrap();
+        // Weights: (3,1)=4, (1,1)=2, (2,5)=7.
+        let got: Vec<Tuple> = da.iter().cloned().collect();
+        assert_eq!(got, vec![tup![1, 1], tup![3, 1], tup![2, 5]]);
+        assert_eq!(da.access_weighted(2).unwrap().0, TotalF64(7.0));
+        assert_eq!(da.access(3), None);
+    }
+
+    #[test]
+    fn covering_atom_with_semijoin_filtering() {
+        // SUM x + y with z projected away (Example 1.1: tractable).
+        let q = parse("Q(x, y) :- R(x, y), S(y, z)").unwrap();
+        let db = Database::new()
+            .with_i64_rows(
+                "R",
+                2,
+                vec![vec![1, 5], vec![1, 2], vec![6, 2], vec![9, 99]],
+            )
+            .with_i64_rows("S", 2, vec![vec![5, 3], vec![2, 5]]);
+        let da = SumDirectAccess::build(&q, &db, &Weights::identity(), &FdSet::empty()).unwrap();
+        // (9,99) is dangling. Weights: (1,5)=6, (1,2)=3, (6,2)=8.
+        let got: Vec<Tuple> = da.iter().cloned().collect();
+        assert_eq!(got, vec![tup![1, 2], tup![1, 5], tup![6, 2]]);
+    }
+
+    #[test]
+    fn two_path_full_is_rejected() {
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let db = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5]])
+            .with_i64_rows("S", 2, vec![vec![5, 3]]);
+        let r = SumDirectAccess::build(&q, &db, &Weights::identity(), &FdSet::empty());
+        assert!(matches!(r, Err(BuildError::NotTractable(_))));
+    }
+
+    #[test]
+    fn fd_extension_unlocks_sum_access() {
+        // Example 8.3: Q(x,z) :- R(x,y), S(y,z) with S: y → z; R extends
+        // to cover {x, z}.
+        let q = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+        let fds = FdSet::parse(&q, &[("S", "y", "z")]);
+        let db = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 10], vec![2, 20], vec![5, 10]])
+            .with_i64_rows("S", 2, vec![vec![10, 7], vec![20, 3]]);
+        let da = SumDirectAccess::build(&q, &db, &Weights::identity(), &fds).unwrap();
+        // Answers (x, z): (1,7)=8, (2,3)=5, (5,7)=12.
+        let got: Vec<Tuple> = da.iter().cloned().collect();
+        assert_eq!(got, vec![tup![2, 3], tup![1, 7], tup![5, 7]]);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let q = parse("Q(x, y) :- R(x, y)").unwrap();
+        let db = Database::new().with_i64_rows("R", 2, vec![vec![2, 1], vec![1, 2], vec![0, 3]]);
+        let da = SumDirectAccess::build(&q, &db, &Weights::identity(), &FdSet::empty()).unwrap();
+        // All weights are 3; ties break by tuple order.
+        let got: Vec<Tuple> = da.iter().cloned().collect();
+        assert_eq!(got, vec![tup![0, 3], tup![1, 2], tup![2, 1]]);
+    }
+
+    #[test]
+    fn boolean_query() {
+        let q = parse("Q() :- R(x, y)").unwrap();
+        let db = Database::new().with_i64_rows("R", 2, vec![vec![1, 2]]);
+        let da = SumDirectAccess::build(&q, &db, &Weights::zero(), &FdSet::empty()).unwrap();
+        assert_eq!(da.len(), 1);
+        let empty = Database::new().with_i64_rows("R", 2, vec![]);
+        let da = SumDirectAccess::build(&q, &empty, &Weights::zero(), &FdSet::empty()).unwrap();
+        assert_eq!(da.len(), 0);
+    }
+}

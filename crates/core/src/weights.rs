@@ -1,0 +1,126 @@
+//! Attribute weights for SUM orders (Section 2.2).
+//!
+//! A weight function assigns a real weight to each domain value of each
+//! free variable; an answer's weight is the sum over its free variables.
+//! Unassigned `(variable, value)` pairs default either to `0` or to the
+//! value itself (for integer domains) — the latter matches the paper's
+//! running examples where "the weights are assumed to be identical to
+//! the attribute values" (Figure 2d).
+
+use rda_db::Value;
+use rda_orderstat::TotalF64;
+use rda_query::{Cq, VarId};
+use std::collections::HashMap;
+
+/// Fallback for `(variable, value)` pairs without an explicit weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DefaultWeight {
+    /// Missing weights are `0`.
+    #[default]
+    Zero,
+    /// Missing weights equal the value for integers, `0` otherwise.
+    IntValue,
+}
+
+/// A weight function `w_x : dom → ℝ` per variable.
+#[derive(Debug, Clone, Default)]
+pub struct Weights {
+    map: HashMap<(VarId, Value), f64>,
+    default: DefaultWeight,
+}
+
+impl Weights {
+    /// All-zero weights (useful when only counting).
+    pub fn zero() -> Self {
+        Weights::default()
+    }
+
+    /// Weights that mirror integer attribute values (Figure 2d).
+    pub fn identity() -> Self {
+        Weights {
+            map: HashMap::new(),
+            default: DefaultWeight::IntValue,
+        }
+    }
+
+    /// Set the weight of one `(variable, value)` pair.
+    pub fn set(&mut self, var: VarId, value: impl Into<Value>, weight: f64) -> &mut Self {
+        self.map.insert((var, value.into()), weight);
+        self
+    }
+
+    /// Builder-style [`Weights::set`] resolving the variable by name.
+    ///
+    /// # Panics
+    /// Panics if `var` is not a variable of `q`.
+    pub fn with(mut self, q: &Cq, var: &str, value: impl Into<Value>, weight: f64) -> Self {
+        let v = q
+            .var(var)
+            .unwrap_or_else(|| panic!("unknown variable {var}"));
+        self.set(v, value, weight);
+        self
+    }
+
+    /// The weight of `value` under variable `var`.
+    pub fn get(&self, var: VarId, value: &Value) -> TotalF64 {
+        if let Some(&w) = self.map.get(&(var, value.clone())) {
+            return TotalF64(w);
+        }
+        match self.default {
+            DefaultWeight::Zero => TotalF64(0.0),
+            DefaultWeight::IntValue => TotalF64(value.as_int().map_or(0.0, |i| i as f64)),
+        }
+    }
+
+    /// Weight of an answer: sum over `vars[i]` of the weight of
+    /// `values[i]`.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn answer_weight(&self, vars: &[VarId], values: &[Value]) -> TotalF64 {
+        assert_eq!(vars.len(), values.len(), "answer arity mismatch");
+        vars.iter()
+            .zip(values)
+            .map(|(&v, val)| self.get(v, val))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rda_query::parser::parse;
+
+    #[test]
+    fn zero_defaults() {
+        let w = Weights::zero();
+        assert_eq!(w.get(VarId(0), &Value::int(7)), TotalF64(0.0));
+    }
+
+    #[test]
+    fn identity_defaults_mirror_ints() {
+        let w = Weights::identity();
+        assert_eq!(w.get(VarId(0), &Value::int(7)), TotalF64(7.0));
+        assert_eq!(w.get(VarId(0), &Value::str("a")), TotalF64(0.0));
+    }
+
+    #[test]
+    fn explicit_weights_override() {
+        let q = parse("Q(x) :- R(x)").unwrap();
+        let w = Weights::identity().with(&q, "x", 7, -2.5);
+        let x = q.var("x").unwrap();
+        assert_eq!(w.get(x, &Value::int(7)), TotalF64(-2.5));
+        assert_eq!(w.get(x, &Value::int(8)), TotalF64(8.0));
+    }
+
+    #[test]
+    fn answer_weight_sums() {
+        let q = parse("Q(x, y) :- R(x, y)").unwrap();
+        let (x, y) = (q.var("x").unwrap(), q.var("y").unwrap());
+        let w = Weights::identity();
+        assert_eq!(
+            w.answer_weight(&[x, y], &[Value::int(3), Value::int(4)]),
+            TotalF64(7.0)
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Database instances: collections of named relations.
+
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A database instance `I`: a finite relation per relational symbol.
+///
+/// The paper measures input size as `n`, the total number of tuples
+/// ([`Database::size`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Insert (or replace) a relation under its own name.
+    pub fn add(&mut self, relation: Relation) -> &mut Self {
+        self.relations.insert(relation.name().to_string(), relation);
+        self
+    }
+
+    /// Builder-style [`Database::add`].
+    pub fn with(mut self, relation: Relation) -> Self {
+        self.add(relation);
+        self
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
+    }
+
+    /// Total number of tuples (the paper's `n`).
+    pub fn size(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Iterate over relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Normalize every relation (sort + dedup).
+    pub fn normalize(&mut self) {
+        for r in self.relations.values_mut() {
+            r.normalize();
+        }
+    }
+
+    /// Convenience: build a relation from rows of `i64`s and add it.
+    pub fn with_i64_rows(
+        self,
+        name: &str,
+        arity: usize,
+        rows: impl IntoIterator<Item = Vec<i64>>,
+    ) -> Self {
+        let tuples: Vec<Tuple> = rows
+            .into_iter()
+            .map(|row| row.into_iter().map(crate::Value::int).collect())
+            .collect();
+        self.with(Relation::from_tuples(name, arity, tuples))
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in self.relations.values() {
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    #[test]
+    fn size_sums_tuples() {
+        let db = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+            .with_i64_rows("S", 2, vec![vec![5, 3]]);
+        assert_eq!(db.size(), 4);
+        assert_eq!(db.relation_count(), 2);
+    }
+
+    #[test]
+    fn get_by_name() {
+        let db = Database::new().with_i64_rows("R", 1, vec![vec![1]]);
+        assert!(db.get("R").is_some());
+        assert!(db.get("S").is_none());
+    }
+
+    #[test]
+    fn add_replaces_same_name() {
+        let mut db = Database::new().with_i64_rows("R", 1, vec![vec![1], vec![2]]);
+        db.add(Relation::from_tuples("R", 1, vec![tup![9]]));
+        assert_eq!(db.size(), 1);
+    }
+
+    #[test]
+    fn normalize_all() {
+        let mut db = Database::new().with_i64_rows("R", 1, vec![vec![2], vec![1], vec![2]]);
+        db.normalize();
+        assert_eq!(db.get("R").unwrap().tuples(), &[tup![1], tup![2]]);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # rda-db — in-memory relational substrate
+//!
+//! The storage and relational-algebra layer underneath the direct-access
+//! algorithms of Carmeli et al. (PODS 2021). The paper's complexity model
+//! is the sequential RAM with databases measured by their total number of
+//! tuples `n`; this crate provides exactly that: ordered domain values,
+//! set-semantics relations, and the linear / quasilinear operators
+//! (projection, selection, semijoin, sorting, grouping) used by the
+//! Yannakakis-style preprocessing phases.
+//!
+//! Nothing in this crate knows about queries; see `rda-query` for the
+//! query/hypergraph layer and `rda-core` for the access structures.
+
+pub mod database;
+pub mod relation;
+pub mod tuple;
+pub mod value;
+
+pub use database::Database;
+pub use relation::Relation;
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,330 @@
+//! Relations: named sets of tuples plus the relational operators used by
+//! the preprocessing phases (projection, selection, semijoin, sorting,
+//! grouping). All operators are linear or quasilinear in the number of
+//! tuples, matching the paper's complexity accounting.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A named relation with fixed arity and set semantics.
+///
+/// Set semantics are maintained lazily: constructors accept duplicates and
+/// [`Relation::normalize`] (sort + dedup) restores canonical form. All
+/// consumers in `rda-core` normalize before building access structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    name: String,
+    arity: usize,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation with the given name and arity.
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        Relation {
+            name: name.into(),
+            arity,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Build from tuples, checking arity.
+    ///
+    /// # Panics
+    /// Panics if a tuple's arity differs from `arity`.
+    pub fn from_tuples(name: impl Into<String>, arity: usize, tuples: Vec<Tuple>) -> Self {
+        let name = name.into();
+        for t in &tuples {
+            assert_eq!(
+                t.arity(),
+                arity,
+                "tuple {t} has arity {} but relation {name} expects {arity}",
+                t.arity()
+            );
+        }
+        Relation {
+            name,
+            arity,
+            tuples,
+        }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples currently stored (duplicates included until
+    /// [`Relation::normalize`] runs).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` if no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples as a slice.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Add one tuple.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn insert(&mut self, t: Tuple) {
+        assert_eq!(
+            t.arity(),
+            self.arity,
+            "arity mismatch inserting into {}",
+            self.name
+        );
+        self.tuples.push(t);
+    }
+
+    /// Sort lexicographically and remove duplicates (set semantics).
+    pub fn normalize(&mut self) {
+        self.tuples.sort_unstable();
+        self.tuples.dedup();
+    }
+
+    /// Rename this relation.
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Projection π onto `positions` (deduplicated).
+    pub fn project(&self, name: impl Into<String>, positions: &[usize]) -> Relation {
+        let mut out = Relation {
+            name: name.into(),
+            arity: positions.len(),
+            tuples: self.tuples.iter().map(|t| t.project(positions)).collect(),
+        };
+        out.normalize();
+        out
+    }
+
+    /// Selection σ: keep tuples where position `pos` equals `v`.
+    pub fn select_eq(&self, pos: usize, v: &Value) -> Relation {
+        Relation {
+            name: self.name.clone(),
+            arity: self.arity,
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| &t[pos] == v)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Keep only tuples satisfying `pred`.
+    pub fn retain(&mut self, mut pred: impl FnMut(&Tuple) -> bool) {
+        self.tuples.retain(|t| pred(t));
+    }
+
+    /// Semijoin ⋉: keep tuples of `self` whose projection onto
+    /// `self_keys` appears in `other` projected onto `other_keys`.
+    ///
+    /// # Panics
+    /// Panics if the two key lists have different lengths.
+    pub fn semijoin(&mut self, self_keys: &[usize], other: &Relation, other_keys: &[usize]) {
+        assert_eq!(
+            self_keys.len(),
+            other_keys.len(),
+            "semijoin key length mismatch"
+        );
+        let keys: HashSet<Tuple> = other.tuples.iter().map(|t| t.project(other_keys)).collect();
+        self.tuples.retain(|t| keys.contains(&t.project(self_keys)));
+    }
+
+    /// Natural join on explicit key positions. Output schema is
+    /// `self`'s attributes followed by `other`'s non-key attributes.
+    pub fn join(
+        &self,
+        name: impl Into<String>,
+        self_keys: &[usize],
+        other: &Relation,
+        other_keys: &[usize],
+    ) -> Relation {
+        assert_eq!(
+            self_keys.len(),
+            other_keys.len(),
+            "join key length mismatch"
+        );
+        let other_rest: Vec<usize> = (0..other.arity)
+            .filter(|p| !other_keys.contains(p))
+            .collect();
+        let mut index: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
+        for t in &other.tuples {
+            index.entry(t.project(other_keys)).or_default().push(t);
+        }
+        let mut tuples = Vec::new();
+        for t in &self.tuples {
+            if let Some(matches) = index.get(&t.project(self_keys)) {
+                for m in matches {
+                    tuples.push(t.concat(&m.project(&other_rest)));
+                }
+            }
+        }
+        Relation {
+            name: name.into(),
+            arity: self.arity + other_rest.len(),
+            tuples,
+        }
+    }
+
+    /// Sort tuples by the given positions (then by the full tuple, so the
+    /// result is deterministic).
+    pub fn sort_by_positions(&mut self, positions: &[usize]) {
+        self.tuples.sort_by(|a, b| {
+            positions
+                .iter()
+                .map(|&p| a[p].cmp(&b[p]))
+                .find(|o| o.is_ne())
+                .unwrap_or_else(|| a.cmp(b))
+        });
+    }
+
+    /// Group tuples by their projection onto `positions`, preserving the
+    /// current tuple order within each group.
+    pub fn group_by(&self, positions: &[usize]) -> HashMap<Tuple, Vec<Tuple>> {
+        let mut groups: HashMap<Tuple, Vec<Tuple>> = HashMap::new();
+        for t in &self.tuples {
+            groups
+                .entry(t.project(positions))
+                .or_default()
+                .push(t.clone());
+        }
+        groups
+    }
+
+    /// The distinct values at position `pos` (the active domain of that
+    /// attribute), unordered.
+    pub fn active_domain(&self, pos: usize) -> Vec<Value> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for t in &self.tuples {
+            if seen.insert(t[pos].clone()) {
+                out.push(t[pos].clone());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} (arity {}, {} tuples):",
+            self.name,
+            self.arity,
+            self.tuples.len()
+        )?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    fn r() -> Relation {
+        Relation::from_tuples("R", 2, vec![tup![1, 5], tup![1, 2], tup![6, 2], tup![1, 2]])
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let mut rel = r();
+        rel.normalize();
+        assert_eq!(rel.tuples(), &[tup![1, 2], tup![1, 5], tup![6, 2]]);
+    }
+
+    #[test]
+    fn project_dedups() {
+        let p = r().project("P", &[0]);
+        assert_eq!(p.tuples(), &[tup![1], tup![6]]);
+        assert_eq!(p.arity(), 1);
+    }
+
+    #[test]
+    fn select_eq_filters() {
+        let s = r().select_eq(0, &Value::int(1));
+        assert_eq!(s.len(), 3);
+        assert!(s.tuples().iter().all(|t| t[0] == Value::int(1)));
+    }
+
+    #[test]
+    fn semijoin_keeps_matching() {
+        let mut rel = r();
+        let s = Relation::from_tuples("S", 2, vec![tup![5, 3], tup![5, 4]]);
+        // keep R tuples whose y (pos 1) occurs as S's first column
+        rel.semijoin(&[1], &s, &[0]);
+        assert_eq!(rel.tuples(), &[tup![1, 5]]);
+    }
+
+    #[test]
+    fn join_is_natural_join() {
+        let rel = Relation::from_tuples("R", 2, vec![tup![1, 5], tup![1, 2]]);
+        let s = Relation::from_tuples("S", 2, vec![tup![5, 3], tup![2, 9], tup![5, 4]]);
+        let mut j = rel.join("J", &[1], &s, &[0]);
+        j.normalize();
+        assert_eq!(j.tuples(), &[tup![1, 2, 9], tup![1, 5, 3], tup![1, 5, 4]]);
+    }
+
+    #[test]
+    fn join_empty_keys_is_cartesian_product() {
+        let rel = Relation::from_tuples("R", 1, vec![tup![1], tup![2]]);
+        let s = Relation::from_tuples("S", 1, vec![tup![8], tup![9]]);
+        let mut j = rel.join("J", &[], &s, &[]);
+        j.normalize();
+        assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn group_by_partitions() {
+        let groups = r().group_by(&[0]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[&tup![1]].len(), 3);
+        assert_eq!(groups[&tup![6]].len(), 1);
+    }
+
+    #[test]
+    fn active_domain_distinct() {
+        let mut dom = r().active_domain(1);
+        dom.sort();
+        assert_eq!(dom, vec![Value::int(2), Value::int(5)]);
+    }
+
+    #[test]
+    fn sort_by_positions_orders_by_key_then_tuple() {
+        let mut rel = r();
+        rel.sort_by_positions(&[1]);
+        assert_eq!(
+            rel.tuples(),
+            &[tup![1, 2], tup![1, 2], tup![6, 2], tup![1, 5]]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked_on_insert() {
+        let mut rel = Relation::new("R", 2);
+        rel.insert(tup![1]);
+    }
+}

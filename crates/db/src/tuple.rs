@@ -1,0 +1,127 @@
+//! Tuples: fixed-arity rows of [`Value`]s.
+
+use crate::value::Value;
+use std::fmt;
+use std::ops::Index;
+
+/// A database tuple.
+///
+/// Stored as a boxed slice: two words on the stack, no spare capacity.
+/// Tuples compare lexicographically component-wise, which is exactly the
+/// comparison the bucket-sorting phases need.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: impl Into<Box<[Value]>>) -> Self {
+        Tuple(values.into())
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The components as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Project onto the given positions (in the given order).
+    ///
+    /// # Panics
+    /// Panics if a position is out of bounds.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&p| self.0[p].clone()).collect())
+    }
+
+    /// Concatenate two tuples.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        Tuple(self.0.iter().chain(other.0.iter()).cloned().collect())
+    }
+
+    /// Iterate over components.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Tuple {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience constructor: `tup![1, "a", 3]`.
+#[macro_export]
+macro_rules! tup {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_mixed_tuples() {
+        let t = tup![1, "a"];
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t[0], Value::int(1));
+        assert_eq!(t[1], Value::str("a"));
+    }
+
+    #[test]
+    fn project_reorders_and_duplicates() {
+        let t = tup![10, 20, 30];
+        assert_eq!(t.project(&[2, 0, 0]), tup![30, 10, 10]);
+        assert_eq!(t.project(&[]), Tuple::new(vec![]));
+    }
+
+    #[test]
+    fn lexicographic_comparison() {
+        assert!(tup![1, 5] < tup![1, 6]);
+        assert!(tup![1, 9] < tup![2, 0]);
+        assert!(tup![1] < tup![1, 0]);
+    }
+
+    #[test]
+    fn concat_appends() {
+        assert_eq!(tup![1].concat(&tup![2, 3]), tup![1, 2, 3]);
+    }
+
+    #[test]
+    fn display_is_parenthesized() {
+        assert_eq!(tup![1, "b"].to_string(), "(1, b)");
+    }
+}

@@ -1,0 +1,401 @@
+//! S-connexity, S-path witnesses, ext-S-connex trees, and completion of
+//! partial lexicographic orders (Sections 2.1 and 4).
+//!
+//! A hypergraph is **S-connex** iff it is acyclic and remains acyclic
+//! after adding a hyperedge containing exactly `S` (Brault-Baron's
+//! characterization, Section 2.1). Equivalently it admits an
+//! **ext-S-connex tree**: a join tree of an *inclusive extension* with a
+//! subtree whose nodes cover exactly `S`.
+//!
+//! The constructive part follows the composition in the paper's
+//! Proposition 4.3: given a join tree `T1` of `atoms ∪ {S}` and an
+//! ext-S'-connex tree `T2` for an inner `S' ⊆ S`, project every node of
+//! `T2` onto `S` (preserving topology), reattach each component of
+//! `T1 − S-node` through its unique S-neighbor, and the projected part is
+//! the desired subtree. The base of the recursion is the trivial
+//! ext-∅-connex tree (a join tree of the atoms plus an empty node).
+
+use crate::gyo;
+use crate::hypergraph::Hypergraph;
+use crate::jointree::{JoinTree, NodeSource};
+use crate::query::Cq;
+use crate::trio::find_disruptive_trio;
+use crate::var::{VarId, VarSet};
+
+/// An ext-S-connex tree, possibly with a nested inner subtree
+/// (Proposition 4.3: `T2 ⊆ T1 ⊆ T` for `L2 ⊆ L1`).
+#[derive(Debug, Clone)]
+pub struct ExtConnexTree {
+    /// The join tree of an inclusive extension of the query hypergraph.
+    /// Every node's [`NodeSource`] names the atom whose relation the node
+    /// materializes from (by projection).
+    pub tree: JoinTree,
+    /// Node indices of the connected subtree covering exactly the outer
+    /// variable set `S`.
+    pub marked: Vec<usize>,
+    /// Node indices of the connected subtree (within `marked`) covering
+    /// exactly the inner set; equals `marked` when no inner set was given.
+    pub inner_marked: Vec<usize>,
+    /// For each atom index, the node whose variable set is the atom's
+    /// full variable set.
+    pub atom_node: Vec<usize>,
+}
+
+impl ExtConnexTree {
+    /// The atom a node's relation is projected from.
+    pub fn source_atom(&self, node: usize) -> usize {
+        match self.tree.node(node).source {
+            NodeSource::Edge(i) => i,
+            NodeSource::Synthetic(Some(i)) => i,
+            NodeSource::Synthetic(None) => {
+                unreachable!("ext-connex tree nodes always carry a source atom")
+            }
+        }
+    }
+
+    /// Union of variables over the marked subtree.
+    pub fn marked_vars(&self) -> VarSet {
+        self.marked
+            .iter()
+            .fold(VarSet::EMPTY, |acc, &i| acc.union(self.tree.node(i).vars))
+    }
+}
+
+/// `true` iff `h` is S-connex: acyclic, and acyclic with `s` added.
+pub fn is_s_connex(h: &Hypergraph, s: VarSet) -> bool {
+    gyo::is_acyclic(h) && gyo::is_acyclic(&h.with_edge(s))
+}
+
+/// `true` iff the CQ is free-connex (Section 2.1).
+pub fn is_free_connex(q: &Cq) -> bool {
+    is_s_connex(&q.hypergraph(), q.free_set())
+}
+
+/// Find an S-path: a chordless path `(x, z_1, …, z_k, y)` with
+/// `x, y ∈ S`, `z_i ∉ S`, `k ≥ 1`. Exists iff `h` is acyclic but not
+/// S-connex; used as the hardness witness in classification verdicts.
+pub fn s_path_witness(h: &Hypergraph, s: VarSet) -> Option<Vec<VarId>> {
+    let endpoints: Vec<VarId> = s.intersect(h.vertices()).iter().collect();
+    for (i, &x) in endpoints.iter().enumerate() {
+        for &y in &endpoints[i + 1..] {
+            if let Some(p) = h.chordless_path_avoiding(x, y, s, 1) {
+                return Some(p);
+            }
+        }
+    }
+    None
+}
+
+/// The trivial ext-∅-connex tree: a join tree of the atoms plus an empty
+/// node attached to node 0.
+fn ext_empty_tree(h: &Hypergraph) -> Option<ExtConnexTree> {
+    let base = gyo::join_tree(h)?;
+    let mut tree = base.clone();
+    if tree.is_empty() {
+        return None;
+    }
+    let empty = tree.add_node(VarSet::EMPTY, NodeSource::Synthetic(Some(0)));
+    tree.add_edge(empty, 0);
+    let atom_node = (0..h.edges().len()).collect();
+    Some(ExtConnexTree {
+        tree,
+        marked: vec![empty],
+        inner_marked: vec![empty],
+        atom_node,
+    })
+}
+
+/// Proposition 4.3 composition step: given an ext tree whose marked
+/// subtree covers `inner ⊆ outer`, produce an ext tree whose marked
+/// subtree covers exactly `outer`, with the inner subtree nested inside.
+fn compose(h: &Hypergraph, t2: &ExtConnexTree, outer: VarSet) -> Option<ExtConnexTree> {
+    // T1: join tree of atoms + outer-edge. The outer node has index m.
+    let m = h.edges().len();
+    let t1 = gyo::join_tree(&h.with_edge(outer))?;
+
+    let mut tree = JoinTree::new();
+    // Part A: T2 projected onto `outer` (same topology).
+    let a_of = |i: usize| i; // t2 node i -> new index i
+    for i in 0..t2.tree.len() {
+        let n = t2.tree.node(i);
+        let src = t2.source_atom(i);
+        let idx = tree.add_node(n.vars.intersect(outer), NodeSource::Synthetic(Some(src)));
+        debug_assert_eq!(idx, a_of(i));
+    }
+    for i in 0..t2.tree.len() {
+        for &j in t2.tree.neighbors(i) {
+            if i < j {
+                tree.add_edge(a_of(i), a_of(j));
+            }
+        }
+    }
+    // Part B: T1 minus the outer node (the original atoms).
+    let b_offset = t2.tree.len();
+    for (i, &e) in h.edges().iter().enumerate() {
+        let idx = tree.add_node(e, NodeSource::Edge(i));
+        debug_assert_eq!(idx, b_offset + i);
+    }
+    for i in 0..m {
+        for &j in t1.neighbors(i) {
+            if j < m && i < j {
+                tree.add_edge(b_offset + i, b_offset + j);
+            }
+        }
+    }
+    // Reattach: every T1-neighbor of the outer node connects to the
+    // projected copy of that same atom in part A.
+    for &v1 in t1.neighbors(m) {
+        debug_assert!(v1 < m, "outer-node neighbors are atoms");
+        tree.add_edge(b_offset + v1, a_of(t2.atom_node[v1]));
+    }
+
+    let marked: Vec<usize> = (0..t2.tree.len()).collect();
+    let inner_marked: Vec<usize> = t2.marked.iter().map(|&i| a_of(i)).collect();
+    let atom_node: Vec<usize> = (0..m).map(|i| b_offset + i).collect();
+
+    debug_assert!(
+        tree.validate().is_ok(),
+        "Proposition 4.3 composition must yield a join tree"
+    );
+    Some(ExtConnexTree {
+        tree,
+        marked,
+        inner_marked,
+        atom_node,
+    })
+}
+
+/// Build an ext-S-connex tree for `h`, or `None` if `h` is not S-connex.
+pub fn ext_connex_tree(h: &Hypergraph, s: VarSet) -> Option<ExtConnexTree> {
+    let base = ext_empty_tree(h)?;
+    let mut t = compose(h, &base, s)?;
+    t.inner_marked = t.marked.clone();
+    Some(t)
+}
+
+/// Build an ext tree with nested subtrees for `inner ⊆ outer`
+/// (Proposition 4.3), or `None` if `h` is not both outer- and
+/// inner-connex.
+pub fn ext_connex_pair(h: &Hypergraph, outer: VarSet, inner: VarSet) -> Option<ExtConnexTree> {
+    assert!(
+        inner.is_subset(outer),
+        "inner set must be contained in outer set"
+    );
+    let t_inner = ext_connex_tree(h, inner)?;
+    compose(h, &t_inner, outer)
+}
+
+/// Lemma 4.4: complete a partial lexicographic order `l` over a subset of
+/// the free variables to a full order `L+` over all of `free(Q)` such
+/// that `Q` has no disruptive trio w.r.t. `L+`.
+///
+/// Returns `None` when the premises fail: `Q` not free-connex, not
+/// L-connex, or `l` already has a disruptive trio.
+pub fn complete_order(q: &Cq, l: &[VarId]) -> Option<Vec<VarId>> {
+    let free = q.free_set();
+    let lset: VarSet = l.iter().copied().collect();
+    assert!(
+        lset.is_subset(free),
+        "lexicographic order must use free variables"
+    );
+    let h = q.hypergraph();
+    if find_disruptive_trio(&h, l).is_some() {
+        return None;
+    }
+    let ext = ext_connex_pair(&h, free, lset)?;
+
+    // Walk T_free outward from T_L, appending newly covered variables.
+    let mut order: Vec<VarId> = l.to_vec();
+    let mut covered = lset;
+    let mut handled: Vec<bool> = vec![false; ext.tree.len()];
+    let in_free: Vec<bool> = {
+        let mut v = vec![false; ext.tree.len()];
+        for &i in &ext.marked {
+            v[i] = true;
+        }
+        v
+    };
+    for &i in &ext.inner_marked {
+        handled[i] = true;
+    }
+    loop {
+        let next = ext.marked.iter().copied().find(|&i| {
+            !handled[i]
+                && ext
+                    .tree
+                    .neighbors(i)
+                    .iter()
+                    .any(|&j| in_free[j] && handled[j])
+        });
+        let Some(i) = next else { break };
+        handled[i] = true;
+        for v in ext.tree.node(i).vars.iter() {
+            if !covered.contains(v) {
+                covered = covered.with(v);
+                order.push(v);
+            }
+        }
+    }
+    // All free variables must be covered (T_free is connected and covers
+    // exactly free(Q)).
+    debug_assert_eq!(covered, free, "completion must cover all free variables");
+    debug_assert!(
+        find_disruptive_trio(&h, &order).is_none(),
+        "Lemma 4.4 guarantees a trio-free completion"
+    );
+    Some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::CqBuilder;
+
+    fn vs(q: &Cq, names: &[&str]) -> VarSet {
+        q.vars(names).into_iter().collect()
+    }
+
+    fn two_path_full() -> Cq {
+        CqBuilder::new("Q")
+            .head(&["x", "y", "z"])
+            .atom("R", &["x", "y"])
+            .atom("S", &["y", "z"])
+            .build()
+    }
+
+    fn two_path_proj() -> Cq {
+        CqBuilder::new("Q")
+            .head(&["x", "z"])
+            .atom("R", &["x", "y"])
+            .atom("S", &["y", "z"])
+            .build()
+    }
+
+    #[test]
+    fn full_two_path_is_free_connex() {
+        assert!(is_free_connex(&two_path_full()));
+    }
+
+    #[test]
+    fn projected_two_path_is_not_free_connex() {
+        assert!(!is_free_connex(&two_path_proj()));
+    }
+
+    #[test]
+    fn s_path_witness_on_projected_two_path() {
+        let q = two_path_proj();
+        let p = s_path_witness(&q.hypergraph(), q.free_set()).unwrap();
+        let names: Vec<&str> = p.iter().map(|&v| q.var_name(v)).collect();
+        assert!(names == ["x", "y", "z"] || names == ["z", "y", "x"]);
+    }
+
+    #[test]
+    fn example_4_2_l_connexity() {
+        // Q(x,y,z) :- R(x,y), S(y,z): L = <x,z> is not L-connex,
+        // L = <x,y> and L = <z,y> are.
+        let q = two_path_full();
+        let h = q.hypergraph();
+        assert!(!is_s_connex(&h, vs(&q, &["x", "z"])));
+        assert!(is_s_connex(&h, vs(&q, &["x", "y"])));
+        assert!(is_s_connex(&h, vs(&q, &["z", "y"])));
+        assert!(is_s_connex(&h, vs(&q, &["y"])));
+    }
+
+    #[test]
+    fn ext_tree_marks_exactly_s() {
+        let q = two_path_full();
+        let h = q.hypergraph();
+        let s = vs(&q, &["x", "y"]);
+        let t = ext_connex_tree(&h, s).unwrap();
+        assert!(t.tree.validate().is_ok());
+        assert_eq!(t.marked_vars(), s);
+        assert!(t.tree.is_connected_subset(&t.marked));
+        // Every node is a subset of its source atom (inclusive extension).
+        for i in 0..t.tree.len() {
+            let atom = q.atoms()[t.source_atom(i)].var_set();
+            assert!(t.tree.node(i).vars.is_subset(atom));
+        }
+        // Every atom keeps a full node.
+        for (a, &n) in t.atom_node.iter().enumerate() {
+            assert_eq!(t.tree.node(n).vars, q.atoms()[a].var_set());
+        }
+    }
+
+    #[test]
+    fn ext_tree_fails_on_non_connex_set() {
+        let q = two_path_full();
+        assert!(ext_connex_tree(&q.hypergraph(), vs(&q, &["x", "z"])).is_none());
+    }
+
+    #[test]
+    fn ext_pair_nests_subtrees() {
+        let q = two_path_full();
+        let h = q.hypergraph();
+        let outer = q.free_set();
+        let inner = vs(&q, &["y"]);
+        let t = ext_connex_pair(&h, outer, inner).unwrap();
+        assert!(t.tree.validate().is_ok());
+        assert_eq!(t.marked_vars(), outer);
+        let inner_vars = t
+            .inner_marked
+            .iter()
+            .fold(VarSet::EMPTY, |acc, &i| acc.union(t.tree.node(i).vars));
+        assert_eq!(inner_vars, inner);
+        assert!(t.tree.is_connected_subset(&t.inner_marked));
+        assert!(t.tree.is_connected_subset(&t.marked));
+    }
+
+    #[test]
+    fn paper_proposition_4_3_example() {
+        // Q(x,y,z) :- R1(x,y,a), R2(y,z,b), R3(b,c), R4(y,z,d) with
+        // L1 = {x,y,z}, L2 = {y} (Figure 6).
+        let q = CqBuilder::new("Q")
+            .head(&["x", "y", "z"])
+            .atom("R1", &["x", "y", "a"])
+            .atom("R2", &["y", "z", "b"])
+            .atom("R3", &["b", "c"])
+            .atom("R4", &["y", "z", "d"])
+            .build();
+        let h = q.hypergraph();
+        let t = ext_connex_pair(&h, vs(&q, &["x", "y", "z"]), vs(&q, &["y"])).unwrap();
+        assert!(t.tree.validate().is_ok());
+        assert_eq!(t.marked_vars(), vs(&q, &["x", "y", "z"]));
+    }
+
+    #[test]
+    fn complete_order_extends_prefix() {
+        // Q3(v1..v4) :- R(v1,v3), S(v2,v4); L = <v1, v2> completes to a
+        // trio-free full order starting with v1, v2.
+        let q = CqBuilder::new("Q")
+            .head(&["v1", "v2", "v3", "v4"])
+            .atom("R", &["v1", "v3"])
+            .atom("S", &["v2", "v4"])
+            .build();
+        let l = q.vars(&["v1", "v2"]);
+        let order = complete_order(&q, &l).unwrap();
+        assert_eq!(order[..2], l[..]);
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn complete_order_rejects_trio() {
+        // <x, z, y> on the 2-path has the disruptive trio (x, z, y).
+        let q = two_path_full();
+        let l = q.vars(&["x", "z", "y"]);
+        assert!(complete_order(&q, &l).is_none());
+    }
+
+    #[test]
+    fn complete_order_rejects_non_l_connex() {
+        let q = two_path_full();
+        let l = q.vars(&["x", "z"]);
+        assert!(complete_order(&q, &l).is_none());
+    }
+
+    #[test]
+    fn complete_order_empty_prefix() {
+        let q = two_path_full();
+        let order = complete_order(&q, &[]).unwrap();
+        assert_eq!(order.len(), 3);
+    }
+}

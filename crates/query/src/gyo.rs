@@ -1,0 +1,147 @@
+//! GYO (Graham / Yu–Özsoyoğlu) acyclicity test, producing a join tree.
+//!
+//! A hypergraph is α-acyclic iff repeatedly removing *ears* empties it.
+//! An edge `e` is an ear if there is another live edge `w` (the witness)
+//! containing every vertex of `e` that also occurs in some other live
+//! edge. Recording `e → w` attachments yields a join tree over the
+//! original edges (Section 2.1: a CQ is acyclic iff a join tree exists).
+
+use crate::hypergraph::Hypergraph;
+use crate::jointree::{JoinTree, NodeSource};
+use crate::var::VarSet;
+
+/// Compute a join tree whose nodes are exactly the hyperedges of `h`
+/// (one node per edge, duplicates included), or `None` if `h` is cyclic.
+pub fn join_tree(h: &Hypergraph) -> Option<JoinTree> {
+    let edges = h.edges();
+    let m = edges.len();
+    if m == 0 {
+        return Some(JoinTree::new());
+    }
+    let mut alive: Vec<bool> = vec![true; m];
+    let mut attach: Vec<Option<usize>> = vec![None; m];
+    let mut live_count = m;
+
+    while live_count > 1 {
+        let mut removed_this_round = false;
+        for e in 0..m {
+            if !alive[e] {
+                continue;
+            }
+            // Vertices of e occurring in some *other* live edge.
+            let shared = (0..m)
+                .filter(|&f| f != e && alive[f])
+                .fold(VarSet::EMPTY, |acc, f| {
+                    acc.union(edges[e].intersect(edges[f]))
+                });
+            // Find a witness containing all shared vertices.
+            let witness = (0..m).find(|&w| w != e && alive[w] && shared.is_subset(edges[w]));
+            if let Some(w) = witness {
+                attach[e] = Some(w);
+                alive[e] = false;
+                live_count -= 1;
+                removed_this_round = true;
+                if live_count == 1 {
+                    break;
+                }
+            }
+        }
+        if !removed_this_round {
+            return None; // stuck: cyclic
+        }
+    }
+
+    let mut tree = JoinTree::new();
+    for (i, &e) in edges.iter().enumerate() {
+        let idx = tree.add_node(e, NodeSource::Edge(i));
+        debug_assert_eq!(idx, i);
+    }
+    for (e, w) in attach.iter().enumerate() {
+        if let Some(w) = *w {
+            tree.add_edge(e, w);
+        }
+    }
+    debug_assert!(tree.validate().is_ok(), "GYO produced an invalid join tree");
+    Some(tree)
+}
+
+/// `true` iff `h` is α-acyclic.
+pub fn is_acyclic(h: &Hypergraph) -> bool {
+    join_tree(h).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VarId;
+
+    fn vs(ids: &[u32]) -> VarSet {
+        ids.iter().map(|&i| VarId(i)).collect()
+    }
+
+    fn hg(edges: &[&[u32]]) -> Hypergraph {
+        Hypergraph::new(edges.iter().map(|e| vs(e)).collect())
+    }
+
+    #[test]
+    fn path_is_acyclic() {
+        let t = join_tree(&hg(&[&[0, 1], &[1, 2], &[2, 3]])).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        assert!(!is_acyclic(&hg(&[&[0, 1], &[1, 2], &[0, 2]])));
+    }
+
+    #[test]
+    fn triangle_plus_covering_edge_is_acyclic() {
+        // α-acyclicity is not closed under edge removal; with {x,y,z} the
+        // triangle becomes acyclic.
+        assert!(is_acyclic(&hg(&[&[0, 1], &[1, 2], &[0, 2], &[0, 1, 2]])));
+    }
+
+    #[test]
+    fn star_is_acyclic() {
+        assert!(is_acyclic(&hg(&[&[0, 1], &[0, 2], &[0, 3]])));
+    }
+
+    #[test]
+    fn duplicate_edges_are_handled() {
+        let t = join_tree(&hg(&[&[0, 1], &[0, 1], &[1, 2]])).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn single_edge() {
+        let t = join_tree(&hg(&[&[0, 1, 2]])).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let t = join_tree(&hg(&[])).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn disconnected_components_are_acyclic() {
+        // A cartesian product: R(x), S(y).
+        let t = join_tree(&hg(&[&[0], &[1]])).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn four_cycle_is_cyclic() {
+        assert!(!is_acyclic(&hg(&[&[0, 1], &[1, 2], &[2, 3], &[3, 0]])));
+    }
+
+    #[test]
+    fn nested_edges() {
+        let t = join_tree(&hg(&[&[0, 1, 2], &[0, 1], &[2]])).unwrap();
+        assert!(t.validate().is_ok());
+    }
+}

@@ -1,0 +1,136 @@
+//! Hierarchical and q-hierarchical queries (Section 2.5's comparison
+//! with Keppeler's update-friendly structure \[32\]).
+//!
+//! A CQ is *hierarchical* when for any two variables the sets of atoms
+//! containing them are nested or disjoint; it is *q-hierarchical*
+//! (Berkholz, Keppeler, Schweikardt \[9\]) when additionally no free
+//! variable's atom set is strictly contained in an existential
+//! variable's. The paper notes that q-hierarchical CQs are a strict
+//! subclass of the free-connex CQs this library supports — these
+//! predicates make the comparison executable.
+
+use crate::query::Cq;
+use crate::var::VarId;
+
+/// Bitset over atom indices (queries have constantly many atoms).
+fn atoms_of(q: &Cq, v: VarId) -> u64 {
+    assert!(q.atoms().len() <= 64, "queries are constant-sized");
+    q.atoms()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.var_set().contains(v))
+        .fold(0u64, |acc, (i, _)| acc | (1 << i))
+}
+
+/// `true` iff for every two variables, their atom sets are nested or
+/// disjoint.
+pub fn is_hierarchical(q: &Cq) -> bool {
+    let vars: Vec<VarId> = q.all_vars().iter().collect();
+    for (i, &x) in vars.iter().enumerate() {
+        let ax = atoms_of(q, x);
+        for &y in &vars[i + 1..] {
+            let ay = atoms_of(q, y);
+            let nested = ax & ay == ax || ax & ay == ay;
+            let disjoint = ax & ay == 0;
+            if !nested && !disjoint {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `true` iff `q` is q-hierarchical: hierarchical, and whenever
+/// `atoms(x) ⊊ atoms(y)` with `x` free, `y` is free too.
+pub fn is_q_hierarchical(q: &Cq) -> bool {
+    if !is_hierarchical(q) {
+        return false;
+    }
+    let free = q.free_set();
+    let vars: Vec<VarId> = q.all_vars().iter().collect();
+    for &x in &vars {
+        if !free.contains(x) {
+            continue;
+        }
+        let ax = atoms_of(q, x);
+        for &y in &vars {
+            if y == x || free.contains(y) {
+                continue;
+            }
+            let ay = atoms_of(q, y);
+            // atoms(x) strictly inside atoms(y) with x free, y not.
+            if ax & ay == ax && ax != ay {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connex::is_free_connex;
+    use crate::parser::parse;
+
+    #[test]
+    fn section_2_5_q1_is_free_connex_but_not_q_hierarchical() {
+        // Q1(x, y) :- R1(x), R2(x, y), R3(y).
+        let q = parse("Q(x, y) :- R1(x), R2(x, y), R3(y)").unwrap();
+        assert!(is_free_connex(&q));
+        assert!(!is_hierarchical(&q));
+        assert!(!is_q_hierarchical(&q));
+    }
+
+    #[test]
+    fn section_2_5_q2_is_hierarchical_but_not_q_hierarchical() {
+        // Q2(x) :- R1(x, y), R2(y): atoms(x) ⊊ atoms(y), x free, y not.
+        let q = parse("Q(x) :- R1(x, y), R2(y)").unwrap();
+        assert!(is_free_connex(&q));
+        assert!(is_hierarchical(&q));
+        assert!(!is_q_hierarchical(&q));
+    }
+
+    #[test]
+    fn q4_is_q_hierarchical() {
+        // Q4(v1, v2, v3) :- R1(v1, v2), R2(v2, v3): v2's atoms ⊋ both,
+        // all free — q-hierarchical (the paper's point is about orders,
+        // not membership).
+        let q = parse("Q(v1, v2, v3) :- R1(v1, v2), R2(v2, v3)").unwrap();
+        assert!(is_q_hierarchical(&q));
+    }
+
+    #[test]
+    fn single_atom_queries_are_q_hierarchical() {
+        let q = parse("Q(a, b) :- R(a, b, c)").unwrap();
+        assert!(is_q_hierarchical(&q));
+    }
+
+    #[test]
+    fn q_hierarchical_implies_free_connex() {
+        // Sanity on a catalog: q-hierarchical ⊆ free-connex (the paper's
+        // containment in Section 2.5).
+        let catalog = [
+            "Q(x) :- R(x, y)",
+            "Q(x, y) :- R(x, y)",
+            "Q(x, y, z) :- R(x, y), S(y, z)",
+            "Q(v1, v2, v3) :- R1(v1, v2), R2(v2, v3)",
+            "Q(x) :- R1(x, y), R2(y)",
+            "Q(a, b) :- R(a), S(b)",
+            "Q(x, y) :- R1(x), R2(x, y), R3(y)",
+            "Q(x, z) :- R(x, y), S(y, z)",
+        ];
+        for src in catalog {
+            let q = parse(src).unwrap();
+            if is_q_hierarchical(&q) {
+                assert!(is_free_connex(&q), "{src}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_free_connex_is_never_q_hierarchical() {
+        let q = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+        assert!(!is_q_hierarchical(&q));
+    }
+}

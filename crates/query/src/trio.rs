@@ -1,0 +1,138 @@
+//! Disruptive trios (Definition 3.2) and reverse elimination orders
+//! (Remark 1).
+
+use crate::hypergraph::Hypergraph;
+use crate::var::{VarId, VarSet};
+
+/// Find a disruptive trio `(v1, v2, v3)` in `h` with respect to the
+/// (possibly partial) lexicographic order `lex`: `v1` and `v2` are not
+/// neighbors, `v3` neighbors both, and `v3` appears *after* `v1` and `v2`
+/// in `lex`. Returns the first trio in scan order, or `None`.
+pub fn find_disruptive_trio(h: &Hypergraph, lex: &[VarId]) -> Option<(VarId, VarId, VarId)> {
+    for (k, &v3) in lex.iter().enumerate() {
+        let n3 = h.neighbors(v3);
+        for (i, &v1) in lex[..k].iter().enumerate() {
+            if !n3.contains(v1) {
+                continue;
+            }
+            for &v2 in &lex[i + 1..k] {
+                if n3.contains(v2) && !h.are_neighbors(v1, v2) {
+                    return Some((v1, v2, v3));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Remark 1: for a full CQ and a complete order `⟨v1, …, vm⟩`, the absence
+/// of disruptive trios is equivalent to `⟨vm, …, v1⟩` being an
+/// (α-)elimination order: some edge contains `vm` together with all its
+/// neighbors, and recursively after removing `vm`.
+///
+/// `lex` must cover all vertices of `h`. Provided as an independent
+/// decision procedure; tests cross-check it against
+/// [`find_disruptive_trio`].
+pub fn is_reverse_elimination_order(h: &Hypergraph, lex: &[VarId]) -> bool {
+    let mut edges: Vec<VarSet> = h.edges().to_vec();
+    for &v in lex.iter().rev() {
+        let current = Hypergraph::new(edges.clone());
+        let closed = current.neighbors(v).with(v);
+        if !edges.iter().any(|&e| closed.is_subset(e)) {
+            return false;
+        }
+        for e in &mut edges {
+            *e = e.without(v);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vs(ids: &[u32]) -> VarSet {
+        ids.iter().map(|&i| VarId(i)).collect()
+    }
+
+    fn ids(raw: &[u32]) -> Vec<VarId> {
+        raw.iter().map(|&i| VarId(i)).collect()
+    }
+
+    /// Q(x,y,z) :- R(x,y), S(y,z) with x=0, y=1, z=2.
+    fn two_path() -> Hypergraph {
+        Hypergraph::new(vec![vs(&[0, 1]), vs(&[1, 2])])
+    }
+
+    #[test]
+    fn xzy_has_trio_on_two_path() {
+        // Example 1.1: LEX <x, z, y> has the disruptive trio (x, z, y).
+        let t = find_disruptive_trio(&two_path(), &ids(&[0, 2, 1]));
+        assert_eq!(t, Some((VarId(0), VarId(2), VarId(1))));
+    }
+
+    #[test]
+    fn xyz_has_no_trio_on_two_path() {
+        assert_eq!(find_disruptive_trio(&two_path(), &ids(&[0, 1, 2])), None);
+        assert_eq!(find_disruptive_trio(&two_path(), &ids(&[1, 0, 2])), None);
+    }
+
+    #[test]
+    fn partial_orders_only_consider_listed_vars() {
+        // <x, z> alone has no trio (y is not in the order).
+        assert_eq!(find_disruptive_trio(&two_path(), &ids(&[0, 2])), None);
+    }
+
+    #[test]
+    fn visits_cases_trio() {
+        // Visits(person, age, city) ⋈ Cases(city, date, cases):
+        // person=0, age=1, city=2, date=3, cases=4.
+        // LEX <cases, age, city, date, person> has trio (cases, age, city).
+        let h = Hypergraph::new(vec![vs(&[0, 1, 2]), vs(&[2, 3, 4])]);
+        let t = find_disruptive_trio(&h, &ids(&[4, 1, 2, 3, 0]));
+        assert_eq!(t, Some((VarId(4), VarId(1), VarId(2))));
+        // LEX <cases, city, age> is fine.
+        assert_eq!(find_disruptive_trio(&h, &ids(&[4, 2, 1, 3, 0])), None);
+    }
+
+    #[test]
+    fn remark_1_equivalence_exhaustive() {
+        // For every permutation of the 2-path and the 3-star, the
+        // elimination-order criterion agrees with trio absence.
+        let graphs = [
+            two_path(),
+            Hypergraph::new(vec![vs(&[0, 1]), vs(&[0, 2]), vs(&[0, 3])]),
+            Hypergraph::new(vec![vs(&[0, 1]), vs(&[1, 2]), vs(&[2, 3])]),
+        ];
+        for h in &graphs {
+            let n = h.vertices().len() as u32;
+            let vars: Vec<u32> = (0..n).collect();
+            for perm in permutations(&vars) {
+                let lex = ids(&perm);
+                let no_trio = find_disruptive_trio(h, &lex).is_none();
+                assert_eq!(
+                    no_trio,
+                    is_reverse_elimination_order(h, &lex),
+                    "mismatch on order {perm:?}"
+                );
+            }
+        }
+    }
+
+    fn permutations(items: &[u32]) -> Vec<Vec<u32>> {
+        if items.is_empty() {
+            return vec![vec![]];
+        }
+        let mut out = Vec::new();
+        for (i, &x) in items.iter().enumerate() {
+            let mut rest = items.to_vec();
+            rest.remove(i);
+            for mut p in permutations(&rest) {
+                p.insert(0, x);
+                out.push(p);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,156 @@
+//! A tour of the tractability landscape: every bullet of the paper's
+//! Example 1.1, plus the Figure 1 regions, decided mechanically.
+//!
+//! Run with: `cargo run --example classification_tour`
+
+use ranked_access::prelude::*;
+
+fn show(q: &Cq, fds: &FdSet, problem: Problem, label: &str) {
+    let v = classify(q, fds, &problem);
+    let verdict = match &v {
+        Verdict::Tractable { bound } => format!("tractable in {bound}"),
+        Verdict::Intractable {
+            reason,
+            assumptions,
+        } => {
+            format!("INTRACTABLE ({reason}; assuming {})", assumptions.join("+"))
+        }
+        Verdict::OpenSelfJoin { reason } => format!("open for self-joins ({reason})"),
+    };
+    println!("  {label:<55} {verdict}");
+}
+
+fn main() {
+    println!("Example 1.1 — Q(x, y, z) :- R(x, y), S(y, z)\n");
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let qp = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+    let qxy = parse("Q(x, y) :- R(x, y), S(y, z)").unwrap();
+    let none = FdSet::empty();
+
+    show(
+        &q,
+        &none,
+        Problem::DirectAccessLex(q.vars(&["x", "y", "z"])),
+        "LEX <x,y,z>, direct access",
+    );
+    show(
+        &q,
+        &none,
+        Problem::DirectAccessLex(q.vars(&["x", "z", "y"])),
+        "LEX <x,z,y>, direct access",
+    );
+    show(
+        &q,
+        &none,
+        Problem::SelectionLex(q.vars(&["x", "z", "y"])),
+        "LEX <x,z,y>, selection",
+    );
+    show(
+        &q,
+        &none,
+        Problem::DirectAccessLex(q.vars(&["x", "z"])),
+        "LEX <x,z>, direct access",
+    );
+    show(
+        &q,
+        &none,
+        Problem::SelectionLex(q.vars(&["x", "z"])),
+        "LEX <x,z>, selection",
+    );
+    show(
+        &qp,
+        &none,
+        Problem::SelectionLex(qp.vars(&["x", "z"])),
+        "LEX <x,z>, y projected, selection",
+    );
+    for (rel, lhs, rhs) in [
+        ("R", "y", "x"),
+        ("S", "y", "z"),
+        ("R", "x", "y"),
+        ("S", "z", "y"),
+    ] {
+        let fds = FdSet::parse(&q, &[(rel, lhs, rhs)]);
+        show(
+            &q,
+            &fds,
+            Problem::DirectAccessLex(q.vars(&["x", "z", "y"])),
+            &format!("LEX <x,z,y> with FD {rel}: {lhs} -> {rhs}, direct access"),
+        );
+    }
+    show(
+        &q,
+        &none,
+        Problem::DirectAccessSum,
+        "SUM x+y+z, direct access",
+    );
+    show(&q, &none, Problem::SelectionSum, "SUM x+y+z, selection");
+    show(
+        &qxy,
+        &none,
+        Problem::DirectAccessSum,
+        "SUM x+y, z projected, direct access",
+    );
+    show(
+        &qp,
+        &none,
+        Problem::SelectionSum,
+        "SUM x+z, y projected, selection",
+    );
+
+    println!("\nSection 1 — Visits(p, a, c) ⋈ Cases(c, d, n)\n");
+    let v = parse("Q(p, a, c, d, n) :- Visits(p, a, c), Cases(c, d, n)").unwrap();
+    show(
+        &v,
+        &none,
+        Problem::DirectAccessLex(v.vars(&["n", "a", "c", "d", "p"])),
+        "LEX <#cases, age, city, date, person>",
+    );
+    show(
+        &v,
+        &none,
+        Problem::DirectAccessLex(v.vars(&["n", "a"])),
+        "LEX <#cases, age>",
+    );
+    show(
+        &v,
+        &none,
+        Problem::DirectAccessLex(v.vars(&["n", "c", "a"])),
+        "LEX <#cases, city, age>",
+    );
+    let key = FdSet::parse(&v, &[("Cases", "c", "d"), ("Cases", "c", "n")]);
+    show(
+        &v,
+        &key,
+        Problem::DirectAccessLex(v.vars(&["n", "a"])),
+        "LEX <#cases, age> with key Cases(city)",
+    );
+    show(&v, &none, Problem::DirectAccessSum, "SUM, direct access");
+    show(&v, &none, Problem::SelectionSum, "SUM, selection");
+
+    println!("\nSection 5 — even the cartesian product is SUM-hard\n");
+    let prod = parse("Q(c1, d, x, p, a, c2) :- Visits(p, a, c1), Cases(c2, d, x)").unwrap();
+    show(
+        &prod,
+        &none,
+        Problem::DirectAccessLex(prod.vars(&["c1", "d", "x", "p", "a", "c2"])),
+        "any LEX order",
+    );
+    show(&prod, &none, Problem::DirectAccessSum, "SUM, direct access");
+    show(
+        &prod,
+        &none,
+        Problem::SelectionSum,
+        "SUM, selection (fmh = 2)",
+    );
+
+    println!("\nSection 7 — the fmh boundary for SUM selection\n");
+    let q3p = parse("Q(x, y, z) :- R(x, y), S(y, z), T(z, u)").unwrap();
+    let q3 = parse("Q(x, y, z, u) :- R(x, y), S(y, z), T(z, u)").unwrap();
+    show(
+        &q3p,
+        &none,
+        Problem::SelectionSum,
+        "3-path, u projected (fmh = 2)",
+    );
+    show(&q3, &none, Problem::SelectionSum, "3-path, full (fmh = 3)");
+}

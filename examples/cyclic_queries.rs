@@ -1,0 +1,92 @@
+//! Beyond acyclic queries: tree decompositions (the paper's
+//! "Applicability" paragraph). A cyclic CQ is rewritten into an acyclic
+//! one by materializing decomposition bags — paying a non-linear,
+//! width-bounded preprocessing cost — after which ranked direct access
+//! works as usual.
+//!
+//! Run with: `cargo run --example cyclic_queries`
+
+use rand::{Rng, SeedableRng};
+use ranked_access::prelude::*;
+use ranked_access::rda_core::{lex_direct_access_decomposed, rewrite_by_decomposition};
+use ranked_access::rda_query::decompose::decompose;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+
+    // The triangle query: the classic cyclic CQ.
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)").unwrap();
+    println!("query: {q}");
+
+    // Every problem is intractable for cyclic queries …
+    let lex = q.vars(&["x", "y", "z"]);
+    match classify(&q, &FdSet::empty(), &Problem::DirectAccessLex(lex.clone())) {
+        Verdict::Intractable {
+            reason,
+            assumptions,
+        } => {
+            println!(
+                "as stated: intractable ({reason}; assuming {})",
+                assumptions.join("+")
+            )
+        }
+        v => println!("unexpected: {v:?}"),
+    }
+
+    // … but a width-2 decomposition makes it acyclic.
+    let td = decompose(&q);
+    println!(
+        "\ntree decomposition: width {} with {} bag(s):",
+        td.width,
+        td.bags.len()
+    );
+    for (i, bag) in td.bags.iter().enumerate() {
+        println!(
+            "  bag {i}: {} (covered by {} atom(s), parent {:?})",
+            bag.vars,
+            bag.cover.len(),
+            bag.parent
+        );
+    }
+
+    // Random sparse graph: tuples (u, v) with u, v in a small range.
+    let n = 3_000;
+    let edges = |rng: &mut rand::rngs::StdRng| -> Vec<Vec<i64>> {
+        (0..n)
+            .map(|_| vec![rng.random_range(0..200), rng.random_range(0..200)])
+            .collect()
+    };
+    let db = Database::new()
+        .with_i64_rows("R", 2, edges(&mut rng))
+        .with_i64_rows("S", 2, edges(&mut rng))
+        .with_i64_rows("T", 2, edges(&mut rng));
+
+    let dec = rewrite_by_decomposition(&q, &db).unwrap();
+    println!("\nrewritten query: {}", dec.query);
+    for atom in dec.query.atoms() {
+        println!(
+            "  {} materialized with {} tuples",
+            atom.relation,
+            dec.db.get(&atom.relation).unwrap().len()
+        );
+    }
+
+    let start = std::time::Instant::now();
+    let (da, _) = lex_direct_access_decomposed(&q, &db, &lex).unwrap();
+    println!(
+        "\ndirect access over {} triangles built in {:.1} ms (incl. materialization)",
+        da.len(),
+        start.elapsed().as_secs_f64() * 1e3
+    );
+    if !da.is_empty() {
+        println!("first triangle: {}", da.access(0).unwrap());
+        println!("median triangle: {}", da.access(da.len() / 2).unwrap());
+        println!("last triangle:   {}", da.access(da.len() - 1).unwrap());
+    }
+
+    // Contrast with the FD route (Example 8.3): when a key constraint
+    // holds, the FD-extension removes the cycle *without* the quadratic
+    // materialization.
+    println!("\n(compare: with FD S: y → z the same query becomes acyclic for free —");
+    println!(" see `cargo run --example fd_extension` and Example 8.3.)");
+}

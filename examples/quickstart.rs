@@ -1,0 +1,102 @@
+//! Quickstart: direct access to the ranked answers of a join.
+//!
+//! Reproduces the paper's introduction: the pandemic schema
+//! `Visits(person, age, city) ⋈ Cases(city, date, cases)`, ordered by
+//! `(cases, city, age)` — a tractable lexicographic order — with
+//! O(log n) quantile queries after quasilinear preprocessing.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ranked_access::prelude::*;
+
+fn main() {
+    let q = parse(
+        "Q(person, age, city, date, cases) :- \
+         Visits(person, age, city), Cases(city, date, cases)",
+    )
+    .unwrap();
+
+    // A small synthetic instance (see rda-bench for large generators).
+    let people = [
+        ("anna", 72, "boston"),
+        ("bob", 33, "boston"),
+        ("carl", 51, "nyc"),
+        ("dora", 28, "nyc"),
+        ("eve", 64, "sf"),
+    ];
+    let reports = [
+        ("boston", "12/07", 179),
+        ("boston", "12/08", 121),
+        ("nyc", "12/07", 998),
+        ("nyc", "12/08", 745),
+        ("sf", "12/07", 88),
+    ];
+    let mut visits = Relation::new("Visits", 3);
+    for (p, a, c) in people {
+        visits.insert(
+            [Value::str(p), Value::int(a), Value::str(c)]
+                .into_iter()
+                .collect(),
+        );
+    }
+    let mut cases = Relation::new("Cases", 3);
+    for (c, d, n) in reports {
+        cases.insert(
+            [Value::str(c), Value::str(d), Value::int(n)]
+                .into_iter()
+                .collect(),
+        );
+    }
+    let db = Database::new().with(visits).with(cases);
+
+    // The order (cases, age, ...) is intractable — the classifier tells us why:
+    let bad = q.vars(&["cases", "age", "city"]);
+    match classify(&q, &FdSet::empty(), &Problem::DirectAccessLex(bad)) {
+        Verdict::Intractable {
+            reason,
+            assumptions,
+        } => {
+            println!("order (cases, age, city) is intractable: {reason}");
+            println!("  (conditional on {})\n", assumptions.join(" + "));
+        }
+        v => println!("unexpected: {v:?}"),
+    }
+
+    // (cases, city, age) works.
+    let lex = q.vars(&["cases", "city", "age"]);
+    let da = LexDirectAccess::build(&q, &db, &lex, &FdSet::empty()).unwrap();
+    println!("{} answers, ordered by (cases, city, age)", da.len());
+
+    // Quantiles by direct access: each is a single O(log n) probe.
+    for (label, k) in [
+        ("min   ", 0),
+        ("25%   ", da.len() / 4),
+        ("median", da.len() / 2),
+        ("75%   ", 3 * da.len() / 4),
+        ("max   ", da.len() - 1),
+    ] {
+        let t = da.access(k).unwrap();
+        println!("  {label} (index {k}): {t}");
+    }
+
+    // Inverted access: where does a specific answer rank?
+    let some_answer = da.access(3).unwrap();
+    println!(
+        "\ninverted access: {some_answer} is answer #{}",
+        da.inverted_access(&some_answer).unwrap()
+    );
+
+    // Next-answer access for a non-answer (Remark 3).
+    let probe: Tuple = [
+        Value::str("zzz"),
+        Value::int(0),
+        Value::str("boston"),
+        Value::str("12/07"),
+        Value::int(150),
+    ]
+    .into_iter()
+    .collect();
+    if let Some((k, t)) = da.next_at_or_after(&probe) {
+        println!("first answer with ≥ 150 cases: #{k} {t}");
+    }
+}

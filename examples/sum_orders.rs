@@ -1,0 +1,104 @@
+//! Sum-of-weights orders end to end (Sections 5 and 7): risk-scored
+//! answers, the narrow tractable case for direct access, and quantile
+//! selection where direct access is provably hard.
+//!
+//! Run with: `cargo run --example sum_orders`
+
+use rand::{Rng, SeedableRng};
+use ranked_access::prelude::*;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+
+    // ----- Part 1: SUM direct access (Theorem 5.1 tractable side) -----
+    // SUM x + y with z projected away: all free variables live in R.
+    println!("Part 1 — SUM direct access on Q(x, y) :- R(x, y), S(y, z)");
+    let q = parse("Q(x, y) :- R(x, y), S(y, z)").unwrap();
+    let n = 5_000;
+    let db = Database::new()
+        .with_i64_rows(
+            "R",
+            2,
+            (0..n)
+                .map(|_| vec![rng.random_range(0..1000), rng.random_range(0..50)])
+                .collect::<Vec<_>>(),
+        )
+        .with_i64_rows(
+            "S",
+            2,
+            (0..n)
+                .map(|_| vec![rng.random_range(0..50), rng.random_range(0..1000)])
+                .collect::<Vec<_>>(),
+        );
+    let da = SumDirectAccess::build(&q, &db, &Weights::identity(), &FdSet::empty()).unwrap();
+    println!("  {} answers; quantiles of x + y:", da.len());
+    for pct in [0, 25, 50, 75, 100] {
+        let k = (da.len().saturating_sub(1)) * pct / 100;
+        let (w, t) = da.access_weighted(k).unwrap();
+        println!("    p{pct:<3} weight {:>6}  answer {t}", w.0);
+    }
+
+    // ----- Part 2: SUM selection where direct access is 3SUM-hard -----
+    println!("\nPart 2 — SUM selection on the 2-path (direct access is 3SUM-hard)");
+    let q2 = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    match SumDirectAccess::build(&q2, &db, &Weights::identity(), &FdSet::empty()) {
+        Err(BuildError::NotTractable(v)) => {
+            println!("  direct access rejected: {}", v.reason().unwrap())
+        }
+        _ => println!("  unexpected"),
+    }
+    // But any single quantile is O(n log n) via sorted-matrix selection:
+    let da2 =
+        LexDirectAccess::build(&q2, &db, &q2.vars(&["x", "y", "z"]), &FdSet::empty()).unwrap();
+    let total = da2.len();
+    println!("  |Q(I)| = {total}");
+    for pct in [1, 50, 99] {
+        let k = (total.saturating_sub(1)) * pct / 100;
+        let (w, t) = selection_sum(&q2, &db, &Weights::identity(), k, &FdSet::empty())
+            .unwrap()
+            .unwrap();
+        println!("    p{pct:<3} (k = {k:>8}) weight {:>6}  answer {t}", w.0);
+    }
+
+    // ----- Part 3: custom weights -----
+    println!("\nPart 3 — explicit risk weights (age-weighted exposure)");
+    let qv = parse("Q(p, a, n) :- Visits(p, a, c), Cases(c, d, n)").unwrap();
+    let mut visits = Relation::new("Visits", 3);
+    for (p, a, c) in [
+        ("anna", 72i64, "boston"),
+        ("bob", 33, "boston"),
+        ("carl", 51, "nyc"),
+    ] {
+        visits.insert(
+            [Value::str(p), Value::int(a), Value::str(c)]
+                .into_iter()
+                .collect(),
+        );
+    }
+    let mut cases = Relation::new("Cases", 3);
+    for (c, d, n) in [("boston", "12/07", 179i64), ("nyc", "12/07", 998)] {
+        cases.insert(
+            [Value::str(c), Value::str(d), Value::int(n)]
+                .into_iter()
+                .collect(),
+        );
+    }
+    let dbv = Database::new().with(visits).with(cases);
+    // risk = 2·age + #cases/10 (attribute weights, Section 2.2).
+    let mut w = Weights::zero();
+    for age in [72i64, 33, 51] {
+        w.set(qv.var("a").unwrap(), age, 2.0 * age as f64);
+    }
+    for n in [179i64, 998] {
+        w.set(qv.var("n").unwrap(), n, n as f64 / 10.0);
+    }
+    // fmh(Q) = 2, so selection is tractable even though direct access is not.
+    let m = all_answers(&qv, &dbv).len() as u64;
+    println!("  {} answers by ascending risk:", m);
+    for k in 0..m {
+        let (risk, t) = selection_sum(&qv, &dbv, &w, k, &FdSet::empty())
+            .unwrap()
+            .unwrap();
+        println!("    #{k}: risk {:>6.1}  {t}", risk.0);
+    }
+}

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! # ranked-access
+//!
+//! Direct access to ranked answers of conjunctive queries — a Rust
+//! implementation of Carmeli, Tziavelis, Gatterbauer, Kimelfeld,
+//! Riedewald, *"Tractable Orders for Direct Access to Ranked Answers of
+//! Conjunctive Queries"* (PODS 2021 / arXiv:2012.11965).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ranked_access::prelude::*;
+//!
+//! // The paper's running example: Q(x, y, z) :- R(x, y), S(y, z).
+//! let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+//! let db = Database::new()
+//!     .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+//!     .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]]);
+//!
+//! // Build a direct-access structure sorted by <x, y, z>:
+//! let lex = q.vars(&["x", "y", "z"]);
+//! let da = LexDirectAccess::build(&q, &db, &lex, &FdSet::empty()).unwrap();
+//! assert_eq!(da.len(), 5);
+//! let median = da.access(da.len() / 2).unwrap();   // O(log n)
+//! assert_eq!(da.inverted_access(&median), Some(2)); // O(log n)
+//!
+//! // Orders that are provably intractable are rejected with a witness:
+//! let bad = q.vars(&["x", "z", "y"]); // disruptive trio (x, z, y)
+//! assert!(LexDirectAccess::build(&q, &db, &bad, &FdSet::empty()).is_err());
+//!
+//! // ... but single-shot selection still works for them (Theorem 6.1):
+//! let third = selection_lex(&q, &db, &bad, 2, &FdSet::empty()).unwrap();
+//! assert!(third.is_some());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`rda_db`] | values, tuples, relations, databases |
+//! | [`rda_query`] | CQ AST/parser, hypergraphs, join trees, connexity, disruptive trios, layered join trees, contraction, FDs, classification |
+//! | [`rda_orderstat`] | quickselect, weighted selection, sorted-matrix selection |
+//! | [`rda_core`] | the paper's access/selection algorithms |
+//! | [`rda_baseline`] | materialize-and-sort, ranked enumeration (any-k) |
+
+pub use rda_baseline;
+pub use rda_core;
+pub use rda_db;
+pub use rda_orderstat;
+pub use rda_query;
+
+/// The commonly used types and functions in one import.
+pub mod prelude {
+    pub use rda_baseline::{all_answers, MaterializedAccess, RankedEnumerator};
+    pub use rda_core::{
+        selection_lex, selection_sum, BuildError, LexDirectAccess, SumDirectAccess, Weights,
+    };
+    pub use rda_db::{Database, Relation, Tuple, Value};
+    pub use rda_orderstat::TotalF64;
+    pub use rda_query::classify::{classify, Problem, Reason, Verdict};
+    pub use rda_query::parser::parse;
+    pub use rda_query::query::CqBuilder;
+    pub use rda_query::{Cq, Fd, FdSet, VarId, VarSet};
+}

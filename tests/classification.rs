@@ -1,0 +1,203 @@
+//! Figure 1 and Figure 8 regenerated from the decision procedures, plus
+//! the dichotomy relationships the paper states.
+
+use ranked_access::prelude::*;
+
+fn no_fds() -> FdSet {
+    FdSet::empty()
+}
+
+fn verdicts(q: &Cq, lex: &[&str]) -> [Verdict; 4] {
+    let l = q.vars(lex);
+    [
+        classify(q, &no_fds(), &Problem::DirectAccessLex(l.clone())),
+        classify(q, &no_fds(), &Problem::SelectionLex(l)),
+        classify(q, &no_fds(), &Problem::DirectAccessSum),
+        classify(q, &no_fds(), &Problem::SelectionSum),
+    ]
+}
+
+/// Figure 1, left ellipse set: direct-access classification regions.
+#[test]
+fn figure_1_direct_access_regions() {
+    // Region "both tractable" (innermost): acyclic, one atom covers free.
+    let q = parse("Q(x, y) :- R(x, y), S(y, z)").unwrap();
+    let [da_lex, _, da_sum, _] = verdicts(&q, &["x", "y"]);
+    assert!(da_lex.is_tractable());
+    assert!(da_sum.is_tractable());
+
+    // Region "LEX tractable, SUM intractable": L-connex, no trio, but
+    // free variables spread over atoms.
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let [da_lex, _, da_sum, _] = verdicts(&q, &["x", "y", "z"]);
+    assert!(da_lex.is_tractable());
+    assert!(matches!(da_sum, Verdict::Intractable { .. }));
+
+    // Region "both intractable" within free-connex: disruptive trio.
+    let [da_lex, _, da_sum, _] = verdicts(&q, &["x", "z", "y"]);
+    assert!(matches!(da_lex, Verdict::Intractable { .. }));
+    assert!(matches!(da_sum, Verdict::Intractable { .. }));
+
+    // Outside free-connex: everything intractable.
+    let q = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+    for v in verdicts(&q, &["x", "z"]) {
+        assert!(matches!(v, Verdict::Intractable { .. }), "{v:?}");
+    }
+
+    // Outside acyclic: everything intractable.
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)").unwrap();
+    for v in verdicts(&q, &["x", "y", "z"]) {
+        assert!(matches!(v, Verdict::Intractable { .. }), "{v:?}");
+    }
+}
+
+/// Figure 1, right side: selection classification regions.
+#[test]
+fn figure_1_selection_regions() {
+    // Free-connex ⇒ LEX selection tractable, for any order.
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    for lex in [["x", "y", "z"], ["x", "z", "y"], ["z", "x", "y"]] {
+        let v = classify(&q, &no_fds(), &Problem::SelectionLex(q.vars(&lex)));
+        assert!(v.is_tractable(), "{lex:?}");
+    }
+    // fmh ≤ 1: SUM selection tractable (inner region).
+    let q1 = parse("Q(x, y) :- R(x, y), S(y, z)").unwrap();
+    assert!(classify(&q1, &no_fds(), &Problem::SelectionSum).is_tractable());
+    // fmh = 2: SUM selection tractable (middle region).
+    assert!(classify(&q, &no_fds(), &Problem::SelectionSum).is_tractable());
+    // fmh = 3: SUM selection intractable.
+    let q3 = parse("Q(x, y, z, u) :- R(x, y), S(y, z), T(z, u)").unwrap();
+    let v = classify(&q3, &no_fds(), &Problem::SelectionSum);
+    assert!(matches!(
+        v.reason(),
+        Some(Reason::TooManyFreeMaximalHyperedges { fmh: 3 })
+    ));
+}
+
+/// Figure 8's table: SUM direct access by αfree.
+#[test]
+fn figure_8_sum_direct_access_table() {
+    // αfree = 1: possible in <n log n, 1>.
+    let q = parse("Q(x, y) :- R(x, y), S(y, z)").unwrap();
+    assert!(matches!(
+        classify(&q, &no_fds(), &Problem::DirectAccessSum),
+        Verdict::Tractable {
+            bound: "<n log n, 1>"
+        }
+    ));
+    // αfree = 2 (3SUM-hard): e.g. the 2-path (x and z independent).
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let v = classify(&q, &no_fds(), &Problem::DirectAccessSum);
+    assert!(matches!(
+        v.reason(),
+        Some(Reason::NoAtomCoversFree { alpha_free: 2 })
+    ));
+    // αfree = 3 (stronger 3SUM bound): the 3-star.
+    let q = parse("Q(x, y, z) :- R(x, c), S(y, c), T(z, c)").unwrap();
+    let v = classify(&q, &no_fds(), &Problem::DirectAccessSum);
+    assert!(matches!(
+        v.reason(),
+        Some(Reason::NoAtomCoversFree { alpha_free: 3 })
+    ));
+    // Cyclic (Hyperclique-hard).
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)").unwrap();
+    let v = classify(&q, &no_fds(), &Problem::DirectAccessSum);
+    assert!(matches!(v.reason(), Some(Reason::Cyclic)));
+}
+
+/// Structural implications the paper proves.
+#[test]
+fn dichotomy_implications() {
+    let catalog = [
+        ("Q(x, y, z) :- R(x, y), S(y, z)", vec!["x", "y", "z"]),
+        ("Q(x, y, z) :- R(x, y), S(y, z)", vec!["x", "z", "y"]),
+        ("Q(x, z) :- R(x, y), S(y, z)", vec!["x", "z"]),
+        ("Q(x, y) :- R(x, y), S(y, z)", vec!["x", "y"]),
+        ("Q(a, b) :- R(a), S(b)", vec!["a", "b"]),
+        (
+            "Q(x, y, z, u) :- R(x, y), S(y, z), T(z, u)",
+            vec!["x", "y", "z", "u"],
+        ),
+        (
+            "Q(x, y, z) :- R(x, y), S(y, z), T(z, x)",
+            vec!["x", "y", "z"],
+        ),
+        (
+            "Q(p, a, c1, c2, d, n) :- V(p, a, c1), C(c2, d, n)",
+            vec!["n", "a", "p", "c1", "c2", "d"],
+        ),
+    ];
+    for (src, lex) in catalog {
+        let q = parse(src).unwrap();
+        let [da_lex, sel_lex, da_sum, sel_sum] = verdicts(&q, &lex);
+        // DA tractable ⇒ selection tractable (same order type).
+        if da_lex.is_tractable() {
+            assert!(sel_lex.is_tractable(), "{src}");
+        }
+        if da_sum.is_tractable() {
+            assert!(sel_sum.is_tractable(), "{src}");
+        }
+        // SUM tractable ⇒ LEX tractable (LEX is a special case of SUM).
+        if da_sum.is_tractable() {
+            assert!(da_lex.is_tractable(), "{src}");
+        }
+        if sel_sum.is_tractable() {
+            assert!(sel_lex.is_tractable(), "{src}");
+        }
+        // Selection-LEX tractability = free-connexity = DA for *some*
+        // order: if selection is tractable there must exist a tractable
+        // complete lex order (the empty prefix completes, Lemma 4.4).
+        if sel_lex.is_tractable() {
+            let v = classify(&q, &no_fds(), &Problem::DirectAccessLex(vec![]));
+            assert!(v.is_tractable(), "{src}");
+        }
+    }
+}
+
+/// Every tractable verdict must be constructible, and every intractable
+/// verdict must be refused by the builders (the classifier and builders
+/// agree).
+#[test]
+fn classifier_and_builders_agree() {
+    let catalog = [
+        ("Q(x, y, z) :- R(x, y), S(y, z)", vec!["x", "y", "z"]),
+        ("Q(x, y, z) :- R(x, y), S(y, z)", vec!["x", "z", "y"]),
+        ("Q(x, y, z) :- R(x, y), S(y, z)", vec!["z", "y"]),
+        ("Q(x, y, z) :- R(x, y), S(y, z)", vec!["x", "z"]),
+        ("Q(x, z) :- R(x, y), S(y, z)", vec!["x", "z"]),
+        ("Q(x, y) :- R(x, y), S(y, z)", vec!["x", "y"]),
+        ("Q(a, b) :- R(a), S(b)", vec!["a", "b"]),
+    ];
+    let db = |q: &Cq| {
+        let mut db = Database::new();
+        for atom in q.atoms() {
+            let arity = atom.terms.len();
+            let rows: Vec<Tuple> = (0..4i64)
+                .map(|i| (0..arity).map(|j| Value::int((i + j as i64) % 3)).collect())
+                .collect();
+            db.add(Relation::from_tuples(&atom.relation, arity, rows));
+        }
+        db
+    };
+    for (src, lex) in catalog {
+        let q = parse(src).unwrap();
+        let l = q.vars(&lex);
+        let d = db(&q);
+        let verdict = classify(&q, &no_fds(), &Problem::DirectAccessLex(l.clone()));
+        let built = LexDirectAccess::build(&q, &d, &l, &no_fds());
+        assert_eq!(
+            verdict.is_tractable(),
+            built.is_ok(),
+            "DA-LEX {src} {lex:?}"
+        );
+        let verdict = classify(&q, &no_fds(), &Problem::SelectionLex(l.clone()));
+        let sel = selection_lex(&q, &d, &l, 0, &no_fds());
+        assert_eq!(verdict.is_tractable(), sel.is_ok(), "SEL-LEX {src} {lex:?}");
+        let verdict = classify(&q, &no_fds(), &Problem::DirectAccessSum);
+        let built = SumDirectAccess::build(&q, &d, &Weights::identity(), &no_fds());
+        assert_eq!(verdict.is_tractable(), built.is_ok(), "DA-SUM {src}");
+        let verdict = classify(&q, &no_fds(), &Problem::SelectionSum);
+        let sel = selection_sum(&q, &d, &Weights::identity(), 0, &no_fds());
+        assert_eq!(verdict.is_tractable(), sel.is_ok(), "SEL-SUM {src}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Cross-crate correctness: every access structure is checked against
+//! the materialize-and-sort oracle on randomized instances, across a
+//! catalog of queries covering the tractability landscape.
+
+use proptest::prelude::*;
+use ranked_access::prelude::*;
+
+/// Queries with at least one tractable LEX order, with that order.
+fn lex_catalog() -> Vec<(Cq, Vec<VarId>)> {
+    let mut out = Vec::new();
+    let add = |out: &mut Vec<(Cq, Vec<VarId>)>, src: &str, lex: &[&str]| {
+        let q = parse(src).unwrap();
+        let l = q.vars(lex);
+        out.push((q, l));
+    };
+    add(&mut out, "Q(x, y, z) :- R(x, y), S(y, z)", &["x", "y", "z"]);
+    add(&mut out, "Q(x, y, z) :- R(x, y), S(y, z)", &["y", "x", "z"]);
+    add(&mut out, "Q(x, y, z) :- R(x, y), S(y, z)", &["z", "y", "x"]);
+    add(&mut out, "Q(x, y, z) :- R(x, y), S(y, z)", &["y", "z", "x"]);
+    // Partial orders.
+    add(&mut out, "Q(x, y, z) :- R(x, y), S(y, z)", &["y"]);
+    add(&mut out, "Q(x, y, z) :- R(x, y), S(y, z)", &["z", "y"]);
+    // Cartesian product, interleaved (Example 3.5).
+    add(
+        &mut out,
+        "Q(v1, v2, v3, v4) :- R(v1, v3), S(v2, v4)",
+        &["v1", "v2", "v3", "v4"],
+    );
+    // Q5/Q6 from Section 2.5 (unsupported by all prior structures).
+    add(
+        &mut out,
+        "Q(v1, v2, v3, v4, v5) :- R1(v1, v3), R2(v3, v4), R3(v2, v5)",
+        &["v1", "v2", "v3", "v4", "v5"],
+    );
+    add(
+        &mut out,
+        "Q(v1, v2, v3, v4, v5) :- R1(v1, v2, v4), R2(v2, v3, v5)",
+        &["v1", "v2", "v3", "v4", "v5"],
+    );
+    // Projections (free-connex).
+    add(&mut out, "Q(x, y) :- R(x, y), S(y, z)", &["y", "x"]);
+    add(&mut out, "Q(x) :- R(x, y), S(y)", &["x"]);
+    // Star join.
+    add(
+        &mut out,
+        "Q(a, b, c) :- R(a, b), S(a, c), T(a)",
+        &["a", "b", "c"],
+    );
+    // Self-join.
+    add(&mut out, "Q(x, y, z) :- E(x, y), E(y, z)", &["x", "y", "z"]);
+    // Wider atoms.
+    add(
+        &mut out,
+        "Q(a, b, c, d) :- R(a, b, c), S(c, d)",
+        &["c", "a", "b", "d"],
+    );
+    out
+}
+
+/// Fill every relation a query mentions with random rows over a small
+/// domain (forcing join hits).
+fn random_db(q: &Cq, rows: usize, domain: i64, seed: u64) -> Database {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let mut seen = std::collections::HashSet::new();
+    for atom in q.atoms() {
+        if !seen.insert(atom.relation.clone()) {
+            continue; // self-join: one relation per symbol
+        }
+        let arity = atom.terms.len();
+        let tuples: Vec<Tuple> = (0..rows)
+            .map(|_| {
+                (0..arity)
+                    .map(|_| Value::int(rng.random_range(0..domain)))
+                    .collect()
+            })
+            .collect();
+        db.add(Relation::from_tuples(&atom.relation, arity, tuples));
+    }
+    db
+}
+
+/// The oracle order matching `LexDirectAccess`'s internal completion:
+/// compare answers on the structure's full internal order.
+fn oracle_sorted(q: &Cq, db: &Database, order: &[VarId], da: &LexDirectAccess) -> Vec<Tuple> {
+    let _ = order;
+    let mut answers = all_answers(q, db);
+    let positions: Vec<usize> = da
+        .internal_order()
+        .iter()
+        .filter_map(|v| q.free().iter().position(|f| f == v))
+        .collect();
+    answers.sort_by(|a, b| {
+        positions
+            .iter()
+            .map(|&p| a[p].cmp(&b[p]))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    answers
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn lex_direct_access_matches_oracle(seed in 0u64..1_000_000, rows in 1usize..25, domain in 1i64..6) {
+        for (q, lex) in lex_catalog() {
+            let db = random_db(&q, rows, domain, seed);
+            let da = LexDirectAccess::build(&q, &db, &lex, &FdSet::empty()).unwrap();
+            let oracle = oracle_sorted(&q, &db, &lex, &da);
+            prop_assert_eq!(da.len(), oracle.len() as u64, "count mismatch on {}", q);
+            // Full equality on the internal order (a strict refinement of
+            // the requested order).
+            let got: Vec<Tuple> = da.iter().collect();
+            prop_assert_eq!(&got, &oracle, "order mismatch on {}", q);
+            // Inverted access round-trips; out-of-bound is rejected.
+            for (k, t) in got.iter().enumerate() {
+                prop_assert_eq!(da.inverted_access(t), Some(k as u64));
+            }
+            prop_assert_eq!(da.access(da.len()), None);
+        }
+    }
+
+    #[test]
+    fn lex_selection_matches_direct_access(seed in 0u64..1_000_000, rows in 1usize..20, domain in 1i64..5) {
+        for (q, lex) in lex_catalog() {
+            let db = random_db(&q, rows, domain, seed);
+            let da = LexDirectAccess::build(&q, &db, &lex, &FdSet::empty()).unwrap();
+            for k in 0..da.len().min(8) {
+                let sel = selection_lex(&q, &db, &lex, k, &FdSet::empty()).unwrap();
+                prop_assert_eq!(sel, da.access(k), "k={} on {}", k, q);
+            }
+            prop_assert_eq!(selection_lex(&q, &db, &lex, da.len(), &FdSet::empty()).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn sum_selection_matches_oracle_weights(seed in 0u64..1_000_000, rows in 1usize..25, domain in 1i64..6) {
+        let queries = [
+            "Q(x, y, z) :- R(x, y), S(y, z)",
+            "Q(a, b) :- R(a), S(b)",
+            "Q(x, y) :- R(x, y), S(y, z)",
+            "Q(x, y, z) :- R(x, y), S(y, z), T(z, u)",
+            "Q(x, y) :- R(x, u, y)",
+        ];
+        for src in queries {
+            let q = parse(src).unwrap();
+            let db = random_db(&q, rows, domain, seed);
+            let oracle = MaterializedAccess::by_sum(&q, &db, |_, v| {
+                v.as_int().map_or(0.0, |i| i as f64)
+            });
+            for k in 0..oracle.len().min(10) {
+                let got = selection_sum(&q, &db, &Weights::identity(), k, &FdSet::empty())
+                    .unwrap()
+                    .expect("within bounds");
+                prop_assert_eq!(got.0, TotalF64(oracle.weight_at(k).unwrap()), "k={} on {}", k, src);
+                // The witness is a genuine answer.
+                prop_assert!(all_answers(&q, &db).contains(&got.1), "witness on {}", src);
+            }
+            let oob = selection_sum(&q, &db, &Weights::identity(), oracle.len(), &FdSet::empty()).unwrap();
+            prop_assert!(oob.is_none());
+        }
+    }
+
+    #[test]
+    fn sum_direct_access_matches_oracle(seed in 0u64..1_000_000, rows in 1usize..30, domain in 1i64..6) {
+        let queries = [
+            "Q(x, y) :- R(x, y)",
+            "Q(x, y) :- R(x, y), S(y, z)",
+            "Q(x) :- R(x, y), S(y)",
+        ];
+        for src in queries {
+            let q = parse(src).unwrap();
+            let db = random_db(&q, rows, domain, seed);
+            let da = SumDirectAccess::build(&q, &db, &Weights::identity(), &FdSet::empty()).unwrap();
+            let oracle = MaterializedAccess::by_sum(&q, &db, |_, v| {
+                v.as_int().map_or(0.0, |i| i as f64)
+            });
+            prop_assert_eq!(da.len(), oracle.len());
+            for k in 0..da.len() {
+                prop_assert_eq!(
+                    da.access_weighted(k).unwrap().0,
+                    TotalF64(oracle.weight_at(k).unwrap()),
+                    "k={} on {}", k, src
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_enumeration_agrees_with_sum_order(seed in 0u64..1_000_000, rows in 1usize..20, domain in 1i64..5) {
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let db = random_db(&q, rows, domain, seed);
+        let oracle = MaterializedAccess::by_sum(&q, &db, |_, v| {
+            v.as_int().map_or(0.0, |i| i as f64)
+        });
+        let e = RankedEnumerator::new(&q, &db, |_, v| v.as_int().map_or(0.0, |i| i as f64));
+        let got: Vec<f64> = e.take(usize::MAX).into_iter().map(|(w, _)| w).collect();
+        let expect: Vec<f64> = (0..oracle.len()).map(|k| oracle.weight_at(k).unwrap()).collect();
+        prop_assert_eq!(got, expect);
+    }
+}
+
+/// Random-order enumeration (Section 1 / Carmeli et al. [15]): a uniform
+/// permutation of indices plus direct access enumerates answers in
+/// provably uniform random order, without replacement.
+#[test]
+fn random_permutation_enumeration_is_complete() {
+    use rand::seq::SliceRandom;
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let db = random_db(&q, 40, 7, 42);
+    let da = LexDirectAccess::build(&q, &db, &q.vars(&["x", "y", "z"]), &FdSet::empty()).unwrap();
+    let mut indices: Vec<u64> = (0..da.len()).collect();
+    indices.shuffle(&mut rand::rng());
+    let mut seen: Vec<Tuple> = indices.iter().map(|&k| da.access(k).unwrap()).collect();
+    seen.sort();
+    let mut expect = all_answers(&q, &db);
+    expect.sort();
+    assert_eq!(seen, expect);
+}

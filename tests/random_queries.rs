@@ -1,0 +1,214 @@
+//! Structure-randomized soundness: generate random *full acyclic*
+//! queries (acyclic by construction — each new atom grafts onto an
+//! existing one), random orders, and random databases; then check the
+//! whole pipeline against the oracle. This exercises layered-join-tree
+//! construction across shapes no hand-written catalog would cover.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use ranked_access::prelude::*;
+
+/// Build a random full acyclic CQ with `n_atoms` atoms over at most
+/// `max_vars` variables. Construction: atom 0 takes fresh variables;
+/// atom i shares a non-empty random subset of some earlier atom's
+/// variables plus fresh ones — the grafting order is a join tree, so the
+/// query is acyclic (and, being full, free-connex).
+fn random_full_acyclic(rng: &mut StdRng, n_atoms: usize, max_vars: usize) -> Cq {
+    let mut atoms: Vec<Vec<String>> = Vec::new();
+    let mut next_var = 0usize;
+    let fresh = |next_var: &mut usize| {
+        let v = format!("v{next_var}");
+        *next_var += 1;
+        v
+    };
+    for i in 0..n_atoms {
+        let mut vars: Vec<String> = Vec::new();
+        if i > 0 {
+            let host = rng.random_range(0..atoms.len());
+            let host_vars = atoms[host].clone();
+            let k = rng.random_range(1..=host_vars.len());
+            let mut shared = host_vars;
+            shared.shuffle(rng);
+            shared.truncate(k);
+            vars.extend(shared);
+        }
+        let fresh_count = if next_var >= max_vars {
+            usize::from(vars.is_empty())
+        } else {
+            rng.random_range(if vars.is_empty() { 1 } else { 0 }..=2)
+        };
+        for _ in 0..fresh_count {
+            vars.push(fresh(&mut next_var));
+        }
+        vars.dedup();
+        atoms.push(vars);
+    }
+    let mut head: Vec<String> = Vec::new();
+    for a in &atoms {
+        for v in a {
+            if !head.contains(v) {
+                head.push(v.clone());
+            }
+        }
+    }
+    let mut b = CqBuilder::new("Q").head(&head.iter().map(String::as_str).collect::<Vec<_>>());
+    for (i, a) in atoms.iter().enumerate() {
+        b = b.atom(
+            &format!("R{i}"),
+            &a.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+    }
+    b.build()
+}
+
+fn random_db(rng: &mut StdRng, q: &Cq, rows: usize, domain: i64) -> Database {
+    let mut db = Database::new();
+    for atom in q.atoms() {
+        let arity = atom.terms.len();
+        let tuples: Vec<Tuple> = (0..rows)
+            .map(|_| {
+                (0..arity)
+                    .map(|_| Value::int(rng.random_range(0..domain)))
+                    .collect()
+            })
+            .collect();
+        db.add(Relation::from_tuples(&atom.relation, arity, tuples));
+    }
+    db
+}
+
+/// Pick a random order; retry until the classifier accepts one (the
+/// empty order always does, so this terminates).
+fn random_tractable_order(rng: &mut StdRng, q: &Cq) -> Vec<VarId> {
+    let mut vars: Vec<VarId> = q.free().to_vec();
+    for _ in 0..20 {
+        vars.shuffle(rng);
+        let len = rng.random_range(0..=vars.len());
+        let lex: Vec<VarId> = vars[..len].to_vec();
+        if classify(
+            &q.clone(),
+            &FdSet::empty(),
+            &Problem::DirectAccessLex(lex.clone()),
+        )
+        .is_tractable()
+        {
+            return lex;
+        }
+    }
+    Vec::new()
+}
+
+#[test]
+fn random_acyclic_full_queries_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(20260612);
+    let mut tractable_hits = 0;
+    for round in 0..120 {
+        let q = random_full_acyclic(&mut rng, 1 + (round % 5), 8);
+        let db = random_db(&mut rng, &q, 1 + (round % 12), 4);
+        let lex = random_tractable_order(&mut rng, &q);
+        let da = LexDirectAccess::build(&q, &db, &lex, &FdSet::empty())
+            .unwrap_or_else(|e| panic!("round {round}: {q} with {lex:?}: {e}"));
+        tractable_hits += 1;
+
+        // Oracle comparison on the structure's internal complete order.
+        let mut oracle = all_answers(&q, &db);
+        let positions: Vec<usize> = da
+            .internal_order()
+            .iter()
+            .map(|v| q.free().iter().position(|f| f == v).expect("full query"))
+            .collect();
+        oracle.sort_by(|a, b| {
+            positions
+                .iter()
+                .map(|&p| a[p].cmp(&b[p]))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let got: Vec<Tuple> = da.iter().collect();
+        assert_eq!(got, oracle, "round {round}: {q} by {lex:?}");
+
+        // Inverted access round-trips on a sample.
+        for (k, t) in got.iter().enumerate().take(16) {
+            assert_eq!(da.inverted_access(t), Some(k as u64), "round {round}");
+        }
+
+        // Selection agrees on a few ranks.
+        for k in [0, got.len() as u64 / 2, got.len() as u64] {
+            let sel = selection_lex(&q, &db, &lex, k, &FdSet::empty()).unwrap();
+            assert_eq!(sel, da.access(k), "round {round} k={k}");
+        }
+    }
+    assert!(tractable_hits > 0);
+}
+
+#[test]
+fn random_queries_sum_selection_matches_oracle() {
+    let mut rng = StdRng::seed_from_u64(777);
+    let mut checked = 0;
+    for round in 0..120 {
+        let q = random_full_acyclic(&mut rng, 1 + (round % 4), 7);
+        if !classify(&q, &FdSet::empty(), &Problem::SelectionSum).is_tractable() {
+            continue;
+        }
+        checked += 1;
+        let db = random_db(&mut rng, &q, 1 + (round % 10), 4);
+        let oracle =
+            MaterializedAccess::by_sum(&q, &db, |_, v| v.as_int().map_or(0.0, |i| i as f64));
+        for k in [0u64, oracle.len() / 3, oracle.len().saturating_sub(1)] {
+            let got = selection_sum(&q, &db, &Weights::identity(), k, &FdSet::empty())
+                .unwrap_or_else(|e| panic!("round {round}: {q}: {e}"));
+            match (got, oracle.weight_at(k)) {
+                (Some((w, t)), Some(expect)) => {
+                    assert_eq!(w, TotalF64(expect), "round {round}: {q} k={k}");
+                    assert!(all_answers(&q, &db).contains(&t), "round {round}");
+                }
+                (None, None) => {}
+                (got, expect) => {
+                    panic!("round {round}: {q} k={k}: {got:?} vs weight {expect:?}")
+                }
+            }
+        }
+    }
+    assert!(
+        checked > 20,
+        "the generator should produce plenty of fmh ≤ 2 queries"
+    );
+}
+
+#[test]
+fn random_cyclic_queries_via_decomposition() {
+    use ranked_access::rda_core::lex_direct_access_decomposed;
+    let mut rng = StdRng::seed_from_u64(4242);
+    for round in 0..40 {
+        // Random graph queries: k vars, binary atoms forming a random
+        // graph with a cycle forced in.
+        let k = 4 + (round % 3);
+        let mut edges: Vec<(usize, usize)> = (0..k).map(|i| (i, (i + 1) % k)).collect(); // cycle
+        for _ in 0..rng.random_range(0..3) {
+            let a = rng.random_range(0..k);
+            let b = rng.random_range(0..k);
+            if a != b {
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+        edges.dedup();
+        let names: Vec<String> = (0..k).map(|i| format!("v{i}")).collect();
+        let mut b = CqBuilder::new("Q").head(&names.iter().map(String::as_str).collect::<Vec<_>>());
+        for (i, &(x, y)) in edges.iter().enumerate() {
+            b = b.atom(&format!("E{i}"), &[&names[x], &names[y]]);
+        }
+        let q = b.build();
+        let db = random_db(&mut rng, &q, 12, 3);
+        match lex_direct_access_decomposed(&q, &db, &[]) {
+            Ok((da, _)) => {
+                let mut got: Vec<Tuple> = da.iter().collect();
+                got.sort();
+                let mut expect = all_answers(&q, &db);
+                expect.sort();
+                assert_eq!(got, expect, "round {round}: {q}");
+            }
+            Err(e) => panic!("round {round}: {q}: {e}"),
+        }
+    }
+}
