@@ -83,6 +83,11 @@ pub fn all_answers(q: &Cq, db: &Database) -> Vec<Tuple> {
 pub struct MaterializedAccess {
     answers: Vec<Tuple>,
     weights: Vec<f64>,
+    /// Answer → rank, for O(1) inverted access. Built lazily on the
+    /// first `inverted_access` call: positional-only consumers (the
+    /// benches, the 3SUM reductions) never pay the extra Θ(|out|)
+    /// memory.
+    rank: std::sync::OnceLock<HashMap<Tuple, u64>>,
 }
 
 impl MaterializedAccess {
@@ -110,6 +115,7 @@ impl MaterializedAccess {
                 .unwrap_or_else(|| a.cmp(b))
         });
         MaterializedAccess {
+            rank: std::sync::OnceLock::new(),
             answers,
             weights: Vec::new(),
         }
@@ -132,8 +138,12 @@ impl MaterializedAccess {
             })
             .collect();
         pairs.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-        let (weights, answers) = pairs.into_iter().unzip();
-        MaterializedAccess { answers, weights }
+        let (weights, answers): (Vec<f64>, Vec<Tuple>) = pairs.into_iter().unzip();
+        MaterializedAccess {
+            rank: std::sync::OnceLock::new(),
+            answers,
+            weights,
+        }
     }
 
     /// Number of answers.
@@ -147,8 +157,31 @@ impl MaterializedAccess {
     }
 
     /// The answer at index `k`, O(1).
-    pub fn access(&self, k: u64) -> Option<&Tuple> {
-        self.answers.get(k as usize)
+    ///
+    /// Returns an owned tuple — the uniform convention across every
+    /// access backend (see `rda_core::plan::DirectAccess`).
+    pub fn access(&self, k: u64) -> Option<Tuple> {
+        self.answers.get(k as usize).cloned()
+    }
+
+    /// The rank of `answer` in the materialized order, or `None` when it
+    /// is not an answer. O(1) after the first call builds the index.
+    pub fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
+        self.rank
+            .get_or_init(|| {
+                self.answers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| (t.clone(), i as u64))
+                    .collect()
+            })
+            .get(answer)
+            .copied()
+    }
+
+    /// Iterate answers in order.
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        self.answers.iter().cloned()
     }
 
     /// The weight of the answer at index `k` (SUM mode only).

@@ -4,6 +4,9 @@
 //! available, repeated selection is the wrong tool (selection pays O(n)
 //! per call, access O(log n)).
 
+// This file intentionally benchmarks the legacy entry points directly.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rda_baseline::MaterializedAccess;
 use rda_bench::workloads;
@@ -47,7 +50,7 @@ fn bench_trio_order_materialize(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let m = MaterializedAccess::by_lex(&q, &db, &lex);
-                black_box(m.access((n * n / 100) as u64).cloned())
+                black_box(m.access((n * n / 100) as u64))
             })
         });
     }

@@ -3,6 +3,9 @@
 //! randomized matrix selection against naively enumerating and
 //! quickselecting all bucket-pair sums (which is Θ(|out|)).
 
+// This file intentionally benchmarks the legacy entry points directly.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rda_baseline::MaterializedAccess;
 use rda_bench::workloads;

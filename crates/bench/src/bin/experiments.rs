@@ -4,6 +4,9 @@
 //! where ids are `fig1 fig2 fig45 fig8 t33 t41 t61 t73 t8x t25 scale`.
 //! With no arguments, all experiments run.
 
+// This file intentionally drives the legacy entry points directly.
+#![allow(deprecated)]
+
 use rda_bench::workloads;
 use rda_core::{selection_lex, selection_sum, LexDirectAccess, SumDirectAccess, Weights};
 use rda_query::classify::{classify, Problem, Verdict};

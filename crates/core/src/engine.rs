@@ -1,0 +1,696 @@
+//! The planner-style front door: classify a (query, order) pair against
+//! the paper's dichotomies and route it to the best available backend.
+//!
+//! ```
+//! use rda_core::{Engine, OrderSpec, Policy, DirectAccess};
+//! use rda_db::Database;
+//! use rda_query::{parser::parse, FdSet};
+//!
+//! let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+//! let db = Database::new()
+//!     .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+//!     .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]]);
+//!
+//! // A tractable order routes to native direct access …
+//! let plan = Engine::prepare(
+//!     &q, &db,
+//!     OrderSpec::lex(&q, &["x", "y", "z"]),
+//!     &FdSet::empty(),
+//!     Policy::Reject,
+//! ).unwrap();
+//! assert_eq!(plan.len(), 5);
+//! let median = plan.access(plan.len() / 2).unwrap();
+//! assert_eq!(plan.inverted_access(&median), Some(2));
+//!
+//! // … a trio-blocked order still gets ranked answers, via selection.
+//! let plan = Engine::prepare(
+//!     &q, &db,
+//!     OrderSpec::lex(&q, &["x", "z", "y"]),
+//!     &FdSet::empty(),
+//!     Policy::Reject,
+//! ).unwrap();
+//! assert!(plan.explain().to_string().contains("disruptive trio"));
+//! assert!(plan.access(0).is_some());
+//! ```
+
+use crate::error::BuildError;
+use crate::plan::{
+    describe_reason, AccessPlan, Backend, Explain, RankedAnswers, RankedEnumHandle,
+    SelectionLexHandle, SelectionSumHandle,
+};
+use crate::weights::Weights;
+use crate::{LexDirectAccess, SumDirectAccess};
+use rda_baseline::{MaterializedAccess, RankedEnumerator};
+use rda_db::Database;
+use rda_query::classify::{classify, Problem, Verdict};
+use rda_query::fd::FdSet;
+use rda_query::query::Cq;
+use rda_query::{gyo, VarId};
+use std::fmt;
+
+/// The order a prepared plan ranks answers by.
+#[derive(Debug, Clone)]
+pub enum OrderSpec {
+    /// A (possibly partial) lexicographic order over head variables.
+    Lex(Vec<VarId>),
+    /// Ascending sum of per-attribute weights.
+    Sum(Weights),
+}
+
+impl OrderSpec {
+    /// A lexicographic order from variable names.
+    ///
+    /// # Panics
+    /// Panics if a name is not a variable of `q` (mirrors [`Cq::vars`]).
+    pub fn lex(q: &Cq, names: &[&str]) -> Self {
+        OrderSpec::Lex(q.vars(names))
+    }
+
+    /// A sum order under the given attribute weights.
+    pub fn sum(weights: Weights) -> Self {
+        OrderSpec::Sum(weights)
+    }
+
+    /// A sum order where integer values weigh themselves (Figure 2d).
+    pub fn sum_by_value() -> Self {
+        OrderSpec::Sum(Weights::identity())
+    }
+}
+
+/// What [`Engine::prepare`] may do when the dichotomy puts the order
+/// outside both the direct-access and the selection tractable regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// Refuse: return [`PlanError::Intractable`] carrying the verdict
+    /// and witness. The predictable-latency choice.
+    #[default]
+    Reject,
+    /// Materialize and sort the full answer set (Θ(|out|) memory) —
+    /// always possible, including for cyclic queries.
+    Materialize,
+    /// Serve answers through any-k ranked enumeration (full acyclic
+    /// CQs under SUM orders only); reaching index `k` costs Θ(k log n)
+    /// once, then it is cached.
+    RankedEnum,
+}
+
+/// Why [`Engine::prepare`] could not produce a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// Neither direct access nor selection is available for the order
+    /// (provably hard for self-join-free queries, open otherwise) and
+    /// the policy was [`Policy::Reject`].
+    Intractable {
+        /// The direct-access verdict (carries the structural reason).
+        verdict: Verdict,
+        /// The witness rendered with variable names, when one exists.
+        witness: Option<String>,
+    },
+    /// Instance-level failure while building the chosen backend.
+    Build(BuildError),
+    /// [`Policy::RankedEnum`] was requested where the any-k enumerator
+    /// does not apply.
+    RankedEnumUnsupported {
+        /// What disqualified the query/order pair.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Intractable { verdict, witness } => {
+                match verdict {
+                    Verdict::OpenSelfJoin { .. } => write!(
+                        f,
+                        "query/order combination fails the tractability criterion \
+                         (hardness open: the query has self-joins)"
+                    )?,
+                    _ => write!(f, "query/order combination is intractable")?,
+                }
+                if let Some(w) = witness {
+                    write!(f, " ({w})")?;
+                }
+                if let Verdict::Intractable { assumptions, .. } = verdict {
+                    write!(f, " assuming {}", assumptions.join(" + "))?;
+                }
+                write!(
+                    f,
+                    "; pass Policy::Materialize (or, for SUM orders over full acyclic \
+                     queries, Policy::RankedEnum) to fall back"
+                )
+            }
+            PlanError::Build(e) => write!(f, "{e}"),
+            PlanError::RankedEnumUnsupported { reason } => {
+                write!(f, "ranked-enumeration fallback unavailable: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<BuildError> for PlanError {
+    fn from(e: BuildError) -> Self {
+        PlanError::Build(e)
+    }
+}
+
+impl PlanError {
+    /// The classification verdict, when the failure was a dichotomy
+    /// rejection (either directly or inside a build error).
+    pub fn verdict(&self) -> Option<&Verdict> {
+        match self {
+            PlanError::Intractable { verdict, .. } => Some(verdict),
+            PlanError::Build(BuildError::NotTractable(v)) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The classify-and-route planner: one front door for every ranked-
+/// access strategy in this crate.
+///
+/// [`Engine::prepare`] runs the decision procedures of
+/// [`rda_query::classify`] and picks, in order of preference:
+///
+/// 1. **native direct access** ([`LexDirectAccess`] /
+///    [`SumDirectAccess`]) when the order is on the tractable side of
+///    Theorem 4.1 / 5.1 (8.21 / 8.9 under FDs);
+/// 2. a **lazy selection-backed handle** when only selection is
+///    tractable (Theorem 6.1 / 7.3) — no preprocessing, linear-time
+///    accesses;
+/// 3. the **explicit fallback** named by [`Policy`] otherwise.
+///
+/// The returned [`AccessPlan`] serves answers uniformly through
+/// [`DirectAccess`](crate::DirectAccess) and reports its routing
+/// decision through [`AccessPlan::explain`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Engine;
+
+impl Engine {
+    /// Classify `(q, order)` under `fds` and build the best plan the
+    /// `policy` allows over `db`.
+    pub fn prepare<'a>(
+        q: &Cq,
+        db: &'a Database,
+        order: OrderSpec,
+        fds: &FdSet,
+        policy: Policy,
+    ) -> Result<AccessPlan<'a>, PlanError> {
+        match order {
+            OrderSpec::Lex(lex) => Self::prepare_lex(q, db, lex, fds, policy),
+            OrderSpec::Sum(w) => Self::prepare_sum(q, db, w, fds, policy),
+        }
+    }
+
+    fn prepare_lex<'a>(
+        q: &Cq,
+        db: &'a Database,
+        lex: Vec<VarId>,
+        fds: &FdSet,
+        policy: Policy,
+    ) -> Result<AccessPlan<'a>, PlanError> {
+        crate::lexda::validate_lex(q, &lex)?;
+        let problem = Problem::DirectAccessLex(lex.clone());
+        let problem_desc = format!("direct access by LEX <{}>", q.names_of(&lex).join(", "));
+        let verdict = classify(q, fds, &problem);
+        let witness = verdict.reason().map(|r| describe_reason(q, r));
+
+        if verdict.is_tractable() {
+            let da = LexDirectAccess::build(q, db, &lex, fds)?;
+            return Ok(AccessPlan::new(
+                RankedAnswers::Lex(da),
+                Explain {
+                    problem,
+                    problem_desc,
+                    verdict,
+                    selection_verdict: None,
+                    witness,
+                    backend: Backend::LexDirectAccess,
+                },
+            ));
+        }
+
+        let selection_verdict = classify(q, fds, &Problem::SelectionLex(lex.clone()));
+        if selection_verdict.is_tractable() {
+            let handle = SelectionLexHandle::new(q, db, lex, fds)?;
+            return Ok(AccessPlan::new(
+                RankedAnswers::SelectionLex(handle),
+                Explain {
+                    problem,
+                    problem_desc,
+                    verdict,
+                    selection_verdict: Some(selection_verdict),
+                    witness,
+                    backend: Backend::SelectionLex,
+                },
+            ));
+        }
+
+        match policy {
+            Policy::Reject => Err(PlanError::Intractable { verdict, witness }),
+            Policy::Materialize => {
+                crate::instance::validate_instance(q, db)?;
+                let m = MaterializedAccess::by_lex(q, db, &lex);
+                Ok(AccessPlan::new(
+                    RankedAnswers::Materialized(m),
+                    Explain {
+                        problem,
+                        problem_desc,
+                        verdict,
+                        selection_verdict: Some(selection_verdict),
+                        witness,
+                        backend: Backend::Materialized,
+                    },
+                ))
+            }
+            Policy::RankedEnum => Err(PlanError::RankedEnumUnsupported {
+                reason: "the any-k enumerator ranks by SUM, not by lexicographic orders; \
+                         use Policy::Materialize"
+                    .to_string(),
+            }),
+        }
+    }
+
+    fn prepare_sum<'a>(
+        q: &Cq,
+        db: &'a Database,
+        weights: Weights,
+        fds: &FdSet,
+        policy: Policy,
+    ) -> Result<AccessPlan<'a>, PlanError> {
+        let problem = Problem::DirectAccessSum;
+        let problem_desc = "direct access by SUM of attribute weights".to_string();
+        let verdict = classify(q, fds, &problem);
+        let witness = verdict.reason().map(|r| describe_reason(q, r));
+
+        if verdict.is_tractable() {
+            let da = SumDirectAccess::build(q, db, &weights, fds)?;
+            return Ok(AccessPlan::new(
+                RankedAnswers::Sum(da),
+                Explain {
+                    problem,
+                    problem_desc,
+                    verdict,
+                    selection_verdict: None,
+                    witness,
+                    backend: Backend::SumDirectAccess,
+                },
+            ));
+        }
+
+        let selection_verdict = classify(q, fds, &Problem::SelectionSum);
+        if selection_verdict.is_tractable() {
+            let handle = SelectionSumHandle::new(q, db, weights, fds)?;
+            return Ok(AccessPlan::new(
+                RankedAnswers::SelectionSum(handle),
+                Explain {
+                    problem,
+                    problem_desc,
+                    verdict,
+                    selection_verdict: Some(selection_verdict),
+                    witness,
+                    backend: Backend::SelectionSum,
+                },
+            ));
+        }
+
+        match policy {
+            Policy::Reject => Err(PlanError::Intractable { verdict, witness }),
+            Policy::Materialize => {
+                crate::instance::validate_instance(q, db)?;
+                let m = MaterializedAccess::by_sum(q, db, |v, val| weights.get(v, val).0);
+                Ok(AccessPlan::new(
+                    RankedAnswers::Materialized(m),
+                    Explain {
+                        problem,
+                        problem_desc,
+                        verdict,
+                        selection_verdict: Some(selection_verdict),
+                        witness,
+                        backend: Backend::Materialized,
+                    },
+                ))
+            }
+            Policy::RankedEnum => {
+                if !q.is_full() {
+                    return Err(PlanError::RankedEnumUnsupported {
+                        reason: "the any-k enumerator requires a full CQ (no projection)"
+                            .to_string(),
+                    });
+                }
+                if !gyo::is_acyclic(&q.hypergraph()) {
+                    return Err(PlanError::RankedEnumUnsupported {
+                        reason: "the any-k enumerator requires an acyclic CQ".to_string(),
+                    });
+                }
+                crate::instance::validate_instance(q, db)?;
+                let e = RankedEnumerator::new(q, db, |v, val| weights.get(v, val).0);
+                Ok(AccessPlan::new(
+                    RankedAnswers::RankedEnum(RankedEnumHandle::new(e)),
+                    Explain {
+                        problem,
+                        problem_desc,
+                        verdict,
+                        selection_verdict: Some(selection_verdict),
+                        witness,
+                        backend: Backend::RankedEnum,
+                    },
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::DirectAccess;
+    use rda_db::tup;
+    use rda_query::classify::Reason;
+    use rda_query::parser::parse;
+
+    fn fig2_db() -> Database {
+        Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+            .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]])
+    }
+
+    fn two_path() -> Cq {
+        parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap()
+    }
+
+    #[test]
+    fn tractable_lex_routes_to_native_direct_access() {
+        let q = two_path();
+        let db = fig2_db();
+        let plan = Engine::prepare(
+            &q,
+            &db,
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+        assert_eq!(plan.backend(), Backend::LexDirectAccess);
+        assert!(plan.explain().verdict().is_tractable());
+        assert_eq!(plan.explain().witness(), None);
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan.access(2), Some(tup![1, 5, 4]));
+    }
+
+    #[test]
+    fn trio_order_routes_to_selection_with_witness() {
+        let q = two_path();
+        let db = fig2_db();
+        let plan = Engine::prepare(
+            &q,
+            &db,
+            OrderSpec::lex(&q, &["x", "z", "y"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+        assert_eq!(plan.backend(), Backend::SelectionLex);
+        assert!(matches!(
+            plan.explain().verdict().reason(),
+            Some(Reason::DisruptiveTrio(..))
+        ));
+        let w = plan.explain().witness().unwrap();
+        assert!(w.contains("disruptive trio"), "{w}");
+        // Figure 2c's order: (1,5,3), (1,5,4), (1,2,5), (1,5,6), (6,2,5).
+        assert_eq!(plan.access(0), Some(tup![1, 5, 3]));
+        assert_eq!(plan.access(2), Some(tup![1, 2, 5]));
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan.access(5), None);
+    }
+
+    #[test]
+    fn selection_handle_round_trips_inverted_access() {
+        let q = two_path();
+        let db = fig2_db();
+        let plan = Engine::prepare(
+            &q,
+            &db,
+            OrderSpec::lex(&q, &["x", "z", "y"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+        for k in 0..plan.len() {
+            let t = plan.access(k).unwrap();
+            assert_eq!(plan.inverted_access(&t), Some(k), "k={k}");
+        }
+        assert_eq!(plan.inverted_access(&tup![0, 0, 0]), None);
+    }
+
+    #[test]
+    fn non_free_connex_projection_rejects_then_materializes() {
+        let qp = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+        let db = fig2_db();
+        let spec = || OrderSpec::lex(&qp, &["x", "z"]);
+        let err = Engine::prepare(&qp, &db, spec(), &FdSet::empty(), Policy::Reject).unwrap_err();
+        assert!(matches!(err, PlanError::Intractable { .. }));
+        assert!(matches!(
+            err.verdict().and_then(Verdict::reason),
+            Some(Reason::NotFreeConnex { .. })
+        ));
+        let plan = Engine::prepare(&qp, &db, spec(), &FdSet::empty(), Policy::Materialize).unwrap();
+        assert_eq!(plan.backend(), Backend::Materialized);
+        assert!(plan.backend().is_fallback());
+        // Answers of Q(x,z): (1,3), (1,4), (1,5), (1,6), (6,5).
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan.access(0), Some(tup![1, 3]));
+        for k in 0..plan.len() {
+            let t = plan.access(k).unwrap();
+            assert_eq!(plan.inverted_access(&t), Some(k));
+        }
+    }
+
+    #[test]
+    fn sum_routes_to_native_when_one_atom_covers_free() {
+        let q = parse("Q(x, y) :- R(x, y), S(y, z)").unwrap();
+        let db = fig2_db();
+        let plan = Engine::prepare(
+            &q,
+            &db,
+            OrderSpec::sum_by_value(),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+        assert_eq!(plan.backend(), Backend::SumDirectAccess);
+        // Weights: (1,2)=3, (1,5)=6, (6,2)=8.
+        assert_eq!(plan.access(0), Some(tup![1, 2]));
+        assert_eq!(plan.inverted_access(&tup![6, 2]), Some(2));
+    }
+
+    #[test]
+    fn sum_on_two_path_routes_to_selection() {
+        let q = two_path();
+        let db = fig2_db();
+        let plan = Engine::prepare(
+            &q,
+            &db,
+            OrderSpec::sum_by_value(),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+        assert_eq!(plan.backend(), Backend::SelectionSum);
+        assert!(matches!(
+            plan.explain().verdict().reason(),
+            Some(Reason::NoAtomCoversFree { alpha_free: 2 })
+        ));
+        // Figure 2d's weights: 8, 9, 10, 12, 13.
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan.access(2), Some(tup![1, 5, 4]));
+        for k in 0..plan.len() {
+            let t = plan.access(k).unwrap();
+            assert_eq!(plan.inverted_access(&t), Some(k), "k={k}");
+        }
+        assert_eq!(plan.inverted_access(&tup![9, 9, 9]), None);
+    }
+
+    #[test]
+    fn sum_fallbacks_on_fmh3() {
+        let q3 = parse("Q(x, y, z, u) :- R(x, y), S(y, z), T(z, u)").unwrap();
+        let db = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 2], vec![3, 4]])
+            .with_i64_rows("S", 2, vec![vec![2, 5], vec![4, 6]])
+            .with_i64_rows("T", 2, vec![vec![5, 7], vec![6, 8]]);
+        let err = Engine::prepare(
+            &q3,
+            &db,
+            OrderSpec::sum_by_value(),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap_err();
+        // The rejection carries the *direct-access* witness (no covering
+        // atom); the selection side (fmh = 3) was also intractable.
+        assert!(matches!(
+            err.verdict().and_then(Verdict::reason),
+            Some(Reason::NoAtomCoversFree { .. })
+        ));
+        // Ranked enumeration applies: the query is full and acyclic.
+        let plan = Engine::prepare(
+            &q3,
+            &db,
+            OrderSpec::sum_by_value(),
+            &FdSet::empty(),
+            Policy::RankedEnum,
+        )
+        .unwrap();
+        assert_eq!(plan.backend(), Backend::RankedEnum);
+        // Answers: (1,2,5,7)=15 and (3,4,6,8)=21.
+        assert_eq!(plan.access(0), Some(tup![1, 2, 5, 7]));
+        assert_eq!(plan.access(1), Some(tup![3, 4, 6, 8]));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.inverted_access(&tup![3, 4, 6, 8]), Some(1));
+        // Materialize agrees.
+        let plan = Engine::prepare(
+            &q3,
+            &db,
+            OrderSpec::sum_by_value(),
+            &FdSet::empty(),
+            Policy::Materialize,
+        )
+        .unwrap();
+        assert_eq!(plan.backend(), Backend::Materialized);
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn ranked_enum_rejected_for_lex_and_projections() {
+        let q = two_path();
+        let db = fig2_db();
+        let err = Engine::prepare(
+            &q,
+            &db,
+            OrderSpec::lex(&q, &["x", "z", "y"]),
+            &FdSet::empty(),
+            Policy::RankedEnum,
+        );
+        // Selection is tractable for the trio order, so RankedEnum is
+        // never consulted: routing prefers the paper's algorithms.
+        assert!(err.is_ok());
+        // A cyclic query under SUM with RankedEnum policy is refused.
+        let qc = parse("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)").unwrap();
+        let dbc = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 2]])
+            .with_i64_rows("S", 2, vec![vec![2, 3]])
+            .with_i64_rows("T", 2, vec![vec![3, 1]]);
+        let err = Engine::prepare(
+            &qc,
+            &dbc,
+            OrderSpec::sum_by_value(),
+            &FdSet::empty(),
+            Policy::RankedEnum,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::RankedEnumUnsupported { .. }));
+        // Materialize handles even the cyclic case.
+        let plan = Engine::prepare(
+            &qc,
+            &dbc,
+            OrderSpec::sum_by_value(),
+            &FdSet::empty(),
+            Policy::Materialize,
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.access(0), Some(tup![1, 2, 3]));
+    }
+
+    #[test]
+    fn instance_errors_surface_at_prepare_time() {
+        let q = two_path();
+        let empty = Database::new();
+        // Native route.
+        let err = Engine::prepare(
+            &q,
+            &empty,
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            PlanError::Build(BuildError::MissingRelation(_))
+        ));
+        // Selection route probes eagerly.
+        let err = Engine::prepare(
+            &q,
+            &empty,
+            OrderSpec::lex(&q, &["x", "z", "y"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            PlanError::Build(BuildError::MissingRelation(_))
+        ));
+    }
+
+    #[test]
+    fn explain_renders_verdict_witness_backend() {
+        let q = two_path();
+        let db = fig2_db();
+        let plan = Engine::prepare(
+            &q,
+            &db,
+            OrderSpec::lex(&q, &["x", "z", "y"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+        let report = plan.explain().to_string();
+        assert!(report.contains("LEX <x, z, y>"), "{report}");
+        assert!(report.contains("intractable"), "{report}");
+        assert!(report.contains("disruptive trio (x, z, y)"), "{report}");
+        assert!(report.contains("selection-lex"), "{report}");
+        assert!(report.contains("<1, n>"), "{report}");
+    }
+
+    #[test]
+    fn empty_database_yields_empty_plans_everywhere() {
+        let q = two_path();
+        let db = Database::new()
+            .with_i64_rows("R", 2, vec![])
+            .with_i64_rows("S", 2, vec![]);
+        for spec in [
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            OrderSpec::lex(&q, &["x", "z", "y"]),
+            OrderSpec::sum_by_value(),
+        ] {
+            let plan = Engine::prepare(&q, &db, spec, &FdSet::empty(), Policy::Reject).unwrap();
+            assert_eq!(plan.len(), 0);
+            assert!(plan.is_empty());
+            assert_eq!(plan.access(0), None);
+        }
+    }
+
+    #[test]
+    fn fd_rescued_order_routes_native() {
+        // Example 1.1: LEX <x,z,y> with FD R: x → y becomes tractable.
+        let q = two_path();
+        let fds = FdSet::parse(&q, &[("R", "x", "y")]);
+        let db = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5], vec![6, 2]])
+            .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![2, 5]]);
+        let plan = Engine::prepare(
+            &q,
+            &db,
+            OrderSpec::lex(&q, &["x", "z", "y"]),
+            &fds,
+            Policy::Reject,
+        )
+        .unwrap();
+        assert_eq!(plan.backend(), Backend::LexDirectAccess);
+        assert_eq!(plan.len(), 3);
+    }
+}

@@ -26,15 +26,10 @@ pub(crate) fn sorted_vars(set: VarSet) -> Vec<VarId> {
     set.iter().collect()
 }
 
-/// Normalize a query/database pair so downstream machinery can assume:
-/// distinct relation symbols (self-joins are materialized as copies),
-/// no repeated variables within an atom (resolved by filtering), and
-/// set-semantics relations matching atom arities.
-pub fn normalize_instance(q: &Cq, db: &Database) -> Result<(Cq, Database), BuildError> {
-    let mut out_db = Database::new();
-    let mut atoms: Vec<Atom> = Vec::with_capacity(q.atoms().len());
-    let mut used: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
-
+/// Check that `db` provides every relation `q` mentions, at the right
+/// arity — the shared instance-level validation behind every builder
+/// and fallback path.
+pub fn validate_instance(q: &Cq, db: &Database) -> Result<(), BuildError> {
     for atom in q.atoms() {
         let rel = db
             .get(&atom.relation)
@@ -46,6 +41,53 @@ pub fn normalize_instance(q: &Cq, db: &Database) -> Result<(Cq, Database), Build
                 found: rel.arity(),
             });
         }
+    }
+    Ok(())
+}
+
+/// Normalize a query/database pair so downstream machinery can assume:
+/// distinct relation symbols (self-joins are materialized as copies),
+/// no repeated variables within an atom (resolved by filtering), and
+/// set-semantics relations matching atom arities.
+pub fn normalize_instance(q: &Cq, db: &Database) -> Result<(Cq, Database), BuildError> {
+    validate_instance(q, db)?;
+    let nq = normalize_query(q);
+    let mut out_db = Database::new();
+    for (atom, natom) in q.atoms().iter().zip(nq.atoms()) {
+        let rel = db.get(&atom.relation).expect("validated above");
+        // Repeated variables: keep tuples whose repeated positions agree,
+        // then drop the duplicate columns (first occurrence of each
+        // variable, matching the normalized atom's terms).
+        let keep_positions: Vec<usize> = natom
+            .terms
+            .iter()
+            .map(|t| atom.terms.iter().position(|x| x == t).expect("present"))
+            .collect();
+        let mut relation = if keep_positions.len() == atom.terms.len() {
+            rel.clone().renamed(natom.relation.clone())
+        } else {
+            let mut filtered = rel.clone();
+            filtered.retain(|t| {
+                atom.terms.iter().enumerate().all(|(p, tv)| {
+                    let first = atom.terms.iter().position(|x| x == tv).expect("present");
+                    t[p] == t[first]
+                })
+            });
+            filtered.project(natom.relation.clone(), &keep_positions)
+        };
+        relation.normalize();
+        out_db.add(relation);
+    }
+    Ok((nq, out_db))
+}
+
+/// The query half of [`normalize_instance`] — purely syntactic, so it
+/// needs no database: self-join occurrences get fresh relation names
+/// and repeated variables collapse to their first position.
+pub(crate) fn normalize_query(q: &Cq) -> Cq {
+    let mut atoms: Vec<Atom> = Vec::with_capacity(q.atoms().len());
+    let mut used: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for atom in q.atoms() {
         // Self-join: later occurrences get fresh names (the paper's
         // linear-time reduction to a self-join-free form, Section 8).
         let occurrence = used.entry(atom.relation.clone()).or_insert(0);
@@ -55,42 +97,21 @@ pub fn normalize_instance(q: &Cq, db: &Database) -> Result<(Cq, Database), Build
         } else {
             format!("{}#{}", atom.relation, occurrence)
         };
-
-        // Repeated variables: keep tuples whose repeated positions agree,
-        // then drop the duplicate columns.
-        let mut keep_positions: Vec<usize> = Vec::new();
         let mut terms: Vec<VarId> = Vec::new();
-        for (p, &t) in atom.terms.iter().enumerate() {
+        for &t in &atom.terms {
             if !terms.contains(&t) {
                 terms.push(t);
-                keep_positions.push(p);
             }
         }
-        let mut relation = if keep_positions.len() == atom.terms.len() {
-            rel.clone().renamed(name.clone())
-        } else {
-            let mut filtered = rel.clone();
-            filtered.retain(|t| {
-                atom.terms.iter().enumerate().all(|(p, tv)| {
-                    let first = atom.terms.iter().position(|x| x == tv).expect("present");
-                    t[p] == t[first]
-                })
-            });
-            filtered.project(name.clone(), &keep_positions)
-        };
-        relation.normalize();
-        out_db.add(relation);
         atoms.push(Atom {
             relation: name,
             terms,
         });
     }
-
     let names: Vec<String> = (0..q.var_count())
         .map(|i| q.var_name(VarId(i as u32)).to_string())
         .collect();
-    let query = Cq::from_parts(q.name().to_string(), q.free().to_vec(), atoms, names);
-    Ok((query, out_db))
+    Cq::from_parts(q.name().to_string(), q.free().to_vec(), atoms, names)
 }
 
 /// Yannakakis full reducer over a join tree whose node relations are

@@ -353,13 +353,13 @@ impl LexDirectAccess {
     }
 
     /// Values for each order position derived from an output tuple;
-    /// `None` if a promoted variable's value cannot be derived.
+    /// `None` if the arity does not match the head or a promoted
+    /// variable's value cannot be derived (such tuples are never
+    /// answers).
     fn target_values(&self, answer: &Tuple) -> Option<Vec<Value>> {
-        assert_eq!(
-            answer.arity(),
-            self.out_vars.len(),
-            "answer must match the query head"
-        );
+        if answer.arity() != self.out_vars.len() {
+            return None;
+        }
         let mut assignment: Vec<Option<Value>> = vec![None; self.var_slots];
         for (i, &v) in self.out_vars.iter().enumerate() {
             assignment[v.index()] = Some(answer[i].clone());

@@ -99,7 +99,87 @@ fn histogram(atom_vars: &[Vec<VarId>], rels: &[Relation], var: VarId) -> Vec<(Va
 /// `Ok(None)` ("out-of-bound") when `k ≥ |Q(I)|`.
 ///
 /// Runs in expected O(n) per call; nothing is cached between calls.
+#[deprecated(
+    since = "0.2.0",
+    note = "route through `Engine::prepare` with `OrderSpec::Lex`; the returned \
+            plan serves repeated accesses and explains the classification"
+)]
 pub fn selection_lex(
+    q: &Cq,
+    db: &Database,
+    lex: &[VarId],
+    k: u64,
+    fds: &FdSet,
+) -> Result<Option<Tuple>, BuildError> {
+    selection_lex_impl(q, db, lex, k, fds)
+}
+
+/// Head positions realizing the completed internal order for comparing
+/// answers, or `None` when the restriction to head variables is not
+/// sound.
+///
+/// Restricting the completed order to the original head variables
+/// induces the same total order on answers **iff** every promoted
+/// (FD-implied) variable follows one of its determiners in the
+/// completed order: then two answers that agree on everything before a
+/// promoted variable agree on the promoted variable too, so answers
+/// can never differ first at a skipped position. `fd_reordered_order`
+/// guarantees this inside the requested prefix, but the completion
+/// tail orders variables with no FD awareness, so out-of-prefix
+/// promotions can violate it.
+pub(crate) fn comparator_positions(
+    q: &Cq,
+    lex: &[VarId],
+    fds: &FdSet,
+) -> Result<Option<Vec<usize>>, BuildError> {
+    crate::lexda::validate_lex(q, lex)?;
+    let nq = crate::instance::normalize_query(q);
+    let ext = fd_extension(&nq, fds);
+    let l_plus = fd_reordered_order(&ext, lex);
+    let order = complete_over_free(&ext.query, &l_plus);
+
+    let original_free = nq.free_set();
+    let mut seen = VarSet::EMPTY;
+    for &v in &order {
+        if !original_free.contains(v) {
+            // Promoted variable: sound only if some determiner of `v`
+            // already occurred (induction: earlier agreement implies
+            // agreement on `v`).
+            let determined = ext
+                .fds
+                .iter()
+                .any(|fd| fd.rhs == v && seen.contains(fd.lhs));
+            if !determined {
+                return Ok(None);
+            }
+        }
+        seen = seen.with(v);
+    }
+    Ok(Some(
+        order
+            .iter()
+            .filter_map(|v| nq.free().iter().position(|f| f == v))
+            .collect(),
+    ))
+}
+
+/// Complete the (FD-reordered) prefix over all of `free(Q⁺)`: the
+/// Lemma 4.4 completion when a trio-free one exists (so results agree
+/// with `LexDirectAccess`), otherwise the remaining variables in VarId
+/// order. The single definition keeps [`comparator_positions`] and
+/// [`selection_lex_impl`] sorting by the same total order.
+fn complete_over_free(qp: &Cq, l_plus: &[VarId]) -> Vec<VarId> {
+    complete_order(qp, l_plus).unwrap_or_else(|| {
+        let mut o = l_plus.to_vec();
+        let placed: VarSet = o.iter().copied().collect();
+        o.extend(qp.free_set().minus(placed).iter());
+        o
+    })
+}
+
+/// Non-deprecated implementation behind [`selection_lex`], used by the
+/// engine's selection-backed handle.
+pub(crate) fn selection_lex_impl(
     q: &Cq,
     db: &Database,
     lex: &[VarId],
@@ -130,16 +210,9 @@ pub fn selection_lex(
         return Ok(None);
     }
 
-    // Complete the order over all free variables. Selection does not
-    // need trio-freeness; prefer the Lemma 4.4 completion when it exists
-    // (so results agree with LexDirectAccess), otherwise append the
-    // remaining variables in VarId order.
-    let order = complete_order(&qp, &l_plus).unwrap_or_else(|| {
-        let mut o = l_plus.clone();
-        let placed: VarSet = o.iter().copied().collect();
-        o.extend(qp.free_set().minus(placed).iter());
-        o
-    });
+    // Complete the order over all free variables (selection does not
+    // need trio-freeness).
+    let order = complete_over_free(&qp, &l_plus);
 
     if order.is_empty() {
         // Boolean query with a non-empty join.
@@ -189,6 +262,7 @@ pub fn selection_lex(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the unit tests exercise the public shims directly
 mod tests {
     use super::*;
     use rda_db::tup;

@@ -23,13 +23,26 @@
 //! Builders verify the paper's tractability criteria and return
 //! [`BuildError::NotTractable`] with the structural witness otherwise;
 //! see [`rda_query::classify`] for the bare decision procedures.
+//!
+//! ## The front door
+//!
+//! Since 0.2.0 the algorithms above sit behind one planner-style facade:
+//! [`Engine::prepare`] classifies a query/order pair, routes it to
+//! native direct access, a lazy selection-backed handle, or an explicit
+//! [`Policy`] fallback, and returns an [`AccessPlan`] serving answers
+//! through the uniform [`DirectAccess`] trait, together with an
+//! [`Explain`] report naming the verdict, the structural witness, and
+//! the chosen backend. The free functions [`selection_lex`] and
+//! [`selection_sum`] remain as deprecated shims.
 
 pub mod decompose;
+pub mod engine;
 pub mod error;
 pub mod fdtransform;
 pub mod instance;
 pub mod lexda;
 pub mod lexsel;
+pub mod plan;
 pub mod random_order;
 pub mod sumda;
 pub mod sumsel;
@@ -37,11 +50,19 @@ pub mod tupleweights;
 pub mod weights;
 
 pub use decompose::{lex_direct_access_decomposed, rewrite_by_decomposition};
+pub use engine::{Engine, OrderSpec, PlanError, Policy};
 pub use error::BuildError;
 pub use lexda::LexDirectAccess;
-pub use lexsel::selection_lex;
+pub use plan::{
+    AccessPlan, Backend, DirectAccess, Explain, RankedAnswers, RankedEnumHandle,
+    SelectionLexHandle, SelectionSumHandle,
+};
 pub use random_order::{Quantiles, RandomOrderEnumerator};
 pub use sumda::SumDirectAccess;
-pub use sumsel::selection_sum;
 pub use tupleweights::{selection_sum_tw, SumDirectAccessTw, TupleWeights};
 pub use weights::Weights;
+
+#[allow(deprecated)]
+pub use lexsel::selection_lex;
+#[allow(deprecated)]
+pub use sumsel::selection_sum;

@@ -1,0 +1,829 @@
+//! The uniform access layer behind [`crate::Engine`]: the
+//! [`DirectAccess`] trait, the [`RankedAnswers`] handle, and the
+//! [`Explain`] report.
+//!
+//! The paper's dichotomies sort every (query, order) pair into one of
+//! three regimes — native direct access, selection-only, or provably
+//! hard. Each regime historically had its own entry point with its own
+//! signature; this module gives them one shape:
+//!
+//! * [`DirectAccess`] — `len` / `access` / `inverted_access` / `range` /
+//!   `iter` with **owned** tuples everywhere, implemented by
+//!   [`LexDirectAccess`], [`SumDirectAccess`], the
+//!   [`MaterializedAccess`] baseline, and every lazy handle;
+//! * [`RankedAnswers`] — the engine's routed backend, one enum over all
+//!   strategies including the lazy selection-backed handles;
+//! * [`Explain`] — why the router chose what it chose: the verdict, the
+//!   structural witness (e.g. a disruptive trio), and the backend with
+//!   its ⟨preprocessing, access⟩ guarantee.
+
+use crate::error::BuildError;
+use crate::lexsel::selection_lex_impl;
+use crate::sumsel::selection_sum_impl;
+use crate::weights::Weights;
+use crate::{LexDirectAccess, SumDirectAccess};
+use rda_baseline::{MaterializedAccess, RankedEnumerator};
+use rda_db::{Database, Tuple};
+use rda_query::classify::{Problem, Reason, Verdict};
+use rda_query::fd::FdSet;
+use rda_query::query::Cq;
+use rda_query::VarId;
+use std::cell::{OnceCell, RefCell};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Position-indexed ranked access to a query's answers, with one owned
+/// return convention for every backend.
+///
+/// Implementors expose the answers of a conjunctive query as a sorted,
+/// random-access array without necessarily materializing it. Cost per
+/// operation varies by backend — see [`Backend::guarantee`].
+pub trait DirectAccess {
+    /// Number of answers (`|Q(I)|`).
+    ///
+    /// Lazy backends may pay for the first call (selection handles probe
+    /// with O(log n) selections; ranked enumeration drains the stream)
+    /// and cache the result.
+    fn len(&self) -> u64;
+
+    /// `true` when the query has no answers.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The answer at index `k` of the sorted answer array, or `None`
+    /// when `k ≥ len()` ("out-of-bound").
+    fn access(&self, k: u64) -> Option<Tuple>;
+
+    /// The index of `answer` in the sorted answer array, or `None` when
+    /// it is not an answer ("not-an-answer") — including tuples whose
+    /// arity does not match the query head.
+    fn inverted_access(&self, answer: &Tuple) -> Option<u64>;
+
+    /// The answers at indices `lo..hi` (clamped to `len()`), in order.
+    fn range(&self, lo: u64, hi: u64) -> Vec<Tuple> {
+        (lo..hi.min(self.len()))
+            .map(|k| self.access(k).expect("k < len"))
+            .collect()
+    }
+
+    /// Iterate all answers in order.
+    fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_>;
+}
+
+impl DirectAccess for LexDirectAccess {
+    fn len(&self) -> u64 {
+        LexDirectAccess::len(self)
+    }
+    fn access(&self, k: u64) -> Option<Tuple> {
+        LexDirectAccess::access(self, k)
+    }
+    fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
+        LexDirectAccess::inverted_access(self, answer)
+    }
+    fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
+        Box::new(LexDirectAccess::iter(self))
+    }
+}
+
+impl DirectAccess for SumDirectAccess {
+    fn len(&self) -> u64 {
+        SumDirectAccess::len(self)
+    }
+    fn access(&self, k: u64) -> Option<Tuple> {
+        SumDirectAccess::access(self, k)
+    }
+    fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
+        SumDirectAccess::inverted_access(self, answer)
+    }
+    fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
+        Box::new(SumDirectAccess::iter(self))
+    }
+}
+
+impl DirectAccess for MaterializedAccess {
+    fn len(&self) -> u64 {
+        MaterializedAccess::len(self)
+    }
+    fn access(&self, k: u64) -> Option<Tuple> {
+        MaterializedAccess::access(self, k)
+    }
+    fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
+        MaterializedAccess::inverted_access(self, answer)
+    }
+    fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
+        Box::new(MaterializedAccess::iter(self))
+    }
+}
+
+/// Shared by the lazy selection handles: probe `access` with an
+/// exponential ramp then binary search to count answers in O(log n)
+/// probes.
+fn probe_len(access: &dyn Fn(u64) -> Option<Tuple>) -> u64 {
+    if access(0).is_none() {
+        return 0;
+    }
+    let mut hi = 1u64;
+    while access(hi).is_some() {
+        hi = hi.saturating_mul(2);
+    }
+    // Invariant: access(hi) is None, access(hi/2) is Some.
+    let (mut lo, mut hi) = (hi / 2, hi);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if access(mid).is_some() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// Lazy selection-backed handle for lexicographic orders (Theorem 6.1):
+/// no preprocessing, expected O(n) per access, answers ordered by the
+/// same completed internal order [`selection_lex`](crate::selection_lex)
+/// uses.
+pub struct SelectionLexHandle<'a> {
+    q: Cq,
+    db: &'a Database,
+    lex: Vec<VarId>,
+    fds: FdSet,
+    /// Head positions realizing the completed internal order, for the
+    /// inverted-access comparator (total on answers) — `None` when the
+    /// head restriction is unsound (an FD-promoted variable precedes
+    /// its determiner in the completion tail), forcing the linear
+    /// fallback.
+    cmp_positions: Option<Vec<usize>>,
+    len: OnceCell<u64>,
+}
+
+impl<'a> SelectionLexHandle<'a> {
+    pub(crate) fn new(
+        q: &Cq,
+        db: &'a Database,
+        lex: Vec<VarId>,
+        fds: &FdSet,
+    ) -> Result<Self, BuildError> {
+        // Reconstruct the comparator matching the completed order
+        // selection_lex sorts by, when the restriction to original head
+        // variables is sound (see `lexsel::comparator_positions`).
+        let cmp_positions = crate::lexsel::comparator_positions(q, &lex, fds)?;
+        let handle = SelectionLexHandle {
+            q: q.clone(),
+            db,
+            lex,
+            fds: fds.clone(),
+            cmp_positions,
+            len: OnceCell::new(),
+        };
+        // One probe so instance-level errors (missing relation, arity
+        // mismatch, FD violation) surface at prepare time; afterwards
+        // every access on this immutable database is infallible.
+        handle.select(0)?;
+        Ok(handle)
+    }
+
+    fn select(&self, k: u64) -> Result<Option<Tuple>, BuildError> {
+        selection_lex_impl(&self.q, self.db, &self.lex, k, &self.fds)
+    }
+
+    fn compare(&self, positions: &[usize], a: &Tuple, b: &Tuple) -> Ordering {
+        for &p in positions {
+            let o = a[p].cmp(&b[p]);
+            if o.is_ne() {
+                return o;
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl DirectAccess for SelectionLexHandle<'_> {
+    fn len(&self) -> u64 {
+        *self
+            .len
+            .get_or_init(|| probe_len(&|k| self.select(k).expect("validated at prepare")))
+    }
+
+    fn access(&self, k: u64) -> Option<Tuple> {
+        self.select(k).expect("validated at prepare")
+    }
+
+    fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
+        if answer.arity() != self.q.free().len() {
+            return None; // wrong arity is never an answer
+        }
+        let Some(positions) = &self.cmp_positions else {
+            // No sound comparator: scan ranks (rare FD corner; see
+            // `cmp_positions`).
+            return (0..self.len()).find(|&k| self.access(k).as_ref() == Some(answer));
+        };
+        // The completed order is total on answers, so binary search with
+        // O(log n) selection calls finds the only candidate rank.
+        let (mut lo, mut hi) = (0u64, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let t = self.access(mid)?;
+            match self.compare(positions, answer, &t) {
+                Ordering::Less => hi = mid,
+                Ordering::Greater => lo = mid + 1,
+                Ordering::Equal => return (&t == answer).then_some(mid),
+            }
+        }
+        None
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
+        Box::new((0..self.len()).map(|k| self.access(k).expect("k < len")))
+    }
+}
+
+/// Lazy selection-backed handle for sum-of-weights orders (Theorem 7.3):
+/// no preprocessing, expected O(n log n) per access.
+///
+/// The underlying selection algorithm only pins answers down by weight
+/// (ties are broken arbitrarily, and the same representative can come
+/// back for every rank of an equal-weight plateau), so this handle
+/// defines its order as **(weight, then tuple)**: ranks whose weight is
+/// unique are served straight from selection, while ranks inside a tie
+/// plateau are served from a lazily materialized tie-break index built
+/// on first contact with a tie. Workloads with distinct weights never
+/// pay for that index.
+pub struct SelectionSumHandle<'a> {
+    q: Cq,
+    db: &'a Database,
+    weights: Weights,
+    fds: FdSet,
+    len: OnceCell<u64>,
+    tie_index: OnceCell<MaterializedAccess>,
+}
+
+impl<'a> SelectionSumHandle<'a> {
+    pub(crate) fn new(
+        q: &Cq,
+        db: &'a Database,
+        weights: Weights,
+        fds: &FdSet,
+    ) -> Result<Self, BuildError> {
+        let handle = SelectionSumHandle {
+            q: q.clone(),
+            db,
+            weights,
+            fds: fds.clone(),
+            len: OnceCell::new(),
+            tie_index: OnceCell::new(),
+        };
+        handle.select(0)?; // surface instance errors at prepare time
+        Ok(handle)
+    }
+
+    fn select(&self, k: u64) -> Result<Option<(rda_orderstat::TotalF64, Tuple)>, BuildError> {
+        selection_sum_impl(&self.q, self.db, &self.weights, k, &self.fds)
+    }
+
+    fn select_ok(&self, k: u64) -> Option<(rda_orderstat::TotalF64, Tuple)> {
+        self.select(k).expect("validated at prepare")
+    }
+
+    /// `true` when rank `k` (with weight `w`) shares its weight with a
+    /// neighboring rank — two O(n log n) probes.
+    fn is_tied(&self, k: u64, w: rda_orderstat::TotalF64) -> bool {
+        (k > 0 && self.select_ok(k - 1).map(|(p, _)| p) == Some(w))
+            || self.select_ok(k + 1).map(|(n, _)| n) == Some(w)
+    }
+
+    /// The materialized (weight, tuple)-sorted array serving tie
+    /// plateaus; built once, on the first access that hits a tie.
+    fn tie_index(&self) -> &MaterializedAccess {
+        self.tie_index.get_or_init(|| {
+            MaterializedAccess::by_sum(&self.q, self.db, |v, val| self.weights.get(v, val).0)
+        })
+    }
+
+    /// The answer at index `k` together with its weight.
+    pub fn access_weighted(&self, k: u64) -> Option<(rda_orderstat::TotalF64, Tuple)> {
+        // Once the tie index exists it is strictly cheaper than
+        // selection — serve everything from it.
+        if let Some(idx) = self.tie_index.get() {
+            let t = idx.access(k)?;
+            let w = rda_orderstat::TotalF64(idx.weight_at(k).expect("by_sum stores weights"));
+            return Some((w, t));
+        }
+        let (w, t) = self.select_ok(k)?;
+        if self.is_tied(k, w) {
+            let t = self.tie_index().access(k).expect("same answer count");
+            Some((w, t))
+        } else {
+            Some((w, t))
+        }
+    }
+}
+
+impl DirectAccess for SelectionSumHandle<'_> {
+    fn len(&self) -> u64 {
+        if let Some(idx) = self.tie_index.get() {
+            return idx.len();
+        }
+        *self
+            .len
+            .get_or_init(|| probe_len(&|k| self.select_ok(k).map(|(_, t)| t)))
+    }
+
+    fn access(&self, k: u64) -> Option<Tuple> {
+        self.access_weighted(k).map(|(_, t)| t)
+    }
+
+    fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
+        if answer.arity() != self.q.free().len() {
+            return None; // wrong arity is never an answer
+        }
+        if let Some(idx) = self.tie_index.get() {
+            return idx.inverted_access(answer);
+        }
+        // Binary-search the first rank at the answer's weight; a unique
+        // weight pins the rank, a plateau defers to the tie index.
+        let w = self.weights.answer_weight(self.q.free(), answer.values());
+        let (mut lo, mut hi) = (0u64, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let (wm, _) = self.select_ok(mid)?;
+            if wm < w {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let (wl, tl) = self.select_ok(lo)?;
+        if wl != w {
+            return None;
+        }
+        if self.is_tied(lo, w) {
+            self.tie_index().inverted_access(answer)
+        } else {
+            (&tl == answer).then_some(lo)
+        }
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
+        // A full scan by repeated selection would cost ~3 selections per
+        // rank; the tie index serves the identical (weight, tuple) order
+        // in one O(|out| log |out|) build and O(1) per element.
+        Box::new(self.tie_index().iter())
+    }
+}
+
+/// Fallback handle over the any-k ranked enumerator (Tziavelis et al.):
+/// `access(k)` materializes the answer stream up to `k` and caches it,
+/// so sequential scans pay logarithmic delay per step while random
+/// access costs Θ(k log n) on first touch.
+pub struct RankedEnumHandle {
+    enumerator: RefCell<RankedEnumerator>,
+    cache: RefCell<Vec<Tuple>>,
+    exhausted: std::cell::Cell<bool>,
+}
+
+impl RankedEnumHandle {
+    pub(crate) fn new(enumerator: RankedEnumerator) -> Self {
+        RankedEnumHandle {
+            enumerator: RefCell::new(enumerator),
+            cache: RefCell::new(Vec::new()),
+            exhausted: std::cell::Cell::new(false),
+        }
+    }
+
+    /// Extend the cached prefix to `target` answers (or exhaustion).
+    fn fill_to(&self, target: u64) {
+        if self.exhausted.get() {
+            return;
+        }
+        let mut cache = self.cache.borrow_mut();
+        let mut e = self.enumerator.borrow_mut();
+        while (cache.len() as u64) < target {
+            match e.next() {
+                Some((_, t)) => cache.push(t),
+                None => {
+                    self.exhausted.set(true);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl DirectAccess for RankedEnumHandle {
+    fn len(&self) -> u64 {
+        self.fill_to(u64::MAX);
+        self.cache.borrow().len() as u64
+    }
+
+    fn is_empty(&self) -> bool {
+        // The default would drain the whole stream via len(); popping
+        // one answer settles emptiness in O(log n).
+        self.fill_to(1);
+        self.cache.borrow().is_empty()
+    }
+
+    fn access(&self, k: u64) -> Option<Tuple> {
+        self.fill_to(k + 1);
+        self.cache.borrow().get(k as usize).cloned()
+    }
+
+    fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
+        // The stream is only ordered by weight; without the weight of
+        // `answer` we scan — Θ(len) on first call, cached afterwards.
+        self.fill_to(u64::MAX);
+        self.cache
+            .borrow()
+            .iter()
+            .position(|t| t == answer)
+            .map(|i| i as u64)
+    }
+
+    fn range(&self, lo: u64, hi: u64) -> Vec<Tuple> {
+        // The default clamps via len(), which would drain the whole
+        // stream; filling to `hi` keeps the pay-as-you-go guarantee.
+        self.fill_to(hi);
+        let cache = self.cache.borrow();
+        let hi = (hi as usize).min(cache.len());
+        let lo = (lo as usize).min(hi);
+        cache[lo..hi].to_vec()
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
+        // Not via len(): a partial consumer (`iter().take(5)`) must not
+        // drain the whole stream up front.
+        Box::new((0u64..).map_while(|k| self.access(k)))
+    }
+}
+
+/// The engine's routed backend: every strategy behind one enum, all
+/// implementing [`DirectAccess`].
+pub enum RankedAnswers<'a> {
+    /// Native lexicographic direct access (⟨n log n, log n⟩).
+    Lex(LexDirectAccess),
+    /// Native sum-of-weights direct access (⟨n log n, 1⟩).
+    Sum(SumDirectAccess),
+    /// Lazy lexicographic selection (⟨1, n⟩ per access).
+    SelectionLex(SelectionLexHandle<'a>),
+    /// Lazy sum-of-weights selection (⟨1, n log n⟩ per access).
+    SelectionSum(SelectionSumHandle<'a>),
+    /// Materialize-and-sort fallback (Θ(|out| log |out|) preprocessing,
+    /// O(1) access).
+    Materialized(MaterializedAccess),
+    /// Ranked-enumeration fallback (any-k; Θ(k log n) to first reach
+    /// index `k`, cached).
+    RankedEnum(RankedEnumHandle),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $inner:ident => $e:expr) => {
+        match $self {
+            RankedAnswers::Lex($inner) => $e,
+            RankedAnswers::Sum($inner) => $e,
+            RankedAnswers::SelectionLex($inner) => $e,
+            RankedAnswers::SelectionSum($inner) => $e,
+            RankedAnswers::Materialized($inner) => $e,
+            RankedAnswers::RankedEnum($inner) => $e,
+        }
+    };
+}
+
+impl DirectAccess for RankedAnswers<'_> {
+    fn len(&self) -> u64 {
+        dispatch!(self, b => DirectAccess::len(b))
+    }
+    // is_empty and range are forwarded (not defaulted) so backends with
+    // lazy overrides — the ranked-enum handle — keep them through the
+    // facade.
+    fn is_empty(&self) -> bool {
+        dispatch!(self, b => DirectAccess::is_empty(b))
+    }
+    fn access(&self, k: u64) -> Option<Tuple> {
+        dispatch!(self, b => DirectAccess::access(b, k))
+    }
+    fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
+        dispatch!(self, b => DirectAccess::inverted_access(b, answer))
+    }
+    fn range(&self, lo: u64, hi: u64) -> Vec<Tuple> {
+        dispatch!(self, b => DirectAccess::range(b, lo, hi))
+    }
+    fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
+        dispatch!(self, b => DirectAccess::iter(b))
+    }
+}
+
+impl fmt::Debug for RankedAnswers<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RankedAnswers::{}", self.backend())
+    }
+}
+
+impl RankedAnswers<'_> {
+    /// Which backend the router chose.
+    pub fn backend(&self) -> Backend {
+        match self {
+            RankedAnswers::Lex(_) => Backend::LexDirectAccess,
+            RankedAnswers::Sum(_) => Backend::SumDirectAccess,
+            RankedAnswers::SelectionLex(_) => Backend::SelectionLex,
+            RankedAnswers::SelectionSum(_) => Backend::SelectionSum,
+            RankedAnswers::Materialized(_) => Backend::Materialized,
+            RankedAnswers::RankedEnum(_) => Backend::RankedEnum,
+        }
+    }
+}
+
+/// The strategies [`crate::Engine`] routes between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// [`LexDirectAccess`] — the paper's layered-join-tree structure.
+    LexDirectAccess,
+    /// [`SumDirectAccess`] — the paper's covered-free-variables case.
+    SumDirectAccess,
+    /// Per-access lexicographic selection (Theorem 6.1).
+    SelectionLex,
+    /// Per-access sum selection (Theorem 7.3).
+    SelectionSum,
+    /// Materialize-and-sort baseline.
+    Materialized,
+    /// Any-k ranked enumeration baseline.
+    RankedEnum,
+}
+
+impl Backend {
+    /// The ⟨preprocessing, per-access⟩ cost guarantee.
+    pub fn guarantee(self) -> &'static str {
+        match self {
+            Backend::LexDirectAccess => "<n log n, log n>",
+            Backend::SumDirectAccess => "<n log n, 1>",
+            Backend::SelectionLex => "<1, n>",
+            Backend::SelectionSum => "<1, n log n>",
+            Backend::Materialized => "<|out| log |out|, 1>",
+            Backend::RankedEnum => "<n log n, k log n amortized>",
+        }
+    }
+
+    /// `true` for the paper's native direct-access structures.
+    pub fn is_native_direct_access(self) -> bool {
+        matches!(self, Backend::LexDirectAccess | Backend::SumDirectAccess)
+    }
+
+    /// `true` for the explicit fallbacks outside the tractable regions.
+    pub fn is_fallback(self) -> bool {
+        matches!(self, Backend::Materialized | Backend::RankedEnum)
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Backend::LexDirectAccess => "lex-direct-access",
+            Backend::SumDirectAccess => "sum-direct-access",
+            Backend::SelectionLex => "selection-lex",
+            Backend::SelectionSum => "selection-sum",
+            Backend::Materialized => "materialized",
+            Backend::RankedEnum => "ranked-enum",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Render `reason` with the query's variable names (the classifier
+/// reports raw [`VarId`]s).
+pub(crate) fn describe_reason(q: &Cq, reason: &Reason) -> String {
+    let names = |vs: &[VarId]| -> String {
+        vs.iter()
+            .map(|&v| q.var_name(v))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    match reason {
+        Reason::DisruptiveTrio(a, b, c) => {
+            format!("disruptive trio ({})", names(&[*a, *b, *c]))
+        }
+        Reason::NotFreeConnex { free_path: Some(p) } => {
+            format!("not free-connex: free path ({})", names(p))
+        }
+        Reason::NotLConnex { l_path: Some(p) } => {
+            format!("not L-connex for the prefix: L-path ({})", names(p))
+        }
+        other => other.to_string(),
+    }
+}
+
+/// The router's report: what was asked, what the dichotomy said, which
+/// structural witness certifies it, and which backend now serves the
+/// answers.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    pub(crate) problem: Problem,
+    pub(crate) problem_desc: String,
+    pub(crate) verdict: Verdict,
+    pub(crate) selection_verdict: Option<Verdict>,
+    pub(crate) witness: Option<String>,
+    pub(crate) backend: Backend,
+}
+
+impl Explain {
+    /// The direct-access problem the order was classified for.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The dichotomy's verdict on *direct access* for this order.
+    pub fn verdict(&self) -> &Verdict {
+        &self.verdict
+    }
+
+    /// The selection verdict, when the router had to consult it (i.e.
+    /// when direct access was not tractable).
+    pub fn selection_verdict(&self) -> Option<&Verdict> {
+        self.selection_verdict.as_ref()
+    }
+
+    /// The structural witness for a non-tractable verdict (disruptive
+    /// trio, free path, L-path, αfree, fmh), with variable names.
+    pub fn witness(&self) -> Option<&str> {
+        self.witness.as_deref()
+    }
+
+    /// The backend the router chose.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+}
+
+/// A prepared, ready-to-serve ranked view of a query's answers: the
+/// routed [`RankedAnswers`] backend plus the [`Explain`] report saying
+/// why that backend was chosen.
+///
+/// The plan borrows the database it was prepared over (lazy backends
+/// re-read it on every access), so it costs nothing to keep around.
+/// It implements [`DirectAccess`] by delegation, so most callers never
+/// need to look inside.
+pub struct AccessPlan<'a> {
+    answers: RankedAnswers<'a>,
+    explain: Explain,
+}
+
+impl fmt::Debug for AccessPlan<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AccessPlan")
+            .field("backend", &self.explain.backend)
+            .field("verdict", &self.explain.verdict)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> AccessPlan<'a> {
+    pub(crate) fn new(answers: RankedAnswers<'a>, explain: Explain) -> Self {
+        AccessPlan { answers, explain }
+    }
+
+    /// The routed backend handle.
+    pub fn answers(&self) -> &RankedAnswers<'a> {
+        &self.answers
+    }
+
+    /// Unwrap into the backend handle, dropping the report.
+    pub fn into_answers(self) -> RankedAnswers<'a> {
+        self.answers
+    }
+
+    /// The routing report: verdict, witness, and chosen backend.
+    pub fn explain(&self) -> &Explain {
+        &self.explain
+    }
+
+    /// Which backend serves this plan (shorthand for
+    /// `explain().backend()`).
+    pub fn backend(&self) -> Backend {
+        self.explain.backend
+    }
+}
+
+impl DirectAccess for AccessPlan<'_> {
+    fn len(&self) -> u64 {
+        self.answers.len()
+    }
+    fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+    fn access(&self, k: u64) -> Option<Tuple> {
+        self.answers.access(k)
+    }
+    fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
+        self.answers.inverted_access(answer)
+    }
+    fn range(&self, lo: u64, hi: u64) -> Vec<Tuple> {
+        self.answers.range(lo, hi)
+    }
+    fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
+        self.answers.iter()
+    }
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "problem:  {}", self.problem_desc)?;
+        match &self.verdict {
+            Verdict::Tractable { bound } => {
+                write!(f, "\nverdict:  tractable direct access in {bound}")?
+            }
+            Verdict::Intractable { assumptions, .. } => write!(
+                f,
+                "\nverdict:  direct access intractable (assuming {})",
+                assumptions.join(" + ")
+            )?,
+            Verdict::OpenSelfJoin { .. } => write!(
+                f,
+                "\nverdict:  criterion fails; hardness open (query has self-joins)"
+            )?,
+        }
+        if let Some(w) = &self.witness {
+            write!(f, "\nwitness:  {w}")?;
+        }
+        if let Some(sv) = &self.selection_verdict {
+            match sv {
+                Verdict::Tractable { bound } => write!(f, "\nselection: tractable in {bound}")?,
+                v => write!(
+                    f,
+                    "\nselection: not tractable ({})",
+                    v.reason().map(|r| r.to_string()).unwrap_or_default()
+                )?,
+            }
+        }
+        write!(
+            f,
+            "\nbackend:  {} {}",
+            self.backend,
+            self.backend.guarantee()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rda_db::tup;
+    use rda_query::parser::parse;
+
+    fn fig2_db() -> Database {
+        Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+            .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]])
+    }
+
+    /// When no sound head-restricted comparator exists (an FD corner —
+    /// see `lexsel::comparator_positions`), inverted access must still
+    /// be correct through the linear fallback.
+    #[test]
+    fn selection_lex_handle_fallback_without_comparator() {
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let db = fig2_db();
+        let mut handle =
+            SelectionLexHandle::new(&q, &db, q.vars(&["x", "z", "y"]), &FdSet::empty()).unwrap();
+        assert!(
+            handle.cmp_positions.is_some(),
+            "parse-built queries are sound"
+        );
+        handle.cmp_positions = None; // force the fallback path
+        for k in 0..handle.len() {
+            let t = handle.access(k).unwrap();
+            assert_eq!(handle.inverted_access(&t), Some(k), "k={k}");
+        }
+        assert_eq!(handle.inverted_access(&tup![0, 0, 0]), None);
+    }
+
+    /// probe_len agrees with the true count on every boundary shape
+    /// (0, 1, powers of two, off-by-one around them).
+    #[test]
+    fn probe_len_boundaries() {
+        for n in [0u64, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100] {
+            let access = |k: u64| (k < n).then(|| Tuple::new(vec![]));
+            assert_eq!(probe_len(&access), n, "n={n}");
+        }
+    }
+
+    /// The ranked-enum handle stays lazy under partial consumption.
+    #[test]
+    fn ranked_enum_iter_is_lazy() {
+        let q = parse("Q(x, y) :- R(x, y)").unwrap();
+        let db =
+            Database::new().with_i64_rows("R", 2, (0..100).map(|i| vec![i, i]).collect::<Vec<_>>());
+        let e = RankedEnumerator::new(&q, &db, |_, v| v.as_int().map_or(0.0, |i| i as f64));
+        let h = RankedEnumHandle::new(e);
+        let first3: Vec<Tuple> = h.iter().take(3).collect();
+        assert_eq!(first3.len(), 3);
+        assert!(
+            h.cache.borrow().len() < 100,
+            "iter().take(3) must not drain the stream (cached {})",
+            h.cache.borrow().len()
+        );
+        assert!(!h.is_empty());
+        assert!(h.cache.borrow().len() < 100, "is_empty must stay lazy");
+        assert_eq!(h.range(2, 5).len(), 3);
+        assert!(h.cache.borrow().len() < 100, "range must stay lazy");
+        assert_eq!(h.len(), 100); // len() is the one that drains
+    }
+}

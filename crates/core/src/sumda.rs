@@ -26,6 +26,8 @@ use rda_query::VarId;
 #[derive(Debug, Clone)]
 pub struct SumDirectAccess {
     answers: Vec<(TotalF64, Tuple)>,
+    /// Answer → rank, for O(1) inverted access.
+    rank: std::collections::HashMap<Tuple, u64>,
 }
 
 impl SumDirectAccess {
@@ -90,7 +92,12 @@ impl SumDirectAccess {
                 .collect()
         };
         answers.sort();
-        Ok(SumDirectAccess { answers })
+        let rank = answers
+            .iter()
+            .enumerate()
+            .map(|(i, (_, t))| (t.clone(), i as u64))
+            .collect();
+        Ok(SumDirectAccess { answers, rank })
     }
 
     /// Number of answers.
@@ -104,18 +111,27 @@ impl SumDirectAccess {
     }
 
     /// The answer at index `k` in ascending weight order, O(1).
-    pub fn access(&self, k: u64) -> Option<&Tuple> {
-        self.answers.get(k as usize).map(|(_, t)| t)
+    ///
+    /// Returns an owned tuple — the uniform convention across every
+    /// access backend (see `rda_core::plan::DirectAccess`).
+    pub fn access(&self, k: u64) -> Option<Tuple> {
+        self.answers.get(k as usize).map(|(_, t)| t.clone())
     }
 
     /// The answer at index `k` together with its weight.
-    pub fn access_weighted(&self, k: u64) -> Option<(TotalF64, &Tuple)> {
-        self.answers.get(k as usize).map(|(w, t)| (*w, t))
+    pub fn access_weighted(&self, k: u64) -> Option<(TotalF64, Tuple)> {
+        self.answers.get(k as usize).map(|(w, t)| (*w, t.clone()))
+    }
+
+    /// The rank of `answer` in the weight order, or `None` when it is
+    /// not an answer. O(1).
+    pub fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
+        self.rank.get(answer).copied()
     }
 
     /// Iterate answers in weight order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.answers.iter().map(|(_, t)| t)
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        self.answers.iter().map(|(_, t)| t.clone())
     }
 }
 
@@ -131,7 +147,7 @@ mod tests {
         let db = Database::new().with_i64_rows("R", 2, vec![vec![3, 1], vec![1, 1], vec![2, 5]]);
         let da = SumDirectAccess::build(&q, &db, &Weights::identity(), &FdSet::empty()).unwrap();
         // Weights: (3,1)=4, (1,1)=2, (2,5)=7.
-        let got: Vec<Tuple> = da.iter().cloned().collect();
+        let got: Vec<Tuple> = da.iter().collect();
         assert_eq!(got, vec![tup![1, 1], tup![3, 1], tup![2, 5]]);
         assert_eq!(da.access_weighted(2).unwrap().0, TotalF64(7.0));
         assert_eq!(da.access(3), None);
@@ -150,7 +166,7 @@ mod tests {
             .with_i64_rows("S", 2, vec![vec![5, 3], vec![2, 5]]);
         let da = SumDirectAccess::build(&q, &db, &Weights::identity(), &FdSet::empty()).unwrap();
         // (9,99) is dangling. Weights: (1,5)=6, (1,2)=3, (6,2)=8.
-        let got: Vec<Tuple> = da.iter().cloned().collect();
+        let got: Vec<Tuple> = da.iter().collect();
         assert_eq!(got, vec![tup![1, 2], tup![1, 5], tup![6, 2]]);
     }
 
@@ -175,7 +191,7 @@ mod tests {
             .with_i64_rows("S", 2, vec![vec![10, 7], vec![20, 3]]);
         let da = SumDirectAccess::build(&q, &db, &Weights::identity(), &fds).unwrap();
         // Answers (x, z): (1,7)=8, (2,3)=5, (5,7)=12.
-        let got: Vec<Tuple> = da.iter().cloned().collect();
+        let got: Vec<Tuple> = da.iter().collect();
         assert_eq!(got, vec![tup![2, 3], tup![1, 7], tup![5, 7]]);
     }
 
@@ -185,7 +201,7 @@ mod tests {
         let db = Database::new().with_i64_rows("R", 2, vec![vec![2, 1], vec![1, 2], vec![0, 3]]);
         let da = SumDirectAccess::build(&q, &db, &Weights::identity(), &FdSet::empty()).unwrap();
         // All weights are 3; ties break by tuple order.
-        let got: Vec<Tuple> = da.iter().cloned().collect();
+        let got: Vec<Tuple> = da.iter().collect();
         assert_eq!(got, vec![tup![0, 3], tup![1, 2], tup![2, 1]]);
     }
 

@@ -39,7 +39,24 @@ type WeightedSide = Vec<(TotalF64, Tuple)>;
 /// weight. Ties on equal weight are broken arbitrarily: the returned
 /// answer is guaranteed to have the k-th smallest answer weight.
 /// `Ok(None)` means "out-of-bound".
+#[deprecated(
+    since = "0.2.0",
+    note = "route through `Engine::prepare` with `OrderSpec::Sum`; the returned \
+            plan serves repeated accesses and explains the classification"
+)]
 pub fn selection_sum(
+    q: &Cq,
+    db: &Database,
+    w: &Weights,
+    k: u64,
+    fds: &FdSet,
+) -> Result<Option<(TotalF64, Tuple)>, BuildError> {
+    selection_sum_impl(q, db, w, k, fds)
+}
+
+/// Non-deprecated implementation behind [`selection_sum`], used by the
+/// engine's selection-backed handle.
+pub(crate) fn selection_sum_impl(
     q: &Cq,
     db: &Database,
     w: &Weights,
@@ -300,6 +317,7 @@ fn select_pair(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the unit tests exercise the public shims directly
 mod tests {
     use super::*;
     use rda_query::parser::parse;

@@ -1,20 +1,71 @@
 //! A tour of the tractability landscape: every bullet of the paper's
-//! Example 1.1, plus the Figure 1 regions, decided mechanically.
+//! Example 1.1, plus the Figure 1 regions, decided mechanically — and
+//! routed: each (query, order) pair goes through `Engine::prepare`,
+//! which picks the backend the dichotomy allows.
 //!
 //! Run with: `cargo run --example classification_tour`
 
 use ranked_access::prelude::*;
 
-fn show(q: &Cq, fds: &FdSet, problem: Problem, label: &str) {
+/// Synthesize a tiny instance for `q` so the engine can build real
+/// plans: a few rows per relation over a shared small domain.
+fn tiny_db(q: &Cq) -> Database {
+    let mut db = Database::new();
+    for atom in q.atoms() {
+        if db.get(&atom.relation).is_some() {
+            continue;
+        }
+        let arity = atom.terms.len();
+        let rows: Vec<Tuple> = (0..4i64)
+            .map(|i| (0..arity).map(|j| Value::int((i + j as i64) % 3)).collect())
+            .collect();
+        db.add(Relation::from_tuples(&atom.relation, arity, rows));
+    }
+    db
+}
+
+/// Route through the engine (materializing when both dichotomies say
+/// no) and print verdict, witness, and chosen backend on one line.
+fn tour(q: &Cq, fds: &FdSet, order: OrderSpec, label: &str) {
+    let db = tiny_db(q);
+    match Engine::prepare(q, &db, order, fds, Policy::Materialize) {
+        Ok(plan) => {
+            let e = plan.explain();
+            let verdict = match e.verdict() {
+                Verdict::Tractable { bound } => format!("tractable in {bound}"),
+                Verdict::Intractable { assumptions, .. } => {
+                    format!(
+                        "INTRACTABLE ({}; assuming {})",
+                        e.witness().unwrap_or("no witness"),
+                        assumptions.join("+")
+                    )
+                }
+                Verdict::OpenSelfJoin { .. } => {
+                    format!("open for self-joins ({})", e.witness().unwrap_or(""))
+                }
+            };
+            println!("  {label:<55} {verdict}");
+            println!(
+                "  {:<55} -> backend {} {}",
+                "",
+                plan.backend(),
+                plan.backend().guarantee()
+            );
+        }
+        Err(e) => println!("  {label:<55} ERROR: {e}"),
+    }
+}
+
+/// Selection problems still go through bare classification (the engine
+/// consults them automatically when direct access fails).
+fn show_sel(q: &Cq, fds: &FdSet, problem: Problem, label: &str) {
     let v = classify(q, fds, &problem);
     let verdict = match &v {
         Verdict::Tractable { bound } => format!("tractable in {bound}"),
         Verdict::Intractable {
             reason,
             assumptions,
-        } => {
-            format!("INTRACTABLE ({reason}; assuming {})", assumptions.join("+"))
-        }
+        } => format!("INTRACTABLE ({reason}; assuming {})", assumptions.join("+")),
         Verdict::OpenSelfJoin { reason } => format!("open for self-joins ({reason})"),
     };
     println!("  {label:<55} {verdict}");
@@ -27,41 +78,35 @@ fn main() {
     let qxy = parse("Q(x, y) :- R(x, y), S(y, z)").unwrap();
     let none = FdSet::empty();
 
-    show(
+    tour(
         &q,
         &none,
-        Problem::DirectAccessLex(q.vars(&["x", "y", "z"])),
+        OrderSpec::lex(&q, &["x", "y", "z"]),
         "LEX <x,y,z>, direct access",
     );
-    show(
+    tour(
         &q,
         &none,
-        Problem::DirectAccessLex(q.vars(&["x", "z", "y"])),
+        OrderSpec::lex(&q, &["x", "z", "y"]),
         "LEX <x,z,y>, direct access",
     );
-    show(
+    tour(
         &q,
         &none,
-        Problem::SelectionLex(q.vars(&["x", "z", "y"])),
-        "LEX <x,z,y>, selection",
-    );
-    show(
-        &q,
-        &none,
-        Problem::DirectAccessLex(q.vars(&["x", "z"])),
+        OrderSpec::lex(&q, &["x", "z"]),
         "LEX <x,z>, direct access",
     );
-    show(
-        &q,
-        &none,
-        Problem::SelectionLex(q.vars(&["x", "z"])),
-        "LEX <x,z>, selection",
-    );
-    show(
+    show_sel(
         &qp,
         &none,
         Problem::SelectionLex(qp.vars(&["x", "z"])),
         "LEX <x,z>, y projected, selection",
+    );
+    tour(
+        &qp,
+        &none,
+        OrderSpec::lex(&qp, &["x", "z"]),
+        "LEX <x,z>, y projected, direct access",
     );
     for (rel, lhs, rhs) in [
         ("R", "y", "x"),
@@ -70,87 +115,98 @@ fn main() {
         ("S", "z", "y"),
     ] {
         let fds = FdSet::parse(&q, &[(rel, lhs, rhs)]);
-        show(
+        show_sel(
             &q,
             &fds,
             Problem::DirectAccessLex(q.vars(&["x", "z", "y"])),
             &format!("LEX <x,z,y> with FD {rel}: {lhs} -> {rhs}, direct access"),
         );
     }
-    show(
+    tour(
         &q,
         &none,
-        Problem::DirectAccessSum,
+        OrderSpec::sum_by_value(),
         "SUM x+y+z, direct access",
     );
-    show(&q, &none, Problem::SelectionSum, "SUM x+y+z, selection");
-    show(
+    tour(
         &qxy,
         &none,
-        Problem::DirectAccessSum,
+        OrderSpec::sum_by_value(),
         "SUM x+y, z projected, direct access",
     );
-    show(
+    tour(
         &qp,
         &none,
-        Problem::SelectionSum,
-        "SUM x+z, y projected, selection",
+        OrderSpec::sum_by_value(),
+        "SUM x+z, y projected, direct access",
     );
 
     println!("\nSection 1 — Visits(p, a, c) ⋈ Cases(c, d, n)\n");
     let v = parse("Q(p, a, c, d, n) :- Visits(p, a, c), Cases(c, d, n)").unwrap();
-    show(
+    tour(
         &v,
         &none,
-        Problem::DirectAccessLex(v.vars(&["n", "a", "c", "d", "p"])),
+        OrderSpec::lex(&v, &["n", "a", "c", "d", "p"]),
         "LEX <#cases, age, city, date, person>",
     );
-    show(
+    tour(
         &v,
         &none,
-        Problem::DirectAccessLex(v.vars(&["n", "a"])),
+        OrderSpec::lex(&v, &["n", "a"]),
         "LEX <#cases, age>",
     );
-    show(
+    tour(
         &v,
         &none,
-        Problem::DirectAccessLex(v.vars(&["n", "c", "a"])),
+        OrderSpec::lex(&v, &["n", "c", "a"]),
         "LEX <#cases, city, age>",
     );
     let key = FdSet::parse(&v, &[("Cases", "c", "d"), ("Cases", "c", "n")]);
-    show(
+    show_sel(
         &v,
         &key,
         Problem::DirectAccessLex(v.vars(&["n", "a"])),
         "LEX <#cases, age> with key Cases(city)",
     );
-    show(&v, &none, Problem::DirectAccessSum, "SUM, direct access");
-    show(&v, &none, Problem::SelectionSum, "SUM, selection");
+    tour(&v, &none, OrderSpec::sum_by_value(), "SUM, direct access");
 
     println!("\nSection 5 — even the cartesian product is SUM-hard\n");
     let prod = parse("Q(c1, d, x, p, a, c2) :- Visits(p, a, c1), Cases(c2, d, x)").unwrap();
-    show(
+    tour(
         &prod,
         &none,
-        Problem::DirectAccessLex(prod.vars(&["c1", "d", "x", "p", "a", "c2"])),
+        OrderSpec::lex(&prod, &["c1", "d", "x", "p", "a", "c2"]),
         "any LEX order",
     );
-    show(&prod, &none, Problem::DirectAccessSum, "SUM, direct access");
-    show(
+    tour(
         &prod,
         &none,
-        Problem::SelectionSum,
-        "SUM, selection (fmh = 2)",
+        OrderSpec::sum_by_value(),
+        "SUM, direct access",
     );
 
     println!("\nSection 7 — the fmh boundary for SUM selection\n");
     let q3p = parse("Q(x, y, z) :- R(x, y), S(y, z), T(z, u)").unwrap();
     let q3 = parse("Q(x, y, z, u) :- R(x, y), S(y, z), T(z, u)").unwrap();
-    show(
+    tour(
         &q3p,
         &none,
-        Problem::SelectionSum,
-        "3-path, u projected (fmh = 2)",
+        OrderSpec::sum_by_value(),
+        "3-path, u projected (fmh = 2): selection backend",
     );
-    show(&q3, &none, Problem::SelectionSum, "3-path, full (fmh = 3)");
+    tour(
+        &q3,
+        &none,
+        OrderSpec::sum_by_value(),
+        "3-path, full (fmh = 3): fallback",
+    );
+
+    println!("\nCyclic — the triangle, every route closed except materialize\n");
+    let tri = parse("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)").unwrap();
+    tour(
+        &tri,
+        &none,
+        OrderSpec::lex(&tri, &["x", "y", "z"]),
+        "triangle, LEX <x,y,z>",
+    );
 }

@@ -1,8 +1,9 @@
-//! Beyond acyclic queries: tree decompositions (the paper's
-//! "Applicability" paragraph). A cyclic CQ is rewritten into an acyclic
-//! one by materializing decomposition bags — paying a non-linear,
-//! width-bounded preprocessing cost — after which ranked direct access
-//! works as usual.
+//! Beyond acyclic queries: what the engine does with a cyclic CQ, and
+//! the tree-decomposition escape hatch (the paper's "Applicability"
+//! paragraph). A cyclic CQ is outside every tractable region, so
+//! `Engine::prepare` either rejects it with the witness or falls back
+//! per policy; rewriting it through a decomposition — paying a
+//! width-bounded materialization — recovers native direct access.
 //!
 //! Run with: `cargo run --example cyclic_queries`
 
@@ -18,22 +19,37 @@ fn main() {
     let q = parse("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)").unwrap();
     println!("query: {q}");
 
-    // Every problem is intractable for cyclic queries …
-    let lex = q.vars(&["x", "y", "z"]);
-    match classify(&q, &FdSet::empty(), &Problem::DirectAccessLex(lex.clone())) {
-        Verdict::Intractable {
-            reason,
-            assumptions,
-        } => {
-            println!(
-                "as stated: intractable ({reason}; assuming {})",
-                assumptions.join("+")
-            )
-        }
-        v => println!("unexpected: {v:?}"),
+    // Random sparse graph: tuples (u, v) with u, v in a small range.
+    let n = 3_000;
+    let edges = |rng: &mut rand::rngs::StdRng| -> Vec<Vec<i64>> {
+        (0..n)
+            .map(|_| vec![rng.random_range(0..200), rng.random_range(0..200)])
+            .collect()
+    };
+    let db = Database::new()
+        .with_i64_rows("R", 2, edges(&mut rng))
+        .with_i64_rows("S", 2, edges(&mut rng))
+        .with_i64_rows("T", 2, edges(&mut rng));
+
+    // Every problem is intractable for cyclic queries: with
+    // Policy::Reject the engine refuses, naming the cause …
+    let lex = OrderSpec::lex(&q, &["x", "y", "z"]);
+    match Engine::prepare(&q, &db, lex.clone(), &FdSet::empty(), Policy::Reject) {
+        Err(e) => println!("\nPolicy::Reject: {e}"),
+        Ok(_) => println!("unexpected"),
     }
 
-    // … but a width-2 decomposition makes it acyclic.
+    // … while Policy::Materialize pays Θ(|out|) once and serves O(1)
+    // accesses from the sorted answer array.
+    let plan = Engine::prepare(&q, &db, lex.clone(), &FdSet::empty(), Policy::Materialize).unwrap();
+    println!(
+        "\n--- explain (materialize fallback) ---\n{}",
+        plan.explain()
+    );
+    println!("\n{} triangles via the fallback", plan.len());
+
+    // The decomposition route: a width-2 decomposition makes the query
+    // acyclic, after which the *native* structure applies.
     let td = decompose(&q);
     println!(
         "\ntree decomposition: width {} with {} bag(s):",
@@ -49,18 +65,6 @@ fn main() {
         );
     }
 
-    // Random sparse graph: tuples (u, v) with u, v in a small range.
-    let n = 3_000;
-    let edges = |rng: &mut rand::rngs::StdRng| -> Vec<Vec<i64>> {
-        (0..n)
-            .map(|_| vec![rng.random_range(0..200), rng.random_range(0..200)])
-            .collect()
-    };
-    let db = Database::new()
-        .with_i64_rows("R", 2, edges(&mut rng))
-        .with_i64_rows("S", 2, edges(&mut rng))
-        .with_i64_rows("T", 2, edges(&mut rng));
-
     let dec = rewrite_by_decomposition(&q, &db).unwrap();
     println!("\nrewritten query: {}", dec.query);
     for atom in dec.query.atoms() {
@@ -72,7 +76,7 @@ fn main() {
     }
 
     let start = std::time::Instant::now();
-    let (da, _) = lex_direct_access_decomposed(&q, &db, &lex).unwrap();
+    let (da, _) = lex_direct_access_decomposed(&q, &db, &q.vars(&["x", "y", "z"])).unwrap();
     println!(
         "\ndirect access over {} triangles built in {:.1} ms (incl. materialization)",
         da.len(),
@@ -82,6 +86,8 @@ fn main() {
         println!("first triangle: {}", da.access(0).unwrap());
         println!("median triangle: {}", da.access(da.len() / 2).unwrap());
         println!("last triangle:   {}", da.access(da.len() - 1).unwrap());
+        // Both routes agree on the answer set.
+        assert_eq!(da.len(), plan.len());
     }
 
     // Contrast with the FD route (Example 8.3): when a key constraint

@@ -1,12 +1,12 @@
-//! Functional dependencies rescue intractable orders (Section 8).
+//! Functional dependencies rescue intractable orders (Section 8),
+//! routed through the engine:
 //!
-//! Three demonstrations:
 //! 1. Example 8.3: a non-free-connex projection becomes fully tractable
-//!    under `S: y → z`;
+//!    under `S: y → z` — the engine switches from fallback to native;
 //! 2. Example 8.14: an FD *reorders* a trio-blocked lexicographic order
 //!    into a tractable one without changing the answer order;
 //! 3. Example 8.19: an FD that does *not* help direct access but does
-//!    unlock selection.
+//!    unlock selection — the engine routes to the selection backend.
 //!
 //! Run with: `cargo run --example fd_extension`
 
@@ -19,14 +19,7 @@ fn main() {
     // ---- 1. Example 8.3 ------------------------------------------------
     println!("1. Q(x, z) :- R(x, y), S(y, z) with FD S: y -> z");
     let q = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
-    let lex = q.vars(&["x", "z"]);
     let fds = FdSet::parse(&q, &[("S", "y", "z")]);
-    println!(
-        "   without FD: {:?}",
-        classify(&q, &FdSet::empty(), &Problem::DirectAccessLex(lex.clone()))
-            .reason()
-            .map(ToString::to_string)
-    );
     // Build an instance satisfying the FD: one z per y.
     let n = 2_000i64;
     let s_rows: Vec<Vec<i64>> = (0..50).map(|y| vec![y, (y * y) % 97]).collect();
@@ -36,20 +29,27 @@ fn main() {
     let db = Database::new()
         .with_i64_rows("R", 2, r_rows)
         .with_i64_rows("S", 2, s_rows);
-    let da = LexDirectAccess::build(&q, &db, &lex, &fds).unwrap();
-    println!("   with FD: built direct access over {} answers", da.len());
-    println!("   median answer: {}", da.access(da.len() / 2).unwrap());
+    // Without the FD the engine must fall back (not even selection is
+    // tractable: the query is not free-connex) …
+    let spec = || OrderSpec::lex(&q, &["x", "z"]);
+    match Engine::prepare(&q, &db, spec(), &FdSet::empty(), Policy::Reject) {
+        Err(e) => println!("   without FD: {e}"),
+        Ok(_) => println!("   unexpected"),
+    }
+    // … with it, the FD-extension makes the query free-connex and the
+    // order tractable: native direct access.
+    let plan = Engine::prepare(&q, &db, spec(), &fds, Policy::Reject).unwrap();
+    println!(
+        "   with FD: backend {} over {} answers",
+        plan.backend(),
+        plan.len()
+    );
+    println!("   median answer: {}", plan.access(plan.len() / 2).unwrap());
 
     // ---- 2. Example 8.14 ------------------------------------------------
     println!("\n2. Q(v1..v4) :- R(v1,v3), S(v3,v2), T(v2,v4) with FD R: v1 -> v3");
     let q = parse("Q(v1, v2, v3, v4) :- R(v1, v3), S(v3, v2), T(v2, v4)").unwrap();
-    let lex = q.vars(&["v1", "v2", "v3", "v4"]);
-    println!(
-        "   without FD: {:?}",
-        classify(&q, &FdSet::empty(), &Problem::DirectAccessLex(lex.clone()))
-            .reason()
-            .map(ToString::to_string)
-    );
+    let spec = || OrderSpec::lex(&q, &["v1", "v2", "v3", "v4"]);
     let fds = FdSet::parse(&q, &[("R", "v1", "v3")]);
     let r_rows: Vec<Vec<i64>> = (0..200).map(|v1| vec![v1, v1 % 20]).collect(); // v1 -> v3
     let s_rows: Vec<Vec<i64>> = (0..400)
@@ -62,24 +62,27 @@ fn main() {
         .with_i64_rows("R", 2, r_rows)
         .with_i64_rows("S", 2, s_rows)
         .with_i64_rows("T", 2, t_rows);
-    let da = LexDirectAccess::build(&q, &db, &lex, &fds).unwrap();
+    // Without the FD: a disruptive trio blocks direct access, so the
+    // engine serves the order by selection.
+    let plan = Engine::prepare(&q, &db, spec(), &FdSet::empty(), Policy::Reject).unwrap();
     println!(
-        "   with FD: internal order is {:?} (reordered per Definition 8.13)",
-        q.names_of(da.internal_order())
+        "   without FD: backend {} (witness: {})",
+        plan.backend(),
+        plan.explain().witness().unwrap_or("none")
     );
-    println!("   {} answers; first: {}", da.len(), da.access(0).unwrap());
+    // With it: the reordered extension is trio-free — native again.
+    let plan = Engine::prepare(&q, &db, spec(), &fds, Policy::Reject).unwrap();
+    println!("   with FD: backend {}", plan.backend());
+    println!(
+        "   {} answers; first: {}",
+        plan.len(),
+        plan.access(0).unwrap()
+    );
 
     // ---- 3. Example 8.19 ------------------------------------------------
     println!("\n3. Q(v1, v2) :- R(v1, v3), S(v3, v2) with FD S: v2 -> v3");
     let q = parse("Q(v1, v2) :- R(v1, v3), S(v3, v2)").unwrap();
-    let lex = q.vars(&["v1", "v2"]);
     let fds = FdSet::parse(&q, &[("S", "v2", "v3")]);
-    match classify(&q, &fds, &Problem::DirectAccessLex(lex.clone())) {
-        Verdict::Intractable { reason, .. } => {
-            println!("   direct access stays intractable: {reason}")
-        }
-        v => println!("   unexpected: {v:?}"),
-    }
     let s_rows: Vec<Vec<i64>> = (0..40).map(|v2| vec![(v2 * 7) % 13, v2]).collect(); // v2 -> v3
     let r_rows: Vec<Vec<i64>> = (0..500)
         .map(|_| vec![rng.random_range(0..100), rng.random_range(0..13)])
@@ -87,6 +90,16 @@ fn main() {
     let db = Database::new()
         .with_i64_rows("R", 2, r_rows)
         .with_i64_rows("S", 2, s_rows);
-    let first = selection_lex(&q, &db, &lex, 0, &fds).unwrap().unwrap();
-    println!("   ... but selection works: first answer by <v1, v2> is {first}");
+    // Direct access stays intractable, but the FD makes the extension
+    // free-connex: the engine routes to per-access selection.
+    let plan = Engine::prepare(
+        &q,
+        &db,
+        OrderSpec::lex(&q, &["v1", "v2"]),
+        &fds,
+        Policy::Reject,
+    )
+    .unwrap();
+    println!("--- explain ---\n{}", plan.explain());
+    println!("\n   first answer by <v1, v2>: {}", plan.access(0).unwrap());
 }

@@ -1,9 +1,10 @@
-//! Quickstart: direct access to the ranked answers of a join.
+//! Quickstart: one front door to ranked answers.
 //!
-//! Reproduces the paper's introduction: the pandemic schema
-//! `Visits(person, age, city) ⋈ Cases(city, date, cases)`, ordered by
-//! `(cases, city, age)` — a tractable lexicographic order — with
-//! O(log n) quantile queries after quasilinear preprocessing.
+//! Reproduces the paper's introduction on the pandemic schema
+//! `Visits(person, age, city) ⋈ Cases(city, date, cases)`: the engine
+//! classifies each requested order, explains intractable ones with
+//! their structural witness, and serves tractable ones with O(log n)
+//! quantile queries after quasilinear preprocessing.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -49,54 +50,60 @@ fn main() {
     }
     let db = Database::new().with(visits).with(cases);
 
-    // The order (cases, age, ...) is intractable — the classifier tells us why:
-    let bad = q.vars(&["cases", "age", "city"]);
-    match classify(&q, &FdSet::empty(), &Problem::DirectAccessLex(bad)) {
-        Verdict::Intractable {
-            reason,
-            assumptions,
-        } => {
-            println!("order (cases, age, city) is intractable: {reason}");
-            println!("  (conditional on {})\n", assumptions.join(" + "));
-        }
-        v => println!("unexpected: {v:?}"),
-    }
+    // The order (cases, age, ...) is blocked by a disruptive trio. The
+    // engine still serves it — by per-access selection — and the plan
+    // explains the routing decision:
+    let plan = Engine::prepare(
+        &q,
+        &db,
+        OrderSpec::lex(&q, &["cases", "age", "city"]),
+        &FdSet::empty(),
+        Policy::Reject,
+    )
+    .unwrap();
+    println!("--- explain: LEX (cases, age, city) ---");
+    println!("{}\n", plan.explain());
 
-    // (cases, city, age) works.
-    let lex = q.vars(&["cases", "city", "age"]);
-    let da = LexDirectAccess::build(&q, &db, &lex, &FdSet::empty()).unwrap();
-    println!("{} answers, ordered by (cases, city, age)", da.len());
+    // (cases, city, age) is tractable: the engine routes to the native
+    // layered-join-tree structure.
+    let plan = Engine::prepare(
+        &q,
+        &db,
+        OrderSpec::lex(&q, &["cases", "city", "age"]),
+        &FdSet::empty(),
+        Policy::Reject,
+    )
+    .unwrap();
+    println!("--- explain: LEX (cases, city, age) ---");
+    println!("{}\n", plan.explain());
+    println!(
+        "{} answers, ordered by (cases, city, age), backend {}",
+        plan.len(),
+        plan.backend()
+    );
 
     // Quantiles by direct access: each is a single O(log n) probe.
     for (label, k) in [
         ("min   ", 0),
-        ("25%   ", da.len() / 4),
-        ("median", da.len() / 2),
-        ("75%   ", 3 * da.len() / 4),
-        ("max   ", da.len() - 1),
+        ("25%   ", plan.len() / 4),
+        ("median", plan.len() / 2),
+        ("75%   ", 3 * plan.len() / 4),
+        ("max   ", plan.len() - 1),
     ] {
-        let t = da.access(k).unwrap();
+        let t = plan.access(k).unwrap();
         println!("  {label} (index {k}): {t}");
     }
 
     // Inverted access: where does a specific answer rank?
-    let some_answer = da.access(3).unwrap();
+    let some_answer = plan.access(3).unwrap();
     println!(
         "\ninverted access: {some_answer} is answer #{}",
-        da.inverted_access(&some_answer).unwrap()
+        plan.inverted_access(&some_answer).unwrap()
     );
 
-    // Next-answer access for a non-answer (Remark 3).
-    let probe: Tuple = [
-        Value::str("zzz"),
-        Value::int(0),
-        Value::str("boston"),
-        Value::str("12/07"),
-        Value::int(150),
-    ]
-    .into_iter()
-    .collect();
-    if let Some((k, t)) = da.next_at_or_after(&probe) {
-        println!("first answer with ≥ 150 cases: #{k} {t}");
+    // Range scans come with the trait.
+    println!("\nanswers 1..4:");
+    for t in plan.range(1, 4) {
+        println!("  {t}");
     }
 }

@@ -1,5 +1,5 @@
 //! Random-order enumeration (Section 1 / Carmeli et al. [15]): combine
-//! the direct-access structure with a uniformly random permutation of
+//! an engine-prepared access plan with a uniformly random permutation of
 //! indices to stream answers in provably uniform random order — without
 //! replacement, and with statistically valid prefixes.
 //!
@@ -29,31 +29,44 @@ fn main() {
         .with_i64_rows("R", 2, r)
         .with_i64_rows("S", 2, s.collect::<Vec<_>>());
 
-    let lex = q.vars(&["x", "y", "z"]);
-    let da = LexDirectAccess::build(&q, &db, &lex, &FdSet::empty()).unwrap();
-    println!("database size n = {}, |Q(I)| = {}", db.size(), da.len());
+    // Any tractable order works — random permutation only needs len()
+    // and O(log n) access(k), which the engine guarantees here.
+    let plan = Engine::prepare(
+        &q,
+        &db,
+        OrderSpec::lex(&q, &["x", "y", "z"]),
+        &FdSet::empty(),
+        Policy::Reject,
+    )
+    .unwrap();
+    assert_eq!(plan.backend(), Backend::LexDirectAccess);
+    println!("database size n = {}, |Q(I)| = {}", db.size(), plan.len());
 
     // Fisher–Yates over the index space gives a uniform permutation;
     // each access is O(log n), so the whole stream has logarithmic delay.
-    let mut indices: Vec<u64> = (0..da.len()).collect();
+    let mut indices: Vec<u64> = (0..plan.len()).collect();
     indices.shuffle(&mut rng);
 
     println!("\nfirst 10 answers in uniform random order:");
     for &k in indices.iter().take(10) {
-        println!("  #{k:>8}: {}", da.access(k).unwrap());
+        println!("  #{k:>8}: {}", plan.access(k).unwrap());
     }
 
     // Statistical validity of prefixes: the mean of x over a random
     // prefix estimates the mean of x over all answers.
     let sample_mean = |ks: &[u64]| -> f64 {
         ks.iter()
-            .map(|&k| da.access(k).unwrap().values()[0].as_int().unwrap() as f64)
+            .map(|&k| plan.access(k).unwrap().values()[0].as_int().unwrap() as f64)
             .sum::<f64>()
             / ks.len() as f64
     };
     let prefix = &indices[..(indices.len() / 100).max(1)];
-    let full: f64 = sample_mean(&(0..da.len()).collect::<Vec<_>>());
-    println!("\nmean(x) over all {} answers:      {:.2}", da.len(), full);
+    let full: f64 = sample_mean(&(0..plan.len()).collect::<Vec<_>>());
+    println!(
+        "\nmean(x) over all {} answers:      {:.2}",
+        plan.len(),
+        full
+    );
     println!(
         "mean(x) over a 1% random prefix:  {:.2}",
         sample_mean(prefix)

@@ -1,6 +1,6 @@
-//! Sum-of-weights orders end to end (Sections 5 and 7): risk-scored
-//! answers, the narrow tractable case for direct access, and quantile
-//! selection where direct access is provably hard.
+//! Sum-of-weights orders end to end (Sections 5 and 7) through the
+//! engine: risk-scored answers, the narrow tractable case for direct
+//! access, and quantile selection where direct access is provably hard.
 //!
 //! Run with: `cargo run --example sum_orders`
 
@@ -30,39 +30,53 @@ fn main() {
                 .map(|_| vec![rng.random_range(0..50), rng.random_range(0..1000)])
                 .collect::<Vec<_>>(),
         );
-    let da = SumDirectAccess::build(&q, &db, &Weights::identity(), &FdSet::empty()).unwrap();
-    println!("  {} answers; quantiles of x + y:", da.len());
+    let plan = Engine::prepare(
+        &q,
+        &db,
+        OrderSpec::sum_by_value(),
+        &FdSet::empty(),
+        Policy::Reject,
+    )
+    .unwrap();
+    println!("--- explain ---\n{}\n", plan.explain());
+    println!("  {} answers; quantiles of x + y:", plan.len());
+    let weight = |t: &Tuple| Weights::identity().answer_weight(q.free(), t.values()).0;
     for pct in [0, 25, 50, 75, 100] {
-        let k = (da.len().saturating_sub(1)) * pct / 100;
-        let (w, t) = da.access_weighted(k).unwrap();
-        println!("    p{pct:<3} weight {:>6}  answer {t}", w.0);
+        let k = (plan.len().saturating_sub(1)) * pct / 100;
+        let t = plan.access(k).unwrap();
+        println!("    p{pct:<3} weight {:>6}  answer {t}", weight(&t));
     }
 
     // ----- Part 2: SUM selection where direct access is 3SUM-hard -----
-    println!("\nPart 2 — SUM selection on the 2-path (direct access is 3SUM-hard)");
+    println!("\nPart 2 — SUM on the 2-path (direct access is 3SUM-hard)");
     let q2 = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
-    match SumDirectAccess::build(&q2, &db, &Weights::identity(), &FdSet::empty()) {
-        Err(BuildError::NotTractable(v)) => {
-            println!("  direct access rejected: {}", v.reason().unwrap())
-        }
-        _ => println!("  unexpected"),
-    }
-    // But any single quantile is O(n log n) via sorted-matrix selection:
-    let da2 =
-        LexDirectAccess::build(&q2, &db, &q2.vars(&["x", "y", "z"]), &FdSet::empty()).unwrap();
-    let total = da2.len();
+    let plan2 = Engine::prepare(
+        &q2,
+        &db,
+        OrderSpec::sum_by_value(),
+        &FdSet::empty(),
+        Policy::Reject,
+    )
+    .unwrap();
+    println!("--- explain ---\n{}\n", plan2.explain());
+    // Every quantile is a fresh O(n log n) selection; no materialization.
+    let total = plan2.len();
     println!("  |Q(I)| = {total}");
     for pct in [1, 50, 99] {
         let k = (total.saturating_sub(1)) * pct / 100;
-        let (w, t) = selection_sum(&q2, &db, &Weights::identity(), k, &FdSet::empty())
-            .unwrap()
-            .unwrap();
-        println!("    p{pct:<3} (k = {k:>8}) weight {:>6}  answer {t}", w.0);
+        let t = plan2.access(k).unwrap();
+        let w = Weights::identity().answer_weight(q2.free(), t.values()).0;
+        println!("    p{pct:<3} (k = {k:>8}) weight {:>6}  answer {t}", w);
     }
 
     // ----- Part 3: custom weights -----
+    // (The full head keeps the query free-connex with fmh = 2, the
+    // boundary of Theorem 7.3's tractable side; projecting the head to
+    // (p, a, n) would leave the join variable c existential between
+    // free endpoints — breaking free-connexity and losing even
+    // selection.)
     println!("\nPart 3 — explicit risk weights (age-weighted exposure)");
-    let qv = parse("Q(p, a, n) :- Visits(p, a, c), Cases(c, d, n)").unwrap();
+    let qv = parse("Q(p, a, c, n) :- Visits(p, a, c), Cases(c, n)").unwrap();
     let mut visits = Relation::new("Visits", 3);
     for (p, a, c) in [
         ("anna", 72i64, "boston"),
@@ -75,13 +89,9 @@ fn main() {
                 .collect(),
         );
     }
-    let mut cases = Relation::new("Cases", 3);
-    for (c, d, n) in [("boston", "12/07", 179i64), ("nyc", "12/07", 998)] {
-        cases.insert(
-            [Value::str(c), Value::str(d), Value::int(n)]
-                .into_iter()
-                .collect(),
-        );
+    let mut cases = Relation::new("Cases", 2);
+    for (c, n) in [("boston", 179i64), ("nyc", 998)] {
+        cases.insert([Value::str(c), Value::int(n)].into_iter().collect());
     }
     let dbv = Database::new().with(visits).with(cases);
     // risk = 2·age + #cases/10 (attribute weights, Section 2.2).
@@ -92,13 +102,21 @@ fn main() {
     for n in [179i64, 998] {
         w.set(qv.var("n").unwrap(), n, n as f64 / 10.0);
     }
-    // fmh(Q) = 2, so selection is tractable even though direct access is not.
-    let m = all_answers(&qv, &dbv).len() as u64;
-    println!("  {} answers by ascending risk:", m);
-    for k in 0..m {
-        let (risk, t) = selection_sum(&qv, &dbv, &w, k, &FdSet::empty())
-            .unwrap()
-            .unwrap();
-        println!("    #{k}: risk {:>6.1}  {t}", risk.0);
+    // fmh(Q) = 2, so the engine serves the order by per-access selection
+    // even though direct access is 3SUM-hard.
+    let risk = w.clone();
+    let planv = Engine::prepare(
+        &qv,
+        &dbv,
+        OrderSpec::sum(w),
+        &FdSet::empty(),
+        Policy::Reject,
+    )
+    .unwrap();
+    println!("  backend: {}", planv.backend());
+    println!("  {} answers by ascending risk:", planv.len());
+    for (k, t) in planv.iter().enumerate() {
+        let r = risk.answer_weight(qv.free(), t.values()).0;
+        println!("    #{k}: risk {r:>6.1}  {t}");
     }
 }

@@ -1,0 +1,231 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendors a
+//! minimal wall-clock harness behind criterion's API shape:
+//! [`Criterion::benchmark_group`], group timing knobs,
+//! `bench_function` / `bench_with_input`, [`Bencher::iter`],
+//! [`BenchmarkId`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. It reports mean iteration time to stdout; there is no
+//! statistical analysis, HTML report, or regression tracking.
+//!
+//! Under `cargo test` the benches are compiled and run with one warm-up
+//! iteration only (so `cargo test -q` stays fast); run the bench
+//! binaries directly (`cargo bench`) for timed measurements.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark registry/handle (stand-in for criterion's `Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Apply command-line configuration (accepted and ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: Duration::from_millis(800),
+            _c: self,
+        }
+    }
+
+    /// Run a single benchmark outside a group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group(name.to_string());
+        g.bench_function("", f);
+        g.finish();
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the warm-up duration (accepted; warm-up is folded into
+    /// measurement here).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the sample count (accepted and ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set throughput reporting (accepted and ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        self.run(id.into(), &mut |b| f(b));
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(id.into(), &mut |b| f(b, input));
+    }
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            budget: if cfg!(test) || std::env::var_os("CARGO_BENCH_QUICK").is_some() {
+                Duration::ZERO // one iteration: compile/run smoke only
+            } else {
+                self.measurement_time
+            },
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let label = if id.label.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.label)
+        };
+        if b.iters > 0 {
+            let per = b.elapsed.as_secs_f64() / b.iters as f64;
+            println!(
+                "{label:<48} {:>12.3} µs/iter ({} iters)",
+                per * 1e6,
+                b.iters
+            );
+        }
+    }
+
+    /// Finish the group (prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier (stand-in for criterion's `BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Throughput configuration (accepted and ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly until the measurement budget is exhausted
+    /// (at least once), timing each call.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            if self.elapsed >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_once_under_test() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut count = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, _| {
+            b.iter(|| count += 1)
+        });
+        g.finish();
+        assert_eq!(count, 1, "test mode runs exactly one iteration");
+    }
+}

@@ -9,6 +9,15 @@
 //!
 //! ## Quickstart
 //!
+//! One front door: [`Engine::prepare`](prelude::Engine::prepare) runs
+//! the paper's dichotomies on a (query, order) pair and routes it to the
+//! right algorithm — native direct access when tractable, a lazy
+//! selection-backed handle when only selection is tractable, or an
+//! explicit fallback chosen by [`Policy`](prelude::Policy). Whatever the
+//! route, the returned [`AccessPlan`](prelude::AccessPlan) serves
+//! answers through the uniform [`DirectAccess`](prelude::DirectAccess)
+//! trait and explains its decision.
+//!
 //! ```
 //! use ranked_access::prelude::*;
 //!
@@ -18,21 +27,63 @@
 //!     .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
 //!     .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]]);
 //!
-//! // Build a direct-access structure sorted by <x, y, z>:
-//! let lex = q.vars(&["x", "y", "z"]);
-//! let da = LexDirectAccess::build(&q, &db, &lex, &FdSet::empty()).unwrap();
-//! assert_eq!(da.len(), 5);
-//! let median = da.access(da.len() / 2).unwrap();   // O(log n)
-//! assert_eq!(da.inverted_access(&median), Some(2)); // O(log n)
+//! // Sorted by <x, y, z>: tractable, so the plan is O(log n) per access.
+//! let plan = Engine::prepare(
+//!     &q, &db,
+//!     OrderSpec::lex(&q, &["x", "y", "z"]),
+//!     &FdSet::empty(),
+//!     Policy::Reject,
+//! ).unwrap();
+//! assert_eq!(plan.backend(), Backend::LexDirectAccess);
+//! assert_eq!(plan.len(), 5);
+//! let median = plan.access(plan.len() / 2).unwrap();   // O(log n)
+//! assert_eq!(plan.inverted_access(&median), Some(2));   // O(log n)
 //!
-//! // Orders that are provably intractable are rejected with a witness:
-//! let bad = q.vars(&["x", "z", "y"]); // disruptive trio (x, z, y)
-//! assert!(LexDirectAccess::build(&q, &db, &bad, &FdSet::empty()).is_err());
+//! // <x, z, y> has a disruptive trio: direct access is provably hard,
+//! // so the engine transparently serves ranked answers by per-access
+//! // selection (Theorem 6.1) and can explain why.
+//! let plan = Engine::prepare(
+//!     &q, &db,
+//!     OrderSpec::lex(&q, &["x", "z", "y"]),
+//!     &FdSet::empty(),
+//!     Policy::Reject,
+//! ).unwrap();
+//! assert_eq!(plan.backend(), Backend::SelectionLex);
+//! assert!(plan.explain().witness().unwrap().contains("disruptive trio"));
+//! assert!(plan.access(0).is_some());
 //!
-//! // ... but single-shot selection still works for them (Theorem 6.1):
-//! let third = selection_lex(&q, &db, &bad, 2, &FdSet::empty()).unwrap();
-//! assert!(third.is_some());
+//! // Sum-of-weights orders go through the same door.
+//! let plan = Engine::prepare(
+//!     &q, &db,
+//!     OrderSpec::sum_by_value(),
+//!     &FdSet::empty(),
+//!     Policy::Reject,
+//! ).unwrap();
+//! assert_eq!(plan.backend(), Backend::SelectionSum);
+//!
+//! // Outside both tractable regions the policy decides: Reject fails
+//! // with the witness, Materialize/RankedEnum fall back explicitly.
+//! let qp = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+//! let err = Engine::prepare(
+//!     &qp, &db,
+//!     OrderSpec::lex(&qp, &["x", "z"]),
+//!     &FdSet::empty(),
+//!     Policy::Reject,
+//! ).unwrap_err();
+//! assert!(err.to_string().contains("intractable"));
+//! let plan = Engine::prepare(
+//!     &qp, &db,
+//!     OrderSpec::lex(&qp, &["x", "z"]),
+//!     &FdSet::empty(),
+//!     Policy::Materialize,
+//! ).unwrap();
+//! assert_eq!(plan.backend(), Backend::Materialized);
+//! assert_eq!(plan.len(), 5);
 //! ```
+//!
+//! The building blocks remain public for direct use:
+//! `LexDirectAccess::build`, `SumDirectAccess::build`, and the
+//! classification procedures in [`rda_query::classify`].
 //!
 //! ## Crate map
 //!
@@ -41,7 +92,7 @@
 //! | [`rda_db`] | values, tuples, relations, databases |
 //! | [`rda_query`] | CQ AST/parser, hypergraphs, join trees, connexity, disruptive trios, layered join trees, contraction, FDs, classification |
 //! | [`rda_orderstat`] | quickselect, weighted selection, sorted-matrix selection |
-//! | [`rda_core`] | the paper's access/selection algorithms |
+//! | [`rda_core`] | the `Engine`/`AccessPlan` facade plus the paper's access/selection algorithms |
 //! | [`rda_baseline`] | materialize-and-sort, ranked enumeration (any-k) |
 
 pub use rda_baseline;
@@ -54,7 +105,8 @@ pub use rda_query;
 pub mod prelude {
     pub use rda_baseline::{all_answers, MaterializedAccess, RankedEnumerator};
     pub use rda_core::{
-        selection_lex, selection_sum, BuildError, LexDirectAccess, SumDirectAccess, Weights,
+        AccessPlan, Backend, BuildError, DirectAccess, Engine, Explain, LexDirectAccess, OrderSpec,
+        PlanError, Policy, RankedAnswers, SumDirectAccess, Weights,
     };
     pub use rda_db::{Database, Relation, Tuple, Value};
     pub use rda_orderstat::TotalF64;
@@ -62,4 +114,8 @@ pub mod prelude {
     pub use rda_query::parser::parse;
     pub use rda_query::query::CqBuilder;
     pub use rda_query::{Cq, Fd, FdSet, VarId, VarSet};
+
+    // Deprecated shims, re-exported so existing code keeps compiling.
+    #[allow(deprecated)]
+    pub use rda_core::{selection_lex, selection_sum};
 }

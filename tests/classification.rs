@@ -1,6 +1,9 @@
 //! Figure 1 and Figure 8 regenerated from the decision procedures, plus
 //! the dichotomy relationships the paper states.
 
+// This file intentionally keeps the deprecated shims honest against the classifier.
+#![allow(deprecated)]
+
 use ranked_access::prelude::*;
 
 fn no_fds() -> FdSet {
@@ -199,5 +202,95 @@ fn classifier_and_builders_agree() {
         let verdict = classify(&q, &no_fds(), &Problem::SelectionSum);
         let sel = selection_sum(&q, &d, &Weights::identity(), 0, &no_fds());
         assert_eq!(verdict.is_tractable(), sel.is_ok(), "SEL-SUM {src}");
+    }
+}
+
+/// The engine's routing must agree with the bare classifier on every
+/// (query, order) pair: native backend iff direct access is tractable,
+/// selection backend iff only selection is, fallback/reject otherwise.
+#[test]
+fn engine_routing_agrees_with_classifier() {
+    let catalog = [
+        ("Q(x, y, z) :- R(x, y), S(y, z)", vec!["x", "y", "z"]),
+        ("Q(x, y, z) :- R(x, y), S(y, z)", vec!["x", "z", "y"]),
+        ("Q(x, y, z) :- R(x, y), S(y, z)", vec!["z", "y"]),
+        ("Q(x, y, z) :- R(x, y), S(y, z)", vec!["x", "z"]),
+        ("Q(x, z) :- R(x, y), S(y, z)", vec!["x", "z"]),
+        ("Q(x, y) :- R(x, y), S(y, z)", vec!["x", "y"]),
+        ("Q(a, b) :- R(a), S(b)", vec!["a", "b"]),
+        (
+            "Q(x, y, z, u) :- R(x, y), S(y, z), T(z, u)",
+            vec!["x", "y", "z", "u"],
+        ),
+        (
+            "Q(x, y, z) :- R(x, y), S(y, z), T(z, x)",
+            vec!["x", "y", "z"],
+        ),
+    ];
+    let db = |q: &Cq| {
+        let mut db = Database::new();
+        for atom in q.atoms() {
+            let arity = atom.terms.len();
+            let rows: Vec<Tuple> = (0..4i64)
+                .map(|i| (0..arity).map(|j| Value::int((i + j as i64) % 3)).collect())
+                .collect();
+            db.add(Relation::from_tuples(&atom.relation, arity, rows));
+        }
+        db
+    };
+    for (src, lex) in catalog {
+        let q = parse(src).unwrap();
+        let d = db(&q);
+        let l = q.vars(&lex);
+
+        // LEX routing.
+        let da_v = classify(&q, &no_fds(), &Problem::DirectAccessLex(l.clone()));
+        let sel_v = classify(&q, &no_fds(), &Problem::SelectionLex(l.clone()));
+        let plan = Engine::prepare(
+            &q,
+            &d,
+            OrderSpec::Lex(l.clone()),
+            &no_fds(),
+            Policy::Materialize,
+        )
+        .unwrap();
+        let expected = if da_v.is_tractable() {
+            Backend::LexDirectAccess
+        } else if sel_v.is_tractable() {
+            Backend::SelectionLex
+        } else {
+            Backend::Materialized
+        };
+        assert_eq!(plan.backend(), expected, "LEX {src} {lex:?}");
+        assert_eq!(plan.explain().verdict(), &da_v, "LEX verdict {src}");
+        // And with Policy::Reject, prepare succeeds iff some paper
+        // algorithm applies.
+        let rejected =
+            Engine::prepare(&q, &d, OrderSpec::Lex(l.clone()), &no_fds(), Policy::Reject);
+        assert_eq!(
+            rejected.is_ok(),
+            da_v.is_tractable() || sel_v.is_tractable(),
+            "LEX reject {src} {lex:?}"
+        );
+
+        // SUM routing.
+        let da_v = classify(&q, &no_fds(), &Problem::DirectAccessSum);
+        let sel_v = classify(&q, &no_fds(), &Problem::SelectionSum);
+        let plan = Engine::prepare(
+            &q,
+            &d,
+            OrderSpec::sum_by_value(),
+            &no_fds(),
+            Policy::Materialize,
+        )
+        .unwrap();
+        let expected = if da_v.is_tractable() {
+            Backend::SumDirectAccess
+        } else if sel_v.is_tractable() {
+            Backend::SelectionSum
+        } else {
+            Backend::Materialized
+        };
+        assert_eq!(plan.backend(), expected, "SUM {src}");
     }
 }

@@ -11,17 +11,18 @@ fn no_fds() -> FdSet {
 fn single_tuple_universe() {
     let q = parse("Q(x) :- R(x)").unwrap();
     let db = Database::new().with_i64_rows("R", 1, vec![vec![42]]);
-    let da = LexDirectAccess::build(&q, &db, &q.vars(&["x"]), &no_fds()).unwrap();
-    assert_eq!(da.len(), 1);
-    assert_eq!(da.access(0).unwrap().values(), &[Value::int(42)]);
-    assert_eq!(da.access(1), None);
-    assert_eq!(
-        selection_lex(&q, &db, &q.vars(&["x"]), 0, &no_fds())
-            .unwrap()
-            .unwrap()
-            .values(),
-        &[Value::int(42)]
-    );
+    let plan = Engine::prepare(
+        &q,
+        &db,
+        OrderSpec::lex(&q, &["x"]),
+        &no_fds(),
+        Policy::Reject,
+    )
+    .unwrap();
+    assert_eq!(plan.backend(), Backend::LexDirectAccess);
+    assert_eq!(plan.len(), 1);
+    assert_eq!(plan.access(0).unwrap().values(), &[Value::int(42)]);
+    assert_eq!(plan.access(1), None);
 }
 
 #[test]
@@ -30,16 +31,16 @@ fn empty_relations_everywhere() {
     let db = Database::new()
         .with_i64_rows("R", 2, vec![])
         .with_i64_rows("S", 2, vec![]);
-    let da = LexDirectAccess::build(&q, &db, &q.vars(&["x", "y", "z"]), &no_fds()).unwrap();
-    assert!(da.is_empty());
-    assert_eq!(
-        selection_lex(&q, &db, &q.vars(&["x", "y", "z"]), 0, &no_fds()).unwrap(),
-        None
-    );
-    assert_eq!(
-        selection_sum(&q, &db, &Weights::identity(), 0, &no_fds()).unwrap(),
-        None
-    );
+    // Every route the engine can take agrees the answer set is empty.
+    for spec in [
+        OrderSpec::lex(&q, &["x", "y", "z"]), // native direct access
+        OrderSpec::lex(&q, &["x", "z", "y"]), // selection-lex handle
+        OrderSpec::sum_by_value(),            // selection-sum handle
+    ] {
+        let plan = Engine::prepare(&q, &db, spec, &no_fds(), Policy::Reject).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.access(0), None);
+    }
     let sda = SumDirectAccess::build(
         &parse("Q(x, y) :- R(x, y)").unwrap(),
         &db,
@@ -230,9 +231,18 @@ fn weights_on_shared_variable_count_once() {
     let db = Database::new()
         .with_i64_rows("R", 2, vec![vec![0, 100]])
         .with_i64_rows("S", 2, vec![vec![100, 0]]);
-    let (w, _) = selection_sum(&q, &db, &Weights::identity(), 0, &no_fds())
-        .unwrap()
-        .unwrap();
+    let plan = Engine::prepare(
+        &q,
+        &db,
+        OrderSpec::sum_by_value(),
+        &no_fds(),
+        Policy::Reject,
+    )
+    .unwrap();
+    let RankedAnswers::SelectionSum(handle) = plan.answers() else {
+        panic!("routed to {}", plan.backend());
+    };
+    let (w, _) = handle.access_weighted(0).unwrap();
     assert_eq!(w, TotalF64(100.0));
 }
 

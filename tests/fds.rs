@@ -2,6 +2,9 @@
 //! and the algorithms exploit them on real instances, for all four
 //! problems.
 
+// This file intentionally cross-validates all four algorithms (including the deprecated shims) under FDs.
+#![allow(deprecated)]
+
 use ranked_access::prelude::*;
 
 fn tup(vals: &[i64]) -> Tuple {

@@ -2,6 +2,9 @@
 //! the materialize-and-sort oracle on randomized instances, across a
 //! catalog of queries covering the tractability landscape.
 
+// This file intentionally cross-validates the selection algorithms against the native structures.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use ranked_access::prelude::*;
 
@@ -108,8 +111,20 @@ proptest! {
     fn lex_direct_access_matches_oracle(seed in 0u64..1_000_000, rows in 1usize..25, domain in 1i64..6) {
         for (q, lex) in lex_catalog() {
             let db = random_db(&q, rows, domain, seed);
-            let da = LexDirectAccess::build(&q, &db, &lex, &FdSet::empty()).unwrap();
-            let oracle = oracle_sorted(&q, &db, &lex, &da);
+            // Route through the engine: every catalog order is on the
+            // tractable side, so it must pick the native structure.
+            let plan = Engine::prepare(
+                &q,
+                &db,
+                OrderSpec::Lex(lex.clone()),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .unwrap();
+            let RankedAnswers::Lex(ref da) = *plan.answers() else {
+                panic!("expected the native lex backend, got {}", plan.backend());
+            };
+            let oracle = oracle_sorted(&q, &db, &lex, da);
             prop_assert_eq!(da.len(), oracle.len() as u64, "count mismatch on {}", q);
             // Full equality on the internal order (a strict refinement of
             // the requested order).

@@ -37,24 +37,34 @@ fn figure_2b() {
     assert_eq!(got, expect);
 }
 
-/// Figure 2c: LEX ⟨x, z, y⟩ — direct access is intractable; selection
-/// reproduces the listed order.
+/// Figure 2c: LEX ⟨x, z, y⟩ — direct access is intractable, so the
+/// engine serves the listed order through the selection backend.
 #[test]
 fn figure_2c() {
     let q = two_path();
-    let lex = q.vars(&["x", "z", "y"]);
-    assert!(LexDirectAccess::build(&q, &fig2_db(), &lex, &FdSet::empty()).is_err());
+    let db = fig2_db();
+    let plan = Engine::prepare(
+        &q,
+        &db,
+        OrderSpec::lex(&q, &["x", "z", "y"]),
+        &FdSet::empty(),
+        Policy::Reject,
+    )
+    .unwrap();
+    assert_eq!(plan.backend(), Backend::SelectionLex);
+    assert!(matches!(
+        plan.explain().verdict().reason(),
+        Some(Reason::DisruptiveTrio(..))
+    ));
     // Rows of Figure 2c as (x, y, z) tuples.
     let expect: Vec<Tuple> = [[1, 5, 3], [1, 5, 4], [1, 2, 5], [1, 5, 6], [6, 2, 5]]
         .iter()
         .map(|r| tup(r))
         .collect();
     for (k, e) in expect.iter().enumerate() {
-        let got = selection_lex(&q, &fig2_db(), &lex, k as u64, &FdSet::empty())
-            .unwrap()
-            .unwrap();
-        assert_eq!(&got, e, "row #{}", k + 1);
+        assert_eq!(plan.access(k as u64).as_ref(), Some(e), "row #{}", k + 1);
     }
+    assert_eq!(plan.len(), 5);
 }
 
 /// Figure 2d: the SUM ordering's weight column (8, 9, 10, 12, 13 for
@@ -63,20 +73,25 @@ fn figure_2c() {
 #[test]
 fn figure_2d() {
     let q = two_path();
+    let db = fig2_db();
+    let plan = Engine::prepare(
+        &q,
+        &db,
+        OrderSpec::sum_by_value(),
+        &FdSet::empty(),
+        Policy::Reject,
+    )
+    .unwrap();
+    assert_eq!(plan.backend(), Backend::SelectionSum);
+    let RankedAnswers::SelectionSum(handle) = plan.answers() else {
+        panic!("routed to {}", plan.backend());
+    };
     let weights: Vec<f64> = (0..5)
-        .map(|k| {
-            selection_sum(&q, &fig2_db(), &Weights::identity(), k, &FdSet::empty())
-                .unwrap()
-                .unwrap()
-                .0
-                 .0
-        })
+        .map(|k| handle.access_weighted(k).unwrap().0 .0)
         .collect();
     assert_eq!(weights, vec![8.0, 9.0, 10.0, 12.0, 13.0]);
     // The median answer weighs 10 (it is (1,5,4)).
-    let (w, t) = selection_sum(&q, &fig2_db(), &Weights::identity(), 2, &FdSet::empty())
-        .unwrap()
-        .unwrap();
+    let (w, t) = handle.access_weighted(2).unwrap();
     assert_eq!(w, TotalF64(10.0));
     assert_eq!(t, tup(&[1, 5, 4]));
 }
@@ -134,43 +149,82 @@ fn example_4_2() {
     assert!(LexDirectAccess::build(&q, &db, &q.vars(&["z", "y"]), &FdSet::empty()).is_ok());
 }
 
-/// Example 6.2: selection works for the trio order and the non-connex
-/// prefix, but not once y is projected away.
+/// Example 6.2: the engine serves the trio order and the non-connex
+/// prefix through selection, but refuses once y is projected away.
 #[test]
 fn example_6_2() {
     let db = fig2_db();
     let q = two_path();
-    assert!(selection_lex(&q, &db, &q.vars(&["x", "z", "y"]), 0, &FdSet::empty()).is_ok());
-    assert!(selection_lex(&q, &db, &q.vars(&["x", "z"]), 0, &FdSet::empty()).is_ok());
+    for lex in [vec!["x", "z", "y"], vec!["x", "z"]] {
+        let plan = Engine::prepare(
+            &q,
+            &db,
+            OrderSpec::lex(&q, &lex),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+        assert_eq!(plan.backend(), Backend::SelectionLex, "{lex:?}");
+        assert!(plan.access(0).is_some());
+    }
     let qp = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+    let err = Engine::prepare(
+        &qp,
+        &db,
+        OrderSpec::lex(&qp, &["x", "z"]),
+        &FdSet::empty(),
+        Policy::Reject,
+    )
+    .unwrap_err();
+    assert!(matches!(err, PlanError::Intractable { .. }));
     assert!(matches!(
-        selection_lex(&qp, &db, &qp.vars(&["x", "z"]), 0, &FdSet::empty()),
-        Err(BuildError::NotTractable(_))
+        err.verdict().and_then(Verdict::reason),
+        Some(Reason::NotFreeConnex { .. })
     ));
 }
 
-/// Example 7.4: SUM selection across the fmh boundary, with data.
+/// Example 7.4: SUM across the fmh boundary, with data, through the
+/// engine's routing.
 #[test]
 fn example_7_4() {
     let db = Database::new()
         .with_i64_rows("R", 2, vec![vec![1, 2], vec![3, 4]])
         .with_i64_rows("S", 2, vec![vec![2, 5], vec![4, 6]])
         .with_i64_rows("T", 2, vec![vec![5, 7], vec![6, 8]]);
-    // Q2: tractable.
+    // Q2: a single atom covers the head — native SUM direct access.
     let q2 = parse("Q(x, y) :- R(x, y)").unwrap();
-    assert!(selection_sum(&q2, &db, &Weights::identity(), 0, &FdSet::empty()).is_ok());
-    // Q'3 (u projected away): tractable.
+    let plan = Engine::prepare(
+        &q2,
+        &db,
+        OrderSpec::sum_by_value(),
+        &FdSet::empty(),
+        Policy::Reject,
+    )
+    .unwrap();
+    assert_eq!(plan.backend(), Backend::SumDirectAccess);
+    // Q'3 (u projected away): fmh = 2 — selection backend.
     let q3p = parse("Q(x, y, z) :- R(x, y), S(y, z), T(z, u)").unwrap();
-    let (w, _) = selection_sum(&q3p, &db, &Weights::identity(), 0, &FdSet::empty())
-        .unwrap()
-        .unwrap();
-    assert_eq!(w, TotalF64(8.0)); // (1,2,5)
-                                  // Q3 full: intractable.
+    let plan = Engine::prepare(
+        &q3p,
+        &db,
+        OrderSpec::sum_by_value(),
+        &FdSet::empty(),
+        Policy::Reject,
+    )
+    .unwrap();
+    assert_eq!(plan.backend(), Backend::SelectionSum);
+    assert_eq!(plan.access(0), Some(tup(&[1, 2, 5]))); // weight 8
+                                                       // Q3 full: fmh = 3 — outside both tractable regions.
     let q3 = parse("Q(x, y, z, u) :- R(x, y), S(y, z), T(z, u)").unwrap();
-    assert!(matches!(
-        selection_sum(&q3, &db, &Weights::identity(), 0, &FdSet::empty()),
-        Err(BuildError::NotTractable(_))
-    ));
+    let err = Engine::prepare(
+        &q3,
+        &db,
+        OrderSpec::sum_by_value(),
+        &FdSet::empty(),
+        Policy::Reject,
+    )
+    .unwrap_err();
+    assert!(matches!(err, PlanError::Intractable { .. }));
 }
 
 /// The intro's pandemic example: Visits ⋈ Cases with the tractable order

@@ -4,6 +4,9 @@
 //! whole pipeline against the oracle. This exercises layered-join-tree
 //! construction across shapes no hand-written catalog would cover.
 
+// This file intentionally cross-validates the deprecated selection shims against oracles.
+#![allow(deprecated)]
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};

@@ -79,7 +79,11 @@ fn s_path_characterization() {
         }
         let connex = is_s_connex(&h, q.free_set());
         let path = s_path_witness(&h, q.free_set());
-        assert_eq!(connex, path.is_none(), "S-path characterization fails on {q}");
+        assert_eq!(
+            connex,
+            path.is_none(),
+            "S-path characterization fails on {q}"
+        );
         both[usize::from(connex)] += 1;
         // Witness sanity: endpoints free, interior not.
         if let Some(p) = path {
@@ -89,7 +93,10 @@ fn s_path_characterization() {
             assert!(p.len() >= 3);
         }
     }
-    assert!(both[0] > 10 && both[1] > 10, "generator covers both sides: {both:?}");
+    assert!(
+        both[0] > 10 && both[1] > 10,
+        "generator covers both sides: {both:?}"
+    );
 }
 
 /// Remark 1: for full acyclic CQs, trio-freeness of a complete order is
@@ -136,7 +143,11 @@ fn lemma_3_9_layered_tree_iff_no_trio() {
         let edges: Vec<VarSet> = q.atoms().iter().map(|a| a.var_set()).collect();
         let no_trio = find_disruptive_trio(&h, &order).is_none();
         let tree = layered::layered_join_tree(&edges, &order);
-        assert_eq!(tree.is_some(), no_trio, "Lemma 3.9 fails on {q} with {order:?}");
+        assert_eq!(
+            tree.is_some(),
+            no_trio,
+            "Lemma 3.9 fails on {q} with {order:?}"
+        );
         sides[usize::from(no_trio)] += 1;
         if let Some(t) = tree {
             for (i, node) in t.layers.iter().enumerate() {
@@ -155,7 +166,10 @@ fn lemma_3_9_layered_tree_iff_no_trio() {
             }
         }
     }
-    assert!(sides[0] > 10 && sides[1] > 10, "generator covers both sides: {sides:?}");
+    assert!(
+        sides[0] > 10 && sides[1] > 10,
+        "generator covers both sides: {sides:?}"
+    );
 }
 
 /// Lemma 4.4: whenever the tractability premises hold for a partial
@@ -183,12 +197,18 @@ fn lemma_4_4_completions_are_sound() {
                 assert_eq!(full[..l.len()], l[..], "not a prefix on {q}");
                 let fset: VarSet = full.iter().copied().collect();
                 assert_eq!(fset, q.free_set(), "must cover free({q})");
-                assert!(find_disruptive_trio(&h, &full).is_none(), "trio in completion of {q}");
+                assert!(
+                    find_disruptive_trio(&h, &full).is_none(),
+                    "trio in completion of {q}"
+                );
             }
             None => assert!(!premises, "premises hold but no completion on {q}"),
         }
     }
-    assert!(completed > 30, "generator exercises the positive side ({completed})");
+    assert!(
+        completed > 30,
+        "generator exercises the positive side ({completed})"
+    );
 }
 
 /// Proposition 4.3: the nested ext-connex trees exist exactly when both
