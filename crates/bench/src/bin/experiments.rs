@@ -1,14 +1,20 @@
 //! The experiment harness: regenerates every table in EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p rda-bench --bin experiments [id…]`
-//! where ids are `fig1 fig2 fig45 fig8 t33 t41 t61 t73 t8x t25 scale`.
-//! With no arguments, all experiments run.
+//! Usage: `cargo run --release -p rda_bench --bin experiments [id…]`
+//! where ids are `fig1 fig2 fig45 fig8 t33 t41 t61 t73 t8x t25 scale
+//! access`. With no arguments, all experiments run. The `access` id
+//! additionally writes `BENCH_access.json` (machine-readable median
+//! ns/op for the access hot paths, old-vs-new); add `--smoke` for the
+//! small CI-sized variant.
 
 // This file intentionally drives the legacy entry points directly.
 #![allow(deprecated)]
 
+use rda_bench::stats::{json_num, json_str, median, median_round_ns};
 use rda_bench::workloads;
-use rda_core::{selection_lex, selection_sum, LexDirectAccess, SumDirectAccess, Weights};
+use rda_core::{
+    selection_lex, selection_sum, HashLexDirectAccess, LexDirectAccess, SumDirectAccess, Weights,
+};
 use rda_query::classify::{classify, Problem, Verdict};
 use rda_query::parser::parse;
 use rda_query::FdSet;
@@ -417,8 +423,430 @@ fn scale() {
     println!();
 }
 
+/// One structure's measured hot-path profile (median ns/op).
+///
+/// `access_ns` measures the structure's access path: for the arena the
+/// zero-allocation `access_into` (the operation this PR optimizes —
+/// retrieve answer `k`'s values), for the pre-PR structure its only
+/// entry point, the tuple-allocating `access()`. `access_owned_ns`
+/// measures the owned-`Tuple` `access()` convenience wrapper where one
+/// exists separately.
+struct AccessProfile {
+    build_ns: f64,
+    access_ns: f64,
+    access_owned_ns: Option<f64>,
+    inverted_ns: f64,
+    iter_ns: f64,
+}
+
+impl AccessProfile {
+    fn json(&self) -> String {
+        let owned = match self.access_owned_ns {
+            Some(v) => format!(", \"access_owned_ns\": {}", json_num(v)),
+            None => String::new(),
+        };
+        format!(
+            "{{\"build_ns\": {}, \"access_ns\": {}{}, \"inverted_access_ns\": {}, \"iter_ns_per_answer\": {}}}",
+            json_num(self.build_ns),
+            json_num(self.access_ns),
+            owned,
+            json_num(self.inverted_ns),
+            json_num(self.iter_ns),
+        )
+    }
+}
+
+/// One workload row of `BENCH_access.json`.
+struct AccessRow {
+    name: String,
+    order: String,
+    db_tuples: usize,
+    answers: u64,
+    iter_items: u64,
+    arena: AccessProfile,
+    /// The pre-PR `HashMap<Tuple, Bucket>` structure, where applicable
+    /// (LEX workloads only — the SUM store had no per-layer hash path).
+    hashmap_pre_pr: Option<AccessProfile>,
+}
+
+impl AccessRow {
+    fn json(&self) -> String {
+        let mut s = format!(
+            "    {{\n      \"name\": {},\n      \"order\": {},\n      \"db_tuples\": {},\n      \"answers\": {},\n      \"iter_items\": {},\n      \"arena\": {}",
+            json_str(&self.name),
+            json_str(&self.order),
+            self.db_tuples,
+            self.answers,
+            self.iter_items,
+            self.arena.json(),
+        );
+        if let Some(old) = &self.hashmap_pre_pr {
+            s.push_str(&format!(
+                ",\n      \"hashmap_pre_pr\": {},\n      \"access_speedup\": {},\n      \"inverted_access_speedup\": {},\n      \"iter_speedup\": {}",
+                old.json(),
+                json_num(old.access_ns / self.arena.access_ns),
+                json_num(old.inverted_ns / self.arena.inverted_ns),
+                json_num(old.iter_ns / self.arena.iter_ns),
+            ));
+            if let Some(owned) = self.arena.access_owned_ns {
+                s.push_str(&format!(
+                    ",\n      \"access_owned_speedup\": {}",
+                    json_num(old.access_ns / owned),
+                ));
+            }
+        }
+        s.push_str("\n    }");
+        s
+    }
+}
+
+/// Deterministic pseudo-random access indices.
+fn bench_keys(ops: usize, len: u64) -> Vec<u64> {
+    (0..ops as u64)
+        .map(|i| i.wrapping_mul(2654435761).wrapping_add(40503) % len.max(1))
+        .collect()
+}
+
+/// Median ns per access over `rounds` rounds of the whole key set.
+fn per_op(rounds: usize, ops: usize, mut body: impl FnMut() -> usize) -> f64 {
+    median_round_ns(rounds, || {
+        std::hint::black_box(body());
+    }) / ops as f64
+}
+
+/// Round-robin the bodies for `rounds` rounds and return each body's
+/// median round time in ns. Interleaving cancels slow clock/thermal
+/// drift out of old-vs-new ratios; the untimed warm-up pass directly
+/// before each timed round restores that body's working set to cache,
+/// so every sample reflects steady-state serving of *one* structure
+/// rather than two structures evicting each other.
+fn interleaved_ns(
+    rounds: usize,
+    bodies: &mut [(&mut dyn FnMut(usize) -> usize, usize)],
+) -> Vec<f64> {
+    let mut samples: Vec<Vec<f64>> = bodies.iter().map(|_| Vec::with_capacity(rounds)).collect();
+    for r in 0..rounds {
+        for (i, (body, _)) in bodies.iter_mut().enumerate() {
+            std::hint::black_box(body(r));
+            let start = Instant::now();
+            std::hint::black_box(body(r));
+            samples[i].push(start.elapsed().as_nanos() as f64);
+        }
+    }
+    samples
+        .into_iter()
+        .zip(bodies.iter())
+        .map(|(s, &(_, ops))| median(s) / ops as f64)
+        .collect()
+}
+
+/// E14 — the access-core microbenchmark behind `BENCH_access.json`:
+/// build, `access`, `inverted_access`, and full-iteration medians for
+/// the dictionary/arena structures, against the pre-PR hash-bucketed
+/// lexicographic structure on identical workloads.
+fn access_bench(smoke: bool) {
+    let (rounds, ops) = if smoke { (3, 2_000) } else { (5, 10_000) };
+    let build_reps = if smoke { 1 } else { 3 };
+    let iter_cap: u64 = if smoke { 20_000 } else { 300_000 };
+    println!(
+        "== E14 / access core: dictionary+arena vs pre-PR HashMap path ({}) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!(
+        "{:<16} {:>10} {:>9} | {:>11} {:>11} {:>11} | {:>11} {:>9}",
+        "workload",
+        "answers",
+        "build ms",
+        "access ns",
+        "invert ns",
+        "iter ns",
+        "old acc ns",
+        "speedup"
+    );
+
+    let mut rows: Vec<AccessRow> = Vec::new();
+
+    // --- LEX workloads: old-vs-new. ---
+    let lex_workloads: Vec<(&str, rda_query::Cq, rda_db::Database, Vec<&str>, FdSet)> = {
+        let (q1, db1) = workloads::two_path(if smoke { 400 } else { 8_000 }, 50, 42);
+        let (q2, db2) = workloads::product_query(if smoke { 120 } else { 1_000 }, 43);
+        let (q3, db3, fds3) = workloads::fd_two_path(if smoke { 400 } else { 8_000 }, 50, 17);
+        vec![
+            ("two_path_lex", q1, db1, vec!["x", "y", "z"], FdSet::empty()),
+            (
+                "product_lex",
+                q2,
+                db2,
+                vec!["v1", "v2", "v3", "v4"],
+                FdSet::empty(),
+            ),
+            ("fd_two_path_lex", q3, db3, vec!["x", "z"], fds3),
+        ]
+    };
+    for (name, q, db, lex_names, fds) in lex_workloads {
+        let lex = q.vars(&lex_names);
+        let build_ns = median(
+            (0..build_reps)
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(LexDirectAccess::build(&q, &db, &lex, &fds).unwrap());
+                    start.elapsed().as_nanos() as f64
+                })
+                .collect(),
+        );
+        let da = LexDirectAccess::build(&q, &db, &lex, &fds).unwrap();
+        // The pre-PR structure's cost varies with the random HashMap
+        // layout of each build; rotating several independent builds
+        // through the rounds makes its median robust to that lottery.
+        let old_reps = if smoke { 1 } else { 3 };
+        let mut old_build_samples = Vec::with_capacity(old_reps);
+        let olds: Vec<HashLexDirectAccess> = (0..old_reps)
+            .map(|_| {
+                let start = Instant::now();
+                let built = HashLexDirectAccess::build(&q, &db, &lex, &fds).unwrap();
+                old_build_samples.push(start.elapsed().as_nanos() as f64);
+                built
+            })
+            .collect();
+        let old_build_ns = median(old_build_samples);
+        let old = &olds[0];
+        assert_eq!(da.len(), old.len(), "old and new structures must agree");
+
+        let ks = bench_keys(ops, da.len());
+        let probes: Vec<rda_db::Tuple> = ks.iter().map(|&k| da.access(k).unwrap()).collect();
+        for (k, t) in ks.iter().zip(&probes) {
+            assert_eq!(old.access(*k).as_ref(), Some(t), "old/new answer mismatch");
+        }
+        let items = da.len().min(iter_cap);
+
+        let mut buf: Vec<rda_db::Value> = Vec::new();
+        let measured = interleaved_ns(
+            rounds,
+            &mut [
+                (
+                    &mut |_| {
+                        ks.iter()
+                            .map(|&k| {
+                                da.access_into(k, &mut buf);
+                                buf.len()
+                            })
+                            .sum::<usize>()
+                    },
+                    ops,
+                ),
+                (
+                    &mut |r| {
+                        let o = &olds[r % old_reps];
+                        ks.iter()
+                            .map(|&k| o.access(k).map(|t| t.arity()).unwrap_or(0))
+                            .sum()
+                    },
+                    ops,
+                ),
+                (
+                    &mut |_| {
+                        ks.iter()
+                            .map(|&k| da.access(k).map(|t| t.arity()).unwrap_or(0))
+                            .sum()
+                    },
+                    ops,
+                ),
+                (
+                    &mut |_| {
+                        probes
+                            .iter()
+                            .map(|t| da.inverted_access(t).unwrap_or(0) as usize)
+                            .sum()
+                    },
+                    ops,
+                ),
+                (
+                    &mut |r| {
+                        let o = &olds[r % old_reps];
+                        probes
+                            .iter()
+                            .map(|t| o.inverted_access(t).unwrap_or(0) as usize)
+                            .sum()
+                    },
+                    ops,
+                ),
+                (
+                    &mut |_| da.iter().take(items as usize).map(|t| t.arity()).sum(),
+                    items as usize,
+                ),
+                (
+                    &mut |r| {
+                        olds[r % old_reps]
+                            .iter()
+                            .take(items as usize)
+                            .map(|t| t.arity())
+                            .sum()
+                    },
+                    items as usize,
+                ),
+            ],
+        );
+        let [access_ns, old_access_ns, access_owned_ns, inverted_ns, old_inverted_ns, iter_ns, old_iter_ns] =
+            measured[..]
+        else {
+            unreachable!("seven measurements requested");
+        };
+
+        println!(
+            "{:<16} {:>10} {:>9.1} | {:>11.1} {:>11.1} {:>11.1} | {:>11.1} {:>8.1}x",
+            name,
+            da.len(),
+            build_ns / 1e6,
+            access_ns,
+            inverted_ns,
+            iter_ns,
+            old_access_ns,
+            old_access_ns / access_ns
+        );
+        rows.push(AccessRow {
+            name: name.to_string(),
+            order: format!("LEX <{}>", lex_names.join(", ")),
+            db_tuples: db.size(),
+            answers: da.len(),
+            iter_items: items,
+            arena: AccessProfile {
+                build_ns,
+                access_ns,
+                access_owned_ns: Some(access_owned_ns),
+                inverted_ns,
+                iter_ns,
+            },
+            hashmap_pre_pr: Some(AccessProfile {
+                build_ns: old_build_ns,
+                access_ns: old_access_ns,
+                access_owned_ns: None,
+                inverted_ns: old_inverted_ns,
+                iter_ns: old_iter_ns,
+            }),
+        });
+    }
+
+    // --- SUM workload: the columnar store (no pre-PR hash path to race;
+    // its inverted access used a HashMap shadow index). ---
+    {
+        let (q, db) = workloads::covering_query(if smoke { 800 } else { 16_000 }, 50, 5);
+        let w = Weights::identity();
+        let build_ns = median(
+            (0..build_reps)
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(
+                        SumDirectAccess::build(&q, &db, &w, &FdSet::empty()).unwrap(),
+                    );
+                    start.elapsed().as_nanos() as f64
+                })
+                .collect(),
+        );
+        let da = SumDirectAccess::build(&q, &db, &w, &FdSet::empty()).unwrap();
+        let ks = bench_keys(ops, da.len());
+        let probes: Vec<rda_db::Tuple> = ks.iter().map(|&k| da.access(k).unwrap()).collect();
+        let items = da.len().min(iter_cap);
+        let mut buf: Vec<rda_db::Value> = Vec::new();
+        let access_ns = per_op(rounds, ops, || {
+            ks.iter()
+                .map(|&k| {
+                    da.access_into(k, &mut buf);
+                    buf.len()
+                })
+                .sum()
+        });
+        let access_owned_ns = per_op(rounds, ops, || {
+            ks.iter()
+                .map(|&k| da.access(k).map(|t| t.arity()).unwrap_or(0))
+                .sum()
+        });
+        let inverted_ns = per_op(rounds, ops, || {
+            probes
+                .iter()
+                .map(|t| da.inverted_access(t).unwrap_or(0) as usize)
+                .sum()
+        });
+        let iter_ns = per_op(rounds, items as usize, || {
+            da.iter().take(items as usize).map(|t| t.arity()).sum()
+        });
+        println!(
+            "{:<16} {:>10} {:>9.1} | {:>11.1} {:>11.1} {:>11.1} | {:>11} {:>9}",
+            "covering_sum",
+            da.len(),
+            build_ns / 1e6,
+            access_ns,
+            inverted_ns,
+            iter_ns,
+            "-",
+            "-"
+        );
+        rows.push(AccessRow {
+            name: "covering_sum".to_string(),
+            order: "SUM (identity weights)".to_string(),
+            db_tuples: db.size(),
+            answers: da.len(),
+            iter_items: items,
+            arena: AccessProfile {
+                build_ns,
+                access_ns,
+                access_owned_ns: Some(access_owned_ns),
+                inverted_ns,
+                iter_ns,
+            },
+            hashmap_pre_pr: None,
+        });
+    }
+
+    // Headline: the median, over the LEX workloads, of the speedup of
+    // the arena's allocation-free access path (`access_into`) over the
+    // pre-PR structure's (tuple-allocating) `access()`. The
+    // like-for-like owned-tuple comparison is reported alongside as
+    // `median_access_owned_speedup` — see README's Performance section
+    // for what each measures.
+    let speedups: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| {
+            r.hashmap_pre_pr
+                .as_ref()
+                .map(|old| old.access_ns / r.arena.access_ns)
+        })
+        .collect();
+    let owned_speedups: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| match (&r.hashmap_pre_pr, r.arena.access_owned_ns) {
+            (Some(old), Some(owned)) => Some(old.access_ns / owned),
+            _ => None,
+        })
+        .collect();
+    let median_speedup = median(speedups);
+    let median_owned_speedup = median(owned_speedups);
+    let json = format!(
+        "{{\n  \"schema\": \"bench_access/v1\",\n  \"command\": \"cargo run --release -p rda_bench --bin experiments -- access{}\",\n  \"mode\": {},\n  \"rounds\": {},\n  \"ops_per_round\": {},\n  \"median_access_speedup\": {},\n  \"median_access_owned_speedup\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        if smoke { " --smoke" } else { "" },
+        json_str(if smoke { "smoke" } else { "full" }),
+        rounds,
+        ops,
+        json_num(median_speedup),
+        json_num(median_owned_speedup),
+        rows.iter().map(AccessRow::json).collect::<Vec<_>>().join(",\n"),
+    );
+    std::fs::write("BENCH_access.json", &json).expect("write BENCH_access.json");
+    println!(
+        "median access speedup over the pre-PR path: {median_speedup:.1}x\nwrote BENCH_access.json ({} workloads)\n",
+        rows.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let args: Vec<String> = args.into_iter().filter(|a| a != "--smoke").collect();
+    // `--smoke` only applies to the access bench; a bare `--smoke` means
+    // exactly that experiment, not the full suite at full size.
+    if smoke && args.is_empty() {
+        access_bench(true);
+        return;
+    }
     let all = args.is_empty();
     let want = |id: &str| all || args.iter().any(|a| a == id);
     if want("fig1") {
@@ -453,5 +881,8 @@ fn main() {
     }
     if want("scale") {
         scale();
+    }
+    if want("access") {
+        access_bench(smoke);
     }
 }

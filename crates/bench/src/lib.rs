@@ -5,6 +5,7 @@
 //! see DESIGN.md's substitution table), shared by the Criterion benches
 //! and the `experiments` binary.
 
+pub mod stats;
 pub mod workloads;
 
 pub use workloads::*;

@@ -1,0 +1,86 @@
+//! Measurement helpers for the experiments binary: median-of-rounds
+//! timing and a minimal JSON value printer (the build environment is
+//! offline, so no serde).
+
+use std::time::Instant;
+
+/// Median of a sample (mean of the middle pair for even sizes).
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn median(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty(), "median of an empty sample");
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Run `body` for `rounds` rounds and return the **median** elapsed
+/// nanoseconds per round. Callers divide by their op count themselves.
+pub fn median_round_ns(rounds: usize, mut body: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        body();
+        samples.push(start.elapsed().as_nanos() as f64);
+    }
+    median(samples)
+}
+
+/// Format a float for JSON: finite, fixed single decimal (ns-scale
+/// numbers do not need more).
+pub fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escape a string for JSON.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(vec![7.0]), 7.0);
+    }
+
+    #[test]
+    fn json_helpers_escape_and_format() {
+        assert_eq!(json_num(1.25), "1.2");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn median_round_ns_is_positive() {
+        let ns = median_round_ns(3, || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert!(ns >= 0.0);
+    }
+}

@@ -25,6 +25,11 @@ pub enum BuildError {
     FdViolated(Fd),
     /// A lexicographic order mentioned a non-free or repeated variable.
     InvalidOrder(String),
+    /// The answer count (or an intermediate layer weight) exceeds
+    /// `u64::MAX`, so ranks cannot be represented. The counting DP
+    /// computes in `u128` and rejects at build time rather than serving
+    /// silently wrong ranks from saturated arithmetic.
+    CountOverflow,
 }
 
 impl BuildError {
@@ -65,6 +70,12 @@ impl fmt::Display for BuildError {
             }
             BuildError::FdViolated(fd) => write!(f, "database violates FD {fd}"),
             BuildError::InvalidOrder(msg) => write!(f, "invalid lexicographic order: {msg}"),
+            BuildError::CountOverflow => {
+                write!(
+                    f,
+                    "answer count exceeds u64::MAX; ranks are unrepresentable"
+                )
+            }
         }
     }
 }

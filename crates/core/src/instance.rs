@@ -2,7 +2,7 @@
 //! the free-connex-to-full reduction (Proposition 2.3 / Lemma 3.10).
 
 use crate::error::BuildError;
-use rda_db::{Database, Relation};
+use rda_db::{Database, EncodedRelation, Relation};
 use rda_query::connex::{ext_connex_tree, ExtConnexTree};
 use rda_query::jointree::JoinTree;
 use rda_query::query::{Atom, Cq};
@@ -114,11 +114,49 @@ pub(crate) fn normalize_query(q: &Cq) -> Cq {
     Cq::from_parts(q.name().to_string(), q.free().to_vec(), atoms, names)
 }
 
+/// Borrow `xs[target]` mutably and `xs[source]` immutably at once —
+/// the disjoint split the semijoin passes need, with no cloning.
+///
+/// # Panics
+/// Panics (in debug) if the indices coincide.
+pub(crate) fn pair_mut<T>(xs: &mut [T], target: usize, source: usize) -> (&mut T, &T) {
+    debug_assert_ne!(target, source, "pair_mut needs disjoint indices");
+    if target < source {
+        let (lo, hi) = xs.split_at_mut(source);
+        (&mut lo[target], &hi[0])
+    } else {
+        let (lo, hi) = xs.split_at_mut(target);
+        (&mut hi[0], &lo[source])
+    }
+}
+
+/// The one operation the full reducer needs from a relation
+/// representation — implemented by both the value-level [`Relation`]
+/// and the code-level [`EncodedRelation`], so the Yannakakis traversal
+/// exists exactly once.
+pub(crate) trait SemijoinTarget {
+    /// Keep tuples of `self` whose key (at `self_keys`) appears in
+    /// `other` (at `other_keys`).
+    fn semijoin_on(&mut self, self_keys: &[usize], other: &Self, other_keys: &[usize]);
+}
+
+impl SemijoinTarget for Relation {
+    fn semijoin_on(&mut self, self_keys: &[usize], other: &Self, other_keys: &[usize]) {
+        self.semijoin(self_keys, other, other_keys);
+    }
+}
+
+impl SemijoinTarget for EncodedRelation {
+    fn semijoin_on(&mut self, self_keys: &[usize], other: &Self, other_keys: &[usize]) {
+        self.semijoin(self_keys, other, other_keys);
+    }
+}
+
 /// Yannakakis full reducer over a join tree whose node relations are
 /// given positionally (`rels[i]` belongs to tree node `i`, with columns
 /// ordered by `vars[i]`). After this, every tuple of every relation
 /// participates in at least one tree-consistent combination.
-pub(crate) fn full_reduce(tree: &JoinTree, vars: &[Vec<VarId>], rels: &mut [Relation]) {
+pub(crate) fn full_reduce<R: SemijoinTarget>(tree: &JoinTree, vars: &[Vec<VarId>], rels: &mut [R]) {
     if tree.is_empty() {
         return;
     }
@@ -136,8 +174,8 @@ pub(crate) fn full_reduce(tree: &JoinTree, vars: &[Vec<VarId>], rels: &mut [Rela
             .collect();
         let pk = positions_of(&vars[p], &shared);
         let ck = positions_of(&vars[i], &shared);
-        let child = rels[i].clone();
-        rels[p].semijoin(&pk, &child, &ck);
+        let (target, child) = pair_mut(rels, p, i);
+        target.semijoin_on(&pk, child, &ck);
     }
     // Top-down: child ⋉ parent.
     for &i in &order {
@@ -152,8 +190,8 @@ pub(crate) fn full_reduce(tree: &JoinTree, vars: &[Vec<VarId>], rels: &mut [Rela
             .collect();
         let ck = positions_of(&vars[i], &shared);
         let pk = positions_of(&vars[p], &shared);
-        let par = rels[p].clone();
-        rels[i].semijoin(&ck, &par, &pk);
+        let (target, par) = pair_mut(rels, i, p);
+        target.semijoin_on(&ck, par, &pk);
     }
 }
 

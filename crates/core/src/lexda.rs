@@ -10,16 +10,33 @@
 //!    variables (Proposition 2.3 / Lemma 3.10);
 //! 4. complete the partial order (Lemma 4.4) and build the layered join
 //!    tree (Definition 3.4 / Lemma 3.9);
-//! 5. materialize one relation per layer, remove dangling tuples
-//!    (Yannakakis), bucket by the preceding variables, sort each bucket
-//!    by the layer variable, and run the counting DP (Figure 4);
+//! 5. intern the active domain into an order-preserving dictionary,
+//!    materialize one dictionary-encoded relation per layer, remove
+//!    dangling tuples (Yannakakis), bucket by the preceding variables,
+//!    sort each bucket by the layer variable, and run the counting DP
+//!    (Figure 4);
 //! 6. answer accesses with Algorithm 1 (binary search per layer) and
 //!    inverted/next-answer accesses with Algorithm 2 / Remark 3.
+//!
+//! # Layout
+//!
+//! Step 5's product is not the paper's abstract "bucket per assignment"
+//! map but a flat **arena** per layer ([`Layer`]): each entry packs its
+//! layer-variable code, the cumulative weight of the entries before it
+//! in its bucket (Figure 4's `s`), and — precomputed — the index of the
+//! agreeing bucket in every child layer, into 16 bytes ([`Entry`]).
+//! Buckets are contiguous entry ranges described by [`BucketMeta`], and
+//! large buckets carry an exact rank directory that brackets every
+//! rank query to an O(1) expected window. An access therefore runs as a
+//! division and a couple of cache-line touches per layer plus array
+//! indexing: no hashing, no key-tuple construction, no heap allocation.
+//! Values reappear only when an answer is emitted, decoded through the
+//! [`Dictionary`].
 
 use crate::error::BuildError;
 use crate::fdtransform::{check_fds, extend_instance};
-use crate::instance::{normalize_instance, positions_of, reduce_to_full, sorted_vars};
-use rda_db::{Database, Relation, Tuple, Value};
+use crate::instance::{full_reduce, normalize_instance, positions_of, reduce_to_full, sorted_vars};
+use rda_db::{Database, Dictionary, EncodedRelation, Tuple, Value};
 use rda_query::classify::{classify, Problem, Verdict};
 use rda_query::connex::complete_order;
 use rda_query::fd::{fd_extension, fd_reordered_order, ExtensionStep, FdSet};
@@ -27,63 +44,355 @@ use rda_query::jointree::{JoinTree, NodeSource};
 use rda_query::layered::layered_join_tree;
 use rda_query::query::Cq;
 use rda_query::VarId;
+use std::cell::RefCell;
 use std::collections::HashMap;
 
-/// One sorted run of a layer relation: all tuples agreeing on the
-/// preceding variables, ordered by the layer's own variable.
-#[derive(Debug, Clone)]
-struct Bucket {
-    /// `(value, weight, start)` per tuple, ascending by value
-    /// (Figure 4's `w` and `s` columns).
-    entries: Vec<(Value, u64, u64)>,
-    /// Sum of entry weights.
-    total: u64,
-}
-
-impl Bucket {
-    /// Index of the first entry with value ≥ `v`, and whether it equals `v`.
-    fn lower_bound(&self, v: &Value) -> (usize, bool) {
-        let idx = self.entries.partition_point(|(ev, _, _)| ev < v);
-        let exact = idx < self.entries.len() && &self.entries[idx].0 == v;
-        (idx, exact)
-    }
-
-    /// Total weight of entries with value strictly below index `idx`.
-    fn start_at(&self, idx: usize) -> u64 {
-        if idx < self.entries.len() {
-            self.entries[idx].2
-        } else {
-            self.total
-        }
-    }
-}
-
-/// Per-layer access structure.
-#[derive(Debug, Clone)]
-struct Layer {
-    /// The layer's variable `v_i`.
-    var: VarId,
-    /// Bucket-key variables (ascending), for building keys from a
-    /// partial assignment.
-    key_vars: Vec<VarId>,
-    /// Child layers in the layered join tree.
-    children: Vec<usize>,
-    /// Buckets keyed by the projection onto `key_vars`.
-    buckets: HashMap<Tuple, Bucket>,
-}
-
 /// How a promoted (FD-implied) variable's value is derived from an
-/// already-known variable, for inverted access under FDs.
+/// already-known variable, for inverted access under FDs. Value-keyed;
+/// the arena converts it to a code-keyed [`Derivation`] after the
+/// dictionary exists (the reference structure uses it as is).
+#[derive(Debug, Clone)]
+pub(crate) struct RawDerivation {
+    pub(crate) var: VarId,
+    pub(crate) from: VarId,
+    pub(crate) lookup: HashMap<Value, Value>,
+}
+
+/// Code-keyed derivation: `lookup[code(u)] = code(v)` for the FD
+/// `u → v`. Probing is one integer-keyed map hit, allocation-free.
 #[derive(Debug, Clone)]
 struct Derivation {
     var: VarId,
     from: VarId,
-    lookup: HashMap<Value, Value>,
+    lookup: HashMap<u32, u32>,
+}
+
+/// No rank directory for this bucket (see [`BucketMeta::dir`]).
+const NO_DIR: u32 = u32::MAX;
+
+/// Buckets smaller than this skip the rank directory: a binary search
+/// over so few entries is already one or two cache lines.
+const DIR_MIN_ENTRIES: usize = 16;
+
+/// Size of the fixed stack buffers the access paths use when the query
+/// is small enough (in variables and layers) — the overwhelmingly
+/// common case, sparing the thread-local round trip.
+const STACK_SCRATCH: usize = 32;
+
+/// Per-bucket metadata, packed so a layer descent reads one struct
+/// (plus its neighbor's `offset` implicitly via `len`) instead of
+/// probing parallel arrays.
+#[derive(Debug, Clone)]
+struct BucketMeta {
+    /// Sum of the bucket's entry weights (Figure 4's subtree counts).
+    total: u64,
+    /// First entry index of the bucket in the layer's entry arrays.
+    offset: u32,
+    /// Number of entries.
+    len: u32,
+    /// Offset of this bucket's rank directory in
+    /// [`Layer::dir_pool`], or [`NO_DIR`].
+    dir: u32,
+    /// log₂ of the directory's slot count `B`.
+    dir_log: u8,
+}
+
+/// One layer's arena: the struct-of-arrays form of Figure 4's bucketed,
+/// weighted, sorted runs.
+///
+/// Entries are grouped into buckets (one bucket per assignment of
+/// `key_vars`), buckets are stored back to back sorted by their key
+/// codes, and entries within a bucket ascend by `value_codes`. All
+/// rank arithmetic on this data is exact: construction fails with
+/// [`BuildError::CountOverflow`] rather than letting a count exceed
+/// `u64`, so every `start × factor` product during an access is a
+/// sub-count of the total and cannot overflow.
+///
+/// # Rank directories
+///
+/// For buckets with many entries, the per-access binary search over
+/// `starts` is a chain of dependent cache misses — the dominant cost of
+/// Algorithm 1 once hashing is gone. Each such bucket therefore carries
+/// a **rank directory**: `B = 2^dir_log` slots where slot `j` stores
+/// `#{entries e : starts[e]·B ≤ j·total}` (computed exactly in `u128`
+/// at build time). For a normalized rank `q < total`, the answer of the
+/// search provably lies in the window
+/// `dir[⌊q·B/total⌋] ..= dir[⌊q·B/total⌋ + 1]`, which for `B ≈ len` is
+/// O(1) expected entries — turning the descent into one division plus a
+/// touch of one or two cache lines per layer.
+#[derive(Debug, Clone)]
+struct Layer {
+    /// The layer's variable `v_i`.
+    var: VarId,
+    /// Bucket-key variables (ascending); `key_cols[j]` holds the codes
+    /// of `key_vars[j]`, one per bucket.
+    key_vars: Vec<VarId>,
+    /// Child layers in the layered join tree.
+    children: Vec<usize>,
+    /// Per entry: the rank-descent hot data, packed to 16 bytes so one
+    /// directory window touches one cache line.
+    entries: Vec<Entry>,
+    /// Per entry: the code of the layer variable's value, kept as a
+    /// dense column for the value-keyed searches of Algorithm 2.
+    value_codes: Vec<u32>,
+    /// Per entry × extra child beyond the first: the agreeing bucket
+    /// (`extra_children[e * (children.len() - 1) + (c - 1)]`) — only
+    /// branching layered trees populate this.
+    extra_children: Vec<u32>,
+    /// Per bucket: entry range, total weight, rank directory.
+    buckets: Vec<BucketMeta>,
+    /// Backing store for the rank directories.
+    dir_pool: Vec<u32>,
+    /// Per key variable: one code column over the buckets, sorted
+    /// lexicographically — the build-time linking index for parents.
+    key_cols: Vec<Vec<u32>>,
+}
+
+/// One arena entry's hot data (16 bytes).
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Total weight of the entries before this one in its bucket
+    /// (Figure 4's `s` column).
+    start: u64,
+    /// Code of the layer variable's value.
+    value: u32,
+    /// Bucket index in the first child layer (0 when childless).
+    child0: u32,
+}
+
+impl Layer {
+    /// Binary-search the bucket whose key codes equal `probe(j)` for
+    /// every key position `j`. Allocation-free.
+    fn find_bucket(&self, probe: impl Fn(usize) -> u32) -> Option<usize> {
+        let n = self.buckets.len();
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let mut less = false;
+            let mut greater = false;
+            for (j, col) in self.key_cols.iter().enumerate() {
+                match col[mid].cmp(&probe(j)) {
+                    std::cmp::Ordering::Less => {
+                        less = true;
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        greater = true;
+                        break;
+                    }
+                    std::cmp::Ordering::Equal => {}
+                }
+            }
+            if less {
+                lo = mid + 1;
+            } else if greater {
+                hi = mid;
+            } else {
+                return Some(mid);
+            }
+        }
+        None
+    }
+}
+
+/// Everything the preprocessing pipeline (steps 1–4 plus the encoded
+/// layer materialization of step 5) produces — the input of the arena
+/// construction in [`LexDirectAccess::from_prep`]. (The pre-arena
+/// baseline in [`crate::reference`] deliberately does *not* consume
+/// this: it duplicates the pre-PR pipeline verbatim so the
+/// differential tests compare two genuinely independent builds.)
+pub(crate) struct LayerPrep {
+    pub(crate) out_vars: Vec<VarId>,
+    pub(crate) order: Vec<VarId>,
+    pub(crate) var_slots: usize,
+    pub(crate) derivations: Vec<RawDerivation>,
+    pub(crate) dict: Dictionary,
+    /// Dictionary-encoded, fully reduced layer relations (columns in
+    /// ascending [`VarId`] order per `layer_vars`). Empty exactly in
+    /// the boolean / fully-implied case.
+    pub(crate) enc_layers: Vec<EncodedRelation>,
+    pub(crate) layer_vars: Vec<Vec<VarId>>,
+    pub(crate) children: Vec<Vec<usize>>,
+    /// Answer count for the boolean case (`enc_layers.is_empty()`).
+    pub(crate) trivial_total: u64,
+}
+
+/// Steps 1–5a of [`LexDirectAccess::build`]: classify, normalize,
+/// FD-extend, reduce to full, complete the order, intern the
+/// dictionary, and materialize the reduced encoded layer relations.
+pub(crate) fn prepare_layers(
+    q: &Cq,
+    db: &Database,
+    lex: &[VarId],
+    fds: &FdSet,
+) -> Result<LayerPrep, BuildError> {
+    validate_lex(q, lex)?;
+    if !fds.is_empty() && !q.is_self_join_free() {
+        return Err(BuildError::InvalidOrder(
+            "functional dependencies require a self-join-free query".to_string(),
+        ));
+    }
+    match classify(q, fds, &Problem::DirectAccessLex(lex.to_vec())) {
+        Verdict::Tractable { .. } => {}
+        v => return Err(BuildError::NotTractable(v)),
+    }
+
+    let (nq, ndb) = normalize_instance(q, db)?;
+    check_fds(&nq, &ndb, fds)?;
+    let ext = fd_extension(&nq, fds);
+    let idb = extend_instance(&ext, &ndb)?;
+    let qp = ext.query.clone();
+    let l_plus = fd_reordered_order(&ext, lex);
+    let derivations = build_derivations(&ext, &idb)?;
+
+    let red =
+        reduce_to_full(&qp, &idb).expect("classification guarantees the extension is free-connex");
+
+    // Boolean (or fully-implied) case: no order variables at all.
+    let order =
+        complete_order(&qp, &l_plus).expect("classification guarantees a trio-free completion");
+    if order.is_empty() {
+        debug_assert!(derivations.is_empty(), "no order ⇒ no free ⇒ no promotions");
+        return Ok(LayerPrep {
+            out_vars: q.free().to_vec(),
+            order,
+            var_slots: qp.var_count(),
+            derivations,
+            dict: Dictionary::default(),
+            enc_layers: Vec::new(),
+            layer_vars: Vec::new(),
+            children: Vec::new(),
+            trivial_total: u64::from(!red.known_empty),
+        });
+    }
+
+    // Intern the active domain: every value of the reduced instance plus
+    // the FD derivation tables (inverted access probes those too).
+    let dict = Dictionary::from_values(
+        red.db
+            .relations()
+            .flat_map(|r| r.tuples().iter().flat_map(|t| t.iter().cloned()))
+            .chain(
+                derivations
+                    .iter()
+                    .flat_map(|d| d.lookup.iter().flat_map(|(k, v)| [k.clone(), v.clone()])),
+            ),
+    );
+    let enc_atoms: Vec<EncodedRelation> = red
+        .query
+        .atoms()
+        .iter()
+        .map(|a| {
+            red.db
+                .get(&a.relation)
+                .expect("reduced relation exists")
+                .encode(&dict)
+        })
+        .collect();
+
+    // Layered join tree over the reduced full query; materialize one
+    // encoded relation per layer: project the defining edge, then
+    // semijoin-filter by every assigned edge — all in code space.
+    let edges: Vec<_> = red.query.atoms().iter().map(|a| a.var_set()).collect();
+    let layered = layered_join_tree(&edges, &order)
+        .expect("Lemma 3.10: the reduction preserves trio-freeness");
+    let f = order.len();
+    let mut enc_layers: Vec<EncodedRelation> = Vec::with_capacity(f);
+    let mut layer_vars: Vec<Vec<VarId>> = Vec::with_capacity(f);
+    for node in layered.layers.iter() {
+        let vars = sorted_vars(node.vars);
+        let def = &red.query.atoms()[node.defining_edge];
+        let mut rel = enc_atoms[node.defining_edge].project(&positions_of(&def.terms, &vars));
+        for &e in &node.assigned_edges {
+            let atom = &red.query.atoms()[e];
+            let e_vars = sorted_vars(atom.var_set());
+            let self_keys = positions_of(&vars, &e_vars);
+            let other_keys = positions_of(&atom.terms, &e_vars);
+            rel.semijoin(&self_keys, &enc_atoms[e], &other_keys);
+        }
+        enc_layers.push(rel);
+        layer_vars.push(vars);
+    }
+
+    // Remove dangling tuples across the layered tree so every stored
+    // tuple has positive weight (Figure 4's invariant).
+    let mut jt = JoinTree::new();
+    for (i, node) in layered.layers.iter().enumerate() {
+        let idx = jt.add_node(node.vars, NodeSource::Synthetic(None));
+        debug_assert_eq!(idx, i);
+    }
+    for (i, node) in layered.layers.iter().enumerate() {
+        if let Some(p) = node.parent {
+            jt.add_edge(p, i);
+        }
+    }
+    full_reduce(&jt, &layer_vars, &mut enc_layers);
+
+    let children: Vec<Vec<usize>> = (0..f).map(|i| layered.children(i)).collect();
+    Ok(LayerPrep {
+        out_vars: q.free().to_vec(),
+        order,
+        var_slots: qp.var_count(),
+        derivations,
+        dict,
+        enc_layers,
+        layer_vars,
+        children,
+        trivial_total: 0,
+    })
+}
+
+/// Reusable per-thread buffers for the access hot paths. Kept in a
+/// thread-local (not in the structure) so [`LexDirectAccess`] stays
+/// `Sync` and accesses allocate nothing once the buffers have grown to
+/// the structure's dimensions.
+#[derive(Default)]
+struct Scratch {
+    /// Per variable slot: the code assigned during the descent.
+    assignment: Vec<u32>,
+    /// Per layer: the bucket index chosen for it.
+    chosen: Vec<u32>,
+    /// Per order position: `(code lower bound, could be exact)`.
+    target: Vec<(u32, bool)>,
+    /// Per variable slot: the probe bound before mapping to positions.
+    var_bound: Vec<(u32, bool)>,
+}
+
+impl Scratch {
+    fn ensure(&mut self, var_slots: usize, layers: usize, order: usize) {
+        if self.assignment.len() < var_slots {
+            self.assignment.resize(var_slots, 0);
+            self.var_bound.resize(var_slots, (0, false));
+        }
+        if self.chosen.len() < layers {
+            self.chosen.resize(layers, 0);
+        }
+        if self.target.len() < order {
+            self.target.resize(order, (0, false));
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = const {
+        RefCell::new(Scratch {
+            assignment: Vec::new(),
+            chosen: Vec::new(),
+            target: Vec::new(),
+            var_bound: Vec::new(),
+        })
+    };
 }
 
 /// A direct-access structure for the answers of a conjunctive query
 /// sorted by a (possibly partial) lexicographic order (Theorem 3.3 /
 /// 4.1 / 8.21: ⟨n log n⟩ construction, ⟨log n⟩ per access).
+///
+/// Internally the structure is a [`Dictionary`] plus one flat
+/// struct-of-arrays arena per layer; `access`, `inverted_access`, and
+/// `rank_of_lower_bound` run as binary searches over integer slices and
+/// perform **no heap allocation** beyond the emitted answer tuple (see
+/// [`LexDirectAccess::access_into`] for the fully allocation-free form).
 ///
 /// ```
 /// use rda_core::LexDirectAccess;
@@ -108,6 +417,8 @@ pub struct LexDirectAccess {
     order: Vec<VarId>,
     /// Number of variables interned in the query (assignment array size).
     var_slots: usize,
+    /// The order-preserving value dictionary of the active domain.
+    dict: Dictionary,
     layers: Vec<Layer>,
     derivations: Vec<Derivation>,
     total: u64,
@@ -118,88 +429,83 @@ impl LexDirectAccess {
     /// (partial) lexicographic order `lex`, under unary FDs `fds`.
     ///
     /// Fails with [`BuildError::NotTractable`] exactly on the paper's
-    /// intractable side (Theorem 4.1 / 8.21).
+    /// intractable side (Theorem 4.1 / 8.21), and with
+    /// [`BuildError::CountOverflow`] when the answer count would not fit
+    /// in `u64` (rank arithmetic would be unrepresentable).
     pub fn build(q: &Cq, db: &Database, lex: &[VarId], fds: &FdSet) -> Result<Self, BuildError> {
-        validate_lex(q, lex)?;
-        if !fds.is_empty() && !q.is_self_join_free() {
-            return Err(BuildError::InvalidOrder(
-                "functional dependencies require a self-join-free query".to_string(),
-            ));
+        let prep = prepare_layers(q, db, lex, fds)?;
+        Self::from_prep(prep)
+    }
+
+    pub(crate) fn from_prep(prep: LayerPrep) -> Result<Self, BuildError> {
+        let LayerPrep {
+            out_vars,
+            order,
+            var_slots,
+            derivations,
+            dict,
+            enc_layers,
+            layer_vars,
+            children,
+            trivial_total,
+        } = prep;
+
+        // Inverted access derives every order variable from the probe
+        // tuple: directly for original head variables, through an FD
+        // chain for promoted ones. Verify coverage once here so the hot
+        // path can skip per-call bookkeeping.
+        {
+            let mut covered: Vec<bool> = vec![false; var_slots];
+            for &v in &out_vars {
+                covered[v.index()] = true;
+            }
+            for d in &derivations {
+                covered[d.var.index()] = true;
+            }
+            assert!(
+                order.iter().all(|v| covered[v.index()]),
+                "every order variable is a head variable or FD-promoted"
+            );
         }
-        match classify(q, fds, &Problem::DirectAccessLex(lex.to_vec())) {
-            Verdict::Tractable { .. } => {}
-            v => return Err(BuildError::NotTractable(v)),
-        }
 
-        let (nq, ndb) = normalize_instance(q, db)?;
-        check_fds(&nq, &ndb, fds)?;
-        let ext = fd_extension(&nq, fds);
-        let idb = extend_instance(&ext, &ndb)?;
-        let qp = ext.query.clone();
-        let l_plus = fd_reordered_order(&ext, lex);
-        let derivations = build_derivations(&ext, &idb)?;
+        let derivations: Vec<Derivation> = derivations
+            .into_iter()
+            .map(|d| Derivation {
+                var: d.var,
+                from: d.from,
+                lookup: d
+                    .lookup
+                    .iter()
+                    .map(|(k, v)| {
+                        (
+                            dict.code(k).expect("dictionary covers derivations"),
+                            dict.code(v).expect("dictionary covers derivations"),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
 
-        let red = reduce_to_full(&qp, &idb)
-            .expect("classification guarantees the extension is free-connex");
-
-        // Boolean (or fully-implied) case: no order variables at all.
-        let order =
-            complete_order(&qp, &l_plus).expect("classification guarantees a trio-free completion");
-        if order.is_empty() {
+        if enc_layers.is_empty() {
             return Ok(LexDirectAccess {
-                out_vars: q.free().to_vec(),
+                out_vars,
                 order,
-                var_slots: qp.var_count(),
+                var_slots,
+                dict,
                 layers: Vec::new(),
                 derivations,
-                total: u64::from(!red.known_empty),
+                total: trivial_total,
             });
         }
 
-        // Layered join tree over the reduced full query.
-        let edges: Vec<_> = red.query.atoms().iter().map(|a| a.var_set()).collect();
-        let layered = layered_join_tree(&edges, &order)
-            .expect("Lemma 3.10: the reduction preserves trio-freeness");
-
-        // Materialize a relation per layer: project the defining edge,
-        // then filter by every assigned edge.
+        // Counting DP, deepest layer first (children have larger index):
+        // sort each encoded layer by (bucket key, layer value), then walk
+        // it once, linking every entry to its child buckets and closing
+        // buckets at key boundaries. All weights accumulate in u128 and
+        // construction fails rather than store a count above u64::MAX.
         let f = order.len();
-        let mut layer_rels: Vec<Relation> = Vec::with_capacity(f);
-        let mut layer_vars: Vec<Vec<VarId>> = Vec::with_capacity(f);
-        for (i, node) in layered.layers.iter().enumerate() {
-            let vars = sorted_vars(node.vars);
-            let def = &red.query.atoms()[node.defining_edge];
-            let def_rel = red.db.get(&def.relation).expect("reduced relation exists");
-            let mut rel = def_rel.project(format!("L{i}"), &positions_of(&def.terms, &vars));
-            for &e in &node.assigned_edges {
-                let atom = &red.query.atoms()[e];
-                let e_vars = sorted_vars(atom.var_set());
-                let self_keys = positions_of(&vars, &e_vars);
-                let other = red.db.get(&atom.relation).expect("reduced relation exists");
-                let other_keys = positions_of(&atom.terms, &e_vars);
-                rel.semijoin(&self_keys, other, &other_keys);
-            }
-            layer_rels.push(rel);
-            layer_vars.push(vars);
-        }
-
-        // Remove dangling tuples across the layered tree so every stored
-        // tuple has positive weight (Figure 4's invariant).
-        let mut jt = JoinTree::new();
-        for (i, node) in layered.layers.iter().enumerate() {
-            let idx = jt.add_node(node.vars, NodeSource::Synthetic(None));
-            debug_assert_eq!(idx, i);
-        }
-        for (i, node) in layered.layers.iter().enumerate() {
-            if let Some(p) = node.parent {
-                jt.add_edge(p, i);
-            }
-        }
-        crate::instance::full_reduce(&jt, &layer_vars, &mut layer_rels);
-
-        // Counting DP, deepest layer first (children have larger index).
         let mut layers: Vec<Option<Layer>> = (0..f).map(|_| None).collect();
-        for i in (0..f).rev() {
+        for (i, mut enc) in enc_layers.into_iter().enumerate().rev() {
             let vars = &layer_vars[i];
             let var = order[i];
             let value_pos = vars
@@ -208,70 +514,103 @@ impl LexDirectAccess {
                 .expect("layer var in node");
             let key_positions: Vec<usize> = (0..vars.len()).filter(|&p| p != value_pos).collect();
             let key_vars: Vec<VarId> = key_positions.iter().map(|&p| vars[p]).collect();
-            let children = layered.children(i);
+            let kids = children[i].clone();
+            // Per child: the positions (within this layer's columns) of
+            // the child's bucket-key variables — contained here by the
+            // running intersection property.
+            let child_pos: Vec<Vec<usize>> = kids
+                .iter()
+                .map(|&c| {
+                    let ck = &layers[c].as_ref().expect("children already built").key_vars;
+                    positions_of(vars, ck)
+                })
+                .collect();
 
-            // Weight per tuple = product over children of the matching
-            // bucket's total.
-            let mut grouped: HashMap<Tuple, Vec<(Value, u64)>> = HashMap::new();
-            for t in layer_rels[i].tuples() {
-                let mut w: u64 = 1;
-                for &c in &children {
-                    let child = layers[c].as_ref().expect("children already built");
-                    let child_key: Tuple = child
-                        .key_vars
-                        .iter()
-                        .map(|ck| {
-                            let p = vars
-                                .iter()
-                                .position(|v| v == ck)
-                                .expect("running intersection: child keys lie in the parent node");
-                            t[p].clone()
-                        })
-                        .collect();
-                    w = w.saturating_mul(child.buckets.get(&child_key).map_or(0, |b| b.total));
-                }
-                if w == 0 {
-                    continue;
-                }
-                grouped
-                    .entry(t.project(&key_positions))
-                    .or_default()
-                    .push((t[value_pos].clone(), w));
-            }
-            let mut buckets = HashMap::with_capacity(grouped.len());
-            for (key, mut vals) in grouped {
-                vals.sort_by(|a, b| a.0.cmp(&b.0));
-                let mut entries = Vec::with_capacity(vals.len());
-                let mut start = 0u64;
-                for (v, w) in vals {
-                    entries.push((v, w, start));
-                    start += w;
-                }
-                buckets.insert(
-                    key,
-                    Bucket {
-                        entries,
-                        total: start,
-                    },
-                );
-            }
-            layers[i] = Some(Layer {
+            let mut sort_keys = key_positions.clone();
+            sort_keys.push(value_pos);
+            enc.sort_by_cols(&sort_keys);
+            assert!(
+                enc.len() <= u32::MAX as usize,
+                "layer relation exceeds the u32 entry space"
+            );
+
+            let mut layer = Layer {
                 var,
                 key_vars,
-                children,
-                buckets,
-            });
+                children: kids,
+                entries: Vec::new(),
+                value_codes: Vec::new(),
+                extra_children: Vec::new(),
+                buckets: Vec::new(),
+                dir_pool: Vec::new(),
+                key_cols: key_positions.iter().map(|_| Vec::new()).collect(),
+            };
+            let extra = layer.children.len().saturating_sub(1);
+            // Scratch for one row's child-bucket indices, and the open
+            // bucket's entry weights (u128: the per-bucket prefix sums
+            // are checked on close).
+            let mut row_children: Vec<u32> = Vec::with_capacity(layer.children.len());
+            let mut bucket_ws: Vec<u128> = Vec::new();
+            let mut open = false;
+            for row in 0..enc.len() {
+                // Weight = product over children of the agreeing
+                // bucket's total; zero (dangling) entries are dropped.
+                let mut w: u128 = 1;
+                row_children.clear();
+                let mut dangling = false;
+                for (ci, &c) in layer.children.iter().enumerate() {
+                    let child = layers[c].as_ref().expect("children already built");
+                    let Some(b) = child.find_bucket(|j| enc.code(row, child_pos[ci][j])) else {
+                        dangling = true;
+                        break;
+                    };
+                    w = w
+                        .checked_mul(child.buckets[b].total as u128)
+                        .ok_or(BuildError::CountOverflow)?;
+                    row_children.push(b as u32);
+                }
+                if dangling || w == 0 {
+                    continue;
+                }
+                let key_changed = !open
+                    || key_positions.iter().enumerate().any(|(j, &p)| {
+                        enc.code(row, p) != *layer.key_cols[j].last().expect("open")
+                    });
+                if key_changed {
+                    if open {
+                        close_bucket(&mut layer, &mut bucket_ws)?;
+                    }
+                    open = true;
+                    for (j, &p) in key_positions.iter().enumerate() {
+                        layer.key_cols[j].push(enc.code(row, p));
+                    }
+                }
+                let value = enc.code(row, value_pos);
+                layer.entries.push(Entry {
+                    start: 0, // prefix sums are filled in at bucket close
+                    value,
+                    child0: row_children.first().copied().unwrap_or(0),
+                });
+                layer.value_codes.push(value);
+                layer
+                    .extra_children
+                    .extend(row_children.iter().skip(1).copied());
+                debug_assert_eq!(layer.extra_children.len(), layer.entries.len() * extra);
+                bucket_ws.push(w);
+            }
+            if open {
+                close_bucket(&mut layer, &mut bucket_ws)?;
+            }
+            layers[i] = Some(layer);
         }
         let layers: Vec<Layer> = layers.into_iter().map(|l| l.expect("all built")).collect();
-        let total = layers[0]
-            .buckets
-            .get(&Tuple::new(vec![]))
-            .map_or(0, |b| b.total);
+        let total = layers[0].buckets.first().map_or(0, |b| b.total);
 
         Ok(LexDirectAccess {
-            out_vars: q.free().to_vec(),
+            out_vars,
             order,
-            var_slots: qp.var_count(),
+            var_slots,
+            dict,
             layers,
             derivations,
             total,
@@ -294,48 +633,107 @@ impl LexDirectAccess {
         &self.order
     }
 
+    /// The order-preserving dictionary the structure is encoded under.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
     /// Algorithm 1: the answer at index `k` of the sorted answer array,
-    /// or `None` ("out-of-bound") if `k ≥ len()`. O(log n).
+    /// or `None` ("out-of-bound") if `k ≥ len()`. O(log n); the only
+    /// heap allocation is the returned tuple itself (see
+    /// [`LexDirectAccess::access_into`] to avoid even that).
     pub fn access(&self, k: u64) -> Option<Tuple> {
         if k >= self.total {
             return None;
         }
-        let mut assignment: Vec<Option<Value>> = vec![None; self.var_slots];
-        let mut k = k;
-        let mut factor = self.total;
-        let mut chosen: Vec<Option<&Bucket>> = vec![None; self.layers.len()];
-        if let Some(layer) = self.layers.first() {
-            chosen[0] = layer.buckets.get(&Tuple::new(vec![]));
+        if self.fits_stack_scratch() {
+            let mut assignment = [0u32; STACK_SCRATCH];
+            let mut chosen = [0u32; STACK_SCRATCH];
+            self.locate(k, &mut assignment, &mut chosen);
+            return Some(self.emit(&assignment));
         }
-        for i in 0..self.layers.len() {
-            let bucket = chosen[i].expect("positive-weight path");
-            factor /= bucket.total;
-            // Last entry with start·factor ≤ k.
-            let idx = bucket.entries.partition_point(|(_, _, s)| *s * factor <= k) - 1;
-            let (value, _, start) = &bucket.entries[idx];
-            k -= start * factor;
-            assignment[self.layers[i].var.index()] = Some(value.clone());
-            self.descend(i, &mut chosen, &mut factor, &assignment);
+        SCRATCH.with(|s| {
+            let mut s = s.borrow_mut();
+            s.ensure(self.var_slots, self.layers.len(), self.order.len());
+            let Scratch {
+                assignment, chosen, ..
+            } = &mut *s;
+            self.locate(k, assignment, chosen);
+            Some(self.emit(assignment))
+        })
+    }
+
+    /// Allocation-free [`LexDirectAccess::access`]: write the answer at
+    /// index `k` into `out` (in head order, reusing its capacity) and
+    /// return `true`, or return `false` when `k ≥ len()`. After `out`
+    /// has grown to the head arity once, calls perform **zero** heap
+    /// allocations.
+    pub fn access_into(&self, k: u64, out: &mut Vec<Value>) -> bool {
+        out.clear();
+        if k >= self.total {
+            return false;
         }
-        Some(self.emit(&assignment))
+        if self.fits_stack_scratch() {
+            let mut assignment = [0u32; STACK_SCRATCH];
+            let mut chosen = [0u32; STACK_SCRATCH];
+            self.locate(k, &mut assignment, &mut chosen);
+            self.emit_into(&assignment, out);
+            return true;
+        }
+        SCRATCH.with(|s| {
+            let mut s = s.borrow_mut();
+            s.ensure(self.var_slots, self.layers.len(), self.order.len());
+            let Scratch {
+                assignment, chosen, ..
+            } = &mut *s;
+            self.locate(k, assignment, chosen);
+            self.emit_into(assignment, out);
+        });
+        true
+    }
+
+    /// `true` when the descent state fits the fixed stack buffers —
+    /// virtually every real query; the thread-local scratch handles the
+    /// rest.
+    #[inline]
+    fn fits_stack_scratch(&self) -> bool {
+        self.var_slots <= STACK_SCRATCH && self.layers.len() <= STACK_SCRATCH
+    }
+
+    /// Decode the assignment into an owned answer tuple (head order) —
+    /// the access path's single allocation.
+    fn emit(&self, assignment: &[u32]) -> Tuple {
+        self.out_vars
+            .iter()
+            .map(|v| self.dict.value(assignment[v.index()]).clone())
+            .collect()
+    }
+
+    /// Decode the assignment into `out` (head order), allocation-free
+    /// once `out` has the head arity's capacity.
+    fn emit_into(&self, assignment: &[u32], out: &mut Vec<Value>) {
+        out.extend(
+            self.out_vars
+                .iter()
+                .map(|v| self.dict.value(assignment[v.index()]).clone()),
+        );
     }
 
     /// Algorithm 2: the index of `answer` in the sorted answer array, or
     /// `None` ("not-an-answer"). `answer` is a tuple over the original
-    /// query's head variables. O(log n).
+    /// query's head variables. O(log n), allocation-free.
     pub fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
-        let target = self.target_values(answer)?;
-        let (rank, exact) = self.rank_lower_bound(&target);
-        exact.then_some(rank)
+        self.probe(answer)
+            .and_then(|(rank, exact)| exact.then_some(rank))
     }
 
     /// Remark 3: the number of answers strictly before `answer` in the
     /// order, whether or not `answer` itself is an answer. Combined with
     /// [`LexDirectAccess::access`] this yields "return the next answer
     /// in order" for non-answers. Returns `None` if the tuple cannot be
-    /// consistently derived (under FDs). O(log n).
+    /// consistently derived (under FDs). O(log n), allocation-free.
     pub fn rank_of_lower_bound(&self, answer: &Tuple) -> Option<u64> {
-        Some(self.rank_lower_bound(&self.target_values(answer)?).0)
+        self.probe(answer).map(|(rank, _)| rank)
     }
 
     /// Remark 3's "inverted access for missing answers": the first
@@ -352,96 +750,229 @@ impl LexDirectAccess {
         (0..self.total).map(|k| self.access(k).expect("k < total"))
     }
 
-    /// Values for each order position derived from an output tuple;
-    /// `None` if the arity does not match the head or a promoted
-    /// variable's value cannot be derived (such tuples are never
-    /// answers).
-    fn target_values(&self, answer: &Tuple) -> Option<Vec<Value>> {
+    /// Shared core of the probe APIs: encode `answer` into code bounds
+    /// and run [`LexDirectAccess::rank_lower_bound`]. Unlike the access
+    /// paths this always uses the thread-local scratch: the probe state
+    /// is wide enough that zeroing stack buffers would cost more than
+    /// the thread-local round trip saves.
+    fn probe(&self, answer: &Tuple) -> Option<(u64, bool)> {
+        SCRATCH.with(|s| {
+            let mut s = s.borrow_mut();
+            s.ensure(self.var_slots, self.layers.len(), self.order.len());
+            let Scratch {
+                chosen,
+                target,
+                var_bound,
+                ..
+            } = &mut *s;
+            if !self.fill_target(answer, var_bound, target) {
+                return None;
+            }
+            Some(self.rank_lower_bound(&target[..self.order.len()], chosen))
+        })
+    }
+
+    /// Derive, for each order position, the code lower bound of the
+    /// probe tuple's value (and whether the value is interned exactly):
+    /// directly from the head for original variables, through the
+    /// code-keyed FD lookups for promoted ones. Returns `false` when the
+    /// tuple cannot be an answer and has no derivable bound (arity
+    /// mismatch or underivable promoted value).
+    fn fill_target(
+        &self,
+        answer: &Tuple,
+        var_bound: &mut [(u32, bool)],
+        target: &mut [(u32, bool)],
+    ) -> bool {
         if answer.arity() != self.out_vars.len() {
-            return None;
+            return false;
         }
-        let mut assignment: Vec<Option<Value>> = vec![None; self.var_slots];
         for (i, &v) in self.out_vars.iter().enumerate() {
-            assignment[v.index()] = Some(answer[i].clone());
+            var_bound[v.index()] = self.dict.lower_bound(&answer[i]);
         }
         for d in &self.derivations {
-            let from = assignment[d.from.index()].clone()?;
-            assignment[d.var.index()] = Some(d.lookup.get(&from)?.clone());
+            // A promoted value is derivable only from an exactly interned
+            // determinant; otherwise the tuple's rank is undefined under
+            // the FD-reordered internal order (matching the paper's
+            // convention that such tuples are never answers).
+            let (from, exact) = var_bound[d.from.index()];
+            if !exact {
+                return false;
+            }
+            match d.lookup.get(&from) {
+                Some(&c) => var_bound[d.var.index()] = (c, true),
+                None => return false,
+            }
         }
-        self.order
-            .iter()
-            .map(|v| assignment[v.index()].clone())
-            .collect()
+        for (i, &v) in self.order.iter().enumerate() {
+            target[i] = var_bound[v.index()];
+        }
+        true
+    }
+
+    /// Algorithm 1's descent: locate answer `k`, writing the chosen code
+    /// of every order variable into `assignment`. Caller guarantees
+    /// `k < total`. Pure integer binary searches; no allocation.
+    ///
+    /// Overflow-freedom: `factor` always equals the exact number of
+    /// answers extending the current partial assignment, and every
+    /// `start × factor` product counts a subset of those answers — both
+    /// are `≤ total ≤ u64::MAX` by the build-time overflow check.
+    fn locate(&self, mut k: u64, assignment: &mut [u32], chosen: &mut [u32]) {
+        let mut factor = self.total;
+        if !self.layers.is_empty() {
+            chosen[0] = 0;
+        }
+        for i in 0..self.layers.len() {
+            let layer = &self.layers[i];
+            let m = &layer.buckets[chosen[i] as usize];
+            let lo = m.offset as usize;
+            // Chain-shaped trees keep `factor == m.total` (the pending
+            // count is exactly this subtree), so the division — and the
+            // one normalizing `k` — usually fold into the fast path.
+            factor = if factor == m.total {
+                1
+            } else {
+                factor / m.total
+            };
+            let q = if factor == 1 { k } else { k / factor };
+            // Last entry with start ≤ q, i.e. start·factor ≤ k. The
+            // rank directory brackets it to an O(1) expected window.
+            let (wlo, whi) = if m.dir == NO_DIR {
+                (0, m.len as usize)
+            } else {
+                let d = m.dir as usize + ((q << m.dir_log) / m.total) as usize;
+                (layer.dir_pool[d] as usize, layer.dir_pool[d + 1] as usize)
+            };
+            let idx =
+                lo + wlo + layer.entries[lo + wlo..lo + whi].partition_point(|e| e.start <= q) - 1;
+            let e = &layer.entries[idx];
+            k -= e.start * factor;
+            assignment[layer.var.index()] = e.value;
+            if let Some((&c0, rest)) = layer.children.split_first() {
+                chosen[c0] = e.child0;
+                factor *= self.layers[c0].buckets[e.child0 as usize].total;
+                let base = idx * rest.len();
+                for (ci, &c) in rest.iter().enumerate() {
+                    let cb = layer.extra_children[base + ci];
+                    chosen[c] = cb;
+                    factor *= self.layers[c].buckets[cb as usize].total;
+                }
+            }
+        }
+        debug_assert_eq!(k, 0, "descent consumes the whole rank");
     }
 
     /// Core of Algorithm 2 and Remark 3: count answers strictly before
-    /// the (possibly absent) tuple with the given order values; the
-    /// boolean reports whether the tuple is an actual answer.
-    fn rank_lower_bound(&self, target: &[Value]) -> (u64, bool) {
+    /// the (possibly absent) tuple with the given order bounds; the
+    /// boolean reports whether the tuple is an actual answer. Pure
+    /// integer binary searches; no allocation.
+    fn rank_lower_bound(&self, target: &[(u32, bool)], chosen: &mut [u32]) -> (u64, bool) {
         debug_assert_eq!(target.len(), self.layers.len());
-        let mut assignment: Vec<Option<Value>> = vec![None; self.var_slots];
-        let mut rank = 0u64;
-        let mut factor = self.total;
-        let mut chosen: Vec<Option<&Bucket>> = vec![None; self.layers.len()];
-        if let Some(layer) = self.layers.first() {
-            chosen[0] = layer.buckets.get(&Tuple::new(vec![]));
-        }
         if self.layers.is_empty() {
             return (0, self.total == 1);
         }
-        for i in 0..self.layers.len() {
-            let Some(bucket) = chosen[i] else {
-                return (rank, false);
+        if self.total == 0 {
+            return (0, false);
+        }
+        let mut rank = 0u64;
+        let mut factor = self.total;
+        chosen[0] = 0;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let m = &layer.buckets[chosen[i] as usize];
+            let lo = m.offset as usize;
+            let hi = lo + m.len as usize;
+            factor = if factor == m.total {
+                1
+            } else {
+                factor / m.total
             };
-            factor /= bucket.total;
-            let (idx, exact) = bucket.lower_bound(&target[i]);
-            rank += bucket.start_at(idx) * factor;
-            if !exact {
+            let (code, can_exact) = target[i];
+            // First entry with value ≥ the probe value: codes below the
+            // probe's lower-bound code decode to strictly smaller values.
+            let idx = lo + layer.value_codes[lo..hi].partition_point(|&e| e < code);
+            let before = if idx < hi {
+                layer.entries[idx].start
+            } else {
+                m.total
+            };
+            rank += before * factor;
+            if !(can_exact && idx < hi && layer.value_codes[idx] == code) {
                 return (rank, false);
             }
-            assignment[self.layers[i].var.index()] = Some(target[i].clone());
-            self.descend(i, &mut chosen, &mut factor, &assignment);
+            if let Some((&c0, rest)) = layer.children.split_first() {
+                let e = &layer.entries[idx];
+                chosen[c0] = e.child0;
+                factor *= self.layers[c0].buckets[e.child0 as usize].total;
+                let base = idx * rest.len();
+                for (ci, &c) in rest.iter().enumerate() {
+                    let cb = layer.extra_children[base + ci];
+                    chosen[c] = cb;
+                    factor *= self.layers[c].buckets[cb as usize].total;
+                }
+            }
         }
         (rank, true)
     }
+}
 
-    /// Shared Algorithm 1/2 step: after choosing entry `idx` in layer
-    /// `i`'s bucket, select the agreeing bucket in every child and fold
-    /// its weight into `factor`.
-    fn descend<'a>(
-        &'a self,
-        i: usize,
-        chosen: &mut [Option<&'a Bucket>],
-        factor: &mut u64,
-        assignment: &[Option<Value>],
-    ) {
-        for &c in &self.layers[i].children {
-            let key: Tuple = self.layers[c]
-                .key_vars
-                .iter()
-                .map(|kv| {
-                    assignment[kv.index()]
-                        .clone()
-                        .expect("child keys are assigned before the child layer")
-                })
-                .collect();
-            let b = self.layers[c].buckets.get(&key);
-            chosen[c] = b;
-            *factor = factor.saturating_mul(b.map_or(0, |b| b.total));
+/// Close the currently open bucket: turn its entry weights into prefix
+/// sums (`starts`), record the bucket metadata, and build its rank
+/// directory — rejecting counts above `u64::MAX`.
+fn close_bucket(layer: &mut Layer, ws: &mut Vec<u128>) -> Result<(), BuildError> {
+    let len = ws.len();
+    let offset = layer.entries.len() - len;
+    let mut running: u128 = 0;
+    for (e, &w) in ws.iter().enumerate() {
+        if running > u64::MAX as u128 {
+            return Err(BuildError::CountOverflow);
+        }
+        layer.entries[offset + e].start = running as u64;
+        running += w;
+    }
+    if running > u64::MAX as u128 {
+        return Err(BuildError::CountOverflow);
+    }
+    let total = running as u64;
+    ws.clear();
+
+    // Rank directory (see the `Layer` docs): B = 2^dir_log slots, slot
+    // j counting the entries with start·B ≤ j·total. `dir_log` is
+    // capped so that the runtime shift `q << dir_log` (with q < total)
+    // cannot overflow u64.
+    let mut dir = NO_DIR;
+    let mut dir_log: u8 = 0;
+    if len >= DIR_MIN_ENTRIES && total > 1 {
+        let mut log = (usize::BITS - (len - 1).leading_zeros()).min(16) as u8;
+        let total_bits = 64 - (total - 1).leading_zeros() as u8;
+        log = log.min(64 - total_bits);
+        // A directory offset must fit `BucketMeta::dir`'s u32 (NO_DIR
+        // excluded); a layer huge enough to exhaust the pool simply
+        // falls back to plain binary search for its remaining buckets.
+        let fits_pool =
+            log >= 3 && layer.dir_pool.len().saturating_add((1usize << log) + 1) < NO_DIR as usize;
+        if fits_pool {
+            dir = layer.dir_pool.len() as u32;
+            dir_log = log;
+            let entries = &layer.entries[offset..offset + len];
+            let mut ptr = 0usize;
+            for j in 0..=(1u64 << log) {
+                let bound = (j as u128) * (total as u128);
+                while ptr < len && ((entries[ptr].start as u128) << log) <= bound {
+                    ptr += 1;
+                }
+                layer.dir_pool.push(ptr as u32);
+            }
         }
     }
-
-    /// Build the output tuple (original head order) from an assignment.
-    fn emit(&self, assignment: &[Option<Value>]) -> Tuple {
-        self.out_vars
-            .iter()
-            .map(|v| {
-                assignment[v.index()]
-                    .clone()
-                    .expect("all head variables assigned")
-            })
-            .collect()
-    }
+    layer.buckets.push(BucketMeta {
+        total,
+        offset: offset as u32,
+        len: len as u32,
+        dir,
+        dir_log,
+    });
+    Ok(())
 }
 
 pub(crate) fn validate_lex(q: &Cq, lex: &[VarId]) -> Result<(), BuildError> {
@@ -467,10 +998,10 @@ pub(crate) fn validate_lex(q: &Cq, lex: &[VarId]) -> Result<(), BuildError> {
 
 /// For every promoted variable, record how to derive its value from an
 /// earlier variable (needed by inverted access under FDs).
-fn build_derivations(
+pub(crate) fn build_derivations(
     ext: &rda_query::fd::FdExtension,
     idb: &Database,
-) -> Result<Vec<Derivation>, BuildError> {
+) -> Result<Vec<RawDerivation>, BuildError> {
     let mut known: rda_query::VarSet = ext.original.free_set();
     let mut out = Vec::new();
     for step in &ext.steps {
@@ -499,7 +1030,7 @@ fn build_derivations(
         for t in rel.tuples() {
             lookup.insert(t[lp].clone(), t[rp].clone());
         }
-        out.push(Derivation {
+        out.push(RawDerivation {
             var: *var,
             from: fd.lhs,
             lookup,
@@ -610,6 +1141,19 @@ mod tests {
     }
 
     #[test]
+    fn access_into_matches_access() {
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let da = build(&q, &fig2_db(), &["x", "y", "z"]);
+        let mut buf: Vec<Value> = Vec::new();
+        for k in 0..da.len() {
+            assert!(da.access_into(k, &mut buf));
+            assert_eq!(Tuple::new(buf.clone()), da.access(k).unwrap(), "k={k}");
+        }
+        assert!(!da.access_into(da.len(), &mut buf));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
     fn partial_order_is_a_prefix_of_some_full_order() {
         // Theorem 4.1 positive side: <z, y> on the 2-path.
         let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
@@ -678,6 +1222,8 @@ mod tests {
         let da = build(&q, &db, &["x", "y", "z"]);
         assert_eq!(da.len(), 0);
         assert!(da.is_empty());
+        assert_eq!(da.inverted_access(&tup![1, 100, 3]), None);
+        assert_eq!(da.rank_of_lower_bound(&tup![1, 100, 3]), Some(0));
     }
 
     #[test]
@@ -710,5 +1256,24 @@ mod tests {
             let t = da.access(k).unwrap();
             assert_eq!(da.inverted_access(&t), Some(k));
         }
+    }
+
+    #[test]
+    fn count_overflow_is_rejected_at_build() {
+        // Six disconnected unary atoms with 2048 values each: the answer
+        // count is 2048⁶ = 2⁶⁶ > u64::MAX. The pre-arena implementation
+        // silently saturated; the arena refuses to build.
+        let q = parse("Q(a, b, c, d, e, f) :- A(a), B(b), C(c), D(d), E(e), F(f)").unwrap();
+        let mut db = Database::new();
+        for name in ["A", "B", "C", "D", "E", "F"] {
+            db = db.with_i64_rows(name, 1, (0..2048).map(|i| vec![i]).collect::<Vec<_>>());
+        }
+        let r = LexDirectAccess::build(
+            &q,
+            &db,
+            &q.vars(&["a", "b", "c", "d", "e", "f"]),
+            &FdSet::empty(),
+        );
+        assert!(matches!(r, Err(BuildError::CountOverflow)), "{r:?}");
     }
 }

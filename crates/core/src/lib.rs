@@ -24,6 +24,15 @@
 //! [`BuildError::NotTractable`] with the structural witness otherwise;
 //! see [`rda_query::classify`] for the bare decision procedures.
 //!
+//! The access structures run on a dictionary-encoded columnar core:
+//! the active domain is interned into order-preserving `u32` codes
+//! ([`rda_db::Dictionary`]), layers are flat arenas with packed entries
+//! and per-bucket rank directories, and the access hot paths perform no
+//! heap allocation (see the `lexda`/`sumda` module docs). The pre-arena
+//! hash-bucketed implementation survives as
+//! [`reference::HashLexDirectAccess`] for differential testing and
+//! benchmarking.
+//!
 //! ## The front door
 //!
 //! Since 0.2.0 the algorithms above sit behind one planner-style facade:
@@ -44,6 +53,7 @@ pub mod lexda;
 pub mod lexsel;
 pub mod plan;
 pub mod random_order;
+pub mod reference;
 pub mod sumda;
 pub mod sumsel;
 pub mod tupleweights;
@@ -58,6 +68,7 @@ pub use plan::{
     SelectionLexHandle, SelectionSumHandle,
 };
 pub use random_order::{Quantiles, RandomOrderEnumerator};
+pub use reference::HashLexDirectAccess;
 pub use sumda::SumDirectAccess;
 pub use tupleweights::{selection_sum_tw, SumDirectAccessTw, TupleWeights};
 pub use weights::Weights;

@@ -1,0 +1,425 @@
+//! The pre-arena lexicographic access structure, kept as a baseline.
+//!
+//! This is the implementation [`crate::LexDirectAccess`] had before the
+//! dictionary-encoded arena layout: per-layer `HashMap<Tuple, Bucket>`
+//! with `(Value, weight, start)` entries, key tuples allocated and
+//! hashed on every layer descent. It is retained verbatim for two jobs:
+//!
+//! * **differential testing** — `tests/oracle.rs` checks the arena
+//!   structure against it answer-for-answer on randomized instances;
+//! * **benchmarking** — the `access` experiment of `rda-bench` measures
+//!   old-vs-new on identical workloads and records both in
+//!   `BENCH_access.json`.
+//!
+//! It is not part of the supported API surface and keeps the pre-PR
+//! behavior, including saturating (unchecked) weight arithmetic. Apart
+//! from `validate_lex` and `build_derivations`, the pipeline here is
+//! deliberately *duplicated*, not shared with `lexda::prepare_layers`:
+//! the differential tests are only meaningful if the two structures are
+//! built independently.
+
+use crate::error::BuildError;
+use crate::fdtransform::{check_fds, extend_instance};
+use crate::instance::{full_reduce, normalize_instance, positions_of, reduce_to_full, sorted_vars};
+use crate::lexda::{build_derivations, validate_lex, RawDerivation};
+use rda_db::{Database, Relation, Tuple, Value};
+use rda_query::classify::{classify, Problem, Verdict};
+use rda_query::connex::complete_order;
+use rda_query::fd::{fd_extension, fd_reordered_order, FdSet};
+use rda_query::jointree::{JoinTree, NodeSource};
+use rda_query::layered::layered_join_tree;
+use rda_query::query::Cq;
+use rda_query::VarId;
+use std::collections::HashMap;
+
+/// One sorted run of a layer relation: all tuples agreeing on the
+/// preceding variables, ordered by the layer's own variable.
+#[derive(Debug, Clone)]
+struct Bucket {
+    /// `(value, weight, start)` per tuple, ascending by value
+    /// (Figure 4's `w` and `s` columns).
+    entries: Vec<(Value, u64, u64)>,
+    /// Sum of entry weights.
+    total: u64,
+}
+
+impl Bucket {
+    /// Index of the first entry with value ≥ `v`, and whether it equals `v`.
+    fn lower_bound(&self, v: &Value) -> (usize, bool) {
+        let idx = self.entries.partition_point(|(ev, _, _)| ev < v);
+        let exact = idx < self.entries.len() && &self.entries[idx].0 == v;
+        (idx, exact)
+    }
+
+    /// Total weight of entries with value strictly below index `idx`.
+    fn start_at(&self, idx: usize) -> u64 {
+        if idx < self.entries.len() {
+            self.entries[idx].2
+        } else {
+            self.total
+        }
+    }
+}
+
+/// Per-layer access structure (hash-bucketed).
+#[derive(Debug, Clone)]
+struct Layer {
+    /// The layer's variable `v_i`.
+    var: VarId,
+    /// Bucket-key variables (ascending), for building keys from a
+    /// partial assignment.
+    key_vars: Vec<VarId>,
+    /// Child layers in the layered join tree.
+    children: Vec<usize>,
+    /// Buckets keyed by the projection onto `key_vars`.
+    buckets: HashMap<Tuple, Bucket>,
+}
+
+/// The pre-arena [`crate::LexDirectAccess`]: same algorithms (1 and 2),
+/// same preprocessing, hash-map bucket layout. See the module docs for
+/// why it is kept.
+#[derive(Debug, Clone)]
+pub struct HashLexDirectAccess {
+    out_vars: Vec<VarId>,
+    order: Vec<VarId>,
+    var_slots: usize,
+    layers: Vec<Layer>,
+    derivations: Vec<RawDerivation>,
+    total: u64,
+}
+
+impl HashLexDirectAccess {
+    /// Build the structure; identical preconditions and failure modes to
+    /// the pre-PR `LexDirectAccess::build` (in particular, weight
+    /// arithmetic saturates instead of reporting overflow).
+    pub fn build(q: &Cq, db: &Database, lex: &[VarId], fds: &FdSet) -> Result<Self, BuildError> {
+        validate_lex(q, lex)?;
+        if !fds.is_empty() && !q.is_self_join_free() {
+            return Err(BuildError::InvalidOrder(
+                "functional dependencies require a self-join-free query".to_string(),
+            ));
+        }
+        match classify(q, fds, &Problem::DirectAccessLex(lex.to_vec())) {
+            Verdict::Tractable { .. } => {}
+            v => return Err(BuildError::NotTractable(v)),
+        }
+
+        let (nq, ndb) = normalize_instance(q, db)?;
+        check_fds(&nq, &ndb, fds)?;
+        let ext = fd_extension(&nq, fds);
+        let idb = extend_instance(&ext, &ndb)?;
+        let qp = ext.query.clone();
+        let l_plus = fd_reordered_order(&ext, lex);
+        let derivations = build_derivations(&ext, &idb)?;
+
+        let red = reduce_to_full(&qp, &idb)
+            .expect("classification guarantees the extension is free-connex");
+
+        // Boolean (or fully-implied) case: no order variables at all.
+        let order =
+            complete_order(&qp, &l_plus).expect("classification guarantees a trio-free completion");
+        if order.is_empty() {
+            return Ok(HashLexDirectAccess {
+                out_vars: q.free().to_vec(),
+                order,
+                var_slots: qp.var_count(),
+                layers: Vec::new(),
+                derivations,
+                total: u64::from(!red.known_empty),
+            });
+        }
+
+        // Layered join tree over the reduced full query.
+        let edges: Vec<_> = red.query.atoms().iter().map(|a| a.var_set()).collect();
+        let layered = layered_join_tree(&edges, &order)
+            .expect("Lemma 3.10: the reduction preserves trio-freeness");
+
+        // Materialize a relation per layer: project the defining edge,
+        // then filter by every assigned edge.
+        let f = order.len();
+        let mut layer_rels: Vec<Relation> = Vec::with_capacity(f);
+        let mut layer_vars: Vec<Vec<VarId>> = Vec::with_capacity(f);
+        for (i, node) in layered.layers.iter().enumerate() {
+            let vars = sorted_vars(node.vars);
+            let def = &red.query.atoms()[node.defining_edge];
+            let def_rel = red.db.get(&def.relation).expect("reduced relation exists");
+            let mut rel = def_rel.project(format!("L{i}"), &positions_of(&def.terms, &vars));
+            for &e in &node.assigned_edges {
+                let atom = &red.query.atoms()[e];
+                let e_vars = sorted_vars(atom.var_set());
+                let self_keys = positions_of(&vars, &e_vars);
+                let other = red.db.get(&atom.relation).expect("reduced relation exists");
+                let other_keys = positions_of(&atom.terms, &e_vars);
+                rel.semijoin(&self_keys, other, &other_keys);
+            }
+            layer_rels.push(rel);
+            layer_vars.push(vars);
+        }
+
+        // Remove dangling tuples across the layered tree so every stored
+        // tuple has positive weight (Figure 4's invariant).
+        let mut jt = JoinTree::new();
+        for (i, node) in layered.layers.iter().enumerate() {
+            let idx = jt.add_node(node.vars, NodeSource::Synthetic(None));
+            debug_assert_eq!(idx, i);
+        }
+        for (i, node) in layered.layers.iter().enumerate() {
+            if let Some(p) = node.parent {
+                jt.add_edge(p, i);
+            }
+        }
+        full_reduce(&jt, &layer_vars, &mut layer_rels);
+
+        // Counting DP, deepest layer first (children have larger index).
+        let mut layers: Vec<Option<Layer>> = (0..f).map(|_| None).collect();
+        for i in (0..f).rev() {
+            let vars = &layer_vars[i];
+            let var = order[i];
+            let value_pos = vars
+                .iter()
+                .position(|&v| v == var)
+                .expect("layer var in node");
+            let key_positions: Vec<usize> = (0..vars.len()).filter(|&p| p != value_pos).collect();
+            let key_vars: Vec<VarId> = key_positions.iter().map(|&p| vars[p]).collect();
+            let children = layered.children(i);
+
+            // Weight per tuple = product over children of the matching
+            // bucket's total.
+            let mut grouped: HashMap<Tuple, Vec<(Value, u64)>> = HashMap::new();
+            for t in layer_rels[i].tuples() {
+                let mut w: u64 = 1;
+                for &c in &children {
+                    let child = layers[c].as_ref().expect("children already built");
+                    let child_key: Tuple = child
+                        .key_vars
+                        .iter()
+                        .map(|ck| {
+                            let p = vars
+                                .iter()
+                                .position(|v| v == ck)
+                                .expect("running intersection: child keys lie in the parent node");
+                            t[p].clone()
+                        })
+                        .collect();
+                    w = w.saturating_mul(child.buckets.get(&child_key).map_or(0, |b| b.total));
+                }
+                if w == 0 {
+                    continue;
+                }
+                grouped
+                    .entry(t.project(&key_positions))
+                    .or_default()
+                    .push((t[value_pos].clone(), w));
+            }
+            let mut buckets = HashMap::with_capacity(grouped.len());
+            for (key, mut vals) in grouped {
+                vals.sort_by(|a, b| a.0.cmp(&b.0));
+                let mut entries = Vec::with_capacity(vals.len());
+                let mut start = 0u64;
+                for (v, w) in vals {
+                    entries.push((v, w, start));
+                    start += w;
+                }
+                buckets.insert(
+                    key,
+                    Bucket {
+                        entries,
+                        total: start,
+                    },
+                );
+            }
+            layers[i] = Some(Layer {
+                var,
+                key_vars,
+                children,
+                buckets,
+            });
+        }
+        let layers: Vec<Layer> = layers.into_iter().map(|l| l.expect("all built")).collect();
+        let total = layers[0]
+            .buckets
+            .get(&Tuple::new(vec![]))
+            .map_or(0, |b| b.total);
+
+        Ok(HashLexDirectAccess {
+            out_vars: q.free().to_vec(),
+            order,
+            var_slots: qp.var_count(),
+            layers,
+            derivations,
+            total,
+        })
+    }
+
+    /// Number of answers (`|Q(I)|`).
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when the query has no answers.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The complete internal order over `free(Q⁺)`.
+    pub fn internal_order(&self) -> &[VarId] {
+        &self.order
+    }
+
+    /// Algorithm 1 over the hash-bucketed layout.
+    pub fn access(&self, k: u64) -> Option<Tuple> {
+        if k >= self.total {
+            return None;
+        }
+        let mut assignment: Vec<Option<Value>> = vec![None; self.var_slots];
+        let mut k = k;
+        let mut factor = self.total;
+        let mut chosen: Vec<Option<&Bucket>> = vec![None; self.layers.len()];
+        if let Some(layer) = self.layers.first() {
+            chosen[0] = layer.buckets.get(&Tuple::new(vec![]));
+        }
+        for i in 0..self.layers.len() {
+            let bucket = chosen[i].expect("positive-weight path");
+            factor /= bucket.total;
+            // Last entry with start·factor ≤ k.
+            let idx = bucket.entries.partition_point(|(_, _, s)| *s * factor <= k) - 1;
+            let (value, _, start) = &bucket.entries[idx];
+            k -= start * factor;
+            assignment[self.layers[i].var.index()] = Some(value.clone());
+            self.descend(i, &mut chosen, &mut factor, &assignment);
+        }
+        Some(self.emit(&assignment))
+    }
+
+    /// Algorithm 2 over the hash-bucketed layout.
+    pub fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
+        let target = self.target_values(answer)?;
+        let (rank, exact) = self.rank_lower_bound(&target);
+        exact.then_some(rank)
+    }
+
+    /// Remark 3 over the hash-bucketed layout.
+    pub fn rank_of_lower_bound(&self, answer: &Tuple) -> Option<u64> {
+        Some(self.rank_lower_bound(&self.target_values(answer)?).0)
+    }
+
+    /// Iterate over all answers in order.
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        (0..self.total).map(|k| self.access(k).expect("k < total"))
+    }
+
+    fn target_values(&self, answer: &Tuple) -> Option<Vec<Value>> {
+        if answer.arity() != self.out_vars.len() {
+            return None;
+        }
+        let mut assignment: Vec<Option<Value>> = vec![None; self.var_slots];
+        for (i, &v) in self.out_vars.iter().enumerate() {
+            assignment[v.index()] = Some(answer[i].clone());
+        }
+        for d in &self.derivations {
+            let from = assignment[d.from.index()].clone()?;
+            assignment[d.var.index()] = Some(d.lookup.get(&from)?.clone());
+        }
+        self.order
+            .iter()
+            .map(|v| assignment[v.index()].clone())
+            .collect()
+    }
+
+    fn rank_lower_bound(&self, target: &[Value]) -> (u64, bool) {
+        debug_assert_eq!(target.len(), self.layers.len());
+        let mut assignment: Vec<Option<Value>> = vec![None; self.var_slots];
+        let mut rank = 0u64;
+        let mut factor = self.total;
+        let mut chosen: Vec<Option<&Bucket>> = vec![None; self.layers.len()];
+        if let Some(layer) = self.layers.first() {
+            chosen[0] = layer.buckets.get(&Tuple::new(vec![]));
+        }
+        if self.layers.is_empty() {
+            return (0, self.total == 1);
+        }
+        for i in 0..self.layers.len() {
+            let Some(bucket) = chosen[i] else {
+                return (rank, false);
+            };
+            factor /= bucket.total;
+            let (idx, exact) = bucket.lower_bound(&target[i]);
+            rank += bucket.start_at(idx) * factor;
+            if !exact {
+                return (rank, false);
+            }
+            assignment[self.layers[i].var.index()] = Some(target[i].clone());
+            self.descend(i, &mut chosen, &mut factor, &assignment);
+        }
+        (rank, true)
+    }
+
+    fn descend<'a>(
+        &'a self,
+        i: usize,
+        chosen: &mut [Option<&'a Bucket>],
+        factor: &mut u64,
+        assignment: &[Option<Value>],
+    ) {
+        for &c in &self.layers[i].children {
+            let key: Tuple = self.layers[c]
+                .key_vars
+                .iter()
+                .map(|kv| {
+                    assignment[kv.index()]
+                        .clone()
+                        .expect("child keys are assigned before the child layer")
+                })
+                .collect();
+            let b = self.layers[c].buckets.get(&key);
+            chosen[c] = b;
+            *factor = factor.saturating_mul(b.map_or(0, |b| b.total));
+        }
+    }
+
+    fn emit(&self, assignment: &[Option<Value>]) -> Tuple {
+        self.out_vars
+            .iter()
+            .map(|v| {
+                assignment[v.index()]
+                    .clone()
+                    .expect("all head variables assigned")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LexDirectAccess;
+    use rda_db::tup;
+    use rda_query::parser::parse;
+
+    fn fig2_db() -> Database {
+        Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+            .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]])
+    }
+
+    /// The reference structure and the arena agree on the running
+    /// example — the full differential check lives in tests/oracle.rs.
+    #[test]
+    fn agrees_with_arena_on_figure_2() {
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let lex = q.vars(&["x", "y", "z"]);
+        let db = fig2_db();
+        let old = HashLexDirectAccess::build(&q, &db, &lex, &FdSet::empty()).unwrap();
+        let new = LexDirectAccess::build(&q, &db, &lex, &FdSet::empty()).unwrap();
+        assert_eq!(old.len(), new.len());
+        for k in 0..old.len() {
+            let t = old.access(k).unwrap();
+            assert_eq!(Some(t.clone()), new.access(k));
+            assert_eq!(old.inverted_access(&t), new.inverted_access(&t));
+        }
+        assert_eq!(
+            old.rank_of_lower_bound(&tup![1, 3, 0]),
+            new.rank_of_lower_bound(&tup![1, 3, 0])
+        );
+    }
+}

@@ -5,29 +5,56 @@
 //! (equivalently `αfree(Q⁺) ≤ 1`, Lemma 5.4). Then a semijoin reduction
 //! plus one sort materializes the answer array (Lemma 5.9) and accesses
 //! are O(1) — everything else is 3SUM-hard (Lemmas 5.7/5.8).
+//!
+//! # Layout
+//!
+//! The sorted answer array is stored columnar and dictionary-encoded
+//! (one `u32` column per head position, in weight order), with the
+//! weights in a parallel array. Inverted access binary-searches a
+//! tuple-sorted permutation of the rows, comparing codes column-wise —
+//! O(log n), no tuple hashing, no heap allocation (the pre-arena layout
+//! kept a `HashMap<Tuple, u64>` shadow copy of every answer).
 
 use crate::error::BuildError;
 use crate::fdtransform::{check_fds, extend_instance};
 use crate::instance::{normalize_instance, positions_of};
 use crate::weights::Weights;
-use rda_db::{Database, Relation, Tuple};
+use rda_db::{Database, Dictionary, Relation, Tuple, Value};
 use rda_orderstat::TotalF64;
 use rda_query::classify::{classify, Problem, Verdict};
 use rda_query::fd::{fd_extension, FdSet};
 use rda_query::gyo;
 use rda_query::query::Cq;
 use rda_query::VarId;
+use std::cell::RefCell;
+use std::cmp::Ordering;
+
+thread_local! {
+    /// Reusable probe-encoding buffer; keeps `inverted_access`
+    /// allocation-free and the structure `Sync`.
+    static PROBE: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A materialized, weight-sorted answer array with O(1) direct access
-/// (Theorem 5.1 / 8.9 positive side).
+/// and O(log n) allocation-free inverted access (Theorem 5.1 / 8.9
+/// positive side).
 ///
 /// Ties on weight are broken by the answer tuple itself, making the
 /// order deterministic.
 #[derive(Debug, Clone)]
 pub struct SumDirectAccess {
-    answers: Vec<(TotalF64, Tuple)>,
-    /// Answer → rank, for O(1) inverted access.
-    rank: std::collections::HashMap<Tuple, u64>,
+    /// Order-preserving dictionary over the answers' active domain.
+    dict: Dictionary,
+    /// Number of answers.
+    len: usize,
+    /// One code column per head position; row `k` is answer `k` in
+    /// ascending (weight, tuple) order.
+    cols: Vec<Vec<u32>>,
+    /// Answer weights, parallel to the rows.
+    weights: Vec<TotalF64>,
+    /// Row indices sorted by the encoded tuple — the binary-search
+    /// index behind [`SumDirectAccess::inverted_access`].
+    by_tuple: Vec<u32>,
 }
 
 impl SumDirectAccess {
@@ -48,16 +75,18 @@ impl SumDirectAccess {
         let (nq, ndb) = normalize_instance(q, db)?;
         check_fds(&nq, &ndb, fds)?;
         let ext = fd_extension(&nq, fds);
-        let idb = extend_instance(&ext, &ndb)?;
+        let mut idb = extend_instance(&ext, &ndb)?;
         let qp = ext.query;
 
-        // Full reducer over the extension's join tree.
+        // Full reducer over the extension's join tree. The extended
+        // instance is ours and self-join-free after normalization, so
+        // relations move out of it instead of being cloned.
         let tree = gyo::join_tree(&qp.hypergraph()).expect("classification guarantees acyclicity");
         let atom_vars: Vec<Vec<VarId>> = qp.atoms().iter().map(|a| a.terms.clone()).collect();
         let mut rels: Vec<Relation> = qp
             .atoms()
             .iter()
-            .map(|a| idb.get(&a.relation).expect("normalized instance").clone())
+            .map(|a| idb.take(&a.relation).expect("normalized instance"))
             .collect();
         crate::instance::full_reduce(&tree, &atom_vars, &mut rels);
 
@@ -92,46 +121,117 @@ impl SumDirectAccess {
                 .collect()
         };
         answers.sort();
-        let rank = answers
-            .iter()
-            .enumerate()
-            .map(|(i, (_, t))| (t.clone(), i as u64))
-            .collect();
-        Ok(SumDirectAccess { answers, rank })
+        Ok(Self::from_sorted_answers(out_vars.len(), answers))
+    }
+
+    /// Encode a weight-sorted, distinct answer array into the columnar
+    /// layout.
+    fn from_sorted_answers(arity: usize, answers: Vec<(TotalF64, Tuple)>) -> Self {
+        let len = answers.len();
+        let dict = Dictionary::from_values(answers.iter().flat_map(|(_, t)| t.iter().cloned()));
+        let mut cols: Vec<Vec<u32>> = (0..arity).map(|_| Vec::with_capacity(len)).collect();
+        let mut weights = Vec::with_capacity(len);
+        for (w, t) in &answers {
+            weights.push(*w);
+            for (p, v) in t.iter().enumerate() {
+                cols[p].push(dict.code(v).expect("dictionary covers answers"));
+            }
+        }
+        let mut by_tuple: Vec<u32> = (0..len as u32).collect();
+        by_tuple.sort_unstable_by(|&a, &b| {
+            cols.iter()
+                .map(|c| c[a as usize].cmp(&c[b as usize]))
+                .find(|o| o.is_ne())
+                .unwrap_or(Ordering::Equal)
+        });
+        SumDirectAccess {
+            dict,
+            len,
+            cols,
+            weights,
+            by_tuple,
+        }
     }
 
     /// Number of answers.
     pub fn len(&self) -> u64 {
-        self.answers.len() as u64
+        self.len as u64
     }
 
     /// `true` when there are no answers.
     pub fn is_empty(&self) -> bool {
-        self.answers.is_empty()
+        self.len == 0
+    }
+
+    /// Decode row `k` into an owned tuple (the single allocation of the
+    /// access path).
+    fn decode(&self, k: usize) -> Tuple {
+        self.cols
+            .iter()
+            .map(|c| self.dict.value(c[k]).clone())
+            .collect()
     }
 
     /// The answer at index `k` in ascending weight order, O(1).
     ///
     /// Returns an owned tuple — the uniform convention across every
-    /// access backend (see `rda_core::plan::DirectAccess`).
+    /// access backend (see `rda_core::plan::DirectAccess`); the tuple is
+    /// the only heap allocation (see [`SumDirectAccess::access_into`]).
     pub fn access(&self, k: u64) -> Option<Tuple> {
-        self.answers.get(k as usize).map(|(_, t)| t.clone())
+        ((k as usize) < self.len).then(|| self.decode(k as usize))
+    }
+
+    /// Allocation-free [`SumDirectAccess::access`]: write answer `k`
+    /// into `out` (reusing its capacity) and report whether `k` was in
+    /// bounds.
+    pub fn access_into(&self, k: u64, out: &mut Vec<Value>) -> bool {
+        out.clear();
+        if (k as usize) >= self.len {
+            return false;
+        }
+        out.extend(
+            self.cols
+                .iter()
+                .map(|c| self.dict.value(c[k as usize]).clone()),
+        );
+        true
     }
 
     /// The answer at index `k` together with its weight.
     pub fn access_weighted(&self, k: u64) -> Option<(TotalF64, Tuple)> {
-        self.answers.get(k as usize).map(|(w, t)| (*w, t.clone()))
+        ((k as usize) < self.len).then(|| (self.weights[k as usize], self.decode(k as usize)))
     }
 
     /// The rank of `answer` in the weight order, or `None` when it is
-    /// not an answer. O(1).
+    /// not an answer. O(log n), allocation-free: the probe is encoded
+    /// through the dictionary (a miss proves non-membership) and
+    /// binary-searched against the tuple-sorted row index.
     pub fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
-        self.rank.get(answer).copied()
+        if answer.arity() != self.cols.len() {
+            return None;
+        }
+        PROBE.with(|p| {
+            let mut probe = p.borrow_mut();
+            if !self.dict.encode_tuple_into(answer, &mut probe) {
+                return None;
+            }
+            self.by_tuple
+                .binary_search_by(|&row| {
+                    self.cols
+                        .iter()
+                        .zip(probe.iter())
+                        .map(|(c, &pc)| c[row as usize].cmp(&pc))
+                        .find(|o| o.is_ne())
+                        .unwrap_or(Ordering::Equal)
+                })
+                .ok()
+                .map(|j| self.by_tuple[j] as u64)
+        })
     }
 
     /// Iterate answers in weight order.
     pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
-        self.answers.iter().map(|(_, t)| t.clone())
+        (0..self.len).map(|k| self.decode(k))
     }
 }
 
@@ -168,6 +268,36 @@ mod tests {
         // (9,99) is dangling. Weights: (1,5)=6, (1,2)=3, (6,2)=8.
         let got: Vec<Tuple> = da.iter().collect();
         assert_eq!(got, vec![tup![1, 2], tup![1, 5], tup![6, 2]]);
+    }
+
+    #[test]
+    fn inverted_access_round_trips_and_rejects() {
+        let q = parse("Q(x, y) :- R(x, y), S(y, z)").unwrap();
+        let db = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+            .with_i64_rows("S", 2, vec![vec![5, 3], vec![2, 5]]);
+        let da = SumDirectAccess::build(&q, &db, &Weights::identity(), &FdSet::empty()).unwrap();
+        for k in 0..da.len() {
+            let t = da.access(k).unwrap();
+            assert_eq!(da.inverted_access(&t), Some(k), "k={k}");
+        }
+        // Not an answer (dangling / absent / wrong arity).
+        assert_eq!(da.inverted_access(&tup![9, 99]), None);
+        assert_eq!(da.inverted_access(&tup![0, 0]), None);
+        assert_eq!(da.inverted_access(&tup![1, 2, 3]), None);
+    }
+
+    #[test]
+    fn access_into_matches_access() {
+        let q = parse("Q(x, y) :- R(x, y)").unwrap();
+        let db = Database::new().with_i64_rows("R", 2, vec![vec![3, 1], vec![1, 1], vec![2, 5]]);
+        let da = SumDirectAccess::build(&q, &db, &Weights::identity(), &FdSet::empty()).unwrap();
+        let mut buf = Vec::new();
+        for k in 0..da.len() {
+            assert!(da.access_into(k, &mut buf));
+            assert_eq!(Tuple::new(buf.clone()), da.access(k).unwrap());
+        }
+        assert!(!da.access_into(da.len(), &mut buf));
     }
 
     #[test]
@@ -211,8 +341,10 @@ mod tests {
         let db = Database::new().with_i64_rows("R", 2, vec![vec![1, 2]]);
         let da = SumDirectAccess::build(&q, &db, &Weights::zero(), &FdSet::empty()).unwrap();
         assert_eq!(da.len(), 1);
+        assert_eq!(da.inverted_access(&Tuple::new(vec![])), Some(0));
         let empty = Database::new().with_i64_rows("R", 2, vec![]);
         let da = SumDirectAccess::build(&q, &empty, &Weights::zero(), &FdSet::empty()).unwrap();
         assert_eq!(da.len(), 0);
+        assert_eq!(da.inverted_access(&Tuple::new(vec![])), None);
     }
 }

@@ -112,13 +112,15 @@ impl SumDirectAccessTw {
             Verdict::Tractable { .. } => {}
             v => return Err(BuildError::NotTractable(v)),
         }
-        let (nq, ndb) = normalize_instance(q, db)?;
+        let (nq, mut ndb) = normalize_instance(q, db)?;
         let tree = gyo::join_tree(&nq.hypergraph()).expect("acyclic");
         let atom_vars: Vec<Vec<VarId>> = nq.atoms().iter().map(|a| a.terms.clone()).collect();
+        // The normalized instance is ours and self-join-free: move the
+        // relations out instead of cloning them.
         let mut rels: Vec<Relation> = nq
             .atoms()
             .iter()
-            .map(|a| ndb.get(&a.relation).expect("normalized").clone())
+            .map(|a| ndb.take(&a.relation).expect("normalized"))
             .collect();
         crate::instance::full_reduce(&tree, &atom_vars, &mut rels);
 
@@ -184,14 +186,14 @@ pub fn selection_sum_tw(
         Verdict::Tractable { .. } => {}
         v => return Err(BuildError::NotTractable(v)),
     }
-    let (nq, ndb) = normalize_instance(q, db)?;
+    let (nq, mut ndb) = normalize_instance(q, db)?;
     // Full reduce first so every tuple participates.
     let tree = gyo::join_tree(&nq.hypergraph()).expect("acyclic");
     let atom_vars: Vec<Vec<VarId>> = nq.atoms().iter().map(|a| a.terms.clone()).collect();
     let mut rels_v: Vec<Relation> = nq
         .atoms()
         .iter()
-        .map(|a| ndb.get(&a.relation).expect("normalized").clone())
+        .map(|a| ndb.take(&a.relation).expect("normalized"))
         .collect();
     crate::instance::full_reduce(&tree, &atom_vars, &mut rels_v);
 

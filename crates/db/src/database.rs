@@ -42,6 +42,13 @@ impl Database {
         self.relations.get_mut(name)
     }
 
+    /// Remove and return a relation, transferring ownership to the
+    /// caller — the builders use this instead of cloning when the
+    /// database is an intermediate they own.
+    pub fn take(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(name)
+    }
+
     /// Total number of tuples (the paper's `n`).
     pub fn size(&self) -> usize {
         self.relations.values().map(Relation::len).sum()

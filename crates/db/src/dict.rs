@@ -1,0 +1,183 @@
+//! Order-preserving value dictionaries.
+//!
+//! The direct-access structures of the paper spend their whole life
+//! comparing domain values: every layer descent is a binary search and
+//! every bucket boundary is a comparison. Comparing [`Value`]s walks an
+//! enum (and, for strings and pairs, pointers); comparing `u32`s is one
+//! instruction. Since the active domain is static once a structure is
+//! built, we intern it up front: a [`Dictionary`] assigns each distinct
+//! value a dense `u32` code such that **code order equals value order**.
+//! Downstream, relations become columnar `u32` arrays
+//! ([`crate::EncodedRelation`]) and the access structures never touch a
+//! [`Value`] again until an answer tuple is emitted.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// An order-preserving interner for a static set of [`Value`]s.
+///
+/// Codes are dense (`0..len`) and **monotone**: for values `a`, `b`
+/// interned as `ca`, `cb`, `a < b ⇔ ca < cb`. This is what lets the
+/// access structures replace every value comparison by an integer
+/// comparison without changing any order-sensitive result.
+///
+/// ```
+/// use rda_db::{Dictionary, Value};
+///
+/// let dict = Dictionary::from_values([Value::int(30), Value::int(10), Value::int(20)]);
+/// assert_eq!(dict.len(), 3);
+/// assert_eq!(dict.code(&Value::int(10)), Some(0));
+/// assert_eq!(dict.code(&Value::int(30)), Some(2));
+/// assert_eq!(dict.value(1), &Value::int(20));
+/// // Values outside the interned set still get a consistent bound.
+/// assert_eq!(dict.lower_bound(&Value::int(15)), (1, false));
+/// assert_eq!(dict.lower_bound(&Value::int(20)), (1, true));
+/// assert_eq!(dict.lower_bound(&Value::int(99)), (3, false));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    /// Interned values, ascending; the code of `values[i]` is `i`.
+    values: Vec<Value>,
+    /// Reverse map for O(1) encoding.
+    codes: HashMap<Value, u32>,
+}
+
+impl Dictionary {
+    /// Intern the distinct values of `iter`. O(m log m).
+    ///
+    /// # Panics
+    /// Panics if the number of distinct values exceeds `u32::MAX`
+    /// (the paper's `n` is a tuple count; domains that large do not fit
+    /// in memory long before the code space runs out).
+    pub fn from_values(iter: impl IntoIterator<Item = Value>) -> Self {
+        let mut values: Vec<Value> = iter.into_iter().collect();
+        values.sort_unstable();
+        values.dedup();
+        assert!(
+            values.len() <= u32::MAX as usize,
+            "active domain exceeds the u32 code space"
+        );
+        let codes = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
+        Dictionary { values, codes }
+    }
+
+    /// Intern every value appearing in `rels`.
+    pub fn from_relations<'a>(rels: impl IntoIterator<Item = &'a crate::Relation>) -> Self {
+        Self::from_values(
+            rels.into_iter()
+                .flat_map(|r| r.tuples().iter().flat_map(|t| t.iter().cloned())),
+        )
+    }
+
+    /// Number of interned values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The code of `v`, or `None` when `v` was not interned. O(1),
+    /// allocation-free.
+    pub fn code(&self, v: &Value) -> Option<u32> {
+        self.codes.get(v).copied()
+    }
+
+    /// The value behind `code`.
+    ///
+    /// # Panics
+    /// Panics if `code` was never assigned.
+    pub fn value(&self, code: u32) -> &Value {
+        &self.values[code as usize]
+    }
+
+    /// The first code whose value is `≥ v`, and whether it equals `v`
+    /// exactly. Returns `(len, false)` when every interned value is
+    /// `< v`. O(log m), allocation-free.
+    ///
+    /// Because codes are monotone, an interned code `e` satisfies
+    /// `value(e) < v` iff `e < lower_bound(v).0` — the bridge that lets
+    /// rank queries for *arbitrary* (possibly non-interned) tuples run
+    /// entirely in code space.
+    pub fn lower_bound(&self, v: &Value) -> (u32, bool) {
+        let idx = self.values.partition_point(|x| x < v);
+        let exact = idx < self.values.len() && &self.values[idx] == v;
+        (idx as u32, exact)
+    }
+
+    /// Encode a tuple component-wise into `out` (cleared first).
+    /// Returns `false` (leaving `out` in an unspecified state) when some
+    /// component is not interned. Allocation-free once `out` has
+    /// capacity for the tuple's arity.
+    pub fn encode_tuple_into(&self, t: &Tuple, out: &mut Vec<u32>) -> bool {
+        out.clear();
+        for v in t.iter() {
+            match self.code(v) {
+                Some(c) => out.push(c),
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict() -> Dictionary {
+        Dictionary::from_values([
+            Value::int(5),
+            Value::int(1),
+            Value::str("a"),
+            Value::int(5), // duplicate
+        ])
+    }
+
+    #[test]
+    fn codes_are_dense_and_order_preserving() {
+        let d = dict();
+        assert_eq!(d.len(), 3);
+        // Ints precede strings (Value's total order).
+        assert_eq!(d.code(&Value::int(1)), Some(0));
+        assert_eq!(d.code(&Value::int(5)), Some(1));
+        assert_eq!(d.code(&Value::str("a")), Some(2));
+        assert_eq!(d.code(&Value::int(7)), None);
+        for c in 0..3u32 {
+            assert_eq!(d.code(d.value(c)), Some(c));
+        }
+    }
+
+    #[test]
+    fn lower_bound_brackets_missing_values() {
+        let d = dict();
+        assert_eq!(d.lower_bound(&Value::int(0)), (0, false));
+        assert_eq!(d.lower_bound(&Value::int(1)), (0, true));
+        assert_eq!(d.lower_bound(&Value::int(3)), (1, false));
+        assert_eq!(d.lower_bound(&Value::str("z")), (3, false));
+    }
+
+    #[test]
+    fn encode_tuple_into_reports_unknown_values() {
+        let d = dict();
+        let mut buf = Vec::new();
+        assert!(d.encode_tuple_into(&crate::tup![5, 1], &mut buf));
+        assert_eq!(buf, vec![1, 0]);
+        assert!(!d.encode_tuple_into(&crate::tup![5, 99], &mut buf));
+    }
+
+    #[test]
+    fn from_relations_unions_all_columns() {
+        let r = crate::Relation::from_tuples("R", 2, vec![crate::tup![1, 5], crate::tup![6, 2]]);
+        let d = Dictionary::from_relations([&r]);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.code(&Value::int(6)), Some(3));
+    }
+}

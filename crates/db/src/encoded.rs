@@ -1,0 +1,287 @@
+//! Columnar, dictionary-encoded relations.
+//!
+//! The struct-of-arrays twin of [`Relation`]: one `Vec<u32>` per
+//! attribute, every cell a [`Dictionary`](crate::Dictionary) code.
+//! Because codes are order-preserving, sorting, deduplication, semijoin
+//! and grouping over codes produce exactly the results they would over
+//! the decoded [`Value`](crate::Value)s — at integer-comparison cost and
+//! with cache-friendly sequential layouts. The access-structure builders
+//! in `rda-core` run their whole layer-materialization pipeline
+//! (projection, semijoin reduction, bucket sorting) on this
+//! representation.
+
+use crate::dict::Dictionary;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use std::cmp::Ordering;
+
+/// A dictionary-encoded relation in columnar (struct-of-arrays) layout.
+///
+/// Row `r`'s attribute `p` lives at `col(p)[r]`. Operations mirror the
+/// [`Relation`] operators the preprocessing phases use, restricted to
+/// what the builders need; all are linear or quasilinear.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedRelation {
+    rows: usize,
+    cols: Vec<Vec<u32>>,
+}
+
+impl EncodedRelation {
+    /// Encode `rel` column-wise under `dict`.
+    ///
+    /// # Panics
+    /// Panics if some value of `rel` is not interned in `dict` — the
+    /// builders construct the dictionary from the very relations they
+    /// encode, so a miss is a logic error.
+    pub fn encode(rel: &Relation, dict: &Dictionary) -> Self {
+        let arity = rel.arity();
+        let mut cols: Vec<Vec<u32>> = (0..arity).map(|_| Vec::with_capacity(rel.len())).collect();
+        for t in rel.tuples() {
+            for (p, v) in t.iter().enumerate() {
+                cols[p].push(dict.code(v).expect("dictionary covers the relation"));
+            }
+        }
+        EncodedRelation {
+            rows: rel.len(),
+            cols,
+        }
+    }
+
+    /// An empty encoded relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        EncodedRelation {
+            rows: 0,
+            cols: (0..arity).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The codes of attribute `p`, one per row.
+    pub fn col(&self, p: usize) -> &[u32] {
+        &self.cols[p]
+    }
+
+    /// The code at (`row`, `col`).
+    pub fn code(&self, row: usize, col: usize) -> u32 {
+        self.cols[col][row]
+    }
+
+    /// Append one row of codes.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn push_row(&mut self, codes: &[u32]) {
+        assert_eq!(codes.len(), self.arity(), "arity mismatch");
+        for (c, &v) in self.cols.iter_mut().zip(codes) {
+            c.push(v);
+        }
+        self.rows += 1;
+    }
+
+    /// Compare two rows on the given columns, in order.
+    pub fn cmp_rows_on(&self, a: usize, b: usize, positions: &[usize]) -> Ordering {
+        for &p in positions {
+            let o = self.cols[p][a].cmp(&self.cols[p][b]);
+            if o.is_ne() {
+                return o;
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn cmp_rows_full(&self, a: usize, b: usize) -> Ordering {
+        for c in &self.cols {
+            let o = c[a].cmp(&c[b]);
+            if o.is_ne() {
+                return o;
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Reorder rows to the given permutation (`perm[new] = old`).
+    fn apply_permutation(&mut self, perm: &[u32]) {
+        for c in self.cols.iter_mut() {
+            let reordered: Vec<u32> = perm.iter().map(|&old| c[old as usize]).collect();
+            *c = reordered;
+        }
+        self.rows = perm.len();
+    }
+
+    /// Sort rows by the given key columns, ties broken by the full row
+    /// (deterministic, matching [`Relation::sort_by_positions`]).
+    pub fn sort_by_cols(&mut self, keys: &[usize]) {
+        let mut perm: Vec<u32> = (0..self.rows as u32).collect();
+        perm.sort_unstable_by(|&a, &b| {
+            self.cmp_rows_on(a as usize, b as usize, keys)
+                .then_with(|| self.cmp_rows_full(a as usize, b as usize))
+        });
+        self.apply_permutation(&perm);
+    }
+
+    /// Sort by the full row and remove duplicate rows (set semantics,
+    /// matching [`Relation::normalize`]).
+    pub fn normalize(&mut self) {
+        let mut perm: Vec<u32> = (0..self.rows as u32).collect();
+        perm.sort_unstable_by(|&a, &b| self.cmp_rows_full(a as usize, b as usize));
+        perm.dedup_by(|&mut a, &mut b| self.cmp_rows_full(a as usize, b as usize).is_eq());
+        self.apply_permutation(&perm);
+    }
+
+    /// Projection π onto `positions` (sorted + deduplicated), matching
+    /// [`Relation::project`].
+    pub fn project(&self, positions: &[usize]) -> EncodedRelation {
+        let mut out = EncodedRelation {
+            rows: self.rows,
+            cols: positions.iter().map(|&p| self.cols[p].clone()).collect(),
+        };
+        out.normalize();
+        out
+    }
+
+    /// Semijoin ⋉: keep rows of `self` whose key (codes at `self_keys`)
+    /// appears among `other`'s keys (codes at `other_keys`). Runs as a
+    /// sort + binary-search probe: O((n + m) log m), no per-row hashing
+    /// or allocation.
+    ///
+    /// # Panics
+    /// Panics if the key lists have different lengths.
+    pub fn semijoin(&mut self, self_keys: &[usize], other: &EncodedRelation, other_keys: &[usize]) {
+        assert_eq!(
+            self_keys.len(),
+            other_keys.len(),
+            "semijoin key length mismatch"
+        );
+        // Sorted view of `other`'s keys.
+        let mut other_rows: Vec<u32> = (0..other.rows as u32).collect();
+        other_rows.sort_unstable_by(|&a, &b| other.cmp_rows_on(a as usize, b as usize, other_keys));
+        let cmp_self_other = |s: usize, o: usize| -> Ordering {
+            for (&sp, &op) in self_keys.iter().zip(other_keys) {
+                let ord = self.cols[sp][s].cmp(&other.cols[op][o]);
+                if ord.is_ne() {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        };
+        let keep: Vec<u32> = (0..self.rows as u32)
+            .filter(|&r| {
+                other_rows
+                    .binary_search_by(|&o| cmp_self_other(r as usize, o as usize).reverse())
+                    .is_ok()
+            })
+            .collect();
+        if keep.len() != self.rows {
+            self.apply_permutation(&keep);
+        }
+    }
+
+    /// Decode row `row` back into an owned [`Tuple`].
+    pub fn decode_row(&self, row: usize, dict: &Dictionary) -> Tuple {
+        self.cols
+            .iter()
+            .map(|c| dict.value(c[row]).clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    fn setup() -> (Dictionary, EncodedRelation) {
+        let rel =
+            Relation::from_tuples("R", 2, vec![tup![1, 5], tup![1, 2], tup![6, 2], tup![1, 2]]);
+        let dict = Dictionary::from_relations([&rel]);
+        let enc = EncodedRelation::encode(&rel, &dict);
+        (dict, enc)
+    }
+
+    #[test]
+    fn encode_preserves_cells() {
+        let (dict, enc) = setup();
+        assert_eq!(enc.len(), 4);
+        assert_eq!(enc.arity(), 2);
+        assert_eq!(enc.decode_row(0, &dict), tup![1, 5]);
+        assert_eq!(enc.decode_row(2, &dict), tup![6, 2]);
+    }
+
+    #[test]
+    fn normalize_matches_relation_normalize() {
+        let (dict, mut enc) = setup();
+        enc.normalize();
+        let decoded: Vec<Tuple> = (0..enc.len()).map(|r| enc.decode_row(r, &dict)).collect();
+        assert_eq!(decoded, vec![tup![1, 2], tup![1, 5], tup![6, 2]]);
+    }
+
+    #[test]
+    fn project_dedups_and_sorts() {
+        let (dict, enc) = setup();
+        let p = enc.project(&[0]);
+        let decoded: Vec<Tuple> = (0..p.len()).map(|r| p.decode_row(r, &dict)).collect();
+        assert_eq!(decoded, vec![tup![1], tup![6]]);
+    }
+
+    #[test]
+    fn sort_by_cols_orders_by_key_then_row() {
+        let (dict, mut enc) = setup();
+        enc.sort_by_cols(&[1]);
+        let decoded: Vec<Tuple> = (0..enc.len()).map(|r| enc.decode_row(r, &dict)).collect();
+        assert_eq!(
+            decoded,
+            vec![tup![1, 2], tup![1, 2], tup![6, 2], tup![1, 5]]
+        );
+    }
+
+    #[test]
+    fn semijoin_matches_relation_semijoin() {
+        // The dictionary must cover both sides; build it over the union.
+        let r = Relation::from_tuples("R", 2, vec![tup![1, 5], tup![1, 2], tup![6, 2], tup![1, 2]]);
+        let s = Relation::from_tuples("S", 2, vec![tup![5, 3], tup![5, 4]]);
+        let dict = Dictionary::from_relations([&r, &s]);
+        let mut enc = EncodedRelation::encode(&r, &dict);
+        let enc_s = EncodedRelation::encode(&s, &dict);
+        enc.semijoin(&[1], &enc_s, &[0]);
+        let decoded: Vec<Tuple> = (0..enc.len()).map(|r| enc.decode_row(r, &dict)).collect();
+        assert_eq!(decoded, vec![tup![1, 5]]);
+    }
+
+    #[test]
+    fn semijoin_on_empty_keys_keeps_all_iff_other_nonempty() {
+        let (_, mut enc) = setup();
+        let other = EncodedRelation::new(0);
+        enc.semijoin(&[], &other, &[]);
+        assert!(enc.is_empty());
+
+        let (_, mut enc) = setup();
+        let mut other = EncodedRelation::new(0);
+        other.push_row(&[]);
+        enc.semijoin(&[], &other, &[]);
+        assert_eq!(enc.len(), 4);
+    }
+
+    #[test]
+    fn push_row_roundtrip() {
+        let mut enc = EncodedRelation::new(2);
+        enc.push_row(&[3, 1]);
+        enc.push_row(&[0, 2]);
+        assert_eq!(enc.len(), 2);
+        assert_eq!(enc.col(0), &[3, 0]);
+        assert_eq!(enc.code(1, 1), 2);
+    }
+}

@@ -14,11 +14,15 @@
 //! query/hypergraph layer and `rda-core` for the access structures.
 
 pub mod database;
+pub mod dict;
+pub mod encoded;
 pub mod relation;
 pub mod tuple;
 pub mod value;
 
 pub use database::Database;
+pub use dict::Dictionary;
+pub use encoded::EncodedRelation;
 pub use relation::Relation;
 pub use tuple::Tuple;
 pub use value::Value;

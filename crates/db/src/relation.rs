@@ -209,6 +209,16 @@ impl Relation {
         groups
     }
 
+    /// The dictionary-encoded columnar view of this relation (see
+    /// [`crate::EncodedRelation`]): one `u32` column per attribute,
+    /// order-preserving codes, same row order.
+    ///
+    /// # Panics
+    /// Panics if `dict` does not cover every value of this relation.
+    pub fn encode(&self, dict: &crate::Dictionary) -> crate::EncodedRelation {
+        crate::EncodedRelation::encode(self, dict)
+    }
+
     /// The distinct values at position `pos` (the active domain of that
     /// attribute), unordered.
     pub fn active_domain(&self, pos: usize) -> Vec<Value> {

@@ -1,0 +1,161 @@
+//! The zero-allocation guarantee of the access hot paths, enforced by a
+//! counting global allocator.
+//!
+//! After build, the dictionary/arena structures answer
+//! `access_into` / `inverted_access` / `rank_of_lower_bound` with **zero**
+//! heap allocations, and the owned-tuple `access()` convenience wrapper
+//! allocates exactly once — the returned tuple itself ("decode to
+//! `Tuple` only in emit").
+//!
+//! Everything lives in one `#[test]` so no concurrent test can disturb
+//! the global counter (this integration-test binary contains nothing
+//! else).
+
+use ranked_access::prelude::*;
+use ranked_access::rda_db::tup;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Allocations performed while running `f`.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn access_hot_paths_do_not_allocate() {
+    // A join with both integer and string values: decoding strings
+    // clones `Arc<str>`s, which must not allocate either.
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let mut r = Relation::new("R", 2);
+    let mut s = Relation::new("S", 2);
+    for i in 0..300i64 {
+        r.insert(
+            [Value::int(i), Value::str(format!("j{}", i % 17))]
+                .into_iter()
+                .collect(),
+        );
+        s.insert(
+            [Value::str(format!("j{}", i % 17)), Value::int(i * 3)]
+                .into_iter()
+                .collect(),
+        );
+    }
+    let db = Database::new().with(r).with(s);
+    let lex = q.vars(&["x", "y", "z"]);
+    let da = LexDirectAccess::build(&q, &db, &lex, &FdSet::empty()).unwrap();
+    assert!(da.len() > 1000, "workload big enough to matter");
+
+    // Warm up: grow the output buffer and the per-thread scratch once.
+    let mut out: Vec<Value> = Vec::with_capacity(8);
+    let some_answer = da.access(da.len() / 2).unwrap();
+    let not_an_answer = tup![-1, "nope", 0];
+    da.access_into(0, &mut out);
+    da.inverted_access(&some_answer);
+    da.rank_of_lower_bound(&not_an_answer);
+
+    let ks: Vec<u64> = (0..200u64).map(|i| (i * 7919) % da.len()).collect();
+
+    // access_into: the full access path — descent plus decode into the
+    // caller's buffer — performs zero heap allocations.
+    let n = allocations_during(|| {
+        for &k in &ks {
+            assert!(da.access_into(k, &mut out));
+            std::hint::black_box(&out);
+        }
+    });
+    assert_eq!(n, 0, "access_into must not allocate on the hot path");
+
+    // inverted_access / rank_of_lower_bound: zero allocations, answers
+    // and non-answers alike.
+    let probes: Vec<Tuple> = ks.iter().map(|&k| da.access(k).unwrap()).collect();
+    let n = allocations_during(|| {
+        for t in &probes {
+            std::hint::black_box(da.inverted_access(t));
+        }
+        std::hint::black_box(da.inverted_access(&not_an_answer));
+        std::hint::black_box(da.rank_of_lower_bound(&not_an_answer));
+    });
+    assert_eq!(n, 0, "inverted access must not allocate");
+
+    // Owned-tuple access(): exactly one allocation — the emitted tuple.
+    let n = allocations_during(|| {
+        for &k in &ks {
+            std::hint::black_box(da.access(k));
+        }
+    });
+    assert_eq!(
+        n,
+        ks.len() as u64,
+        "access() must allocate exactly the returned tuple"
+    );
+
+    // The SUM store honors the same contract.
+    let qs = parse("Q(a, b) :- R2(a, b), S2(b, c)").unwrap();
+    let db2 = Database::new()
+        .with_i64_rows(
+            "R2",
+            2,
+            (0..500).map(|i| vec![i, i % 23]).collect::<Vec<_>>(),
+        )
+        .with_i64_rows(
+            "S2",
+            2,
+            (0..60).map(|i| vec![i % 23, i]).collect::<Vec<_>>(),
+        );
+    let sum = SumDirectAccess::build(&qs, &db2, &Weights::identity(), &FdSet::empty()).unwrap();
+    assert!(sum.len() > 100);
+    let answers: Vec<Tuple> = (0..sum.len()).map(|k| sum.access(k).unwrap()).collect();
+    let sum_non_answer = tup![9999, 9999];
+    sum.access_into(0, &mut out); // warm the buffer for arity 2
+    sum.inverted_access(&answers[0]);
+
+    let n = allocations_during(|| {
+        for k in 0..sum.len() {
+            assert!(sum.access_into(k, &mut out));
+            std::hint::black_box(&out);
+        }
+        for t in &answers {
+            std::hint::black_box(sum.inverted_access(t));
+        }
+        std::hint::black_box(sum.inverted_access(&sum_non_answer));
+    });
+    assert_eq!(n, 0, "SUM access_into / inverted_access must not allocate");
+
+    let n = allocations_during(|| {
+        for k in 0..sum.len() {
+            std::hint::black_box(sum.access(k));
+        }
+    });
+    assert_eq!(
+        n,
+        sum.len(),
+        "SUM access() must allocate exactly the returned tuple"
+    );
+}

@@ -7,6 +7,7 @@
 
 use proptest::prelude::*;
 use ranked_access::prelude::*;
+use ranked_access::rda_core::HashLexDirectAccess;
 
 /// Queries with at least one tractable LEX order, with that order.
 fn lex_catalog() -> Vec<(Cq, Vec<VarId>)> {
@@ -138,6 +139,135 @@ proptest! {
         }
     }
 
+    /// The dictionary/arena structure against the pre-arena reference
+    /// (`HashMap<Tuple, Bucket>` layout), answer for answer: `access`,
+    /// `inverted_access`, and `rank_of_lower_bound` must agree on every
+    /// rank, every answer, and random non-answer probes (including
+    /// values outside the active domain, which only the arena has to
+    /// bracket through its dictionary).
+    #[test]
+    fn lex_arena_matches_hash_reference(seed in 0u64..1_000_000, rows in 1usize..25, domain in 1i64..6) {
+        for (q, lex) in lex_catalog() {
+            let db = random_db(&q, rows, domain, seed);
+            let arena = LexDirectAccess::build(&q, &db, &lex, &FdSet::empty()).unwrap();
+            let reference = HashLexDirectAccess::build(&q, &db, &lex, &FdSet::empty()).unwrap();
+            prop_assert_eq!(arena.len(), reference.len(), "count on {}", q);
+            let mut buf: Vec<Value> = Vec::new();
+            for k in 0..arena.len() {
+                let t = reference.access(k).unwrap();
+                let got = arena.access(k);
+                prop_assert_eq!(got.as_ref(), Some(&t), "access({}) on {}", k, q);
+                prop_assert!(arena.access_into(k, &mut buf));
+                prop_assert_eq!(&Tuple::new(buf.clone()), &t, "access_into({}) on {}", k, q);
+                prop_assert_eq!(
+                    arena.inverted_access(&t),
+                    reference.inverted_access(&t),
+                    "inverted on {}", q
+                );
+            }
+            // Random probes, answers or not: identical ranks and
+            // identical lower bounds.
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xa5a5);
+            for _ in 0..16 {
+                let probe: Tuple = (0..q.free().len())
+                    .map(|_| Value::int(rng.random_range(-1..domain + 1)))
+                    .collect();
+                prop_assert_eq!(
+                    arena.inverted_access(&probe),
+                    reference.inverted_access(&probe),
+                    "inverted probe {} on {}", &probe, q
+                );
+                prop_assert_eq!(
+                    arena.rank_of_lower_bound(&probe),
+                    reference.rank_of_lower_bound(&probe),
+                    "lower bound {} on {}", &probe, q
+                );
+            }
+        }
+    }
+
+    /// Arena vs reference under functional dependencies: the arena's
+    /// code-keyed derivation chain (inverted access for FD-promoted
+    /// variables) against the reference's value-keyed one — on answers,
+    /// non-answers, and probes whose determinant lies outside the
+    /// active domain.
+    #[test]
+    fn lex_arena_matches_hash_reference_under_fds(seed in 0u64..1_000_000, rows in 1usize..40, domain in 2i64..12) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut cases: Vec<(Cq, Vec<VarId>, FdSet, Database)> = Vec::new();
+        {
+            // Example 1.1: LEX <x,z,y> is trio-blocked until R: x → y
+            // promotes y. R satisfies the FD by construction.
+            let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+            let fds = FdSet::parse(&q, &[("R", "x", "y")]);
+            let r: Vec<Tuple> = (0..rows as i64)
+                .map(|x| [Value::int(x), Value::int((x * 31 + 7) % domain)].into_iter().collect())
+                .collect();
+            let s: Vec<Tuple> = (0..rows)
+                .map(|_| {
+                    [Value::int(rng.random_range(0..domain)), Value::int(rng.random_range(0..domain))]
+                        .into_iter()
+                        .collect()
+                })
+                .collect();
+            let db = Database::new()
+                .with(Relation::from_tuples("R", 2, r))
+                .with(Relation::from_tuples("S", 2, s));
+            let lex = q.vars(&["x", "z", "y"]);
+            cases.push((q, lex, fds, db));
+        }
+        {
+            // Example 8.3: Q(x, z) is not free-connex until S: y → z.
+            let q = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+            let fds = FdSet::parse(&q, &[("S", "y", "z")]);
+            let s: Vec<Tuple> = (0..domain)
+                .map(|y| [Value::int(y), Value::int((y * 13 + 3) % domain)].into_iter().collect())
+                .collect();
+            let r: Vec<Tuple> = (0..rows)
+                .map(|_| {
+                    [Value::int(rng.random_range(0..domain)), Value::int(rng.random_range(0..domain))]
+                        .into_iter()
+                        .collect()
+                })
+                .collect();
+            let db = Database::new()
+                .with(Relation::from_tuples("R", 2, r))
+                .with(Relation::from_tuples("S", 2, s));
+            let lex = q.vars(&["x", "z"]);
+            cases.push((q, lex, fds, db));
+        }
+        for (q, lex, fds, db) in cases {
+            let arena = LexDirectAccess::build(&q, &db, &lex, &fds).unwrap();
+            let reference = HashLexDirectAccess::build(&q, &db, &lex, &fds).unwrap();
+            prop_assert_eq!(arena.len(), reference.len(), "count on {}", q);
+            for k in 0..arena.len() {
+                let t = reference.access(k).unwrap();
+                let got = arena.access(k);
+                prop_assert_eq!(got.as_ref(), Some(&t), "access({}) on {}", k, q);
+                prop_assert_eq!(arena.inverted_access(&t), reference.inverted_access(&t));
+            }
+            for _ in 0..24 {
+                // Probes straddling the active domain, so determinants
+                // both inside and outside the FD lookup are exercised.
+                let probe: Tuple = (0..q.free().len())
+                    .map(|_| Value::int(rng.random_range(-2..domain + 2)))
+                    .collect();
+                prop_assert_eq!(
+                    arena.inverted_access(&probe),
+                    reference.inverted_access(&probe),
+                    "inverted probe {} on {}", &probe, q
+                );
+                prop_assert_eq!(
+                    arena.rank_of_lower_bound(&probe),
+                    reference.rank_of_lower_bound(&probe),
+                    "lower bound {} on {}", &probe, q
+                );
+            }
+        }
+    }
+
     #[test]
     fn lex_selection_matches_direct_access(seed in 0u64..1_000_000, rows in 1usize..20, domain in 1i64..5) {
         for (q, lex) in lex_catalog() {
@@ -179,6 +309,10 @@ proptest! {
         }
     }
 
+    /// The columnar SUM store against the materialize-and-sort oracle,
+    /// answer for answer (both order by (weight, tuple), so the arrays
+    /// must be identical), plus inverted-access round trips and
+    /// non-answer rejection through the dictionary.
     #[test]
     fn sum_direct_access_matches_oracle(seed in 0u64..1_000_000, rows in 1usize..30, domain in 1i64..6) {
         let queries = [
@@ -195,12 +329,16 @@ proptest! {
             });
             prop_assert_eq!(da.len(), oracle.len());
             for k in 0..da.len() {
-                prop_assert_eq!(
-                    da.access_weighted(k).unwrap().0,
-                    TotalF64(oracle.weight_at(k).unwrap()),
-                    "k={} on {}", k, src
-                );
+                let (w, t) = da.access_weighted(k).unwrap();
+                prop_assert_eq!(w, TotalF64(oracle.weight_at(k).unwrap()), "k={} on {}", k, src);
+                let expect = oracle.access(k);
+                prop_assert_eq!(Some(&t), expect.as_ref(), "k={} on {}", k, src);
+                prop_assert_eq!(da.inverted_access(&t), Some(k), "k={} on {}", k, src);
             }
+            // A value outside the answers' active domain is rejected by
+            // the dictionary, not misranked.
+            let absent: Tuple = (0..q.free().len()).map(|_| Value::int(domain + 7)).collect();
+            prop_assert_eq!(da.inverted_access(&absent), None);
         }
     }
 
