@@ -4,13 +4,10 @@
 //! available, repeated selection is the wrong tool (selection pays O(n)
 //! per call, access O(log n)).
 
-// This file intentionally benchmarks the legacy entry points directly.
-#![allow(deprecated)]
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rda_baseline::MaterializedAccess;
 use rda_bench::workloads;
-use rda_core::{selection_lex, LexDirectAccess};
+use rda_core::{LexDirectAccess, SelectionLexHandle};
 use rda_query::FdSet;
 use std::hint::black_box;
 
@@ -24,16 +21,9 @@ fn bench_trio_order_selection(c: &mut Criterion) {
     for n in SIZES {
         let (q, db) = workloads::two_path(n, 50, 11);
         let lex = q.vars(&["x", "z", "y"]);
+        let handle = SelectionLexHandle::new(&q, &db.freeze(), lex, &FdSet::empty()).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                black_box(selection_lex(
-                    &q,
-                    &db,
-                    &lex,
-                    (n * n / 100) as u64,
-                    &FdSet::empty(),
-                ))
-            })
+            b.iter(|| black_box(handle.select_once((n * n / 100) as u64)))
         });
     }
     g.finish();
@@ -63,14 +53,16 @@ fn bench_selection_vs_access_tradeoff(c: &mut Criterion) {
     // trade-off in numbers.
     let (q, db) = workloads::two_path(8_000, 50, 11);
     let lex = q.vars(&["x", "y", "z"]);
-    let da = LexDirectAccess::build(&q, &db, &lex, &FdSet::empty()).unwrap();
+    let snap = db.freeze();
+    let da = LexDirectAccess::build_on(&q, &snap, &lex, &FdSet::empty()).unwrap();
+    let handle = SelectionLexHandle::new(&q, &snap, lex, &FdSet::empty()).unwrap();
     let k = da.len() / 2;
     let mut g = c.benchmark_group("lexsel/tractable_order");
     g.warm_up_time(std::time::Duration::from_millis(400));
     g.measurement_time(std::time::Duration::from_millis(1600));
     g.sample_size(10);
     g.bench_function("one_selection_call", |b| {
-        b.iter(|| black_box(selection_lex(&q, &db, &lex, k, &FdSet::empty())))
+        b.iter(|| black_box(handle.select_once(k)))
     });
     g.bench_function("one_access_on_prebuilt", |b| {
         b.iter(|| black_box(da.access(k)))

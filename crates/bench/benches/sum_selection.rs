@@ -3,13 +3,10 @@
 //! randomized matrix selection against naively enumerating and
 //! quickselecting all bucket-pair sums (which is Θ(|out|)).
 
-// This file intentionally benchmarks the legacy entry points directly.
-#![allow(deprecated)]
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rda_baseline::MaterializedAccess;
 use rda_bench::workloads;
-use rda_core::{selection_sum, Weights};
+use rda_core::{SelectionSumHandle, Weights};
 use rda_orderstat::select::select_nth;
 use rda_orderstat::{MatrixUnion, SortedMatrix, TotalF64};
 use rda_query::FdSet;
@@ -24,19 +21,11 @@ fn bench_selection(c: &mut Criterion) {
     g.sample_size(10);
     for n in SIZES {
         let (q, db) = workloads::two_path(n, 50, 13);
+        let handle =
+            SelectionSumHandle::new(&q, &db.freeze(), Weights::identity(), &FdSet::empty())
+                .unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                black_box(
-                    selection_sum(
-                        &q,
-                        &db,
-                        &Weights::identity(),
-                        (n * n / 100) as u64,
-                        &FdSet::empty(),
-                    )
-                    .unwrap(),
-                )
-            })
+            b.iter(|| black_box(handle.select_once((n * n / 100) as u64)))
         });
     }
     g.finish();

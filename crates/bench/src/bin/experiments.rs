@@ -2,18 +2,18 @@
 //!
 //! Usage: `cargo run --release -p rda_bench --bin experiments [id…]`
 //! where ids are `fig1 fig2 fig45 fig8 t33 t41 t61 t73 t8x t25 scale
-//! access`. With no arguments, all experiments run. The `access` id
-//! additionally writes `BENCH_access.json` (machine-readable median
-//! ns/op for the access hot paths, old-vs-new); add `--smoke` for the
-//! small CI-sized variant.
-
-// This file intentionally drives the legacy entry points directly.
-#![allow(deprecated)]
+//! access serve`. With no arguments, all experiments run. The `access`
+//! id additionally writes `BENCH_access.json` (machine-readable median
+//! ns/op for the access hot paths, old-vs-new), and `serve` writes
+//! `BENCH_serve.json` (encode-once vs re-encode builds, plan-cache hit
+//! latency, multi-threaded access throughput); add `--smoke` for the
+//! small CI-sized variants.
 
 use rda_bench::stats::{json_num, json_str, median, median_round_ns};
 use rda_bench::workloads;
 use rda_core::{
-    selection_lex, selection_sum, HashLexDirectAccess, LexDirectAccess, SumDirectAccess, Weights,
+    DirectAccess, Engine, HashLexDirectAccess, LexDirectAccess, OrderSpec, Policy,
+    SelectionLexHandle, SelectionSumHandle, SumDirectAccess, Weights,
 };
 use rda_query::classify::{classify, Problem, Verdict};
 use rda_query::parser::parse;
@@ -107,23 +107,24 @@ fn fig2() {
     let db = rda_db::Database::new()
         .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
         .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]]);
-    let da = LexDirectAccess::build(&q, &db, &q.vars(&["x", "y", "z"]), &FdSet::empty()).unwrap();
+    let snap = db.freeze();
+    let da =
+        LexDirectAccess::build_on(&q, &snap, &q.vars(&["x", "y", "z"]), &FdSet::empty()).unwrap();
     println!("(b) LEX <x,y,z> via direct access:");
     for (k, t) in da.iter().enumerate() {
         println!("   #{} {}", k + 1, t);
     }
     println!("(c) LEX <x,z,y> via selection (direct access is intractable):");
+    let sel =
+        SelectionLexHandle::new(&q, &snap, q.vars(&["x", "z", "y"]), &FdSet::empty()).unwrap();
     for k in 0..da.len() {
-        let t = selection_lex(&q, &db, &q.vars(&["x", "z", "y"]), k, &FdSet::empty())
-            .unwrap()
-            .unwrap();
+        let t = sel.select_once(k).unwrap();
         println!("   #{} {}", k + 1, t);
     }
     println!("(d) SUM via selection (direct access is 3SUM-hard):");
+    let sel = SelectionSumHandle::new(&q, &snap, Weights::identity(), &FdSet::empty()).unwrap();
     for k in 0..da.len() {
-        let (w, t) = selection_sum(&q, &db, &Weights::identity(), k, &FdSet::empty())
-            .unwrap()
-            .unwrap();
+        let (w, t) = sel.select_once(k).unwrap();
         println!("   #{} {}  (weight {})", k + 1, t, w.0);
     }
     println!();
@@ -283,7 +284,8 @@ fn t61() {
         let lex = q.vars(&["x", "z", "y"]); // disruptive trio
         let (m, mat) = timed(|| rda_baseline::MaterializedAccess::by_lex(&q, &db, &lex));
         let k = m.len() / 2;
-        let (got, sel) = timed(|| selection_lex(&q, &db, &lex, k, &FdSet::empty()).unwrap());
+        let handle = SelectionLexHandle::new(&q, &db.freeze(), lex, &FdSet::empty()).unwrap();
+        let (got, sel) = timed(|| handle.select_once(k));
         assert!(got.is_some());
         println!(
             "{:>9} {:>12} {:>16.2} {:>18.2}",
@@ -311,10 +313,11 @@ fn t73() {
             })
         });
         let k = m.len() / 2;
-        let ((), sel) = timed(|| {
-            let got = selection_sum(&q, &db, &Weights::identity(), k, &FdSet::empty())
-                .unwrap()
+        let handle =
+            SelectionSumHandle::new(&q, &db.freeze(), Weights::identity(), &FdSet::empty())
                 .unwrap();
+        let ((), sel) = timed(|| {
+            let got = handle.select_once(k).unwrap();
             assert_eq!(got.0 .0, m.weight_at(k).unwrap());
         });
         println!(
@@ -401,12 +404,16 @@ fn scale() {
     for n in [4_000usize, 8_000, 16_000, 32_000] {
         let (q, db) = workloads::two_path(n, 50, 23);
         let lex = q.vars(&["x", "y", "z"]);
-        let (da, b1) = timed(|| LexDirectAccess::build(&q, &db, &lex, &FdSet::empty()).unwrap());
+        let snap = db.freeze();
+        let (da, b1) =
+            timed(|| LexDirectAccess::build_on(&q, &snap, &lex, &FdSet::empty()).unwrap());
         let trio = q.vars(&["x", "z", "y"]);
         let k = da.len() / 2;
-        let (_, s1) = timed(|| selection_lex(&q, &db, &trio, k, &FdSet::empty()).unwrap());
-        let (_, s2) =
-            timed(|| selection_sum(&q, &db, &Weights::identity(), k, &FdSet::empty()).unwrap());
+        let lex_handle = SelectionLexHandle::new(&q, &snap, trio, &FdSet::empty()).unwrap();
+        let (_, s1) = timed(|| lex_handle.select_once(k));
+        let sum_handle =
+            SelectionSumHandle::new(&q, &snap, Weights::identity(), &FdSet::empty()).unwrap();
+        let (_, s2) = timed(|| sum_handle.select_once(k));
         let (qc, dbc) = workloads::covering_query(n, 50, 23);
         let (_, b2) = timed(|| {
             SumDirectAccess::build(&qc, &dbc, &Weights::identity(), &FdSet::empty()).unwrap()
@@ -837,14 +844,305 @@ fn access_bench(smoke: bool) {
     );
 }
 
+/// One thread-count sample of the multi-client access throughput sweep.
+struct ThreadSample {
+    threads: usize,
+    total_ops: u64,
+    ns_per_op: f64,
+    mops_per_s: f64,
+}
+
+impl ThreadSample {
+    fn json(&self) -> String {
+        format!(
+            "{{\"threads\": {}, \"total_ops\": {}, \"ns_per_op\": {}, \"mops_per_s\": {}}}",
+            self.threads,
+            self.total_ops,
+            json_num(self.ns_per_op),
+            json_num(self.mops_per_s),
+        )
+    }
+}
+
+/// One workload row of `BENCH_serve.json`.
+struct ServeRow {
+    name: String,
+    order: String,
+    backend: String,
+    db_tuples: usize,
+    answers: u64,
+    /// Freeze a fresh snapshot + build — what every `prepare` paid
+    /// before the snapshot refactor (re-encode per build).
+    cold_prepare_ns: f64,
+    /// Build over the already-frozen shared snapshot (encode-once).
+    snapshot_prepare_ns: f64,
+    /// `Engine::prepare` hitting the plan cache.
+    cached_prepare_ns: f64,
+    threads: Vec<ThreadSample>,
+}
+
+impl ServeRow {
+    fn json(&self) -> String {
+        let threads = self
+            .threads
+            .iter()
+            .map(|t| format!("        {}", t.json()))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let scaling = {
+            let one = self.threads.iter().find(|t| t.threads == 1);
+            let four = self.threads.iter().find(|t| t.threads == 4);
+            match (one, four) {
+                (Some(a), Some(b)) => b.mops_per_s / a.mops_per_s,
+                _ => 1.0,
+            }
+        };
+        format!(
+            "    {{\n      \"name\": {},\n      \"order\": {},\n      \"backend\": {},\n      \"db_tuples\": {},\n      \"answers\": {},\n      \"cold_prepare_ns\": {},\n      \"snapshot_prepare_ns\": {},\n      \"cached_prepare_ns\": {},\n      \"encode_once_build_speedup\": {},\n      \"cached_over_cold_speedup\": {},\n      \"throughput_scaling_1_to_4_threads\": {},\n      \"threads\": [\n{}\n      ]\n    }}",
+            json_str(&self.name),
+            json_str(&self.order),
+            json_str(&self.backend),
+            self.db_tuples,
+            self.answers,
+            json_num(self.cold_prepare_ns),
+            json_num(self.snapshot_prepare_ns),
+            json_num(self.cached_prepare_ns),
+            json_num(self.cold_prepare_ns / self.snapshot_prepare_ns),
+            json_num(self.cold_prepare_ns / self.cached_prepare_ns),
+            json_num(scaling),
+            threads,
+        )
+    }
+}
+
+/// E15 — the serving-core benchmark behind `BENCH_serve.json`:
+/// encode-once vs re-encode build times, plan-cache hit latency, and
+/// multi-threaded access throughput over one shared `Arc<AccessPlan>`.
+fn serve_bench(smoke: bool) {
+    use rda_query::Cq;
+    let (reps, ops_per_thread) = if smoke {
+        (2usize, 20_000u64)
+    } else {
+        (5, 200_000)
+    };
+    let thread_counts = [1usize, 2, 4, 8];
+    println!(
+        "== E15 / serving core: snapshot + engine + shared plans ({}) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!(
+        "{:<16} {:>11} {:>12} {:>12} {:>11} | {:>9} {:>9} {:>9} {:>9}",
+        "workload",
+        "cold ms",
+        "snapshot ms",
+        "cached ns",
+        "hit x",
+        "1T Mops",
+        "2T Mops",
+        "4T Mops",
+        "8T Mops"
+    );
+
+    let lex_workload = || {
+        let (q, db) = workloads::two_path(if smoke { 800 } else { 8_000 }, 50, 42);
+        let lex: Vec<&str> = vec!["x", "y", "z"];
+        let names = q.vars(&lex);
+        (
+            "two_path_lex".to_string(),
+            format!("LEX <{}>", lex.join(", ")),
+            q,
+            db,
+            OrderSpec::Lex(names),
+        )
+    };
+    let sum_workload = || {
+        let (q, db) = workloads::covering_query(if smoke { 1_600 } else { 16_000 }, 50, 5);
+        (
+            "covering_sum".to_string(),
+            "SUM (identity weights)".to_string(),
+            q,
+            db,
+            OrderSpec::sum_by_value(),
+        )
+    };
+    let cases: Vec<(String, String, Cq, rda_db::Database, OrderSpec)> =
+        vec![lex_workload(), sum_workload()];
+
+    let mut rows: Vec<ServeRow> = Vec::new();
+    for (name, order, q, db, spec) in cases {
+        let fds = FdSet::empty();
+        // Cold: freeze a private snapshot per build — the pre-snapshot
+        // lifecycle, paying dictionary + encoding every time.
+        let cold_prepare_ns = median(
+            (0..reps)
+                .map(|_| {
+                    let start = Instant::now();
+                    let engine = Engine::new(db.clone().freeze());
+                    std::hint::black_box(
+                        engine
+                            .prepare_uncached(&q, spec.clone(), &fds, Policy::Reject)
+                            .unwrap(),
+                    );
+                    start.elapsed().as_nanos() as f64
+                })
+                .collect(),
+        );
+
+        // Shared snapshot: the engine owns the one frozen encoding.
+        let engine = Engine::new(db.clone().freeze());
+        let snapshot_prepare_ns = median(
+            (0..reps)
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(
+                        engine
+                            .prepare_uncached(&q, spec.clone(), &fds, Policy::Reject)
+                            .unwrap(),
+                    );
+                    start.elapsed().as_nanos() as f64
+                })
+                .collect(),
+        );
+
+        // Cached: after the first prepare, every equal request is a
+        // bounded-cache hit returning the shared Arc.
+        let plan = engine
+            .prepare(&q, spec.clone(), &fds, Policy::Reject)
+            .unwrap();
+        let hit_rounds = 10_000u32;
+        let cached_prepare_ns = median(
+            (0..reps)
+                .map(|_| {
+                    let start = Instant::now();
+                    for _ in 0..hit_rounds {
+                        let p = engine
+                            .prepare(&q, spec.clone(), &fds, Policy::Reject)
+                            .unwrap();
+                        std::hint::black_box(&p);
+                    }
+                    start.elapsed().as_nanos() as f64 / f64::from(hit_rounds)
+                })
+                .collect(),
+        );
+        {
+            let again = engine
+                .prepare(&q, spec.clone(), &fds, Policy::Reject)
+                .unwrap();
+            assert!(
+                std::sync::Arc::ptr_eq(&plan, &again),
+                "cache must serve the shared plan"
+            );
+        }
+
+        // Multi-client throughput: N threads hammering the one shared
+        // plan through the allocation-free access path.
+        let total = plan.len().max(1);
+        let mut samples: Vec<ThreadSample> = Vec::new();
+        for &threads in &thread_counts {
+            let wall_ns = median(
+                (0..reps)
+                    .map(|_| {
+                        let start = Instant::now();
+                        std::thread::scope(|s| {
+                            for t in 0..threads {
+                                let plan = &plan;
+                                s.spawn(move || {
+                                    let mut buf: Vec<rda_db::Value> = Vec::new();
+                                    let mut sink = 0usize;
+                                    let mut k = (t as u64).wrapping_mul(40_503) % total;
+                                    for _ in 0..ops_per_thread {
+                                        k = k.wrapping_mul(2_654_435_761).wrapping_add(97) % total;
+                                        plan.access_into(k, &mut buf);
+                                        sink ^= buf.len();
+                                    }
+                                    std::hint::black_box(sink)
+                                });
+                            }
+                        });
+                        start.elapsed().as_nanos() as f64
+                    })
+                    .collect(),
+            );
+            let total_ops = ops_per_thread * threads as u64;
+            samples.push(ThreadSample {
+                threads,
+                total_ops,
+                ns_per_op: wall_ns / ops_per_thread as f64,
+                mops_per_s: total_ops as f64 / wall_ns * 1e3,
+            });
+        }
+
+        let mops = |t: usize| {
+            samples
+                .iter()
+                .find(|s| s.threads == t)
+                .map_or(0.0, |s| s.mops_per_s)
+        };
+        println!(
+            "{:<16} {:>11.2} {:>12.2} {:>12.1} {:>10.0}x | {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            name,
+            cold_prepare_ns / 1e6,
+            snapshot_prepare_ns / 1e6,
+            cached_prepare_ns,
+            cold_prepare_ns / cached_prepare_ns,
+            mops(1),
+            mops(2),
+            mops(4),
+            mops(8),
+        );
+        rows.push(ServeRow {
+            name,
+            order,
+            backend: plan.backend().to_string(),
+            db_tuples: engine.snapshot().size(),
+            answers: plan.len(),
+            cold_prepare_ns,
+            snapshot_prepare_ns,
+            cached_prepare_ns,
+            threads: samples,
+        });
+    }
+
+    let min_hit_speedup = rows
+        .iter()
+        .map(|r| r.cold_prepare_ns / r.cached_prepare_ns)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        min_hit_speedup >= 10.0,
+        "cached prepare must be >= 10x faster than a cold build (got {min_hit_speedup:.1}x)"
+    );
+    // Thread scaling is bounded by the host: on a single-core machine
+    // the sweep demonstrates *absence of contention* (flat throughput,
+    // no per-thread regression), not speedup. Record the bound so the
+    // numbers stay interpretable.
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let json = format!(
+        "{{\n  \"schema\": \"bench_serve/v1\",\n  \"command\": \"cargo run --release -p rda_bench --bin experiments -- serve{}\",\n  \"mode\": {},\n  \"reps\": {},\n  \"ops_per_thread\": {},\n  \"host_parallelism\": {},\n  \"min_cached_over_cold_speedup\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        if smoke { " --smoke" } else { "" },
+        json_str(if smoke { "smoke" } else { "full" }),
+        reps,
+        ops_per_thread,
+        host_parallelism,
+        json_num(min_hit_speedup),
+        rows.iter().map(ServeRow::json).collect::<Vec<_>>().join(",\n"),
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!(
+        "min cached-prepare speedup over cold build: {min_hit_speedup:.0}x\nwrote BENCH_serve.json ({} workloads)\n",
+        rows.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let args: Vec<String> = args.into_iter().filter(|a| a != "--smoke").collect();
-    // `--smoke` only applies to the access bench; a bare `--smoke` means
-    // exactly that experiment, not the full suite at full size.
+    // `--smoke` only applies to the machine-readable benches; a bare
+    // `--smoke` means exactly those experiments, not the full suite at
+    // full size.
     if smoke && args.is_empty() {
         access_bench(true);
+        serve_bench(true);
         return;
     }
     let all = args.is_empty();
@@ -884,5 +1182,8 @@ fn main() {
     }
     if want("access") {
         access_bench(smoke);
+    }
+    if want("serve") {
+        serve_bench(smoke);
     }
 }

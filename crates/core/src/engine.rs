@@ -1,5 +1,7 @@
-//! The planner-style front door: classify a (query, order) pair against
-//! the paper's dichotomies and route it to the best available backend.
+//! The stateful serving core: a [`Snapshot`]-backed engine that
+//! classifies (query, order) pairs against the paper's dichotomies,
+//! routes them to the best available backend, and memoizes the built
+//! plans in a bounded cache shared by every client thread.
 //!
 //! ```
 //! use rda_core::{Engine, OrderSpec, Policy, DirectAccess};
@@ -11,9 +13,13 @@
 //!     .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
 //!     .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]]);
 //!
+//! // Freeze once: the database is dictionary-encoded exactly once and
+//! // shared by every plan the engine prepares.
+//! let engine = Engine::new(db.freeze());
+//!
 //! // A tractable order routes to native direct access …
-//! let plan = Engine::prepare(
-//!     &q, &db,
+//! let plan = engine.prepare(
+//!     &q,
 //!     OrderSpec::lex(&q, &["x", "y", "z"]),
 //!     &FdSet::empty(),
 //!     Policy::Reject,
@@ -22,9 +28,19 @@
 //! let median = plan.access(plan.len() / 2).unwrap();
 //! assert_eq!(plan.inverted_access(&median), Some(2));
 //!
-//! // … a trio-blocked order still gets ranked answers, via selection.
-//! let plan = Engine::prepare(
-//!     &q, &db,
+//! // … and repeating the same request is a cache hit: the identical
+//! // Arc comes back, nothing is rebuilt.
+//! let again = engine.prepare(
+//!     &q,
+//!     OrderSpec::lex(&q, &["x", "y", "z"]),
+//!     &FdSet::empty(),
+//!     Policy::Reject,
+//! ).unwrap();
+//! assert!(std::sync::Arc::ptr_eq(&plan, &again));
+//!
+//! // A trio-blocked order still gets ranked answers, via selection.
+//! let plan = engine.prepare(
+//!     &q,
 //!     OrderSpec::lex(&q, &["x", "z", "y"]),
 //!     &FdSet::empty(),
 //!     Policy::Reject,
@@ -41,12 +57,15 @@ use crate::plan::{
 use crate::weights::Weights;
 use crate::{LexDirectAccess, SumDirectAccess};
 use rda_baseline::{MaterializedAccess, RankedEnumerator};
-use rda_db::Database;
+use rda_db::{Database, Snapshot};
 use rda_query::classify::{classify, Problem, Verdict};
 use rda_query::fd::FdSet;
 use rda_query::query::Cq;
 use rda_query::{gyo, VarId};
+use std::collections::HashMap;
 use std::fmt;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
 
 /// The order a prepared plan ranks answers by.
 #[derive(Debug, Clone)]
@@ -79,7 +98,7 @@ impl OrderSpec {
 
 /// What [`Engine::prepare`] may do when the dichotomy puts the order
 /// outside both the direct-access and the selection tractable regions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Policy {
     /// Refuse: return [`PlanError::Intractable`] carrying the verdict
     /// and witness. The predictable-latency choice.
@@ -168,197 +187,446 @@ impl PlanError {
     }
 }
 
-/// The classify-and-route planner: one front door for every ranked-
-/// access strategy in this crate.
+/// The cache key of a prepared plan: canonical, name-based renderings
+/// of the query, the order, the FDs, and the fallback policy. Two
+/// requests with equal keys are served by the same `Arc<AccessPlan>`.
 ///
+/// Every name (relation names are arbitrary user strings) is encoded
+/// **length-prefixed**, so the rendering is injective: no choice of
+/// names containing `(`, `,`, or any other delimiter can make two
+/// structurally different requests collide on one key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    query: String,
+    order: String,
+    fds: String,
+    policy: Policy,
+}
+
+/// Append `tok` to `out` unambiguously: `"{len}:{tok};"`. The length
+/// prefix delimits, so adjacent tokens can never be re-segmented.
+fn push_token(out: &mut String, tok: &str) {
+    let _ = write!(out, "{}:{tok};", tok.len());
+}
+
+fn plan_key(q: &Cq, order: &OrderSpec, fds: &FdSet, policy: Policy) -> PlanKey {
+    let mut query = String::new();
+    push_token(&mut query, q.name());
+    let _ = write!(query, "[{}](", q.free().len());
+    for &v in q.free() {
+        push_token(&mut query, q.var_name(v));
+    }
+    query.push_str("):-");
+    for atom in q.atoms() {
+        push_token(&mut query, &atom.relation);
+        let _ = write!(query, "[{}](", atom.terms.len());
+        for &t in &atom.terms {
+            push_token(&mut query, q.var_name(t));
+        }
+        query.push(')');
+    }
+    let order = match order {
+        OrderSpec::Lex(vs) => {
+            let mut s = String::from("lex<");
+            for name in q.names_of(vs) {
+                push_token(&mut s, name);
+            }
+            s.push('>');
+            s
+        }
+        OrderSpec::Sum(w) => format!("sum{{{}}}", w.fingerprint(q)),
+    };
+    let mut fd_strings: Vec<String> = fds
+        .iter()
+        .map(|fd| {
+            let mut s = String::new();
+            push_token(&mut s, &fd.relation);
+            push_token(&mut s, q.var_name(fd.lhs));
+            push_token(&mut s, q.var_name(fd.rhs));
+            s
+        })
+        .collect();
+    fd_strings.sort_unstable();
+    PlanKey {
+        query,
+        order,
+        fds: fd_strings.concat(),
+        policy,
+    }
+}
+
+/// The bounded plan cache: LRU over [`PlanKey`]s.
+struct PlanCache {
+    map: HashMap<PlanKey, CacheEntry>,
+    capacity: usize,
+    clock: u64,
+}
+
+struct CacheEntry {
+    plan: Arc<AccessPlan>,
+    last_used: u64,
+}
+
+impl PlanCache {
+    fn get(&mut self, key: &PlanKey) -> Option<Arc<AccessPlan>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = clock;
+            Arc::clone(&e.plan)
+        })
+    }
+
+    /// Insert `plan` under `key` unless another thread won the race, in
+    /// which case the incumbent is returned (so equal keys always yield
+    /// pointer-equal plans). Evicts the least-recently-used entry when
+    /// over capacity.
+    fn insert_or_get(&mut self, key: PlanKey, plan: Arc<AccessPlan>) -> Arc<AccessPlan> {
+        if self.capacity == 0 {
+            return plan;
+        }
+        if let Some(existing) = self.get(&key) {
+            return existing;
+        }
+        self.clock += 1;
+        self.map.insert(
+            key,
+            CacheEntry {
+                plan: Arc::clone(&plan),
+                last_used: self.clock,
+            },
+        );
+        while self.map.len() > self.capacity {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("cache is non-empty");
+            self.map.remove(&oldest);
+        }
+        plan
+    }
+}
+
+/// The snapshot-backed, classify-and-route serving core: one stateful
+/// front door for every ranked-access strategy in this crate.
+///
+/// An engine owns an [`Arc<Snapshot>`] — a database dictionary-encoded
+/// **once** by [`Database::freeze`] — and a bounded plan cache.
 /// [`Engine::prepare`] runs the decision procedures of
-/// [`rda_query::classify`] and picks, in order of preference:
+/// [`mod@rda_query::classify`] and picks, in order of preference:
 ///
 /// 1. **native direct access** ([`LexDirectAccess`] /
 ///    [`SumDirectAccess`]) when the order is on the tractable side of
-///    Theorem 4.1 / 5.1 (8.21 / 8.9 under FDs);
+///    Theorem 4.1 / 5.1 (8.21 / 8.9 under FDs) — built straight from
+///    the snapshot's code space, no re-encoding;
 /// 2. a **lazy selection-backed handle** when only selection is
 ///    tractable (Theorem 6.1 / 7.3) — no preprocessing, linear-time
 ///    accesses;
 /// 3. the **explicit fallback** named by [`Policy`] otherwise.
 ///
-/// The returned [`AccessPlan`] serves answers uniformly through
-/// [`DirectAccess`](crate::DirectAccess) and reports its routing
-/// decision through [`AccessPlan::explain`].
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Engine;
+/// Prepared plans are memoized: an equal (query, order, FDs, policy)
+/// request returns the *same* [`Arc<AccessPlan>`], so concurrent
+/// clients share both the encoded data and the built structures. The
+/// engine is `Sync` — share it behind an `Arc` and call
+/// [`Engine::prepare`] from as many threads as you like.
+pub struct Engine {
+    snapshot: Arc<Snapshot>,
+    cache: Mutex<PlanCache>,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("snapshot_tuples", &self.snapshot.size())
+            .field("cached_plans", &self.plan_cache_len())
+            .finish()
+    }
+}
 
 impl Engine {
-    /// Classify `(q, order)` under `fds` and build the best plan the
-    /// `policy` allows over `db`.
-    pub fn prepare<'a>(
-        q: &Cq,
-        db: &'a Database,
-        order: OrderSpec,
-        fds: &FdSet,
-        policy: Policy,
-    ) -> Result<AccessPlan<'a>, PlanError> {
-        match order {
-            OrderSpec::Lex(lex) => Self::prepare_lex(q, db, lex, fds, policy),
-            OrderSpec::Sum(w) => Self::prepare_sum(q, db, w, fds, policy),
-        }
+    /// Default bound on the number of memoized plans.
+    pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
+    /// An engine serving the given snapshot, with the default plan-cache
+    /// capacity.
+    pub fn new(snapshot: Arc<Snapshot>) -> Self {
+        Self::with_plan_cache_capacity(snapshot, Self::DEFAULT_PLAN_CACHE_CAPACITY)
     }
 
-    fn prepare_lex<'a>(
-        q: &Cq,
-        db: &'a Database,
-        lex: Vec<VarId>,
-        fds: &FdSet,
-        policy: Policy,
-    ) -> Result<AccessPlan<'a>, PlanError> {
-        crate::lexda::validate_lex(q, &lex)?;
-        let problem = Problem::DirectAccessLex(lex.clone());
-        let problem_desc = format!("direct access by LEX <{}>", q.names_of(&lex).join(", "));
-        let verdict = classify(q, fds, &problem);
-        let witness = verdict.reason().map(|r| describe_reason(q, r));
-
-        if verdict.is_tractable() {
-            let da = LexDirectAccess::build(q, db, &lex, fds)?;
-            return Ok(AccessPlan::new(
-                RankedAnswers::Lex(da),
-                Explain {
-                    problem,
-                    problem_desc,
-                    verdict,
-                    selection_verdict: None,
-                    witness,
-                    backend: Backend::LexDirectAccess,
-                },
-            ));
-        }
-
-        let selection_verdict = classify(q, fds, &Problem::SelectionLex(lex.clone()));
-        if selection_verdict.is_tractable() {
-            let handle = SelectionLexHandle::new(q, db, lex, fds)?;
-            return Ok(AccessPlan::new(
-                RankedAnswers::SelectionLex(handle),
-                Explain {
-                    problem,
-                    problem_desc,
-                    verdict,
-                    selection_verdict: Some(selection_verdict),
-                    witness,
-                    backend: Backend::SelectionLex,
-                },
-            ));
-        }
-
-        match policy {
-            Policy::Reject => Err(PlanError::Intractable { verdict, witness }),
-            Policy::Materialize => {
-                crate::instance::validate_instance(q, db)?;
-                let m = MaterializedAccess::by_lex(q, db, &lex);
-                Ok(AccessPlan::new(
-                    RankedAnswers::Materialized(m),
-                    Explain {
-                        problem,
-                        problem_desc,
-                        verdict,
-                        selection_verdict: Some(selection_verdict),
-                        witness,
-                        backend: Backend::Materialized,
-                    },
-                ))
-            }
-            Policy::RankedEnum => Err(PlanError::RankedEnumUnsupported {
-                reason: "the any-k enumerator ranks by SUM, not by lexicographic orders; \
-                         use Policy::Materialize"
-                    .to_string(),
+    /// An engine with an explicit plan-cache bound. Capacity `0`
+    /// disables memoization (every `prepare` builds afresh).
+    pub fn with_plan_cache_capacity(snapshot: Arc<Snapshot>, capacity: usize) -> Self {
+        Engine {
+            snapshot,
+            cache: Mutex::new(PlanCache {
+                map: HashMap::new(),
+                capacity,
+                clock: 0,
             }),
         }
     }
 
-    fn prepare_sum<'a>(
+    /// The snapshot this engine serves.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snapshot
+    }
+
+    /// Number of plans currently memoized.
+    pub fn plan_cache_len(&self) -> usize {
+        self.cache
+            .lock()
+            .expect("plan cache not poisoned")
+            .map
+            .len()
+    }
+
+    /// Drop every memoized plan (already-shared `Arc`s stay alive).
+    pub fn clear_plan_cache(&self) {
+        self.cache
+            .lock()
+            .expect("plan cache not poisoned")
+            .map
+            .clear();
+    }
+
+    /// Classify `(q, order)` under `fds` and serve the best plan the
+    /// `policy` allows over this engine's snapshot, memoized: repeating
+    /// a request with an equal (query, order, FDs, policy) key returns
+    /// the same `Arc` without rebuilding anything.
+    ///
+    /// Concurrent `prepare` calls for *different* keys build in
+    /// parallel; two racing calls for the same key may both build, but
+    /// all callers end up sharing one plan.
+    pub fn prepare(
+        &self,
         q: &Cq,
-        db: &'a Database,
-        weights: Weights,
+        order: OrderSpec,
         fds: &FdSet,
         policy: Policy,
-    ) -> Result<AccessPlan<'a>, PlanError> {
-        let problem = Problem::DirectAccessSum;
-        let problem_desc = "direct access by SUM of attribute weights".to_string();
-        let verdict = classify(q, fds, &problem);
-        let witness = verdict.reason().map(|r| describe_reason(q, r));
-
-        if verdict.is_tractable() {
-            let da = SumDirectAccess::build(q, db, &weights, fds)?;
-            return Ok(AccessPlan::new(
-                RankedAnswers::Sum(da),
-                Explain {
-                    problem,
-                    problem_desc,
-                    verdict,
-                    selection_verdict: None,
-                    witness,
-                    backend: Backend::SumDirectAccess,
-                },
-            ));
+    ) -> Result<Arc<AccessPlan>, PlanError> {
+        let key = plan_key(q, &order, fds, policy);
+        if let Some(plan) = self
+            .cache
+            .lock()
+            .expect("plan cache not poisoned")
+            .get(&key)
+        {
+            return Ok(plan);
         }
+        // Build outside the lock so distinct keys don't serialize.
+        let plan = Arc::new(prepare_on(&self.snapshot, q, order, fds, policy)?);
+        Ok(self
+            .cache
+            .lock()
+            .expect("plan cache not poisoned")
+            .insert_or_get(key, plan))
+    }
 
-        let selection_verdict = classify(q, fds, &Problem::SelectionSum);
-        if selection_verdict.is_tractable() {
-            let handle = SelectionSumHandle::new(q, db, weights, fds)?;
-            return Ok(AccessPlan::new(
-                RankedAnswers::SelectionSum(handle),
+    /// [`Engine::prepare`] without memoization: always classify and
+    /// build afresh, returning an owned plan. The snapshot (and its
+    /// one-time encoding) is still shared.
+    pub fn prepare_uncached(
+        &self,
+        q: &Cq,
+        order: OrderSpec,
+        fds: &FdSet,
+        policy: Policy,
+    ) -> Result<AccessPlan, PlanError> {
+        prepare_on(&self.snapshot, q, order, fds, policy)
+    }
+
+    /// The pre-snapshot, stateless entry point: freezes a private copy
+    /// of `db` (re-encoding it) and builds one plan over it.
+    ///
+    /// Still correct, but it re-pays the encoding on every call and
+    /// shares nothing; it only remains useful for genuine one-shot
+    /// scripts over small inputs.
+    #[deprecated(
+        since = "0.3.0",
+        note = "freeze the database once and route through a stateful engine: \
+                `Engine::new(db.freeze()).prepare(q, order, fds, policy)`"
+    )]
+    pub fn prepare_stateless(
+        q: &Cq,
+        db: &Database,
+        order: OrderSpec,
+        fds: &FdSet,
+        policy: Policy,
+    ) -> Result<AccessPlan, PlanError> {
+        prepare_on(&db.clone().freeze(), q, order, fds, policy)
+    }
+}
+
+/// The routing logic shared by every entry point: classify, then build
+/// over the snapshot.
+fn prepare_on(
+    snap: &Arc<Snapshot>,
+    q: &Cq,
+    order: OrderSpec,
+    fds: &FdSet,
+    policy: Policy,
+) -> Result<AccessPlan, PlanError> {
+    match order {
+        OrderSpec::Lex(lex) => prepare_lex(snap, q, lex, fds, policy),
+        OrderSpec::Sum(w) => prepare_sum(snap, q, w, fds, policy),
+    }
+}
+
+fn prepare_lex(
+    snap: &Arc<Snapshot>,
+    q: &Cq,
+    lex: Vec<VarId>,
+    fds: &FdSet,
+    policy: Policy,
+) -> Result<AccessPlan, PlanError> {
+    crate::lexda::validate_lex(q, &lex)?;
+    let problem = Problem::DirectAccessLex(lex.clone());
+    let problem_desc = format!("direct access by LEX <{}>", q.names_of(&lex).join(", "));
+    let verdict = classify(q, fds, &problem);
+    let witness = verdict.reason().map(|r| describe_reason(q, r));
+
+    if verdict.is_tractable() {
+        let da = LexDirectAccess::build_on(q, snap, &lex, fds)?;
+        return Ok(AccessPlan::new(
+            RankedAnswers::Lex(da),
+            Explain {
+                problem,
+                problem_desc,
+                verdict,
+                selection_verdict: None,
+                witness,
+                backend: Backend::LexDirectAccess,
+            },
+        ));
+    }
+
+    let selection_verdict = classify(q, fds, &Problem::SelectionLex(lex.clone()));
+    if selection_verdict.is_tractable() {
+        let handle = SelectionLexHandle::new(q, snap, lex, fds)?;
+        return Ok(AccessPlan::new(
+            RankedAnswers::SelectionLex(handle),
+            Explain {
+                problem,
+                problem_desc,
+                verdict,
+                selection_verdict: Some(selection_verdict),
+                witness,
+                backend: Backend::SelectionLex,
+            },
+        ));
+    }
+
+    match policy {
+        Policy::Reject => Err(PlanError::Intractable { verdict, witness }),
+        Policy::Materialize => {
+            crate::instance::validate_instance(q, snap.database())?;
+            let m = MaterializedAccess::by_lex(q, snap.database(), &lex);
+            Ok(AccessPlan::new(
+                RankedAnswers::Materialized(m),
                 Explain {
                     problem,
                     problem_desc,
                     verdict,
                     selection_verdict: Some(selection_verdict),
                     witness,
-                    backend: Backend::SelectionSum,
+                    backend: Backend::Materialized,
                 },
-            ));
+            ))
         }
+        Policy::RankedEnum => Err(PlanError::RankedEnumUnsupported {
+            reason: "the any-k enumerator ranks by SUM, not by lexicographic orders; \
+                     use Policy::Materialize"
+                .to_string(),
+        }),
+    }
+}
 
-        match policy {
-            Policy::Reject => Err(PlanError::Intractable { verdict, witness }),
-            Policy::Materialize => {
-                crate::instance::validate_instance(q, db)?;
-                let m = MaterializedAccess::by_sum(q, db, |v, val| weights.get(v, val).0);
-                Ok(AccessPlan::new(
-                    RankedAnswers::Materialized(m),
-                    Explain {
-                        problem,
-                        problem_desc,
-                        verdict,
-                        selection_verdict: Some(selection_verdict),
-                        witness,
-                        backend: Backend::Materialized,
-                    },
-                ))
+fn prepare_sum(
+    snap: &Arc<Snapshot>,
+    q: &Cq,
+    weights: Weights,
+    fds: &FdSet,
+    policy: Policy,
+) -> Result<AccessPlan, PlanError> {
+    let problem = Problem::DirectAccessSum;
+    let problem_desc = "direct access by SUM of attribute weights".to_string();
+    let verdict = classify(q, fds, &problem);
+    let witness = verdict.reason().map(|r| describe_reason(q, r));
+
+    if verdict.is_tractable() {
+        let da = SumDirectAccess::build_on(q, snap, &weights, fds)?;
+        return Ok(AccessPlan::new(
+            RankedAnswers::Sum(da),
+            Explain {
+                problem,
+                problem_desc,
+                verdict,
+                selection_verdict: None,
+                witness,
+                backend: Backend::SumDirectAccess,
+            },
+        ));
+    }
+
+    let selection_verdict = classify(q, fds, &Problem::SelectionSum);
+    if selection_verdict.is_tractable() {
+        let handle = SelectionSumHandle::new(q, snap, weights, fds)?;
+        return Ok(AccessPlan::new(
+            RankedAnswers::SelectionSum(handle),
+            Explain {
+                problem,
+                problem_desc,
+                verdict,
+                selection_verdict: Some(selection_verdict),
+                witness,
+                backend: Backend::SelectionSum,
+            },
+        ));
+    }
+
+    match policy {
+        Policy::Reject => Err(PlanError::Intractable { verdict, witness }),
+        Policy::Materialize => {
+            crate::instance::validate_instance(q, snap.database())?;
+            let m = MaterializedAccess::by_sum(q, snap.database(), |v, val| weights.get(v, val).0);
+            Ok(AccessPlan::new(
+                RankedAnswers::Materialized(m),
+                Explain {
+                    problem,
+                    problem_desc,
+                    verdict,
+                    selection_verdict: Some(selection_verdict),
+                    witness,
+                    backend: Backend::Materialized,
+                },
+            ))
+        }
+        Policy::RankedEnum => {
+            if !q.is_full() {
+                return Err(PlanError::RankedEnumUnsupported {
+                    reason: "the any-k enumerator requires a full CQ (no projection)".to_string(),
+                });
             }
-            Policy::RankedEnum => {
-                if !q.is_full() {
-                    return Err(PlanError::RankedEnumUnsupported {
-                        reason: "the any-k enumerator requires a full CQ (no projection)"
-                            .to_string(),
-                    });
-                }
-                if !gyo::is_acyclic(&q.hypergraph()) {
-                    return Err(PlanError::RankedEnumUnsupported {
-                        reason: "the any-k enumerator requires an acyclic CQ".to_string(),
-                    });
-                }
-                crate::instance::validate_instance(q, db)?;
-                let e = RankedEnumerator::new(q, db, |v, val| weights.get(v, val).0);
-                Ok(AccessPlan::new(
-                    RankedAnswers::RankedEnum(RankedEnumHandle::new(e)),
-                    Explain {
-                        problem,
-                        problem_desc,
-                        verdict,
-                        selection_verdict: Some(selection_verdict),
-                        witness,
-                        backend: Backend::RankedEnum,
-                    },
-                ))
+            if !gyo::is_acyclic(&q.hypergraph()) {
+                return Err(PlanError::RankedEnumUnsupported {
+                    reason: "the any-k enumerator requires an acyclic CQ".to_string(),
+                });
             }
+            crate::instance::validate_instance(q, snap.database())?;
+            let e = RankedEnumerator::new(q, snap.database(), |v, val| weights.get(v, val).0);
+            Ok(AccessPlan::new(
+                RankedAnswers::RankedEnum(RankedEnumHandle::new(e)),
+                Explain {
+                    problem,
+                    problem_desc,
+                    verdict,
+                    selection_verdict: Some(selection_verdict),
+                    witness,
+                    backend: Backend::RankedEnum,
+                },
+            ))
         }
     }
 }
@@ -371,10 +639,13 @@ mod tests {
     use rda_query::classify::Reason;
     use rda_query::parser::parse;
 
-    fn fig2_db() -> Database {
-        Database::new()
-            .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
-            .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]])
+    fn fig2_engine() -> Engine {
+        Engine::new(
+            Database::new()
+                .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+                .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]])
+                .freeze(),
+        )
     }
 
     fn two_path() -> Cq {
@@ -384,15 +655,15 @@ mod tests {
     #[test]
     fn tractable_lex_routes_to_native_direct_access() {
         let q = two_path();
-        let db = fig2_db();
-        let plan = Engine::prepare(
-            &q,
-            &db,
-            OrderSpec::lex(&q, &["x", "y", "z"]),
-            &FdSet::empty(),
-            Policy::Reject,
-        )
-        .unwrap();
+        let engine = fig2_engine();
+        let plan = engine
+            .prepare(
+                &q,
+                OrderSpec::lex(&q, &["x", "y", "z"]),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .unwrap();
         assert_eq!(plan.backend(), Backend::LexDirectAccess);
         assert!(plan.explain().verdict().is_tractable());
         assert_eq!(plan.explain().witness(), None);
@@ -403,15 +674,15 @@ mod tests {
     #[test]
     fn trio_order_routes_to_selection_with_witness() {
         let q = two_path();
-        let db = fig2_db();
-        let plan = Engine::prepare(
-            &q,
-            &db,
-            OrderSpec::lex(&q, &["x", "z", "y"]),
-            &FdSet::empty(),
-            Policy::Reject,
-        )
-        .unwrap();
+        let engine = fig2_engine();
+        let plan = engine
+            .prepare(
+                &q,
+                OrderSpec::lex(&q, &["x", "z", "y"]),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .unwrap();
         assert_eq!(plan.backend(), Backend::SelectionLex);
         assert!(matches!(
             plan.explain().verdict().reason(),
@@ -429,15 +700,15 @@ mod tests {
     #[test]
     fn selection_handle_round_trips_inverted_access() {
         let q = two_path();
-        let db = fig2_db();
-        let plan = Engine::prepare(
-            &q,
-            &db,
-            OrderSpec::lex(&q, &["x", "z", "y"]),
-            &FdSet::empty(),
-            Policy::Reject,
-        )
-        .unwrap();
+        let engine = fig2_engine();
+        let plan = engine
+            .prepare(
+                &q,
+                OrderSpec::lex(&q, &["x", "z", "y"]),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .unwrap();
         for k in 0..plan.len() {
             let t = plan.access(k).unwrap();
             assert_eq!(plan.inverted_access(&t), Some(k), "k={k}");
@@ -448,15 +719,19 @@ mod tests {
     #[test]
     fn non_free_connex_projection_rejects_then_materializes() {
         let qp = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
-        let db = fig2_db();
+        let engine = fig2_engine();
         let spec = || OrderSpec::lex(&qp, &["x", "z"]);
-        let err = Engine::prepare(&qp, &db, spec(), &FdSet::empty(), Policy::Reject).unwrap_err();
+        let err = engine
+            .prepare(&qp, spec(), &FdSet::empty(), Policy::Reject)
+            .unwrap_err();
         assert!(matches!(err, PlanError::Intractable { .. }));
         assert!(matches!(
             err.verdict().and_then(Verdict::reason),
             Some(Reason::NotFreeConnex { .. })
         ));
-        let plan = Engine::prepare(&qp, &db, spec(), &FdSet::empty(), Policy::Materialize).unwrap();
+        let plan = engine
+            .prepare(&qp, spec(), &FdSet::empty(), Policy::Materialize)
+            .unwrap();
         assert_eq!(plan.backend(), Backend::Materialized);
         assert!(plan.backend().is_fallback());
         // Answers of Q(x,z): (1,3), (1,4), (1,5), (1,6), (6,5).
@@ -471,15 +746,15 @@ mod tests {
     #[test]
     fn sum_routes_to_native_when_one_atom_covers_free() {
         let q = parse("Q(x, y) :- R(x, y), S(y, z)").unwrap();
-        let db = fig2_db();
-        let plan = Engine::prepare(
-            &q,
-            &db,
-            OrderSpec::sum_by_value(),
-            &FdSet::empty(),
-            Policy::Reject,
-        )
-        .unwrap();
+        let engine = fig2_engine();
+        let plan = engine
+            .prepare(
+                &q,
+                OrderSpec::sum_by_value(),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .unwrap();
         assert_eq!(plan.backend(), Backend::SumDirectAccess);
         // Weights: (1,2)=3, (1,5)=6, (6,2)=8.
         assert_eq!(plan.access(0), Some(tup![1, 2]));
@@ -489,15 +764,15 @@ mod tests {
     #[test]
     fn sum_on_two_path_routes_to_selection() {
         let q = two_path();
-        let db = fig2_db();
-        let plan = Engine::prepare(
-            &q,
-            &db,
-            OrderSpec::sum_by_value(),
-            &FdSet::empty(),
-            Policy::Reject,
-        )
-        .unwrap();
+        let engine = fig2_engine();
+        let plan = engine
+            .prepare(
+                &q,
+                OrderSpec::sum_by_value(),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .unwrap();
         assert_eq!(plan.backend(), Backend::SelectionSum);
         assert!(matches!(
             plan.explain().verdict().reason(),
@@ -516,18 +791,21 @@ mod tests {
     #[test]
     fn sum_fallbacks_on_fmh3() {
         let q3 = parse("Q(x, y, z, u) :- R(x, y), S(y, z), T(z, u)").unwrap();
-        let db = Database::new()
-            .with_i64_rows("R", 2, vec![vec![1, 2], vec![3, 4]])
-            .with_i64_rows("S", 2, vec![vec![2, 5], vec![4, 6]])
-            .with_i64_rows("T", 2, vec![vec![5, 7], vec![6, 8]]);
-        let err = Engine::prepare(
-            &q3,
-            &db,
-            OrderSpec::sum_by_value(),
-            &FdSet::empty(),
-            Policy::Reject,
-        )
-        .unwrap_err();
+        let engine = Engine::new(
+            Database::new()
+                .with_i64_rows("R", 2, vec![vec![1, 2], vec![3, 4]])
+                .with_i64_rows("S", 2, vec![vec![2, 5], vec![4, 6]])
+                .with_i64_rows("T", 2, vec![vec![5, 7], vec![6, 8]])
+                .freeze(),
+        );
+        let err = engine
+            .prepare(
+                &q3,
+                OrderSpec::sum_by_value(),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .unwrap_err();
         // The rejection carries the *direct-access* witness (no covering
         // atom); the selection side (fmh = 3) was also intractable.
         assert!(matches!(
@@ -535,14 +813,14 @@ mod tests {
             Some(Reason::NoAtomCoversFree { .. })
         ));
         // Ranked enumeration applies: the query is full and acyclic.
-        let plan = Engine::prepare(
-            &q3,
-            &db,
-            OrderSpec::sum_by_value(),
-            &FdSet::empty(),
-            Policy::RankedEnum,
-        )
-        .unwrap();
+        let plan = engine
+            .prepare(
+                &q3,
+                OrderSpec::sum_by_value(),
+                &FdSet::empty(),
+                Policy::RankedEnum,
+            )
+            .unwrap();
         assert_eq!(plan.backend(), Backend::RankedEnum);
         // Answers: (1,2,5,7)=15 and (3,4,6,8)=21.
         assert_eq!(plan.access(0), Some(tup![1, 2, 5, 7]));
@@ -550,14 +828,14 @@ mod tests {
         assert_eq!(plan.len(), 2);
         assert_eq!(plan.inverted_access(&tup![3, 4, 6, 8]), Some(1));
         // Materialize agrees.
-        let plan = Engine::prepare(
-            &q3,
-            &db,
-            OrderSpec::sum_by_value(),
-            &FdSet::empty(),
-            Policy::Materialize,
-        )
-        .unwrap();
+        let plan = engine
+            .prepare(
+                &q3,
+                OrderSpec::sum_by_value(),
+                &FdSet::empty(),
+                Policy::Materialize,
+            )
+            .unwrap();
         assert_eq!(plan.backend(), Backend::Materialized);
         assert_eq!(plan.len(), 2);
     }
@@ -565,41 +843,43 @@ mod tests {
     #[test]
     fn ranked_enum_rejected_for_lex_and_projections() {
         let q = two_path();
-        let db = fig2_db();
-        let err = Engine::prepare(
+        let engine = fig2_engine();
+        let r = engine.prepare(
             &q,
-            &db,
             OrderSpec::lex(&q, &["x", "z", "y"]),
             &FdSet::empty(),
             Policy::RankedEnum,
         );
         // Selection is tractable for the trio order, so RankedEnum is
         // never consulted: routing prefers the paper's algorithms.
-        assert!(err.is_ok());
+        assert!(r.is_ok());
         // A cyclic query under SUM with RankedEnum policy is refused.
         let qc = parse("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)").unwrap();
-        let dbc = Database::new()
-            .with_i64_rows("R", 2, vec![vec![1, 2]])
-            .with_i64_rows("S", 2, vec![vec![2, 3]])
-            .with_i64_rows("T", 2, vec![vec![3, 1]]);
-        let err = Engine::prepare(
-            &qc,
-            &dbc,
-            OrderSpec::sum_by_value(),
-            &FdSet::empty(),
-            Policy::RankedEnum,
-        )
-        .unwrap_err();
+        let cyclic = Engine::new(
+            Database::new()
+                .with_i64_rows("R", 2, vec![vec![1, 2]])
+                .with_i64_rows("S", 2, vec![vec![2, 3]])
+                .with_i64_rows("T", 2, vec![vec![3, 1]])
+                .freeze(),
+        );
+        let err = cyclic
+            .prepare(
+                &qc,
+                OrderSpec::sum_by_value(),
+                &FdSet::empty(),
+                Policy::RankedEnum,
+            )
+            .unwrap_err();
         assert!(matches!(err, PlanError::RankedEnumUnsupported { .. }));
         // Materialize handles even the cyclic case.
-        let plan = Engine::prepare(
-            &qc,
-            &dbc,
-            OrderSpec::sum_by_value(),
-            &FdSet::empty(),
-            Policy::Materialize,
-        )
-        .unwrap();
+        let plan = cyclic
+            .prepare(
+                &qc,
+                OrderSpec::sum_by_value(),
+                &FdSet::empty(),
+                Policy::Materialize,
+            )
+            .unwrap();
         assert_eq!(plan.len(), 1);
         assert_eq!(plan.access(0), Some(tup![1, 2, 3]));
     }
@@ -607,29 +887,29 @@ mod tests {
     #[test]
     fn instance_errors_surface_at_prepare_time() {
         let q = two_path();
-        let empty = Database::new();
+        let empty = Engine::new(Database::new().freeze());
         // Native route.
-        let err = Engine::prepare(
-            &q,
-            &empty,
-            OrderSpec::lex(&q, &["x", "y", "z"]),
-            &FdSet::empty(),
-            Policy::Reject,
-        )
-        .unwrap_err();
+        let err = empty
+            .prepare(
+                &q,
+                OrderSpec::lex(&q, &["x", "y", "z"]),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .unwrap_err();
         assert!(matches!(
             err,
             PlanError::Build(BuildError::MissingRelation(_))
         ));
         // Selection route probes eagerly.
-        let err = Engine::prepare(
-            &q,
-            &empty,
-            OrderSpec::lex(&q, &["x", "z", "y"]),
-            &FdSet::empty(),
-            Policy::Reject,
-        )
-        .unwrap_err();
+        let err = empty
+            .prepare(
+                &q,
+                OrderSpec::lex(&q, &["x", "z", "y"]),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .unwrap_err();
         assert!(matches!(
             err,
             PlanError::Build(BuildError::MissingRelation(_))
@@ -639,15 +919,15 @@ mod tests {
     #[test]
     fn explain_renders_verdict_witness_backend() {
         let q = two_path();
-        let db = fig2_db();
-        let plan = Engine::prepare(
-            &q,
-            &db,
-            OrderSpec::lex(&q, &["x", "z", "y"]),
-            &FdSet::empty(),
-            Policy::Reject,
-        )
-        .unwrap();
+        let engine = fig2_engine();
+        let plan = engine
+            .prepare(
+                &q,
+                OrderSpec::lex(&q, &["x", "z", "y"]),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .unwrap();
         let report = plan.explain().to_string();
         assert!(report.contains("LEX <x, z, y>"), "{report}");
         assert!(report.contains("intractable"), "{report}");
@@ -659,15 +939,20 @@ mod tests {
     #[test]
     fn empty_database_yields_empty_plans_everywhere() {
         let q = two_path();
-        let db = Database::new()
-            .with_i64_rows("R", 2, vec![])
-            .with_i64_rows("S", 2, vec![]);
+        let engine = Engine::new(
+            Database::new()
+                .with_i64_rows("R", 2, vec![])
+                .with_i64_rows("S", 2, vec![])
+                .freeze(),
+        );
         for spec in [
             OrderSpec::lex(&q, &["x", "y", "z"]),
             OrderSpec::lex(&q, &["x", "z", "y"]),
             OrderSpec::sum_by_value(),
         ] {
-            let plan = Engine::prepare(&q, &db, spec, &FdSet::empty(), Policy::Reject).unwrap();
+            let plan = engine
+                .prepare(&q, spec, &FdSet::empty(), Policy::Reject)
+                .unwrap();
             assert_eq!(plan.len(), 0);
             assert!(plan.is_empty());
             assert_eq!(plan.access(0), None);
@@ -679,18 +964,195 @@ mod tests {
         // Example 1.1: LEX <x,z,y> with FD R: x → y becomes tractable.
         let q = two_path();
         let fds = FdSet::parse(&q, &[("R", "x", "y")]);
+        let engine = Engine::new(
+            Database::new()
+                .with_i64_rows("R", 2, vec![vec![1, 5], vec![6, 2]])
+                .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![2, 5]])
+                .freeze(),
+        );
+        let plan = engine
+            .prepare(
+                &q,
+                OrderSpec::lex(&q, &["x", "z", "y"]),
+                &fds,
+                Policy::Reject,
+            )
+            .unwrap();
+        assert_eq!(plan.backend(), Backend::LexDirectAccess);
+        assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn cache_hits_are_pointer_equal_and_respect_the_key() {
+        let q = two_path();
+        let engine = fig2_engine();
+        let spec = || OrderSpec::lex(&q, &["x", "y", "z"]);
+        let a = engine
+            .prepare(&q, spec(), &FdSet::empty(), Policy::Reject)
+            .unwrap();
+        let b = engine
+            .prepare(&q, spec(), &FdSet::empty(), Policy::Reject)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one plan");
+        assert_eq!(engine.plan_cache_len(), 1);
+        // A different order is a different key.
+        let c = engine
+            .prepare(
+                &q,
+                OrderSpec::lex(&q, &["z", "y"]),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(engine.plan_cache_len(), 2);
+        // Clearing drops memoization but not live plans.
+        engine.clear_plan_cache();
+        assert_eq!(engine.plan_cache_len(), 0);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn cache_eviction_respects_the_bound() {
+        let q = two_path();
         let db = Database::new()
-            .with_i64_rows("R", 2, vec![vec![1, 5], vec![6, 2]])
-            .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![2, 5]]);
-        let plan = Engine::prepare(
+            .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+            .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]]);
+        let engine = Engine::with_plan_cache_capacity(db.freeze(), 2);
+        let orders = [vec!["x", "y", "z"], vec!["x", "y"], vec!["y"]];
+        let first = engine
+            .prepare(
+                &q,
+                OrderSpec::lex(&q, &orders[0]),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .unwrap();
+        for names in &orders[1..] {
+            engine
+                .prepare(
+                    &q,
+                    OrderSpec::lex(&q, names),
+                    &FdSet::empty(),
+                    Policy::Reject,
+                )
+                .unwrap();
+        }
+        assert_eq!(engine.plan_cache_len(), 2, "bound respected");
+        // The first (least recently used) plan was evicted: preparing it
+        // again builds a fresh structure.
+        let again = engine
+            .prepare(
+                &q,
+                OrderSpec::lex(&q, &orders[0]),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .unwrap();
+        assert!(!Arc::ptr_eq(&first, &again), "evicted plans rebuild");
+    }
+
+    #[test]
+    fn zero_capacity_disables_memoization() {
+        let q = two_path();
+        let db = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5]])
+            .with_i64_rows("S", 2, vec![vec![5, 3]]);
+        let engine = Engine::with_plan_cache_capacity(db.freeze(), 0);
+        let spec = || OrderSpec::lex(&q, &["x", "y", "z"]);
+        let a = engine
+            .prepare(&q, spec(), &FdSet::empty(), Policy::Reject)
+            .unwrap();
+        let b = engine
+            .prepare(&q, spec(), &FdSet::empty(), Policy::Reject)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(engine.plan_cache_len(), 0);
+    }
+
+    #[test]
+    fn differing_fds_and_policy_are_cache_misses() {
+        let q = two_path();
+        // R satisfies x → y in this instance.
+        let engine = Engine::new(
+            Database::new()
+                .with_i64_rows("R", 2, vec![vec![1, 5], vec![6, 2]])
+                .with_i64_rows("S", 2, vec![vec![5, 3], vec![2, 5]])
+                .freeze(),
+        );
+        let fds = FdSet::parse(&q, &[("R", "x", "y")]);
+        let spec = || OrderSpec::lex(&q, &["x", "z", "y"]);
+        let without = engine
+            .prepare(&q, spec(), &FdSet::empty(), Policy::Reject)
+            .unwrap();
+        let with = engine.prepare(&q, spec(), &fds, Policy::Reject).unwrap();
+        assert!(!Arc::ptr_eq(&without, &with), "FDs are part of the key");
+        assert_eq!(without.backend(), Backend::SelectionLex);
+        assert_eq!(with.backend(), Backend::LexDirectAccess);
+        // Policy is part of the key too (even when routing ignores it).
+        let mat = engine
+            .prepare(&q, spec(), &FdSet::empty(), Policy::Materialize)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&without, &mat));
+        assert_eq!(mat.backend(), Backend::SelectionLex);
+    }
+
+    #[test]
+    fn sum_weights_distinguish_cache_keys() {
+        let q = parse("Q(x, y) :- R(x, y)").unwrap();
+        let engine = Engine::new(
+            Database::new()
+                .with_i64_rows("R", 2, vec![vec![1, 5], vec![2, 3]])
+                .freeze(),
+        );
+        let identity = engine
+            .prepare(
+                &q,
+                OrderSpec::sum_by_value(),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .unwrap();
+        let weighted = engine
+            .prepare(
+                &q,
+                OrderSpec::sum(Weights::identity().with(&q, "x", 1, 100.0)),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .unwrap();
+        assert!(!Arc::ptr_eq(&identity, &weighted));
+        assert_eq!(identity.access(0), Some(tup![2, 3]));
+        assert_eq!(weighted.access(0), Some(tup![2, 3]));
+        assert_eq!(weighted.access(1), Some(tup![1, 5]));
+        // Equal weights hit.
+        let weighted2 = engine
+            .prepare(
+                &q,
+                OrderSpec::sum(Weights::identity().with(&q, "x", 1, 100.0)),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .unwrap();
+        assert!(Arc::ptr_eq(&weighted, &weighted2));
+    }
+
+    #[test]
+    fn stateless_shim_still_prepares() {
+        let q = two_path();
+        let db = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+            .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]]);
+        #[allow(deprecated)]
+        let plan = Engine::prepare_stateless(
             &q,
             &db,
-            OrderSpec::lex(&q, &["x", "z", "y"]),
-            &fds,
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            &FdSet::empty(),
             Policy::Reject,
         )
         .unwrap();
         assert_eq!(plan.backend(), Backend::LexDirectAccess);
-        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.len(), 5);
     }
 }

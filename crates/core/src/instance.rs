@@ -50,9 +50,26 @@ pub fn validate_instance(q: &Cq, db: &Database) -> Result<(), BuildError> {
 /// no repeated variables within an atom (resolved by filtering), and
 /// set-semantics relations matching atom arities.
 pub fn normalize_instance(q: &Cq, db: &Database) -> Result<(Cq, Database), BuildError> {
+    let (nq, rels) = normalize_relations(q, db)?;
+    let mut out_db = Database::new();
+    for rel in rels {
+        out_db.add(rel);
+    }
+    Ok((nq, out_db))
+}
+
+/// [`normalize_instance`], but returning the normalized relations
+/// positionally (one per atom of the normalized query, already renamed
+/// to match it). Builders that walk atoms by index use this directly —
+/// no database detour, no ownership hand-off via the deprecated
+/// `Database::take`.
+pub(crate) fn normalize_relations(
+    q: &Cq,
+    db: &Database,
+) -> Result<(Cq, Vec<Relation>), BuildError> {
     validate_instance(q, db)?;
     let nq = normalize_query(q);
-    let mut out_db = Database::new();
+    let mut out: Vec<Relation> = Vec::with_capacity(q.atoms().len());
     for (atom, natom) in q.atoms().iter().zip(nq.atoms()) {
         let rel = db.get(&atom.relation).expect("validated above");
         // Repeated variables: keep tuples whose repeated positions agree,
@@ -76,9 +93,9 @@ pub fn normalize_instance(q: &Cq, db: &Database) -> Result<(Cq, Database), Build
             filtered.project(natom.relation.clone(), &keep_positions)
         };
         relation.normalize();
-        out_db.add(relation);
+        out.push(relation);
     }
-    Ok((nq, out_db))
+    Ok((nq, out))
 }
 
 /// The query half of [`normalize_instance`] — purely syntactic, so it
@@ -149,6 +166,18 @@ impl SemijoinTarget for Relation {
 impl SemijoinTarget for EncodedRelation {
     fn semijoin_on(&mut self, self_keys: &[usize], other: &Self, other_keys: &[usize]) {
         self.semijoin(self_keys, other, other_keys);
+    }
+}
+
+/// Copy-on-write semijoin: a relation borrowed from a snapshot is only
+/// cloned when the semijoin actually removes rows — a pass that keeps
+/// everything (the common case on already-consistent data) costs no
+/// copy.
+impl SemijoinTarget for std::borrow::Cow<'_, EncodedRelation> {
+    fn semijoin_on(&mut self, self_keys: &[usize], other: &Self, other_keys: &[usize]) {
+        if let Some(keep) = self.semijoin_plan(self_keys, other.as_ref(), other_keys) {
+            self.to_mut().retain_rows(&keep);
+        }
     }
 }
 

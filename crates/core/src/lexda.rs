@@ -21,11 +21,11 @@
 //! # Layout
 //!
 //! Step 5's product is not the paper's abstract "bucket per assignment"
-//! map but a flat **arena** per layer ([`Layer`]): each entry packs its
+//! map but a flat **arena** per layer (`Layer`): each entry packs its
 //! layer-variable code, the cumulative weight of the entries before it
 //! in its bucket (Figure 4's `s`), and — precomputed — the index of the
-//! agreeing bucket in every child layer, into 16 bytes ([`Entry`]).
-//! Buckets are contiguous entry ranges described by [`BucketMeta`], and
+//! agreeing bucket in every child layer, into 16 bytes (`Entry`).
+//! Buckets are contiguous entry ranges described by `BucketMeta`, and
 //! large buckets carry an exact rank directory that brackets every
 //! rank query to an O(1) expected window. An access therefore runs as a
 //! division and a couple of cache-line touches per layer plus array
@@ -34,9 +34,13 @@
 //! [`Dictionary`].
 
 use crate::error::BuildError;
-use crate::fdtransform::{check_fds, extend_instance};
-use crate::instance::{full_reduce, normalize_instance, positions_of, reduce_to_full, sorted_vars};
-use rda_db::{Database, Dictionary, EncodedRelation, Tuple, Value};
+use crate::instance::{full_reduce, positions_of, sorted_vars};
+use crate::snapprep::{
+    build_derivations_encoded, check_fds_encoded, extend_instance_encoded, normalize_encoded,
+    reduce_to_full_encoded, Derivation,
+};
+use rda_db::parallel;
+use rda_db::{Database, Dictionary, EncodedRelation, Snapshot, Tuple, Value};
 use rda_query::classify::{classify, Problem, Verdict};
 use rda_query::connex::complete_order;
 use rda_query::fd::{fd_extension, fd_reordered_order, ExtensionStep, FdSet};
@@ -46,25 +50,18 @@ use rda_query::query::Cq;
 use rda_query::VarId;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How a promoted (FD-implied) variable's value is derived from an
 /// already-known variable, for inverted access under FDs. Value-keyed;
-/// the arena converts it to a code-keyed [`Derivation`] after the
-/// dictionary exists (the reference structure uses it as is).
+/// only the pre-arena [`crate::reference::HashLexDirectAccess`] baseline
+/// consumes this form — the arena works with the code-keyed
+/// [`Derivation`] produced straight from the snapshot's codes.
 #[derive(Debug, Clone)]
 pub(crate) struct RawDerivation {
     pub(crate) var: VarId,
     pub(crate) from: VarId,
     pub(crate) lookup: HashMap<Value, Value>,
-}
-
-/// Code-keyed derivation: `lookup[code(u)] = code(v)` for the FD
-/// `u → v`. Probing is one integer-keyed map hit, allocation-free.
-#[derive(Debug, Clone)]
-struct Derivation {
-    var: VarId,
-    from: VarId,
-    lookup: HashMap<u32, u32>,
 }
 
 /// No rank directory for this bucket (see [`BucketMeta::dir`]).
@@ -197,19 +194,21 @@ impl Layer {
 
 /// Everything the preprocessing pipeline (steps 1–4 plus the encoded
 /// layer materialization of step 5) produces — the input of the arena
-/// construction in [`LexDirectAccess::from_prep`]. (The pre-arena
-/// baseline in [`crate::reference`] deliberately does *not* consume
-/// this: it duplicates the pre-PR pipeline verbatim so the
-/// differential tests compare two genuinely independent builds.)
+/// construction in [`LexDirectAccess::from_prep`]. All relations are in
+/// the snapshot's shared code space; nothing here owns a dictionary.
+/// (The pre-arena baseline in [`crate::reference`] deliberately does
+/// *not* consume this: it duplicates the pre-PR pipeline verbatim so
+/// the differential tests compare two genuinely independent builds.)
 pub(crate) struct LayerPrep {
     pub(crate) out_vars: Vec<VarId>,
     pub(crate) order: Vec<VarId>,
     pub(crate) var_slots: usize,
-    pub(crate) derivations: Vec<RawDerivation>,
-    pub(crate) dict: Dictionary,
-    /// Dictionary-encoded, fully reduced layer relations (columns in
-    /// ascending [`VarId`] order per `layer_vars`). Empty exactly in
-    /// the boolean / fully-implied case.
+    pub(crate) derivations: Vec<Derivation>,
+    /// Fully reduced layer relations under the snapshot's dictionary
+    /// (columns in ascending [`VarId`] order per `layer_vars`), already
+    /// sorted by (bucket key, layer value) — the arena construction
+    /// consumes them in one pass. Empty exactly in the boolean /
+    /// fully-implied case.
     pub(crate) enc_layers: Vec<EncodedRelation>,
     pub(crate) layer_vars: Vec<Vec<VarId>>,
     pub(crate) children: Vec<Vec<usize>>,
@@ -217,12 +216,31 @@ pub(crate) struct LayerPrep {
     pub(crate) trivial_total: u64,
 }
 
-/// Steps 1–5a of [`LexDirectAccess::build`]: classify, normalize,
-/// FD-extend, reduce to full, complete the order, intern the
-/// dictionary, and materialize the reduced encoded layer relations.
+/// Sort-key positions of layer `i`: the bucket-key columns (every
+/// column but the layer variable's), then the layer variable's column.
+fn layer_sort_keys(vars: &[VarId], layer_var: VarId) -> Vec<usize> {
+    let value_pos = vars
+        .iter()
+        .position(|&v| v == layer_var)
+        .expect("layer var in node");
+    let mut keys: Vec<usize> = (0..vars.len()).filter(|&p| p != value_pos).collect();
+    keys.push(value_pos);
+    keys
+}
+
+/// Steps 1–5a of [`LexDirectAccess::build_on`]: classify, then run the
+/// whole preparation — normalization, FD checks and extension, the
+/// free-connex-to-full reduction, order completion, layer
+/// materialization, dangling-tuple removal, and bucket sorting —
+/// in the snapshot's code space. No relation is re-encoded: the only
+/// encoding happened at [`Database::freeze`] time.
+///
+/// The per-layer stages (projection + semijoin chains, and the final
+/// bucket sorts) touch disjoint data and are fanned out over
+/// [`std::thread::scope`] workers.
 pub(crate) fn prepare_layers(
     q: &Cq,
-    db: &Database,
+    snap: &Snapshot,
     lex: &[VarId],
     fds: &FdSet,
 ) -> Result<LayerPrep, BuildError> {
@@ -237,16 +255,16 @@ pub(crate) fn prepare_layers(
         v => return Err(BuildError::NotTractable(v)),
     }
 
-    let (nq, ndb) = normalize_instance(q, db)?;
-    check_fds(&nq, &ndb, fds)?;
+    let (nq, rels) = normalize_encoded(q, snap)?;
+    check_fds_encoded(&nq, &rels, fds)?;
     let ext = fd_extension(&nq, fds);
-    let idb = extend_instance(&ext, &ndb)?;
+    let rels = extend_instance_encoded(&ext, &nq, rels)?;
     let qp = ext.query.clone();
     let l_plus = fd_reordered_order(&ext, lex);
-    let derivations = build_derivations(&ext, &idb)?;
+    let derivations = build_derivations_encoded(&ext, &rels)?;
 
-    let red =
-        reduce_to_full(&qp, &idb).expect("classification guarantees the extension is free-connex");
+    let red = reduce_to_full_encoded(&qp, &rels)
+        .expect("classification guarantees the extension is free-connex");
 
     // Boolean (or fully-implied) case: no order variables at all.
     let order =
@@ -258,7 +276,6 @@ pub(crate) fn prepare_layers(
             order,
             var_slots: qp.var_count(),
             derivations,
-            dict: Dictionary::default(),
             enc_layers: Vec::new(),
             layer_vars: Vec::new(),
             children: Vec::new(),
@@ -266,56 +283,38 @@ pub(crate) fn prepare_layers(
         });
     }
 
-    // Intern the active domain: every value of the reduced instance plus
-    // the FD derivation tables (inverted access probes those too).
-    let dict = Dictionary::from_values(
-        red.db
-            .relations()
-            .flat_map(|r| r.tuples().iter().flat_map(|t| t.iter().cloned()))
-            .chain(
-                derivations
-                    .iter()
-                    .flat_map(|d| d.lookup.iter().flat_map(|(k, v)| [k.clone(), v.clone()])),
-            ),
-    );
-    let enc_atoms: Vec<EncodedRelation> = red
-        .query
-        .atoms()
-        .iter()
-        .map(|a| {
-            red.db
-                .get(&a.relation)
-                .expect("reduced relation exists")
-                .encode(&dict)
-        })
-        .collect();
-
     // Layered join tree over the reduced full query; materialize one
     // encoded relation per layer: project the defining edge, then
-    // semijoin-filter by every assigned edge — all in code space.
+    // semijoin-filter by every assigned edge — all in code space, one
+    // independent worker per layer.
+    let enc_atoms = &red.rels;
     let edges: Vec<_> = red.query.atoms().iter().map(|a| a.var_set()).collect();
     let layered = layered_join_tree(&edges, &order)
         .expect("Lemma 3.10: the reduction preserves trio-freeness");
     let f = order.len();
-    let mut enc_layers: Vec<EncodedRelation> = Vec::with_capacity(f);
-    let mut layer_vars: Vec<Vec<VarId>> = Vec::with_capacity(f);
-    for node in layered.layers.iter() {
-        let vars = sorted_vars(node.vars);
+    let layer_vars: Vec<Vec<VarId>> = layered
+        .layers
+        .iter()
+        .map(|node| sorted_vars(node.vars))
+        .collect();
+    let mut enc_layers: Vec<EncodedRelation> = parallel::map_indexed(f, |i| {
+        let node = &layered.layers[i];
+        let vars = &layer_vars[i];
         let def = &red.query.atoms()[node.defining_edge];
-        let mut rel = enc_atoms[node.defining_edge].project(&positions_of(&def.terms, &vars));
+        let mut rel = enc_atoms[node.defining_edge].project(&positions_of(&def.terms, vars));
         for &e in &node.assigned_edges {
             let atom = &red.query.atoms()[e];
             let e_vars = sorted_vars(atom.var_set());
-            let self_keys = positions_of(&vars, &e_vars);
+            let self_keys = positions_of(vars, &e_vars);
             let other_keys = positions_of(&atom.terms, &e_vars);
             rel.semijoin(&self_keys, &enc_atoms[e], &other_keys);
         }
-        enc_layers.push(rel);
-        layer_vars.push(vars);
-    }
+        rel
+    });
 
     // Remove dangling tuples across the layered tree so every stored
-    // tuple has positive weight (Figure 4's invariant).
+    // tuple has positive weight (Figure 4's invariant). The reducer
+    // walks the tree, so this stage is sequential.
     let mut jt = JoinTree::new();
     for (i, node) in layered.layers.iter().enumerate() {
         let idx = jt.add_node(node.vars, NodeSource::Synthetic(None));
@@ -328,13 +327,18 @@ pub(crate) fn prepare_layers(
     }
     full_reduce(&jt, &layer_vars, &mut enc_layers);
 
+    // Bucket-sort every layer — the O(n log n) half of construction —
+    // again one independent worker per layer.
+    parallel::for_each_mut(&mut enc_layers, |i, enc| {
+        enc.sort_by_cols(&layer_sort_keys(&layer_vars[i], order[i]));
+    });
+
     let children: Vec<Vec<usize>> = (0..f).map(|i| layered.children(i)).collect();
     Ok(LayerPrep {
         out_vars: q.free().to_vec(),
         order,
         var_slots: qp.var_count(),
         derivations,
-        dict,
         enc_layers,
         layer_vars,
         children,
@@ -417,33 +421,51 @@ pub struct LexDirectAccess {
     order: Vec<VarId>,
     /// Number of variables interned in the query (assignment array size).
     var_slots: usize,
-    /// The order-preserving value dictionary of the active domain.
-    dict: Dictionary,
+    /// The shared snapshot the structure was built over; its dictionary
+    /// decodes every code in the arena.
+    snap: Arc<Snapshot>,
     layers: Vec<Layer>,
     derivations: Vec<Derivation>,
     total: u64,
 }
 
 impl LexDirectAccess {
-    /// Build the structure for query `q` over `db`, ordered by the
-    /// (partial) lexicographic order `lex`, under unary FDs `fds`.
+    /// Build the structure for query `q` over a frozen [`Snapshot`],
+    /// ordered by the (partial) lexicographic order `lex`, under unary
+    /// FDs `fds`. The whole build runs in the snapshot's code space —
+    /// no relation is re-encoded or cloned, so every structure built
+    /// over the same snapshot shares one dictionary and one encoding
+    /// pass.
     ///
     /// Fails with [`BuildError::NotTractable`] exactly on the paper's
     /// intractable side (Theorem 4.1 / 8.21), and with
     /// [`BuildError::CountOverflow`] when the answer count would not fit
     /// in `u64` (rank arithmetic would be unrepresentable).
-    pub fn build(q: &Cq, db: &Database, lex: &[VarId], fds: &FdSet) -> Result<Self, BuildError> {
-        let prep = prepare_layers(q, db, lex, fds)?;
-        Self::from_prep(prep)
+    pub fn build_on(
+        q: &Cq,
+        snap: &Arc<Snapshot>,
+        lex: &[VarId],
+        fds: &FdSet,
+    ) -> Result<Self, BuildError> {
+        let prep = prepare_layers(q, snap, lex, fds)?;
+        Self::from_prep(prep, Arc::clone(snap))
     }
 
-    pub(crate) fn from_prep(prep: LayerPrep) -> Result<Self, BuildError> {
+    /// Convenience for one-shot builds from a value-level [`Database`]:
+    /// clones and freezes `db` into a private snapshot, then builds.
+    /// Serving workloads that prepare more than one structure should
+    /// freeze once ([`Database::freeze`]) and call
+    /// [`LexDirectAccess::build_on`] so the encoding cost is shared.
+    pub fn build(q: &Cq, db: &Database, lex: &[VarId], fds: &FdSet) -> Result<Self, BuildError> {
+        Self::build_on(q, &db.clone().freeze(), lex, fds)
+    }
+
+    pub(crate) fn from_prep(prep: LayerPrep, snap: Arc<Snapshot>) -> Result<Self, BuildError> {
         let LayerPrep {
             out_vars,
             order,
             var_slots,
             derivations,
-            dict,
             enc_layers,
             layer_vars,
             children,
@@ -468,30 +490,12 @@ impl LexDirectAccess {
             );
         }
 
-        let derivations: Vec<Derivation> = derivations
-            .into_iter()
-            .map(|d| Derivation {
-                var: d.var,
-                from: d.from,
-                lookup: d
-                    .lookup
-                    .iter()
-                    .map(|(k, v)| {
-                        (
-                            dict.code(k).expect("dictionary covers derivations"),
-                            dict.code(v).expect("dictionary covers derivations"),
-                        )
-                    })
-                    .collect(),
-            })
-            .collect();
-
         if enc_layers.is_empty() {
             return Ok(LexDirectAccess {
                 out_vars,
                 order,
                 var_slots,
-                dict,
+                snap,
                 layers: Vec::new(),
                 derivations,
                 total: trivial_total,
@@ -499,13 +503,14 @@ impl LexDirectAccess {
         }
 
         // Counting DP, deepest layer first (children have larger index):
-        // sort each encoded layer by (bucket key, layer value), then walk
-        // it once, linking every entry to its child buckets and closing
+        // each encoded layer arrives sorted by (bucket key, layer value)
+        // from the parallel sort stage of `prepare_layers`; walk it
+        // once, linking every entry to its child buckets and closing
         // buckets at key boundaries. All weights accumulate in u128 and
         // construction fails rather than store a count above u64::MAX.
         let f = order.len();
         let mut layers: Vec<Option<Layer>> = (0..f).map(|_| None).collect();
-        for (i, mut enc) in enc_layers.into_iter().enumerate().rev() {
+        for (i, enc) in enc_layers.into_iter().enumerate().rev() {
             let vars = &layer_vars[i];
             let var = order[i];
             let value_pos = vars
@@ -526,9 +531,6 @@ impl LexDirectAccess {
                 })
                 .collect();
 
-            let mut sort_keys = key_positions.clone();
-            sort_keys.push(value_pos);
-            enc.sort_by_cols(&sort_keys);
             assert!(
                 enc.len() <= u32::MAX as usize,
                 "layer relation exceeds the u32 entry space"
@@ -610,7 +612,7 @@ impl LexDirectAccess {
             out_vars,
             order,
             var_slots,
-            dict,
+            snap,
             layers,
             derivations,
             total,
@@ -633,9 +635,15 @@ impl LexDirectAccess {
         &self.order
     }
 
-    /// The order-preserving dictionary the structure is encoded under.
+    /// The order-preserving dictionary the structure is encoded under —
+    /// the snapshot's shared dictionary.
     pub fn dictionary(&self) -> &Dictionary {
-        &self.dict
+        self.snap.dict()
+    }
+
+    /// The snapshot the structure was built over.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snap
     }
 
     /// Algorithm 1: the answer at index `k` of the sorted answer array,
@@ -703,19 +711,21 @@ impl LexDirectAccess {
     /// Decode the assignment into an owned answer tuple (head order) —
     /// the access path's single allocation.
     fn emit(&self, assignment: &[u32]) -> Tuple {
+        let dict = self.snap.dict();
         self.out_vars
             .iter()
-            .map(|v| self.dict.value(assignment[v.index()]).clone())
+            .map(|v| dict.value(assignment[v.index()]).clone())
             .collect()
     }
 
     /// Decode the assignment into `out` (head order), allocation-free
     /// once `out` has the head arity's capacity.
     fn emit_into(&self, assignment: &[u32], out: &mut Vec<Value>) {
+        let dict = self.snap.dict();
         out.extend(
             self.out_vars
                 .iter()
-                .map(|v| self.dict.value(assignment[v.index()]).clone()),
+                .map(|v| dict.value(assignment[v.index()]).clone()),
         );
     }
 
@@ -787,8 +797,9 @@ impl LexDirectAccess {
         if answer.arity() != self.out_vars.len() {
             return false;
         }
+        let dict = self.snap.dict();
         for (i, &v) in self.out_vars.iter().enumerate() {
-            var_bound[v.index()] = self.dict.lower_bound(&answer[i]);
+            var_bound[v.index()] = dict.lower_bound(&answer[i]);
         }
         for d in &self.derivations {
             // A promoted value is derivable only from an exactly interned

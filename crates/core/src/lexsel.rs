@@ -101,8 +101,9 @@ fn histogram(atom_vars: &[Vec<VarId>], rels: &[Relation], var: VarId) -> Vec<(Va
 /// Runs in expected O(n) per call; nothing is cached between calls.
 #[deprecated(
     since = "0.2.0",
-    note = "route through `Engine::prepare` with `OrderSpec::Lex`; the returned \
-            plan serves repeated accesses and explains the classification"
+    note = "freeze the database and route through a stateful engine \
+            (`Engine::new(db.freeze()).prepare(..)` with `OrderSpec::Lex`); the \
+            returned plan serves repeated accesses and explains the classification"
 )]
 pub fn selection_lex(
     q: &Cq,
@@ -262,7 +263,6 @@ pub(crate) fn selection_lex_impl(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the unit tests exercise the public shims directly
 mod tests {
     use super::*;
     use rda_db::tup;
@@ -275,7 +275,7 @@ mod tests {
     }
 
     fn sel(q: &Cq, db: &Database, lex: &[&str], k: u64) -> Option<Tuple> {
-        selection_lex(q, db, &q.vars(lex), k, &FdSet::empty()).unwrap()
+        selection_lex_impl(q, db, &q.vars(lex), k, &FdSet::empty()).unwrap()
     }
 
     #[test]
@@ -342,7 +342,7 @@ mod tests {
     #[test]
     fn non_free_connex_rejected() {
         let q = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
-        let r = selection_lex(&q, &fig2_db(), &q.vars(&["x", "z"]), 0, &FdSet::empty());
+        let r = selection_lex_impl(&q, &fig2_db(), &q.vars(&["x", "z"]), 0, &FdSet::empty());
         assert!(matches!(r, Err(BuildError::NotTractable(_))));
     }
 
@@ -358,10 +358,10 @@ mod tests {
         // Answers: (1,7), (2,8), (2,7); by <x,z>: (1,7), (2,7), (2,8).
         let lex = q.vars(&["x", "z"]);
         let got: Vec<Tuple> = (0..3)
-            .map(|k| selection_lex(&q, &db, &lex, k, &fds).unwrap().unwrap())
+            .map(|k| selection_lex_impl(&q, &db, &lex, k, &fds).unwrap().unwrap())
             .collect();
         assert_eq!(got, vec![tup![1, 7], tup![2, 7], tup![2, 8]]);
-        assert_eq!(selection_lex(&q, &db, &lex, 3, &fds).unwrap(), None);
+        assert_eq!(selection_lex_impl(&q, &db, &lex, 3, &fds).unwrap(), None);
     }
 
     #[test]

@@ -10,19 +10,19 @@
 //!   orders in ⟨n log n, log n⟩ (Sections 3–4: layered join trees,
 //!   Algorithm 1), with inverted access (Algorithm 2) and
 //!   next-answer access (Remark 3);
-//! * [`selection_lex`] — selection by lexicographic orders in ⟨1, n⟩
+//! * [`lexsel::selection_lex`] — selection by lexicographic orders in ⟨1, n⟩
 //!   for every free-connex CQ (Section 6, Lemmas 6.5/6.6);
 //! * [`SumDirectAccess`] — direct access by sum-of-weights in
 //!   ⟨n log n, 1⟩ when one atom covers the free variables (Section 5,
 //!   Lemma 5.9);
-//! * [`selection_sum`] — selection by sum-of-weights in ⟨1, n log n⟩
+//! * [`sumsel::selection_sum`] — selection by sum-of-weights in ⟨1, n log n⟩
 //!   when `fmh(Q) ≤ 2` (Section 7, Lemmas 7.8/7.10);
 //! * all four transparently handle unary functional dependencies via
 //!   the FD-(reordered-)extension (Section 8).
 //!
 //! Builders verify the paper's tractability criteria and return
 //! [`BuildError::NotTractable`] with the structural witness otherwise;
-//! see [`rda_query::classify`] for the bare decision procedures.
+//! see [`mod@rda_query::classify`] for the bare decision procedures.
 //!
 //! The access structures run on a dictionary-encoded columnar core:
 //! the active domain is interned into order-preserving `u32` codes
@@ -35,14 +35,22 @@
 //!
 //! ## The front door
 //!
-//! Since 0.2.0 the algorithms above sit behind one planner-style facade:
+//! Since 0.3.0 the serving path is **snapshot-centric**: freeze a
+//! database once ([`rda_db::Database::freeze`]) so it is
+//! dictionary-encoded exactly once, and hand the resulting
+//! [`Arc<Snapshot>`](rda_db::Snapshot) to a stateful [`Engine`].
 //! [`Engine::prepare`] classifies a query/order pair, routes it to
-//! native direct access, a lazy selection-backed handle, or an explicit
-//! [`Policy`] fallback, and returns an [`AccessPlan`] serving answers
-//! through the uniform [`DirectAccess`] trait, together with an
-//! [`Explain`] report naming the verdict, the structural witness, and
-//! the chosen backend. The free functions [`selection_lex`] and
-//! [`selection_sum`] remain as deprecated shims.
+//! native direct access (built straight from the snapshot's code
+//! space), a lazy selection-backed handle, or an explicit [`Policy`]
+//! fallback, and memoizes the resulting
+//! [`Arc<AccessPlan>`](AccessPlan) in a bounded plan cache keyed by
+//! (query, order, FDs, policy). Plans are `Send + Sync`: one prepared
+//! plan serves any number of client threads concurrently, answering
+//! through the uniform [`DirectAccess`] trait and explaining its
+//! routing via [`Explain`]. The pre-snapshot stateless entry point
+//! survives as the deprecated `Engine::prepare_stateless`, and the
+//! PR-1 free functions `lexsel::selection_lex` / `sumsel::selection_sum`
+//! remain as deprecated shims in their modules.
 
 pub mod decompose;
 pub mod engine;
@@ -54,6 +62,7 @@ pub mod lexsel;
 pub mod plan;
 pub mod random_order;
 pub mod reference;
+mod snapprep;
 pub mod sumda;
 pub mod sumsel;
 pub mod tupleweights;
@@ -72,8 +81,3 @@ pub use reference::HashLexDirectAccess;
 pub use sumda::SumDirectAccess;
 pub use tupleweights::{selection_sum_tw, SumDirectAccessTw, TupleWeights};
 pub use weights::Weights;
-
-#[allow(deprecated)]
-pub use lexsel::selection_lex;
-#[allow(deprecated)]
-pub use sumsel::selection_sum;

@@ -23,14 +23,14 @@ use crate::sumsel::selection_sum_impl;
 use crate::weights::Weights;
 use crate::{LexDirectAccess, SumDirectAccess};
 use rda_baseline::{MaterializedAccess, RankedEnumerator};
-use rda_db::{Database, Tuple};
+use rda_db::{Snapshot, Tuple};
 use rda_query::classify::{Problem, Reason, Verdict};
 use rda_query::fd::FdSet;
 use rda_query::query::Cq;
 use rda_query::VarId;
-use std::cell::{OnceCell, RefCell};
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Position-indexed ranked access to a query's answers, with one owned
 /// return convention for every backend.
@@ -142,11 +142,10 @@ fn probe_len(access: &dyn Fn(u64) -> Option<Tuple>) -> u64 {
 
 /// Lazy selection-backed handle for lexicographic orders (Theorem 6.1):
 /// no preprocessing, expected O(n) per access, answers ordered by the
-/// same completed internal order [`selection_lex`](crate::selection_lex)
-/// uses.
-pub struct SelectionLexHandle<'a> {
+/// same completed internal order the selection algorithm uses.
+pub struct SelectionLexHandle {
     q: Cq,
-    db: &'a Database,
+    snap: Arc<Snapshot>,
     lex: Vec<VarId>,
     fds: FdSet,
     /// Head positions realizing the completed internal order, for the
@@ -155,13 +154,16 @@ pub struct SelectionLexHandle<'a> {
     /// its determiner in the completion tail), forcing the linear
     /// fallback.
     cmp_positions: Option<Vec<usize>>,
-    len: OnceCell<u64>,
+    len: OnceLock<u64>,
 }
 
-impl<'a> SelectionLexHandle<'a> {
-    pub(crate) fn new(
+impl SelectionLexHandle {
+    /// A lazy handle over the snapshot's value-level relations: each
+    /// access runs one selection (expected O(n)), nothing is cached but
+    /// the answer count.
+    pub fn new(
         q: &Cq,
-        db: &'a Database,
+        snap: &Arc<Snapshot>,
         lex: Vec<VarId>,
         fds: &FdSet,
     ) -> Result<Self, BuildError> {
@@ -171,11 +173,11 @@ impl<'a> SelectionLexHandle<'a> {
         let cmp_positions = crate::lexsel::comparator_positions(q, &lex, fds)?;
         let handle = SelectionLexHandle {
             q: q.clone(),
-            db,
+            snap: Arc::clone(snap),
             lex,
             fds: fds.clone(),
             cmp_positions,
-            len: OnceCell::new(),
+            len: OnceLock::new(),
         };
         // One probe so instance-level errors (missing relation, arity
         // mismatch, FD violation) surface at prepare time; afterwards
@@ -185,7 +187,13 @@ impl<'a> SelectionLexHandle<'a> {
     }
 
     fn select(&self, k: u64) -> Result<Option<Tuple>, BuildError> {
-        selection_lex_impl(&self.q, self.db, &self.lex, k, &self.fds)
+        selection_lex_impl(&self.q, self.snap.database(), &self.lex, k, &self.fds)
+    }
+
+    /// Run exactly one selection (Theorem 6.1) for rank `k` — the raw
+    /// ⟨1, n⟩ operation, with no caching. `None` means out-of-bound.
+    pub fn select_once(&self, k: u64) -> Option<Tuple> {
+        self.select(k).expect("validated at prepare")
     }
 
     fn compare(&self, positions: &[usize], a: &Tuple, b: &Tuple) -> Ordering {
@@ -199,7 +207,7 @@ impl<'a> SelectionLexHandle<'a> {
     }
 }
 
-impl DirectAccess for SelectionLexHandle<'_> {
+impl DirectAccess for SelectionLexHandle {
     fn len(&self) -> u64 {
         *self
             .len
@@ -250,40 +258,49 @@ impl DirectAccess for SelectionLexHandle<'_> {
 /// plateau are served from a lazily materialized tie-break index built
 /// on first contact with a tie. Workloads with distinct weights never
 /// pay for that index.
-pub struct SelectionSumHandle<'a> {
+pub struct SelectionSumHandle {
     q: Cq,
-    db: &'a Database,
+    snap: Arc<Snapshot>,
     weights: Weights,
     fds: FdSet,
-    len: OnceCell<u64>,
-    tie_index: OnceCell<MaterializedAccess>,
+    len: OnceLock<u64>,
+    tie_index: OnceLock<MaterializedAccess>,
 }
 
-impl<'a> SelectionSumHandle<'a> {
-    pub(crate) fn new(
+impl SelectionSumHandle {
+    /// A lazy handle over the snapshot's value-level relations: each
+    /// access runs one weighted selection (expected O(n log n)).
+    pub fn new(
         q: &Cq,
-        db: &'a Database,
+        snap: &Arc<Snapshot>,
         weights: Weights,
         fds: &FdSet,
     ) -> Result<Self, BuildError> {
         let handle = SelectionSumHandle {
             q: q.clone(),
-            db,
+            snap: Arc::clone(snap),
             weights,
             fds: fds.clone(),
-            len: OnceCell::new(),
-            tie_index: OnceCell::new(),
+            len: OnceLock::new(),
+            tie_index: OnceLock::new(),
         };
         handle.select(0)?; // surface instance errors at prepare time
         Ok(handle)
     }
 
     fn select(&self, k: u64) -> Result<Option<(rda_orderstat::TotalF64, Tuple)>, BuildError> {
-        selection_sum_impl(&self.q, self.db, &self.weights, k, &self.fds)
+        selection_sum_impl(&self.q, self.snap.database(), &self.weights, k, &self.fds)
     }
 
     fn select_ok(&self, k: u64) -> Option<(rda_orderstat::TotalF64, Tuple)> {
         self.select(k).expect("validated at prepare")
+    }
+
+    /// Run exactly one weighted selection (Theorem 7.3) for rank `k` —
+    /// the raw ⟨1, n log n⟩ operation: ties broken arbitrarily, no tie
+    /// index, no caching. `None` means out-of-bound.
+    pub fn select_once(&self, k: u64) -> Option<(rda_orderstat::TotalF64, Tuple)> {
+        self.select_ok(k)
     }
 
     /// `true` when rank `k` (with weight `w`) shares its weight with a
@@ -297,7 +314,9 @@ impl<'a> SelectionSumHandle<'a> {
     /// plateaus; built once, on the first access that hits a tie.
     fn tie_index(&self) -> &MaterializedAccess {
         self.tie_index.get_or_init(|| {
-            MaterializedAccess::by_sum(&self.q, self.db, |v, val| self.weights.get(v, val).0)
+            MaterializedAccess::by_sum(&self.q, self.snap.database(), |v, val| {
+                self.weights.get(v, val).0
+            })
         })
     }
 
@@ -320,7 +339,7 @@ impl<'a> SelectionSumHandle<'a> {
     }
 }
 
-impl DirectAccess for SelectionSumHandle<'_> {
+impl DirectAccess for SelectionSumHandle {
     fn len(&self) -> u64 {
         if let Some(idx) = self.tie_index.get() {
             return idx.len();
@@ -377,33 +396,32 @@ impl DirectAccess for SelectionSumHandle<'_> {
 /// `access(k)` materializes the answer stream up to `k` and caches it,
 /// so sequential scans pay logarithmic delay per step while random
 /// access costs Θ(k log n) on first touch.
+///
+/// The enumerator state sits behind a [`Mutex`], so a shared plan stays
+/// usable from many threads — concurrent accesses serialize on the
+/// stream (it is inherently sequential) but serve cached prefixes
+/// without re-enumerating.
 pub struct RankedEnumHandle {
-    enumerator: RefCell<RankedEnumerator>,
-    cache: RefCell<Vec<Tuple>>,
-    exhausted: std::cell::Cell<bool>,
+    state: Mutex<EnumState>,
 }
 
-impl RankedEnumHandle {
-    pub(crate) fn new(enumerator: RankedEnumerator) -> Self {
-        RankedEnumHandle {
-            enumerator: RefCell::new(enumerator),
-            cache: RefCell::new(Vec::new()),
-            exhausted: std::cell::Cell::new(false),
-        }
-    }
+struct EnumState {
+    enumerator: RankedEnumerator,
+    cache: Vec<Tuple>,
+    exhausted: bool,
+}
 
+impl EnumState {
     /// Extend the cached prefix to `target` answers (or exhaustion).
-    fn fill_to(&self, target: u64) {
-        if self.exhausted.get() {
+    fn fill_to(&mut self, target: u64) {
+        if self.exhausted {
             return;
         }
-        let mut cache = self.cache.borrow_mut();
-        let mut e = self.enumerator.borrow_mut();
-        while (cache.len() as u64) < target {
-            match e.next() {
-                Some((_, t)) => cache.push(t),
+        while (self.cache.len() as u64) < target {
+            match self.enumerator.next() {
+                Some((_, t)) => self.cache.push(t),
                 None => {
-                    self.exhausted.set(true);
+                    self.exhausted = true;
                     break;
                 }
             }
@@ -411,43 +429,64 @@ impl RankedEnumHandle {
     }
 }
 
+impl RankedEnumHandle {
+    pub(crate) fn new(enumerator: RankedEnumerator) -> Self {
+        RankedEnumHandle {
+            state: Mutex::new(EnumState {
+                enumerator,
+                cache: Vec::new(),
+                exhausted: false,
+            }),
+        }
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, EnumState> {
+        self.state.lock().expect("enumerator state not poisoned")
+    }
+
+    #[cfg(test)]
+    fn cached(&self) -> usize {
+        self.state().cache.len()
+    }
+}
+
 impl DirectAccess for RankedEnumHandle {
     fn len(&self) -> u64 {
-        self.fill_to(u64::MAX);
-        self.cache.borrow().len() as u64
+        let mut s = self.state();
+        s.fill_to(u64::MAX);
+        s.cache.len() as u64
     }
 
     fn is_empty(&self) -> bool {
         // The default would drain the whole stream via len(); popping
         // one answer settles emptiness in O(log n).
-        self.fill_to(1);
-        self.cache.borrow().is_empty()
+        let mut s = self.state();
+        s.fill_to(1);
+        s.cache.is_empty()
     }
 
     fn access(&self, k: u64) -> Option<Tuple> {
-        self.fill_to(k + 1);
-        self.cache.borrow().get(k as usize).cloned()
+        let mut s = self.state();
+        s.fill_to(k + 1);
+        s.cache.get(k as usize).cloned()
     }
 
     fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
         // The stream is only ordered by weight; without the weight of
         // `answer` we scan — Θ(len) on first call, cached afterwards.
-        self.fill_to(u64::MAX);
-        self.cache
-            .borrow()
-            .iter()
-            .position(|t| t == answer)
-            .map(|i| i as u64)
+        let mut s = self.state();
+        s.fill_to(u64::MAX);
+        s.cache.iter().position(|t| t == answer).map(|i| i as u64)
     }
 
     fn range(&self, lo: u64, hi: u64) -> Vec<Tuple> {
         // The default clamps via len(), which would drain the whole
         // stream; filling to `hi` keeps the pay-as-you-go guarantee.
-        self.fill_to(hi);
-        let cache = self.cache.borrow();
-        let hi = (hi as usize).min(cache.len());
+        let mut s = self.state();
+        s.fill_to(hi);
+        let hi = (hi as usize).min(s.cache.len());
         let lo = (lo as usize).min(hi);
-        cache[lo..hi].to_vec()
+        s.cache[lo..hi].to_vec()
     }
 
     fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
@@ -458,16 +497,18 @@ impl DirectAccess for RankedEnumHandle {
 }
 
 /// The engine's routed backend: every strategy behind one enum, all
-/// implementing [`DirectAccess`].
-pub enum RankedAnswers<'a> {
+/// implementing [`DirectAccess`]. Since the snapshot refactor every
+/// variant owns (or `Arc`-shares) its data, so a routed backend is
+/// `Send + Sync + 'static` — one plan can serve many client threads.
+pub enum RankedAnswers {
     /// Native lexicographic direct access (⟨n log n, log n⟩).
     Lex(LexDirectAccess),
     /// Native sum-of-weights direct access (⟨n log n, 1⟩).
     Sum(SumDirectAccess),
     /// Lazy lexicographic selection (⟨1, n⟩ per access).
-    SelectionLex(SelectionLexHandle<'a>),
+    SelectionLex(SelectionLexHandle),
     /// Lazy sum-of-weights selection (⟨1, n log n⟩ per access).
-    SelectionSum(SelectionSumHandle<'a>),
+    SelectionSum(SelectionSumHandle),
     /// Materialize-and-sort fallback (Θ(|out| log |out|) preprocessing,
     /// O(1) access).
     Materialized(MaterializedAccess),
@@ -475,6 +516,14 @@ pub enum RankedAnswers<'a> {
     /// index `k`, cached).
     RankedEnum(RankedEnumHandle),
 }
+
+// The concurrency contract of the serving core: a prepared plan is
+// shareable across client threads as-is.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RankedAnswers>();
+    assert_send_sync::<AccessPlan>();
+};
 
 macro_rules! dispatch {
     ($self:ident, $inner:ident => $e:expr) => {
@@ -489,7 +538,7 @@ macro_rules! dispatch {
     };
 }
 
-impl DirectAccess for RankedAnswers<'_> {
+impl DirectAccess for RankedAnswers {
     fn len(&self) -> u64 {
         dispatch!(self, b => DirectAccess::len(b))
     }
@@ -513,13 +562,36 @@ impl DirectAccess for RankedAnswers<'_> {
     }
 }
 
-impl fmt::Debug for RankedAnswers<'_> {
+impl fmt::Debug for RankedAnswers {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "RankedAnswers::{}", self.backend())
     }
 }
 
-impl RankedAnswers<'_> {
+impl RankedAnswers {
+    /// Allocation-free access: write the answer at index `k` into `out`
+    /// (reusing its capacity) and report whether `k` was in bounds. The
+    /// native direct-access backends serve this with **zero** heap
+    /// allocations; other backends fall back to an owned access and
+    /// copy into `out`.
+    pub fn access_into(&self, k: u64, out: &mut Vec<rda_db::Value>) -> bool {
+        match self {
+            RankedAnswers::Lex(da) => da.access_into(k, out),
+            RankedAnswers::Sum(da) => da.access_into(k, out),
+            other => match DirectAccess::access(other, k) {
+                Some(t) => {
+                    out.clear();
+                    out.extend(t.iter().cloned());
+                    true
+                }
+                None => {
+                    out.clear();
+                    false
+                }
+            },
+        }
+    }
+
     /// Which backend the router chose.
     pub fn backend(&self) -> Backend {
         match self {
@@ -661,12 +733,12 @@ impl Explain {
 /// re-read it on every access), so it costs nothing to keep around.
 /// It implements [`DirectAccess`] by delegation, so most callers never
 /// need to look inside.
-pub struct AccessPlan<'a> {
-    answers: RankedAnswers<'a>,
+pub struct AccessPlan {
+    answers: RankedAnswers,
     explain: Explain,
 }
 
-impl fmt::Debug for AccessPlan<'_> {
+impl fmt::Debug for AccessPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AccessPlan")
             .field("backend", &self.explain.backend)
@@ -675,18 +747,18 @@ impl fmt::Debug for AccessPlan<'_> {
     }
 }
 
-impl<'a> AccessPlan<'a> {
-    pub(crate) fn new(answers: RankedAnswers<'a>, explain: Explain) -> Self {
+impl AccessPlan {
+    pub(crate) fn new(answers: RankedAnswers, explain: Explain) -> Self {
         AccessPlan { answers, explain }
     }
 
     /// The routed backend handle.
-    pub fn answers(&self) -> &RankedAnswers<'a> {
+    pub fn answers(&self) -> &RankedAnswers {
         &self.answers
     }
 
     /// Unwrap into the backend handle, dropping the report.
-    pub fn into_answers(self) -> RankedAnswers<'a> {
+    pub fn into_answers(self) -> RankedAnswers {
         self.answers
     }
 
@@ -700,9 +772,14 @@ impl<'a> AccessPlan<'a> {
     pub fn backend(&self) -> Backend {
         self.explain.backend
     }
+
+    /// Allocation-free access (see [`RankedAnswers::access_into`]).
+    pub fn access_into(&self, k: u64, out: &mut Vec<rda_db::Value>) -> bool {
+        self.answers.access_into(k, out)
+    }
 }
 
-impl DirectAccess for AccessPlan<'_> {
+impl DirectAccess for AccessPlan {
     fn len(&self) -> u64 {
         self.answers.len()
     }
@@ -765,13 +842,14 @@ impl fmt::Display for Explain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rda_db::tup;
+    use rda_db::{tup, Database};
     use rda_query::parser::parse;
 
-    fn fig2_db() -> Database {
+    fn fig2_snap() -> Arc<Snapshot> {
         Database::new()
             .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
             .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]])
+            .freeze()
     }
 
     /// When no sound head-restricted comparator exists (an FD corner —
@@ -780,9 +858,9 @@ mod tests {
     #[test]
     fn selection_lex_handle_fallback_without_comparator() {
         let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
-        let db = fig2_db();
+        let snap = fig2_snap();
         let mut handle =
-            SelectionLexHandle::new(&q, &db, q.vars(&["x", "z", "y"]), &FdSet::empty()).unwrap();
+            SelectionLexHandle::new(&q, &snap, q.vars(&["x", "z", "y"]), &FdSet::empty()).unwrap();
         assert!(
             handle.cmp_positions.is_some(),
             "parse-built queries are sound"
@@ -816,14 +894,14 @@ mod tests {
         let first3: Vec<Tuple> = h.iter().take(3).collect();
         assert_eq!(first3.len(), 3);
         assert!(
-            h.cache.borrow().len() < 100,
+            h.cached() < 100,
             "iter().take(3) must not drain the stream (cached {})",
-            h.cache.borrow().len()
+            h.cached()
         );
         assert!(!h.is_empty());
-        assert!(h.cache.borrow().len() < 100, "is_empty must stay lazy");
+        assert!(h.cached() < 100, "is_empty must stay lazy");
         assert_eq!(h.range(2, 5).len(), 3);
-        assert!(h.cache.borrow().len() < 100, "range must stay lazy");
+        assert!(h.cached() < 100, "range must stay lazy");
         assert_eq!(h.len(), 100); // len() is the one that drains
     }
 }

@@ -1,0 +1,475 @@
+//! Snapshot-side (code-space) instance preparation.
+//!
+//! The value-level preparation pipeline in [`crate::instance`] and
+//! [`crate::fdtransform`] — normalize, check FDs, FD-extend, reduce to
+//! full — re-reads and clones [`rda_db::Relation`]s on every build.
+//! This module is its dictionary-encoded twin: every step runs on the
+//! columnar `u32` relations a [`Snapshot`] encoded **once** at freeze
+//! time, borrowing them through [`Cow`] so a step that changes nothing
+//! (the common case: no repeated variables, no FDs, nothing dangling)
+//! costs no copy at all. Because the snapshot's dictionary is
+//! order-preserving, each step produces exactly the relations its
+//! value-level twin would, just in code space.
+
+use crate::error::BuildError;
+use crate::instance::{full_reduce, normalize_query, positions_of, sorted_vars};
+use rda_db::{EncodedRelation, Snapshot};
+use rda_query::connex::{ext_connex_tree, ExtConnexTree};
+use rda_query::fd::{ExtensionStep, FdExtension, FdSet};
+use rda_query::query::{Atom, Cq};
+use rda_query::{VarId, VarSet};
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+/// A normalized atom's relation: borrowed from the snapshot when
+/// normalization is the identity for it, owned when filtering or
+/// extension produced new rows.
+pub(crate) type EncRel<'a> = Cow<'a, EncodedRelation>;
+
+/// Code-keyed FD derivation: `lookup[code(u)] = code(v)` for the FD
+/// `u → v`, under the snapshot's shared dictionary. Probing is one
+/// integer-keyed map hit, allocation-free.
+#[derive(Debug, Clone)]
+pub(crate) struct Derivation {
+    pub(crate) var: VarId,
+    pub(crate) from: VarId,
+    pub(crate) lookup: HashMap<u32, u32>,
+}
+
+/// The code-space half of [`crate::instance::normalize_instance`]:
+/// validate the query against the snapshot and produce, per normalized
+/// atom, its encoded relation. Self-join occurrences *borrow the same
+/// snapshot relation* (the value-level path had to clone them apart);
+/// atoms with repeated variables get a filtered, projected copy.
+pub(crate) fn normalize_encoded<'a>(
+    q: &Cq,
+    snap: &'a Snapshot,
+) -> Result<(Cq, Vec<EncRel<'a>>), BuildError> {
+    let nq = normalize_query(q);
+    let mut rels: Vec<EncRel<'a>> = Vec::with_capacity(q.atoms().len());
+    for (atom, natom) in q.atoms().iter().zip(nq.atoms()) {
+        let enc = snap
+            .encoded(&atom.relation)
+            .ok_or_else(|| BuildError::MissingRelation(atom.relation.clone()))?;
+        if enc.arity() != atom.terms.len() {
+            return Err(BuildError::ArityMismatch {
+                relation: atom.relation.clone(),
+                expected: atom.terms.len(),
+                found: enc.arity(),
+            });
+        }
+        if natom.terms.len() == atom.terms.len() {
+            // No repeated variables; the snapshot's normalized encoding
+            // is exactly the normalized relation.
+            rels.push(Cow::Borrowed(enc));
+            continue;
+        }
+        // Repeated variables: keep rows whose repeated positions agree
+        // (first occurrence is the witness), drop duplicate columns.
+        let keep_positions: Vec<usize> = natom
+            .terms
+            .iter()
+            .map(|t| atom.terms.iter().position(|x| x == t).expect("present"))
+            .collect();
+        let firsts: Vec<usize> = atom
+            .terms
+            .iter()
+            .map(|t| atom.terms.iter().position(|x| x == t).expect("present"))
+            .collect();
+        let mut out = EncodedRelation::new(keep_positions.len());
+        let mut row_buf: Vec<u32> = Vec::with_capacity(keep_positions.len());
+        for row in 0..enc.len() {
+            if (0..atom.terms.len()).all(|p| enc.code(row, p) == enc.code(row, firsts[p])) {
+                row_buf.clear();
+                row_buf.extend(keep_positions.iter().map(|&p| enc.code(row, p)));
+                out.push_row(&row_buf);
+            }
+        }
+        out.normalize();
+        rels.push(Cow::Owned(out));
+    }
+    Ok((nq, rels))
+}
+
+/// Code-space twin of [`crate::fdtransform::check_fds`]: verify every
+/// declared FD against the encoded relations. Code equality is value
+/// equality, so the check is exact.
+pub(crate) fn check_fds_encoded(
+    nq: &Cq,
+    rels: &[EncRel<'_>],
+    fds: &FdSet,
+) -> Result<(), BuildError> {
+    for fd in fds.iter() {
+        let (ai, atom) = nq
+            .atoms()
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.relation == fd.relation)
+            .ok_or_else(|| BuildError::MissingRelation(fd.relation.clone()))?;
+        let lp = atom.position_of(fd.lhs).expect("FD lhs occurs in atom");
+        let rp = atom.position_of(fd.rhs).expect("FD rhs occurs in atom");
+        let rel = &rels[ai];
+        let mut seen: HashMap<u32, u32> = HashMap::with_capacity(rel.len());
+        for row in 0..rel.len() {
+            match seen.entry(rel.code(row, lp)) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(rel.code(row, rp));
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != rel.code(row, rp) {
+                        return Err(BuildError::FdViolated(fd.clone()));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Code-space twin of [`crate::fdtransform::extend_instance`]: replay
+/// the FD-extension steps on the encoded relations, widening atoms by
+/// their implied columns and dropping dangling rows. Atoms no step
+/// touches keep their borrowed snapshot relation.
+pub(crate) fn extend_instance_encoded<'a>(
+    ext: &FdExtension,
+    nq: &Cq,
+    mut rels: Vec<EncRel<'a>>,
+) -> Result<Vec<EncRel<'a>>, BuildError> {
+    let index_of: HashMap<&str, usize> = nq
+        .atoms()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.relation.as_str(), i))
+        .collect();
+    // Evolving schemas, growing exactly as fd_extension grew them.
+    let mut schema: Vec<Vec<VarId>> = nq.atoms().iter().map(|a| a.terms.clone()).collect();
+
+    for step in &ext.steps {
+        let ExtensionStep::ExtendAtom { atom, added, via } = step else {
+            continue; // PromoteVar has no instance effect.
+        };
+        // The `lhs code → rhs code` map of the FD, from its relation's
+        // current contents.
+        let vi = *index_of
+            .get(via.relation.as_str())
+            .ok_or_else(|| BuildError::MissingRelation(via.relation.clone()))?;
+        let vlp = schema[vi]
+            .iter()
+            .position(|&t| t == via.lhs)
+            .expect("FD lhs in relation schema");
+        let vrp = schema[vi]
+            .iter()
+            .position(|&t| t == via.rhs)
+            .expect("FD rhs in relation schema");
+        let mut lookup: HashMap<u32, u32> = HashMap::with_capacity(rels[vi].len());
+        for row in 0..rels[vi].len() {
+            if let Some(prev) = lookup.insert(rels[vi].code(row, vlp), rels[vi].code(row, vrp)) {
+                if prev != rels[vi].code(row, vrp) {
+                    return Err(BuildError::FdViolated(via.clone()));
+                }
+            }
+        }
+
+        let ti = *index_of
+            .get(atom.as_str())
+            .expect("extension step names a known atom");
+        let lp = schema[ti]
+            .iter()
+            .position(|&t| t == via.lhs)
+            .expect("target atom contains the FD's lhs");
+        schema[ti].push(*added);
+        let src = &rels[ti];
+        let mut out = EncodedRelation::new(src.arity() + 1);
+        let mut row_buf: Vec<u32> = Vec::with_capacity(src.arity() + 1);
+        for row in 0..src.len() {
+            if let Some(&rhs) = lookup.get(&src.code(row, lp)) {
+                row_buf.clear();
+                row_buf.extend((0..src.arity()).map(|p| src.code(row, p)));
+                row_buf.push(rhs);
+                out.push_row(&row_buf);
+            }
+            // else: dangling row, dropped.
+        }
+        out.normalize();
+        rels[ti] = Cow::Owned(out);
+    }
+    debug_assert!(
+        ext.query
+            .atoms()
+            .iter()
+            .zip(&schema)
+            .all(|(a, s)| &a.terms == s),
+        "replayed schemas match the extended query"
+    );
+    Ok(rels)
+}
+
+/// For every promoted variable, the code-keyed derivation of its value
+/// from an earlier variable (needed by inverted access under FDs) —
+/// code-space twin of [`crate::lexda::build_derivations`].
+pub(crate) fn build_derivations_encoded(
+    ext: &FdExtension,
+    rels: &[EncRel<'_>],
+) -> Result<Vec<Derivation>, BuildError> {
+    let mut known: VarSet = ext.original.free_set();
+    let mut out = Vec::new();
+    for step in &ext.steps {
+        let ExtensionStep::PromoteVar { var } = step else {
+            continue;
+        };
+        let fd = ext
+            .fds
+            .iter()
+            .find(|fd| fd.rhs == *var && known.contains(fd.lhs))
+            .expect("promoted variables are implied by an earlier free variable");
+        // The FD's relation already carries both columns in the extended
+        // instance (schemas only grow).
+        let (ai, atom) = ext
+            .query
+            .atoms()
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.relation == fd.relation)
+            .ok_or_else(|| BuildError::MissingRelation(fd.relation.clone()))?;
+        let lp = atom.position_of(fd.lhs).expect("lhs in atom");
+        let rp = atom.position_of(fd.rhs).expect("rhs in atom");
+        let rel = &rels[ai];
+        let mut lookup = HashMap::with_capacity(rel.len());
+        for row in 0..rel.len() {
+            lookup.insert(rel.code(row, lp), rel.code(row, rp));
+        }
+        out.push(Derivation {
+            var: *var,
+            from: fd.lhs,
+            lookup,
+        });
+        known = known.with(*var);
+    }
+    Ok(out)
+}
+
+/// Result of the code-space free-connex-to-full reduction: the full
+/// query `Q'` with one encoded relation per atom, positionally aligned
+/// with `query.atoms()`.
+pub(crate) struct EncodedReduction {
+    /// The full CQ `Q'` (atoms `N0, N1, …` over exactly `free(Q)`).
+    pub(crate) query: Cq,
+    /// One fully reduced encoded relation per atom of `query`.
+    pub(crate) rels: Vec<EncodedRelation>,
+    /// `true` when the semijoin reduction already proves `Q(I) = ∅`.
+    pub(crate) known_empty: bool,
+}
+
+/// Code-space twin of [`crate::instance::reduce_to_full`]
+/// (Proposition 2.3 / Lemma 3.10): reduce a free-connex `q` (with
+/// encoded relations `rels`, positionally per atom) to a full acyclic
+/// query over `free(q)` with the same answers. Returns `None` if `q` is
+/// not free-connex.
+pub(crate) fn reduce_to_full_encoded(q: &Cq, rels: &[EncRel<'_>]) -> Option<EncodedReduction> {
+    let free = q.free_set();
+    let ext: ExtConnexTree = ext_connex_tree(&q.hypergraph(), free)?;
+
+    // Materialize one relation per tree node by projecting its source
+    // atom, then run the full reducer over the whole ext tree.
+    let n = ext.tree.len();
+    let mut node_vars: Vec<Vec<VarId>> = Vec::with_capacity(n);
+    let mut node_rels: Vec<EncodedRelation> = Vec::with_capacity(n);
+    for i in 0..n {
+        let vars = sorted_vars(ext.tree.node(i).vars);
+        let src = ext.source_atom(i);
+        let atom = &q.atoms()[src];
+        node_rels.push(rels[src].project(&positions_of(&atom.terms, &vars)));
+        node_vars.push(vars);
+    }
+    full_reduce(&ext.tree, &node_vars, &mut node_rels);
+
+    // Emptiness propagates through the full reducer.
+    let known_empty = node_rels.iter().any(EncodedRelation::is_empty);
+
+    // Q' := the marked subtree's non-empty-variable nodes.
+    let mut atoms = Vec::new();
+    let mut out_rels = Vec::new();
+    for &i in &ext.marked {
+        if node_vars[i].is_empty() {
+            continue;
+        }
+        atoms.push(Atom {
+            relation: format!("N{i}"),
+            terms: node_vars[i].clone(),
+        });
+        // Move the node relation out (marked indices are distinct and
+        // `node_rels` is dead after this loop). It is already in set
+        // semantics: `project` normalized it, and the full reducer only
+        // drops rows via ascending-index retention, which preserves
+        // both sortedness and distinctness.
+        let rel = std::mem::replace(&mut node_rels[i], EncodedRelation::new(0));
+        out_rels.push(rel);
+    }
+    let names: Vec<String> = (0..q.var_count())
+        .map(|i| q.var_name(VarId(i as u32)).to_string())
+        .collect();
+    let query = Cq::from_parts(q.name().to_string(), q.free().to_vec(), atoms, names);
+    Some(EncodedReduction {
+        query,
+        rels: out_rels,
+        known_empty,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rda_db::{tup, Database, Tuple};
+    use rda_query::fd::fd_extension;
+    use rda_query::parser::parse;
+
+    fn decoded(rel: &EncodedRelation, snap: &Snapshot) -> Vec<Tuple> {
+        (0..rel.len())
+            .map(|r| rel.decode_row(r, snap.dict()))
+            .collect()
+    }
+
+    #[test]
+    fn normalize_shares_self_join_relations() {
+        let q = parse("Q(x, y, z) :- R(x, y), R(y, z)").unwrap();
+        let snap = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 2], vec![2, 3]])
+            .freeze();
+        let (nq, rels) = normalize_encoded(&q, &snap).unwrap();
+        assert!(nq.is_self_join_free());
+        assert!(matches!(rels[0], Cow::Borrowed(_)));
+        assert!(matches!(rels[1], Cow::Borrowed(_)));
+        assert!(std::ptr::eq(rels[0].as_ref(), rels[1].as_ref()));
+    }
+
+    #[test]
+    fn normalize_resolves_repeated_variables_in_code_space() {
+        let q = parse("Q(x) :- R(x, x)").unwrap();
+        let snap = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 1], vec![1, 2], vec![3, 3]])
+            .freeze();
+        let (_, rels) = normalize_encoded(&q, &snap).unwrap();
+        assert_eq!(decoded(&rels[0], &snap), vec![tup![1], tup![3]]);
+    }
+
+    #[test]
+    fn normalize_validates_missing_and_arity() {
+        let snap = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 2]])
+            .freeze();
+        let q = parse("Q(x) :- T(x)").unwrap();
+        assert!(matches!(
+            normalize_encoded(&q, &snap),
+            Err(BuildError::MissingRelation(r)) if r == "T"
+        ));
+        let q = parse("Q(x) :- R(x)").unwrap();
+        assert!(matches!(
+            normalize_encoded(&q, &snap),
+            Err(BuildError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fd_check_and_extension_match_value_level() {
+        // Example 8.3: Q(x,z) :- R(x,y), S(y,z) with S: y → z.
+        let q = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+        let fds = FdSet::parse(&q, &[("S", "y", "z")]);
+        let snap = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 10], vec![2, 20], vec![3, 99]])
+            .with_i64_rows("S", 2, vec![vec![10, 7], vec![20, 8]])
+            .freeze();
+        let (nq, rels) = normalize_encoded(&q, &snap).unwrap();
+        check_fds_encoded(&nq, &rels, &fds).unwrap();
+        let ext = fd_extension(&nq, &fds);
+        let rels = extend_instance_encoded(&ext, &nq, rels).unwrap();
+        // R gains a z column; (3, 99) is dangling and dropped.
+        assert_eq!(rels[0].arity(), 3);
+        assert_eq!(
+            decoded(&rels[0], &snap),
+            vec![tup![1, 10, 7], tup![2, 20, 8]]
+        );
+        // S was not extended: still the borrowed snapshot relation.
+        assert!(matches!(rels[1], Cow::Borrowed(_)));
+        // No variable was promoted here (z was already free).
+        assert!(build_derivations_encoded(&ext, &rels).unwrap().is_empty());
+    }
+
+    #[test]
+    fn promoted_variables_get_code_keyed_derivations() {
+        // Q(x, z) :- R(x, y), S(y, z) with R: x → y promotes y into
+        // free(Q⁺); inverted access must derive y's code from x's.
+        let q = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+        let fds = FdSet::parse(&q, &[("R", "x", "y")]);
+        let snap = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 10], vec![2, 20]])
+            .with_i64_rows("S", 2, vec![vec![10, 7], vec![20, 8]])
+            .freeze();
+        let (nq, rels) = normalize_encoded(&q, &snap).unwrap();
+        check_fds_encoded(&nq, &rels, &fds).unwrap();
+        let ext = fd_extension(&nq, &fds);
+        let rels = extend_instance_encoded(&ext, &nq, rels).unwrap();
+        let ders = build_derivations_encoded(&ext, &rels).unwrap();
+        let y = q.var("y").unwrap();
+        let d = ders.iter().find(|d| d.var == y).expect("y is promoted");
+        assert_eq!(d.from, q.var("x").unwrap());
+        let dict = snap.dict();
+        let (c1, c10) = (
+            dict.code(&1.into()).unwrap(),
+            dict.code(&10.into()).unwrap(),
+        );
+        assert_eq!(d.lookup.get(&c1), Some(&c10));
+    }
+
+    #[test]
+    fn fd_violation_detected_in_code_space() {
+        let q = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+        let fds = FdSet::parse(&q, &[("S", "y", "z")]);
+        let snap = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 10]])
+            .with_i64_rows("S", 2, vec![vec![10, 7], vec![10, 8]])
+            .freeze();
+        let (nq, rels) = normalize_encoded(&q, &snap).unwrap();
+        assert!(matches!(
+            check_fds_encoded(&nq, &rels, &fds),
+            Err(BuildError::FdViolated(_))
+        ));
+    }
+
+    #[test]
+    fn reduction_matches_value_level_reduction() {
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let snap = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2], vec![9, 9]])
+            .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]])
+            .freeze();
+        let (nq, rels) = normalize_encoded(&q, &snap).unwrap();
+        let red = reduce_to_full_encoded(&nq, &rels).unwrap();
+        assert!(!red.known_empty);
+        assert!(red.query.is_full());
+        // Value-level comparison via the existing reducer.
+        let (vq, vdb) = crate::instance::normalize_instance(&q, snap.database()).unwrap();
+        let vred = crate::instance::reduce_to_full(&vq, &vdb).unwrap();
+        assert_eq!(red.query.atoms().len(), vred.query.atoms().len());
+        for (atom, enc) in red.query.atoms().iter().zip(&red.rels) {
+            let vrel = vred.db.get(&atom.relation).unwrap();
+            let mut expect: Vec<Tuple> = vrel.tuples().to_vec();
+            expect.sort();
+            assert_eq!(decoded(enc, &snap), expect, "atom {}", atom.relation);
+        }
+    }
+
+    #[test]
+    fn reduction_detects_emptiness_and_non_free_connex() {
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let snap = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 100]])
+            .with_i64_rows("S", 2, vec![vec![5, 3]])
+            .freeze();
+        let (nq, rels) = normalize_encoded(&q, &snap).unwrap();
+        assert!(reduce_to_full_encoded(&nq, &rels).unwrap().known_empty);
+
+        let q = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+        let (nq, rels) = normalize_encoded(&q, &snap).unwrap();
+        assert!(reduce_to_full_encoded(&nq, &rels).is_none());
+    }
+}

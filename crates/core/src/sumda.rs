@@ -16,10 +16,10 @@
 //! kept a `HashMap<Tuple, u64>` shadow copy of every answer).
 
 use crate::error::BuildError;
-use crate::fdtransform::{check_fds, extend_instance};
-use crate::instance::{normalize_instance, positions_of};
+use crate::instance::{full_reduce, positions_of};
+use crate::snapprep::{check_fds_encoded, extend_instance_encoded, normalize_encoded};
 use crate::weights::Weights;
-use rda_db::{Database, Dictionary, Relation, Tuple, Value};
+use rda_db::{Database, Dictionary, Snapshot, Tuple, Value};
 use rda_orderstat::TotalF64;
 use rda_query::classify::{classify, Problem, Verdict};
 use rda_query::fd::{fd_extension, FdSet};
@@ -28,6 +28,7 @@ use rda_query::query::Cq;
 use rda_query::VarId;
 use std::cell::RefCell;
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 thread_local! {
     /// Reusable probe-encoding buffer; keeps `inverted_access`
@@ -43,8 +44,9 @@ thread_local! {
 /// order deterministic.
 #[derive(Debug, Clone)]
 pub struct SumDirectAccess {
-    /// Order-preserving dictionary over the answers' active domain.
-    dict: Dictionary,
+    /// The shared snapshot the structure was built over; its dictionary
+    /// decodes the answer columns.
+    snap: Arc<Snapshot>,
     /// Number of answers.
     len: usize,
     /// One code column per head position; row `k` is answer `k` in
@@ -58,10 +60,17 @@ pub struct SumDirectAccess {
 }
 
 impl SumDirectAccess {
-    /// Build for `q` over `db` with attribute weights `w`, under unary
-    /// FDs `fds`. Fails with [`BuildError::NotTractable`] exactly on the
-    /// paper's intractable side.
-    pub fn build(q: &Cq, db: &Database, w: &Weights, fds: &FdSet) -> Result<Self, BuildError> {
+    /// Build for `q` over a frozen [`Snapshot`] with attribute weights
+    /// `w`, under unary FDs `fds`. The whole build runs in the
+    /// snapshot's code space — no relation is re-encoded or cloned.
+    /// Fails with [`BuildError::NotTractable`] exactly on the paper's
+    /// intractable side.
+    pub fn build_on(
+        q: &Cq,
+        snap: &Arc<Snapshot>,
+        w: &Weights,
+        fds: &FdSet,
+    ) -> Result<Self, BuildError> {
         if !fds.is_empty() && !q.is_self_join_free() {
             return Err(BuildError::InvalidOrder(
                 "functional dependencies require a self-join-free query".to_string(),
@@ -72,85 +81,103 @@ impl SumDirectAccess {
             v => return Err(BuildError::NotTractable(v)),
         }
 
-        let (nq, ndb) = normalize_instance(q, db)?;
-        check_fds(&nq, &ndb, fds)?;
+        let (nq, rels) = normalize_encoded(q, snap)?;
+        check_fds_encoded(&nq, &rels, fds)?;
         let ext = fd_extension(&nq, fds);
-        let mut idb = extend_instance(&ext, &ndb)?;
+        let mut rels = extend_instance_encoded(&ext, &nq, rels)?;
         let qp = ext.query;
 
-        // Full reducer over the extension's join tree. The extended
-        // instance is ours and self-join-free after normalization, so
-        // relations move out of it instead of being cloned.
+        // Full reducer over the extension's join tree, copy-on-write:
+        // a semijoin pass that removes nothing leaves the borrowed
+        // snapshot relation untouched.
         let tree = gyo::join_tree(&qp.hypergraph()).expect("classification guarantees acyclicity");
         let atom_vars: Vec<Vec<VarId>> = qp.atoms().iter().map(|a| a.terms.clone()).collect();
-        let mut rels: Vec<Relation> = qp
-            .atoms()
-            .iter()
-            .map(|a| idb.take(&a.relation).expect("normalized instance"))
-            .collect();
-        crate::instance::full_reduce(&tree, &atom_vars, &mut rels);
+        full_reduce(&tree, &atom_vars, &mut rels);
+
+        // Boolean queries: one empty answer iff the join is non-empty.
+        let out_vars = q.free().to_vec();
+        if out_vars.is_empty() {
+            let empty = rels.iter().any(|r| r.is_empty());
+            return Ok(SumDirectAccess {
+                snap: Arc::clone(snap),
+                len: usize::from(!empty),
+                cols: Vec::new(),
+                weights: if empty {
+                    Vec::new()
+                } else {
+                    vec![TotalF64(0.0)]
+                },
+                by_tuple: if empty { Vec::new() } else { vec![0] },
+            });
+        }
 
         // Project the covering atom onto the *original* head (weights
         // range over the original free variables; promoted variables are
-        // determined and weightless — Lemma 8.5).
+        // determined and weightless — Lemma 8.5). `project` sorts and
+        // deduplicates, so the rows are the distinct answers in tuple
+        // order.
         let free_plus = qp.free_set();
         let cover = qp
             .atoms()
             .iter()
             .position(|a| free_plus.is_subset(a.var_set()))
             .expect("classification guarantees a covering atom");
-        let out_vars = q.free().to_vec();
-        let answers_rel = if qp.atoms().is_empty() {
-            unreachable!("queries have at least one atom")
-        } else {
-            rels[cover].project("answers", &positions_of(&atom_vars[cover], &out_vars))
-        };
+        let answers = rels[cover].project(&positions_of(&atom_vars[cover], &out_vars));
 
-        // Boolean queries: one empty answer iff the join is non-empty.
-        let mut answers: Vec<(TotalF64, Tuple)> = if out_vars.is_empty() {
-            if rels.iter().any(Relation::is_empty) {
-                Vec::new()
-            } else {
-                vec![(TotalF64(0.0), Tuple::new(vec![]))]
-            }
-        } else {
-            answers_rel
-                .tuples()
-                .iter()
-                .map(|t| (w.answer_weight(&out_vars, t.values()), t.clone()))
-                .collect()
-        };
-        answers.sort();
-        Ok(Self::from_sorted_answers(out_vars.len(), answers))
-    }
-
-    /// Encode a weight-sorted, distinct answer array into the columnar
-    /// layout.
-    fn from_sorted_answers(arity: usize, answers: Vec<(TotalF64, Tuple)>) -> Self {
+        // Weigh each answer by decoding codes *by reference* through the
+        // shared dictionary, then sort a permutation by (weight, row).
+        // Rows already ascend in tuple order, so breaking weight ties by
+        // row index is exactly the (weight, tuple) order.
+        let dict = snap.dict();
         let len = answers.len();
-        let dict = Dictionary::from_values(answers.iter().flat_map(|(_, t)| t.iter().cloned()));
-        let mut cols: Vec<Vec<u32>> = (0..arity).map(|_| Vec::with_capacity(len)).collect();
-        let mut weights = Vec::with_capacity(len);
-        for (w, t) in &answers {
-            weights.push(*w);
-            for (p, v) in t.iter().enumerate() {
-                cols[p].push(dict.code(v).expect("dictionary covers answers"));
-            }
+        let row_weights: Vec<TotalF64> = (0..len)
+            .map(|row| {
+                out_vars
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &v)| w.get(v, dict.value(answers.code(row, p))))
+                    .sum()
+            })
+            .collect();
+        let mut perm: Vec<u32> = (0..len as u32).collect();
+        perm.sort_unstable_by_key(|&r| (row_weights[r as usize], r));
+
+        let cols: Vec<Vec<u32>> = (0..out_vars.len())
+            .map(|p| perm.iter().map(|&r| answers.code(r as usize, p)).collect())
+            .collect();
+        let weights: Vec<TotalF64> = perm.iter().map(|&r| row_weights[r as usize]).collect();
+        // Row j in tuple order sits at position inverse_perm[j] of the
+        // weight order — exactly the tuple-sorted index.
+        let mut by_tuple: Vec<u32> = vec![0; len];
+        for (k, &r) in perm.iter().enumerate() {
+            by_tuple[r as usize] = k as u32;
         }
-        let mut by_tuple: Vec<u32> = (0..len as u32).collect();
-        by_tuple.sort_unstable_by(|&a, &b| {
-            cols.iter()
-                .map(|c| c[a as usize].cmp(&c[b as usize]))
-                .find(|o| o.is_ne())
-                .unwrap_or(Ordering::Equal)
-        });
-        SumDirectAccess {
-            dict,
+        Ok(SumDirectAccess {
+            snap: Arc::clone(snap),
             len,
             cols,
             weights,
             by_tuple,
-        }
+        })
+    }
+
+    /// Convenience for one-shot builds from a value-level [`Database`]:
+    /// clones and freezes `db` into a private snapshot, then builds.
+    /// Serving workloads should freeze once ([`Database::freeze`]) and
+    /// call [`SumDirectAccess::build_on`].
+    pub fn build(q: &Cq, db: &Database, w: &Weights, fds: &FdSet) -> Result<Self, BuildError> {
+        Self::build_on(q, &db.clone().freeze(), w, fds)
+    }
+
+    /// The snapshot the structure was built over.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snap
+    }
+
+    /// The order-preserving dictionary the structure is encoded under —
+    /// the snapshot's shared dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        self.snap.dict()
     }
 
     /// Number of answers.
@@ -166,10 +193,8 @@ impl SumDirectAccess {
     /// Decode row `k` into an owned tuple (the single allocation of the
     /// access path).
     fn decode(&self, k: usize) -> Tuple {
-        self.cols
-            .iter()
-            .map(|c| self.dict.value(c[k]).clone())
-            .collect()
+        let dict = self.snap.dict();
+        self.cols.iter().map(|c| dict.value(c[k]).clone()).collect()
     }
 
     /// The answer at index `k` in ascending weight order, O(1).
@@ -189,11 +214,8 @@ impl SumDirectAccess {
         if (k as usize) >= self.len {
             return false;
         }
-        out.extend(
-            self.cols
-                .iter()
-                .map(|c| self.dict.value(c[k as usize]).clone()),
-        );
+        let dict = self.snap.dict();
+        out.extend(self.cols.iter().map(|c| dict.value(c[k as usize]).clone()));
         true
     }
 
@@ -212,7 +234,7 @@ impl SumDirectAccess {
         }
         PROBE.with(|p| {
             let mut probe = p.borrow_mut();
-            if !self.dict.encode_tuple_into(answer, &mut probe) {
+            if !self.snap.dict().encode_tuple_into(answer, &mut probe) {
                 return None;
             }
             self.by_tuple

@@ -41,8 +41,9 @@ type WeightedSide = Vec<(TotalF64, Tuple)>;
 /// `Ok(None)` means "out-of-bound".
 #[deprecated(
     since = "0.2.0",
-    note = "route through `Engine::prepare` with `OrderSpec::Sum`; the returned \
-            plan serves repeated accesses and explains the classification"
+    note = "freeze the database and route through a stateful engine \
+            (`Engine::new(db.freeze()).prepare(..)` with `OrderSpec::Sum`); the \
+            returned plan serves repeated accesses and explains the classification"
 )]
 pub fn selection_sum(
     q: &Cq,
@@ -317,7 +318,6 @@ fn select_pair(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the unit tests exercise the public shims directly
 mod tests {
     use super::*;
     use rda_query::parser::parse;
@@ -338,7 +338,7 @@ mod tests {
     fn figure_2d_sum_selection() {
         let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
         for (k, expect) in fig2_weights().into_iter().enumerate() {
-            let (w, t) = selection_sum(
+            let (w, t) = selection_sum_impl(
                 &q,
                 &fig2_db(),
                 &Weights::identity(),
@@ -352,7 +352,8 @@ mod tests {
             let s: f64 = t.values().iter().map(|v| v.as_int().unwrap() as f64).sum();
             assert_eq!(s, expect);
         }
-        let none = selection_sum(&q, &fig2_db(), &Weights::identity(), 5, &FdSet::empty()).unwrap();
+        let none =
+            selection_sum_impl(&q, &fig2_db(), &Weights::identity(), 5, &FdSet::empty()).unwrap();
         assert!(none.is_none());
     }
 
@@ -362,7 +363,7 @@ mod tests {
         // variant ((1,5,3) and (1,2,6)); our Figure 2a database yields
         // distinct weights, checked above. This test pins the median.
         let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
-        let (w, _) = selection_sum(&q, &fig2_db(), &Weights::identity(), 2, &FdSet::empty())
+        let (w, _) = selection_sum_impl(&q, &fig2_db(), &Weights::identity(), 2, &FdSet::empty())
             .unwrap()
             .unwrap();
         assert_eq!(w, TotalF64(10.0));
@@ -377,9 +378,10 @@ mod tests {
         // Weights: 3, 12, 21, 30.
         let expect = [3.0, 12.0, 21.0, 30.0];
         for (k, e) in expect.iter().enumerate() {
-            let (w, _) = selection_sum(&q, &db, &Weights::identity(), k as u64, &FdSet::empty())
-                .unwrap()
-                .unwrap();
+            let (w, _) =
+                selection_sum_impl(&q, &db, &Weights::identity(), k as u64, &FdSet::empty())
+                    .unwrap()
+                    .unwrap();
             assert_eq!(w, TotalF64(*e), "k={k}");
         }
     }
@@ -397,7 +399,7 @@ mod tests {
         // Answers (x, y): weights 6, 3, 2.
         let got: Vec<f64> = (0..3)
             .map(|k| {
-                selection_sum(&q, &db, &Weights::identity(), k, &FdSet::empty())
+                selection_sum_impl(&q, &db, &Weights::identity(), k, &FdSet::empty())
                     .unwrap()
                     .unwrap()
                     .0
@@ -416,10 +418,10 @@ mod tests {
             .with_i64_rows("S", 2, vec![vec![2, 5], vec![4, 6]])
             .with_i64_rows("T", 2, vec![vec![5, 0], vec![6, 0]]);
         // Answers: (1,2,5)=8, (3,4,6)=13.
-        let (w0, _) = selection_sum(&q, &db, &Weights::identity(), 0, &FdSet::empty())
+        let (w0, _) = selection_sum_impl(&q, &db, &Weights::identity(), 0, &FdSet::empty())
             .unwrap()
             .unwrap();
-        let (w1, _) = selection_sum(&q, &db, &Weights::identity(), 1, &FdSet::empty())
+        let (w1, _) = selection_sum_impl(&q, &db, &Weights::identity(), 1, &FdSet::empty())
             .unwrap()
             .unwrap();
         assert_eq!((w0, w1), (TotalF64(8.0), TotalF64(13.0)));
@@ -432,7 +434,7 @@ mod tests {
             .with_i64_rows("R", 2, vec![vec![1, 2]])
             .with_i64_rows("S", 2, vec![vec![2, 3]])
             .with_i64_rows("T", 2, vec![vec![3, 4]]);
-        let r = selection_sum(&q, &db, &Weights::identity(), 0, &FdSet::empty());
+        let r = selection_sum_impl(&q, &db, &Weights::identity(), 0, &FdSet::empty());
         assert!(matches!(r, Err(BuildError::NotTractable(_))));
     }
 
@@ -440,7 +442,7 @@ mod tests {
     fn explicit_weights_override_values() {
         let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
         // Zero weights: every answer weighs 0; still returns valid answers.
-        let (w, t) = selection_sum(&q, &fig2_db(), &Weights::zero(), 3, &FdSet::empty())
+        let (w, t) = selection_sum_impl(&q, &fig2_db(), &Weights::zero(), 3, &FdSet::empty())
             .unwrap()
             .unwrap();
         assert_eq!(w, TotalF64(0.0));
@@ -453,7 +455,7 @@ mod tests {
         let db = Database::new()
             .with_i64_rows("R", 2, vec![vec![1, 100]])
             .with_i64_rows("S", 2, vec![vec![5, 3]]);
-        let r = selection_sum(&q, &db, &Weights::identity(), 0, &FdSet::empty()).unwrap();
+        let r = selection_sum_impl(&q, &db, &Weights::identity(), 0, &FdSet::empty()).unwrap();
         assert!(r.is_none());
     }
 }

@@ -8,10 +8,10 @@
 //! observation are implemented: [`TupleWeights::from_attribute_weights`]
 //! is the linear-time attribute→tuple translation, and the two
 //! entry points mirror [`crate::SumDirectAccess`] /
-//! [`crate::selection_sum`].
+//! [`crate::sumsel::selection_sum`].
 
 use crate::error::BuildError;
-use crate::instance::{normalize_instance, positions_of};
+use crate::instance::{normalize_relations, positions_of};
 use crate::weights::Weights;
 use rda_db::{Database, Relation, Tuple};
 use rda_orderstat::select::select_nth_by;
@@ -112,16 +112,11 @@ impl SumDirectAccessTw {
             Verdict::Tractable { .. } => {}
             v => return Err(BuildError::NotTractable(v)),
         }
-        let (nq, mut ndb) = normalize_instance(q, db)?;
+        // Normalized relations come back positionally — no database
+        // detour, no ownership hand-off.
+        let (nq, mut rels) = normalize_relations(q, db)?;
         let tree = gyo::join_tree(&nq.hypergraph()).expect("acyclic");
         let atom_vars: Vec<Vec<VarId>> = nq.atoms().iter().map(|a| a.terms.clone()).collect();
-        // The normalized instance is ours and self-join-free: move the
-        // relations out instead of cloning them.
-        let mut rels: Vec<Relation> = nq
-            .atoms()
-            .iter()
-            .map(|a| ndb.take(&a.relation).expect("normalized"))
-            .collect();
         crate::instance::full_reduce(&tree, &atom_vars, &mut rels);
 
         // The covering atom holds every variable; each of its tuples is
@@ -165,7 +160,7 @@ impl SumDirectAccessTw {
     }
 }
 
-/// Tuple-weight variant of [`crate::selection_sum`] for full
+/// Tuple-weight variant of [`crate::sumsel::selection_sum`] for full
 /// self-join-free CQs with `mh(Q) ≤ 2` (Lemma 7.14). Returns the
 /// weight of the k-th answer and a witness answer of that weight.
 ///
@@ -186,15 +181,11 @@ pub fn selection_sum_tw(
         Verdict::Tractable { .. } => {}
         v => return Err(BuildError::NotTractable(v)),
     }
-    let (nq, mut ndb) = normalize_instance(q, db)?;
-    // Full reduce first so every tuple participates.
+    // Normalized relations come back positionally; full reduce first so
+    // every tuple participates.
+    let (nq, mut rels_v) = normalize_relations(q, db)?;
     let tree = gyo::join_tree(&nq.hypergraph()).expect("acyclic");
     let atom_vars: Vec<Vec<VarId>> = nq.atoms().iter().map(|a| a.terms.clone()).collect();
-    let mut rels_v: Vec<Relation> = nq
-        .atoms()
-        .iter()
-        .map(|a| ndb.take(&a.relation).expect("normalized"))
-        .collect();
     crate::instance::full_reduce(&tree, &atom_vars, &mut rels_v);
 
     // Contract with tuple-weight replay: packing keeps a tuple's weight;
@@ -205,17 +196,11 @@ pub fn selection_sum_tw(
         .iter()
         .map(|a| (a.relation.clone(), a.terms.clone()))
         .collect();
-    let mut rels: HashMap<String, Relation> = nq
-        .atoms()
-        .iter()
-        .zip(&rels_v)
-        .map(|(a, r)| (a.relation.clone(), r.clone()))
-        .collect();
     let mut weights: HashMap<String, HashMap<Tuple, f64>> = nq
         .atoms()
         .iter()
-        .map(|a| {
-            let rel = &rels[&a.relation];
+        .zip(&rels_v)
+        .map(|(a, rel)| {
             let m = rel
                 .tuples()
                 .iter()
@@ -224,12 +209,18 @@ pub fn selection_sum_tw(
             (a.relation.clone(), m)
         })
         .collect();
+    // Relations move into the name-keyed map — no clone-per-build.
+    let mut rels: HashMap<String, Relation> = nq
+        .atoms()
+        .iter()
+        .zip(rels_v)
+        .map(|(a, r)| (a.relation.clone(), r))
+        .collect();
 
     for step in &contraction.steps {
         match step {
             ContractionStep::AbsorbAtom { removed, into } => {
                 let removed_terms = schemas[removed].clone();
-                let removed_rel = rels[removed].clone();
                 let removed_w = weights.remove(removed).expect("in sync");
                 let into_terms = schemas[into].clone();
                 let keys = positions_of(&into_terms, &removed_terms);
@@ -248,7 +239,6 @@ pub fn selection_sum_tw(
                 }
                 *into_rel = Relation::from_tuples(into.clone(), into_terms.len(), kept);
                 weights.insert(into.clone(), new_w);
-                let _ = removed_rel;
                 schemas.remove(removed);
                 rels.remove(removed);
             }

@@ -72,6 +72,30 @@ impl Weights {
         }
     }
 
+    /// A canonical, name-based rendering of this weight function, used
+    /// by the engine's plan cache to key prepared plans: two `Weights`
+    /// with the same fingerprint (for the same query text) rank answers
+    /// identically. Both the variable name and the whole entry are
+    /// length-prefixed so arbitrary string values cannot forge entry
+    /// boundaries.
+    pub(crate) fn fingerprint(&self, q: &Cq) -> String {
+        use std::fmt::Write as _;
+        let mut entries: Vec<String> = self
+            .map
+            .iter()
+            .map(|((v, val), w)| {
+                let name = q.var_name(*v);
+                format!("{}:{name}≔{val:?}→{}", name.len(), w.to_bits())
+            })
+            .collect();
+        entries.sort_unstable();
+        let mut out = format!("{:?};", self.default);
+        for e in entries {
+            let _ = write!(out, "{}:{e};", e.len());
+        }
+        out
+    }
+
     /// Weight of an answer: sum over `vars[i]` of the weight of
     /// `values[i]`.
     ///

@@ -43,10 +43,24 @@ impl Database {
     }
 
     /// Remove and return a relation, transferring ownership to the
-    /// caller — the builders use this instead of cloning when the
-    /// database is an intermediate they own.
+    /// caller.
+    #[deprecated(
+        since = "0.3.0",
+        note = "freeze the database into a shared snapshot instead: builders borrow \
+                from `&Snapshot` and never need relation ownership"
+    )]
     pub fn take(&mut self, name: &str) -> Option<Relation> {
         self.relations.remove(name)
+    }
+
+    /// Freeze this database into an immutable, shareable
+    /// [`Snapshot`](crate::Snapshot): intern the whole active domain
+    /// into one order-preserving dictionary and dictionary-encode every
+    /// relation exactly once. All access-structure builders borrow from
+    /// the returned snapshot, so the encoding cost is paid once per
+    /// database — not once per prepared query.
+    pub fn freeze(self) -> std::sync::Arc<crate::Snapshot> {
+        crate::Snapshot::new(self)
     }
 
     /// Total number of tuples (the paper's `n`).

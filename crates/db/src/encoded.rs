@@ -1,7 +1,7 @@
 //! Columnar, dictionary-encoded relations.
 //!
 //! The struct-of-arrays twin of [`Relation`]: one `Vec<u32>` per
-//! attribute, every cell a [`Dictionary`](crate::Dictionary) code.
+//! attribute, every cell a [`Dictionary`] code.
 //! Because codes are order-preserving, sorting, deduplication, semijoin
 //! and grouping over codes produce exactly the results they would over
 //! the decoded [`Value`](crate::Value)s — at integer-comparison cost and
@@ -14,6 +14,21 @@ use crate::dict::Dictionary;
 use crate::relation::Relation;
 use crate::tuple::Tuple;
 use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Process-wide count of [`EncodedRelation::encode`] calls.
+static ENCODE_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// How many relations have been dictionary-encoded in this process —
+/// one increment per [`EncodedRelation::encode`] call.
+///
+/// The encode-once contract of [`Database::freeze`](crate::Database::freeze)
+/// is stated in terms of this counter: freezing a database encodes each
+/// relation exactly once, and building any access structure from the
+/// resulting snapshot adds **zero** further encodings.
+pub fn relation_encode_count() -> u64 {
+    ENCODE_CALLS.load(AtomicOrdering::Relaxed)
+}
 
 /// A dictionary-encoded relation in columnar (struct-of-arrays) layout.
 ///
@@ -34,6 +49,7 @@ impl EncodedRelation {
     /// builders construct the dictionary from the very relations they
     /// encode, so a miss is a logic error.
     pub fn encode(rel: &Relation, dict: &Dictionary) -> Self {
+        ENCODE_CALLS.fetch_add(1, AtomicOrdering::Relaxed);
         let arity = rel.arity();
         let mut cols: Vec<Vec<u32>> = (0..arity).map(|_| Vec::with_capacity(rel.len())).collect();
         for t in rel.tuples() {
@@ -113,6 +129,12 @@ impl EncodedRelation {
         Ordering::Equal
     }
 
+    /// Keep exactly the rows listed in `keep` (ascending, distinct),
+    /// e.g. a plan produced by [`EncodedRelation::semijoin_plan`].
+    pub fn retain_rows(&mut self, keep: &[u32]) {
+        self.apply_permutation(keep);
+    }
+
     /// Reorder rows to the given permutation (`perm[new] = old`).
     fn apply_permutation(&mut self, perm: &[u32]) {
         for c in self.cols.iter_mut() {
@@ -161,6 +183,26 @@ impl EncodedRelation {
     /// # Panics
     /// Panics if the key lists have different lengths.
     pub fn semijoin(&mut self, self_keys: &[usize], other: &EncodedRelation, other_keys: &[usize]) {
+        if let Some(keep) = self.semijoin_plan(self_keys, other, other_keys) {
+            self.apply_permutation(&keep);
+        }
+    }
+
+    /// The planning half of [`EncodedRelation::semijoin`]: compute which
+    /// rows survive, without mutating. Returns `None` when every row
+    /// survives (so callers holding a borrowed relation — e.g. through
+    /// a [`std::borrow::Cow`] — can skip cloning it entirely), and
+    /// `Some(keep)` (ascending row indices) otherwise, to be applied
+    /// with [`EncodedRelation::retain_rows`].
+    ///
+    /// # Panics
+    /// Panics if the key lists have different lengths.
+    pub fn semijoin_plan(
+        &self,
+        self_keys: &[usize],
+        other: &EncodedRelation,
+        other_keys: &[usize],
+    ) -> Option<Vec<u32>> {
         assert_eq!(
             self_keys.len(),
             other_keys.len(),
@@ -185,9 +227,7 @@ impl EncodedRelation {
                     .is_ok()
             })
             .collect();
-        if keep.len() != self.rows {
-            self.apply_permutation(&keep);
-        }
+        (keep.len() != self.rows).then_some(keep)
     }
 
     /// Decode row `row` back into an owned [`Tuple`].

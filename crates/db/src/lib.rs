@@ -16,13 +16,16 @@
 pub mod database;
 pub mod dict;
 pub mod encoded;
+pub mod parallel;
 pub mod relation;
+pub mod snapshot;
 pub mod tuple;
 pub mod value;
 
 pub use database::Database;
 pub use dict::Dictionary;
-pub use encoded::EncodedRelation;
+pub use encoded::{relation_encode_count, EncodedRelation};
 pub use relation::Relation;
+pub use snapshot::Snapshot;
 pub use tuple::Tuple;
 pub use value::Value;

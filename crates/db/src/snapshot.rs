@@ -1,0 +1,161 @@
+//! Frozen, encode-once database snapshots.
+//!
+//! The access structures of the paper are built over an *immutable*
+//! database: preprocessing pays ⟨n log n⟩ once and every subsequent
+//! access is served from the built structure. In a serving setting the
+//! same immutability extends one level down — the dictionary encoding
+//! of the database itself is preprocessing shared by *every* structure
+//! built over it, across queries, orders, and threads.
+//!
+//! [`Database::freeze`] captures that: it interns the entire active
+//! domain into one order-preserving [`Dictionary`] and encodes every
+//! relation into its columnar [`EncodedRelation`] form **exactly once**,
+//! producing an [`Arc<Snapshot>`] that builders borrow from. Nothing
+//! downstream re-encodes or clones relations; the paper's preprocessing
+//! phases run directly on the shared code-space columns.
+//!
+//! The process-wide counter [`crate::relation_encode_count`] records
+//! every relation encoding — the hook the encode-once contract is
+//! tested against.
+
+use crate::database::Database;
+use crate::dict::Dictionary;
+use crate::encoded::EncodedRelation;
+use crate::relation::Relation;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// An immutable, dictionary-encoded view of a [`Database`], shared via
+/// [`Arc`] between every structure built over it.
+///
+/// A snapshot holds three aligned representations:
+///
+/// * the original value-level [`Relation`]s (for the lazy per-access
+///   algorithms, which trade preprocessing for re-reading the data);
+/// * one shared order-preserving [`Dictionary`] over the whole active
+///   domain (code order == value order, so every order-sensitive
+///   operation can run on `u32` codes);
+/// * one columnar [`EncodedRelation`] per relation, normalized to set
+///   semantics (sorted + deduplicated), encoded exactly once at
+///   [`Database::freeze`] time.
+///
+/// ```
+/// use rda_db::Database;
+///
+/// let snap = Database::new()
+///     .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2]])
+///     .freeze();
+/// assert_eq!(snap.size(), 2);
+/// assert_eq!(snap.dict().len(), 3); // {1, 2, 5}
+/// assert_eq!(snap.encoded("R").unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    db: Database,
+    dict: Dictionary,
+    encoded: BTreeMap<String, EncodedRelation>,
+}
+
+impl Snapshot {
+    /// Freeze `db`. Prefer calling [`Database::freeze`].
+    pub fn new(db: Database) -> Arc<Snapshot> {
+        let dict = Dictionary::from_relations(db.relations());
+        // Encode each relation exactly once. The per-relation encodings
+        // are independent, so fan them out over scoped workers; results
+        // come back positionally, keeping the snapshot deterministic.
+        let rels: Vec<&Relation> = db.relations().collect();
+        let encoded_rels: Vec<EncodedRelation> = crate::parallel::map_indexed(rels.len(), |i| {
+            let mut enc = rels[i].encode(&dict);
+            enc.normalize();
+            enc
+        });
+        let encoded = rels
+            .iter()
+            .map(|r| r.name().to_string())
+            .zip(encoded_rels)
+            .collect();
+        Arc::new(Snapshot { db, dict, encoded })
+    }
+
+    /// The value-level database the snapshot was frozen from.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The shared order-preserving dictionary over the whole active
+    /// domain.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// A relation's value-level form.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.db.get(name)
+    }
+
+    /// A relation's dictionary-encoded columnar form, normalized to set
+    /// semantics. Encoded once, at freeze time.
+    pub fn encoded(&self, name: &str) -> Option<&EncodedRelation> {
+        self.encoded.get(name)
+    }
+
+    /// Total number of tuples (the paper's `n`).
+    pub fn size(&self) -> usize {
+        self.db.size()
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.db.relation_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+    use crate::Value;
+
+    fn snap() -> Arc<Snapshot> {
+        Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![1, 2], vec![6, 2]])
+            .with_i64_rows("S", 2, vec![vec![5, 3]])
+            .freeze()
+    }
+
+    #[test]
+    fn dictionary_covers_the_whole_active_domain() {
+        let s = snap();
+        // {1, 2, 3, 5, 6}: one dictionary across both relations.
+        assert_eq!(s.dict().len(), 5);
+        for v in [1i64, 2, 3, 5, 6] {
+            assert!(s.dict().code(&Value::int(v)).is_some(), "{v} interned");
+        }
+    }
+
+    #[test]
+    fn encoded_relations_are_normalized() {
+        let s = snap();
+        let r = s.encoded("R").unwrap();
+        // Duplicate (1,2) collapses; rows come back sorted.
+        assert_eq!(r.len(), 3);
+        let decoded: Vec<_> = (0..r.len()).map(|i| r.decode_row(i, s.dict())).collect();
+        assert_eq!(decoded, vec![tup![1, 2], tup![1, 5], tup![6, 2]]);
+    }
+
+    #[test]
+    fn value_level_database_is_preserved_verbatim() {
+        let s = snap();
+        assert_eq!(s.relation("R").unwrap().len(), 4); // duplicates intact
+        assert_eq!(s.size(), 5);
+        assert_eq!(s.relation_count(), 2);
+        assert!(s.encoded("T").is_none());
+        assert!(s.relation("T").is_none());
+    }
+
+    #[test]
+    fn snapshot_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Snapshot>();
+    }
+}

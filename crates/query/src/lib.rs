@@ -19,7 +19,7 @@
 //! * unary functional dependencies and the FD-(reordered-)extension
 //!   ([`fd`], Definitions 8.2 and 8.13);
 //! * decision procedures for all of the paper's dichotomies
-//!   ([`classify`], Theorems 3.3, 4.1, 5.1, 6.1, 7.3, 8.9, 8.10, 8.21, 8.22);
+//!   ([`mod@classify`], Theorems 3.3, 4.1, 5.1, 6.1, 7.3, 8.9, 8.10, 8.21, 8.22);
 //! * tree decompositions for cyclic queries ([`decompose`], the
 //!   "Applicability" extension).
 

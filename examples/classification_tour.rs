@@ -27,8 +27,8 @@ fn tiny_db(q: &Cq) -> Database {
 /// Route through the engine (materializing when both dichotomies say
 /// no) and print verdict, witness, and chosen backend on one line.
 fn tour(q: &Cq, fds: &FdSet, order: OrderSpec, label: &str) {
-    let db = tiny_db(q);
-    match Engine::prepare(q, &db, order, fds, Policy::Materialize) {
+    let engine = Engine::new(tiny_db(q).freeze());
+    match engine.prepare(q, order, fds, Policy::Materialize) {
         Ok(plan) => {
             let e = plan.explain();
             let verdict = match e.verdict() {

@@ -33,15 +33,18 @@ fn main() {
 
     // Every problem is intractable for cyclic queries: with
     // Policy::Reject the engine refuses, naming the cause …
+    let engine = Engine::new(db.clone().freeze());
     let lex = OrderSpec::lex(&q, &["x", "y", "z"]);
-    match Engine::prepare(&q, &db, lex.clone(), &FdSet::empty(), Policy::Reject) {
+    match engine.prepare(&q, lex.clone(), &FdSet::empty(), Policy::Reject) {
         Err(e) => println!("\nPolicy::Reject: {e}"),
         Ok(_) => println!("unexpected"),
     }
 
     // … while Policy::Materialize pays Θ(|out|) once and serves O(1)
     // accesses from the sorted answer array.
-    let plan = Engine::prepare(&q, &db, lex.clone(), &FdSet::empty(), Policy::Materialize).unwrap();
+    let plan = engine
+        .prepare(&q, lex.clone(), &FdSet::empty(), Policy::Materialize)
+        .unwrap();
     println!(
         "\n--- explain (materialize fallback) ---\n{}",
         plan.explain()

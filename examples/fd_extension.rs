@@ -26,19 +26,23 @@ fn main() {
     let r_rows: Vec<Vec<i64>> = (0..n)
         .map(|_| vec![rng.random_range(0..n), rng.random_range(0..50)])
         .collect();
-    let db = Database::new()
-        .with_i64_rows("R", 2, r_rows)
-        .with_i64_rows("S", 2, s_rows);
+    let engine = Engine::new(
+        Database::new()
+            .with_i64_rows("R", 2, r_rows)
+            .with_i64_rows("S", 2, s_rows)
+            .freeze(),
+    );
     // Without the FD the engine must fall back (not even selection is
     // tractable: the query is not free-connex) …
     let spec = || OrderSpec::lex(&q, &["x", "z"]);
-    match Engine::prepare(&q, &db, spec(), &FdSet::empty(), Policy::Reject) {
+    match engine.prepare(&q, spec(), &FdSet::empty(), Policy::Reject) {
         Err(e) => println!("   without FD: {e}"),
         Ok(_) => println!("   unexpected"),
     }
     // … with it, the FD-extension makes the query free-connex and the
-    // order tractable: native direct access.
-    let plan = Engine::prepare(&q, &db, spec(), &fds, Policy::Reject).unwrap();
+    // order tractable: native direct access. (Same engine, different
+    // FDs: a different plan-cache key, so both plans coexist.)
+    let plan = engine.prepare(&q, spec(), &fds, Policy::Reject).unwrap();
     println!(
         "   with FD: backend {} over {} answers",
         plan.backend(),
@@ -58,20 +62,25 @@ fn main() {
     let t_rows: Vec<Vec<i64>> = (0..400)
         .map(|_| vec![rng.random_range(0..30), rng.random_range(0..50)])
         .collect();
-    let db = Database::new()
-        .with_i64_rows("R", 2, r_rows)
-        .with_i64_rows("S", 2, s_rows)
-        .with_i64_rows("T", 2, t_rows);
+    let engine = Engine::new(
+        Database::new()
+            .with_i64_rows("R", 2, r_rows)
+            .with_i64_rows("S", 2, s_rows)
+            .with_i64_rows("T", 2, t_rows)
+            .freeze(),
+    );
     // Without the FD: a disruptive trio blocks direct access, so the
     // engine serves the order by selection.
-    let plan = Engine::prepare(&q, &db, spec(), &FdSet::empty(), Policy::Reject).unwrap();
+    let plan = engine
+        .prepare(&q, spec(), &FdSet::empty(), Policy::Reject)
+        .unwrap();
     println!(
         "   without FD: backend {} (witness: {})",
         plan.backend(),
         plan.explain().witness().unwrap_or("none")
     );
     // With it: the reordered extension is trio-free — native again.
-    let plan = Engine::prepare(&q, &db, spec(), &fds, Policy::Reject).unwrap();
+    let plan = engine.prepare(&q, spec(), &fds, Policy::Reject).unwrap();
     println!("   with FD: backend {}", plan.backend());
     println!(
         "   {} answers; first: {}",
@@ -87,19 +96,17 @@ fn main() {
     let r_rows: Vec<Vec<i64>> = (0..500)
         .map(|_| vec![rng.random_range(0..100), rng.random_range(0..13)])
         .collect();
-    let db = Database::new()
-        .with_i64_rows("R", 2, r_rows)
-        .with_i64_rows("S", 2, s_rows);
+    let engine = Engine::new(
+        Database::new()
+            .with_i64_rows("R", 2, r_rows)
+            .with_i64_rows("S", 2, s_rows)
+            .freeze(),
+    );
     // Direct access stays intractable, but the FD makes the extension
     // free-connex: the engine routes to per-access selection.
-    let plan = Engine::prepare(
-        &q,
-        &db,
-        OrderSpec::lex(&q, &["v1", "v2"]),
-        &fds,
-        Policy::Reject,
-    )
-    .unwrap();
+    let plan = engine
+        .prepare(&q, OrderSpec::lex(&q, &["v1", "v2"]), &fds, Policy::Reject)
+        .unwrap();
     println!("--- explain ---\n{}", plan.explain());
     println!("\n   first answer by <v1, v2>: {}", plan.access(0).unwrap());
 }

@@ -50,30 +50,35 @@ fn main() {
     }
     let db = Database::new().with(visits).with(cases);
 
+    // Freeze once, serve forever: the snapshot dictionary-encodes the
+    // database exactly once, and the stateful engine memoizes every
+    // prepared plan.
+    let engine = Engine::new(db.freeze());
+
     // The order (cases, age, ...) is blocked by a disruptive trio. The
     // engine still serves it — by per-access selection — and the plan
     // explains the routing decision:
-    let plan = Engine::prepare(
-        &q,
-        &db,
-        OrderSpec::lex(&q, &["cases", "age", "city"]),
-        &FdSet::empty(),
-        Policy::Reject,
-    )
-    .unwrap();
+    let plan = engine
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["cases", "age", "city"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
     println!("--- explain: LEX (cases, age, city) ---");
     println!("{}\n", plan.explain());
 
     // (cases, city, age) is tractable: the engine routes to the native
     // layered-join-tree structure.
-    let plan = Engine::prepare(
-        &q,
-        &db,
-        OrderSpec::lex(&q, &["cases", "city", "age"]),
-        &FdSet::empty(),
-        Policy::Reject,
-    )
-    .unwrap();
+    let plan = engine
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["cases", "city", "age"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
     println!("--- explain: LEX (cases, city, age) ---");
     println!("{}\n", plan.explain());
     println!(

@@ -31,16 +31,21 @@ fn main() {
 
     // Any tractable order works — random permutation only needs len()
     // and O(log n) access(k), which the engine guarantees here.
-    let plan = Engine::prepare(
-        &q,
-        &db,
-        OrderSpec::lex(&q, &["x", "y", "z"]),
-        &FdSet::empty(),
-        Policy::Reject,
-    )
-    .unwrap();
+    let engine = Engine::new(db.freeze());
+    let plan = engine
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
     assert_eq!(plan.backend(), Backend::LexDirectAccess);
-    println!("database size n = {}, |Q(I)| = {}", db.size(), plan.len());
+    println!(
+        "database size n = {}, |Q(I)| = {}",
+        engine.snapshot().size(),
+        plan.len()
+    );
 
     // Fisher–Yates over the index space gives a uniform permutation;
     // each access is O(log n), so the whole stream has logarithmic delay.

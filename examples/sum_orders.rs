@@ -30,14 +30,17 @@ fn main() {
                 .map(|_| vec![rng.random_range(0..50), rng.random_range(0..1000)])
                 .collect::<Vec<_>>(),
         );
-    let plan = Engine::prepare(
-        &q,
-        &db,
-        OrderSpec::sum_by_value(),
-        &FdSet::empty(),
-        Policy::Reject,
-    )
-    .unwrap();
+    // One snapshot serves both Part 1 and Part 2 — the encoding cost
+    // is paid once, whatever we go on to prepare.
+    let engine = Engine::new(db.freeze());
+    let plan = engine
+        .prepare(
+            &q,
+            OrderSpec::sum_by_value(),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
     println!("--- explain ---\n{}\n", plan.explain());
     println!("  {} answers; quantiles of x + y:", plan.len());
     let weight = |t: &Tuple| Weights::identity().answer_weight(q.free(), t.values()).0;
@@ -50,14 +53,14 @@ fn main() {
     // ----- Part 2: SUM selection where direct access is 3SUM-hard -----
     println!("\nPart 2 — SUM on the 2-path (direct access is 3SUM-hard)");
     let q2 = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
-    let plan2 = Engine::prepare(
-        &q2,
-        &db,
-        OrderSpec::sum_by_value(),
-        &FdSet::empty(),
-        Policy::Reject,
-    )
-    .unwrap();
+    let plan2 = engine
+        .prepare(
+            &q2,
+            OrderSpec::sum_by_value(),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
     println!("--- explain ---\n{}\n", plan2.explain());
     // Every quantile is a fresh O(n log n) selection; no materialization.
     let total = plan2.len();
@@ -105,14 +108,9 @@ fn main() {
     // fmh(Q) = 2, so the engine serves the order by per-access selection
     // even though direct access is 3SUM-hard.
     let risk = w.clone();
-    let planv = Engine::prepare(
-        &qv,
-        &dbv,
-        OrderSpec::sum(w),
-        &FdSet::empty(),
-        Policy::Reject,
-    )
-    .unwrap();
+    let planv = Engine::new(dbv.freeze())
+        .prepare(&qv, OrderSpec::sum(w), &FdSet::empty(), Policy::Reject)
+        .unwrap();
     println!("  backend: {}", planv.backend());
     println!("  {} answers by ascending risk:", planv.len());
     for (k, t) in planv.iter().enumerate() {

@@ -9,14 +9,21 @@
 //!
 //! ## Quickstart
 //!
-//! One front door: [`Engine::prepare`](prelude::Engine::prepare) runs
-//! the paper's dichotomies on a (query, order) pair and routes it to the
-//! right algorithm — native direct access when tractable, a lazy
-//! selection-backed handle when only selection is tractable, or an
-//! explicit fallback chosen by [`Policy`](prelude::Policy). Whatever the
-//! route, the returned [`AccessPlan`](prelude::AccessPlan) serves
-//! answers through the uniform [`DirectAccess`](prelude::DirectAccess)
-//! trait and explains its decision.
+//! The serving lifecycle is **Database → Snapshot → Engine →
+//! AccessPlan**: build a [`Database`](prelude::Database), freeze it
+//! once into an immutable, dictionary-encoded
+//! [`Snapshot`](prelude::Snapshot), wrap the snapshot in a stateful
+//! [`Engine`](prelude::Engine), and [`prepare`](prelude::Engine::prepare)
+//! plans. The engine runs the paper's dichotomies on each (query,
+//! order) pair and routes it to the right algorithm — native direct
+//! access when tractable, a lazy selection-backed handle when only
+//! selection is tractable, or an explicit fallback chosen by
+//! [`Policy`](prelude::Policy). Whatever the route, the returned
+//! [`AccessPlan`](prelude::AccessPlan) serves answers through the
+//! uniform [`DirectAccess`](prelude::DirectAccess) trait, explains its
+//! decision, and — being `Send + Sync` behind an `Arc` — serves any
+//! number of client threads. Equal requests are memoized: the engine's
+//! bounded plan cache hands every client the same prepared plan.
 //!
 //! ```
 //! use ranked_access::prelude::*;
@@ -27,9 +34,14 @@
 //!     .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
 //!     .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]]);
 //!
+//! // Freeze once: the whole active domain is interned into one
+//! // order-preserving dictionary and every relation is encoded into
+//! // columnar form exactly once — shared by every plan below.
+//! let engine = Engine::new(db.freeze());
+//!
 //! // Sorted by <x, y, z>: tractable, so the plan is O(log n) per access.
-//! let plan = Engine::prepare(
-//!     &q, &db,
+//! let plan = engine.prepare(
+//!     &q,
 //!     OrderSpec::lex(&q, &["x", "y", "z"]),
 //!     &FdSet::empty(),
 //!     Policy::Reject,
@@ -39,11 +51,21 @@
 //! let median = plan.access(plan.len() / 2).unwrap();   // O(log n)
 //! assert_eq!(plan.inverted_access(&median), Some(2));   // O(log n)
 //!
+//! // Preparing the same request again is a cache hit: the same
+//! // Arc<AccessPlan> comes back, nothing is re-classified or rebuilt.
+//! let again = engine.prepare(
+//!     &q,
+//!     OrderSpec::lex(&q, &["x", "y", "z"]),
+//!     &FdSet::empty(),
+//!     Policy::Reject,
+//! ).unwrap();
+//! assert!(std::sync::Arc::ptr_eq(&plan, &again));
+//!
 //! // <x, z, y> has a disruptive trio: direct access is provably hard,
 //! // so the engine transparently serves ranked answers by per-access
 //! // selection (Theorem 6.1) and can explain why.
-//! let plan = Engine::prepare(
-//!     &q, &db,
+//! let plan = engine.prepare(
+//!     &q,
 //!     OrderSpec::lex(&q, &["x", "z", "y"]),
 //!     &FdSet::empty(),
 //!     Policy::Reject,
@@ -53,8 +75,8 @@
 //! assert!(plan.access(0).is_some());
 //!
 //! // Sum-of-weights orders go through the same door.
-//! let plan = Engine::prepare(
-//!     &q, &db,
+//! let plan = engine.prepare(
+//!     &q,
 //!     OrderSpec::sum_by_value(),
 //!     &FdSet::empty(),
 //!     Policy::Reject,
@@ -64,35 +86,63 @@
 //! // Outside both tractable regions the policy decides: Reject fails
 //! // with the witness, Materialize/RankedEnum fall back explicitly.
 //! let qp = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
-//! let err = Engine::prepare(
-//!     &qp, &db,
+//! let err = engine.prepare(
+//!     &qp,
 //!     OrderSpec::lex(&qp, &["x", "z"]),
 //!     &FdSet::empty(),
 //!     Policy::Reject,
 //! ).unwrap_err();
 //! assert!(err.to_string().contains("intractable"));
-//! let plan = Engine::prepare(
-//!     &qp, &db,
+//! let plan = engine.prepare(
+//!     &qp,
 //!     OrderSpec::lex(&qp, &["x", "z"]),
 //!     &FdSet::empty(),
 //!     Policy::Materialize,
 //! ).unwrap();
 //! assert_eq!(plan.backend(), Backend::Materialized);
 //! assert_eq!(plan.len(), 5);
+//!
+//! // Plans are Send + Sync: clone the Arc into worker threads and
+//! // hammer the same structure concurrently.
+//! let shared = engine.prepare(
+//!     &q,
+//!     OrderSpec::lex(&q, &["x", "y", "z"]),
+//!     &FdSet::empty(),
+//!     Policy::Reject,
+//! ).unwrap();
+//! std::thread::scope(|s| {
+//!     for _ in 0..4 {
+//!         let plan = std::sync::Arc::clone(&shared);
+//!         s.spawn(move || {
+//!             for k in 0..plan.len() {
+//!                 assert!(plan.access(k).is_some());
+//!             }
+//!         });
+//!     }
+//! });
 //! ```
 //!
+//! When should you still use the deprecated stateless shim
+//! (`Engine::prepare_stateless(q, &db, ...)`)? Only for genuine
+//! one-shot scripts over small inputs, where freezing a shared
+//! snapshot buys nothing: it re-encodes the database on every call and
+//! caches nothing. Everything else — repeated queries, multiple
+//! orders, concurrent clients — should freeze once and go through a
+//! stateful engine.
+//!
 //! The building blocks remain public for direct use:
-//! `LexDirectAccess::build`, `SumDirectAccess::build`, and the
-//! classification procedures in [`rda_query::classify`].
+//! `LexDirectAccess::build_on`, `SumDirectAccess::build_on` (and their
+//! freeze-internally `build` conveniences), plus the classification
+//! procedures in [`mod@rda_query::classify`].
 //!
 //! ## Crate map
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`rda_db`] | values, tuples, relations, databases |
+//! | [`rda_db`] | values, tuples, relations, databases, frozen dictionary-encoded snapshots |
 //! | [`rda_query`] | CQ AST/parser, hypergraphs, join trees, connexity, disruptive trios, layered join trees, contraction, FDs, classification |
 //! | [`rda_orderstat`] | quickselect, weighted selection, sorted-matrix selection |
-//! | [`rda_core`] | the `Engine`/`AccessPlan` facade plus the paper's access/selection algorithms |
+//! | [`rda_core`] | the `Engine`/`AccessPlan` serving core plus the paper's access/selection algorithms |
 //! | [`rda_baseline`] | materialize-and-sort, ranked enumeration (any-k) |
 
 pub use rda_baseline;
@@ -106,16 +156,13 @@ pub mod prelude {
     pub use rda_baseline::{all_answers, MaterializedAccess, RankedEnumerator};
     pub use rda_core::{
         AccessPlan, Backend, BuildError, DirectAccess, Engine, Explain, LexDirectAccess, OrderSpec,
-        PlanError, Policy, RankedAnswers, SumDirectAccess, Weights,
+        PlanError, Policy, RankedAnswers, SelectionLexHandle, SelectionSumHandle, SumDirectAccess,
+        Weights,
     };
-    pub use rda_db::{Database, Relation, Tuple, Value};
+    pub use rda_db::{Database, Relation, Snapshot, Tuple, Value};
     pub use rda_orderstat::TotalF64;
     pub use rda_query::classify::{classify, Problem, Reason, Verdict};
     pub use rda_query::parser::parse;
     pub use rda_query::query::CqBuilder;
     pub use rda_query::{Cq, Fd, FdSet, VarId, VarSet};
-
-    // Deprecated shims, re-exported so existing code keeps compiling.
-    #[allow(deprecated)]
-    pub use rda_core::{selection_lex, selection_sum};
 }

@@ -1,9 +1,6 @@
 //! Figure 1 and Figure 8 regenerated from the decision procedures, plus
 //! the dichotomy relationships the paper states.
 
-// This file intentionally keeps the deprecated shims honest against the classifier.
-#![allow(deprecated)]
-
 use ranked_access::prelude::*;
 
 fn no_fds() -> FdSet {
@@ -185,22 +182,22 @@ fn classifier_and_builders_agree() {
     for (src, lex) in catalog {
         let q = parse(src).unwrap();
         let l = q.vars(&lex);
-        let d = db(&q);
+        let snap = db(&q).freeze();
         let verdict = classify(&q, &no_fds(), &Problem::DirectAccessLex(l.clone()));
-        let built = LexDirectAccess::build(&q, &d, &l, &no_fds());
+        let built = LexDirectAccess::build_on(&q, &snap, &l, &no_fds());
         assert_eq!(
             verdict.is_tractable(),
             built.is_ok(),
             "DA-LEX {src} {lex:?}"
         );
         let verdict = classify(&q, &no_fds(), &Problem::SelectionLex(l.clone()));
-        let sel = selection_lex(&q, &d, &l, 0, &no_fds());
+        let sel = SelectionLexHandle::new(&q, &snap, l.clone(), &no_fds());
         assert_eq!(verdict.is_tractable(), sel.is_ok(), "SEL-LEX {src} {lex:?}");
         let verdict = classify(&q, &no_fds(), &Problem::DirectAccessSum);
-        let built = SumDirectAccess::build(&q, &d, &Weights::identity(), &no_fds());
+        let built = SumDirectAccess::build_on(&q, &snap, &Weights::identity(), &no_fds());
         assert_eq!(verdict.is_tractable(), built.is_ok(), "DA-SUM {src}");
         let verdict = classify(&q, &no_fds(), &Problem::SelectionSum);
-        let sel = selection_sum(&q, &d, &Weights::identity(), 0, &no_fds());
+        let sel = SelectionSumHandle::new(&q, &snap, Weights::identity(), &no_fds());
         assert_eq!(verdict.is_tractable(), sel.is_ok(), "SEL-SUM {src}");
     }
 }
@@ -240,20 +237,20 @@ fn engine_routing_agrees_with_classifier() {
     };
     for (src, lex) in catalog {
         let q = parse(src).unwrap();
-        let d = db(&q);
+        let engine = Engine::new(db(&q).freeze());
         let l = q.vars(&lex);
 
         // LEX routing.
         let da_v = classify(&q, &no_fds(), &Problem::DirectAccessLex(l.clone()));
         let sel_v = classify(&q, &no_fds(), &Problem::SelectionLex(l.clone()));
-        let plan = Engine::prepare(
-            &q,
-            &d,
-            OrderSpec::Lex(l.clone()),
-            &no_fds(),
-            Policy::Materialize,
-        )
-        .unwrap();
+        let plan = engine
+            .prepare(
+                &q,
+                OrderSpec::Lex(l.clone()),
+                &no_fds(),
+                Policy::Materialize,
+            )
+            .unwrap();
         let expected = if da_v.is_tractable() {
             Backend::LexDirectAccess
         } else if sel_v.is_tractable() {
@@ -265,8 +262,7 @@ fn engine_routing_agrees_with_classifier() {
         assert_eq!(plan.explain().verdict(), &da_v, "LEX verdict {src}");
         // And with Policy::Reject, prepare succeeds iff some paper
         // algorithm applies.
-        let rejected =
-            Engine::prepare(&q, &d, OrderSpec::Lex(l.clone()), &no_fds(), Policy::Reject);
+        let rejected = engine.prepare(&q, OrderSpec::Lex(l.clone()), &no_fds(), Policy::Reject);
         assert_eq!(
             rejected.is_ok(),
             da_v.is_tractable() || sel_v.is_tractable(),
@@ -276,14 +272,14 @@ fn engine_routing_agrees_with_classifier() {
         // SUM routing.
         let da_v = classify(&q, &no_fds(), &Problem::DirectAccessSum);
         let sel_v = classify(&q, &no_fds(), &Problem::SelectionSum);
-        let plan = Engine::prepare(
-            &q,
-            &d,
-            OrderSpec::sum_by_value(),
-            &no_fds(),
-            Policy::Materialize,
-        )
-        .unwrap();
+        let plan = engine
+            .prepare(
+                &q,
+                OrderSpec::sum_by_value(),
+                &no_fds(),
+                Policy::Materialize,
+            )
+            .unwrap();
         let expected = if da_v.is_tractable() {
             Backend::SumDirectAccess
         } else if sel_v.is_tractable() {

@@ -1,0 +1,309 @@
+//! The serving-core concurrency contract: one engine, one snapshot,
+//! shared `Arc<AccessPlan>`s hammered from many threads — every thread
+//! must observe exactly what a single-threaded oracle observes, on
+//! every backend the router can choose.
+
+use ranked_access::prelude::OrderSpec as Spec;
+use ranked_access::prelude::*;
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+
+fn fig_db(rows: usize) -> Database {
+    let r: Vec<Vec<i64>> = (0..rows as i64).map(|i| vec![i % 23, i % 17]).collect();
+    let s: Vec<Vec<i64>> = (0..rows as i64)
+        .map(|i| vec![i % 17, (i * 7) % 29])
+        .collect();
+    Database::new()
+        .with_i64_rows("R", 2, r)
+        .with_i64_rows("S", 2, s)
+}
+
+/// Single-threaded oracle first, then N threads replaying interleaved
+/// slices of the same operations against the shared plan. Lazy
+/// backends pay O(n) per access, so the oracle samples a bounded set
+/// of ranks instead of scanning everything.
+fn hammer(plan: &Arc<AccessPlan>) {
+    let len = plan.len();
+    let stride = (len / 24).max(1);
+    let sample: Vec<u64> = (0..len).step_by(stride as usize).collect();
+    let answers: Vec<Tuple> = sample
+        .iter()
+        .map(|&k| plan.access(k).expect("k < len"))
+        .collect();
+    let ranks: Vec<u64> = answers
+        .iter()
+        .map(|t| plan.inverted_access(t).expect("an answer has a rank"))
+        .collect();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let plan = Arc::clone(plan);
+            let (sample, answers, ranks) = (&sample, &answers, &ranks);
+            s.spawn(move || {
+                let mut buf: Vec<Value> = Vec::new();
+                for (i, expect) in answers.iter().enumerate().skip(t % 3) {
+                    let k = sample[i];
+                    assert_eq!(plan.access(k).as_ref(), Some(expect), "thread {t} k={k}");
+                    assert!(plan.access_into(k, &mut buf), "thread {t} k={k}");
+                    assert_eq!(&Tuple::new(buf.clone()), expect, "thread {t} k={k}");
+                    assert_eq!(
+                        plan.inverted_access(expect),
+                        Some(ranks[i]),
+                        "thread {t} k={k}"
+                    );
+                }
+                assert_eq!(plan.access(len), None, "thread {t} out of bound");
+            });
+        }
+    });
+}
+
+#[test]
+fn shared_plans_agree_with_single_threaded_oracle_on_every_backend() {
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let qp = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+    let engine = Engine::new(fig_db(72).freeze());
+    let cases: Vec<(Arc<AccessPlan>, Backend)> = vec![
+        (
+            engine
+                .prepare(
+                    &q,
+                    Spec::lex(&q, &["x", "y", "z"]),
+                    &FdSet::empty(),
+                    Policy::Reject,
+                )
+                .unwrap(),
+            Backend::LexDirectAccess,
+        ),
+        (
+            engine
+                .prepare(
+                    &q,
+                    Spec::lex(&q, &["x", "z", "y"]),
+                    &FdSet::empty(),
+                    Policy::Reject,
+                )
+                .unwrap(),
+            Backend::SelectionLex,
+        ),
+        (
+            engine
+                .prepare(&q, Spec::sum_by_value(), &FdSet::empty(), Policy::Reject)
+                .unwrap(),
+            Backend::SelectionSum,
+        ),
+        (
+            engine
+                .prepare(
+                    &qp,
+                    Spec::lex(&qp, &["x", "z"]),
+                    &FdSet::empty(),
+                    Policy::Materialize,
+                )
+                .unwrap(),
+            Backend::Materialized,
+        ),
+    ];
+    for (plan, backend) in &cases {
+        assert_eq!(plan.backend(), *backend);
+        hammer(plan);
+    }
+
+    // SUM direct access has its own covering-atom shape.
+    let qc = parse("Q(x, y) :- R(x, y), S(y, z)").unwrap();
+    let plan = engine
+        .prepare(&qc, Spec::sum_by_value(), &FdSet::empty(), Policy::Reject)
+        .unwrap();
+    assert_eq!(plan.backend(), Backend::SumDirectAccess);
+    hammer(&plan);
+}
+
+/// The ranked-enumeration fallback serializes its stream behind a
+/// mutex; concurrent accesses must still all see the same answers.
+#[test]
+fn ranked_enum_fallback_is_thread_safe() {
+    let q3 = parse("Q(x, y, z, u) :- R(x, y), S(y, z), T(z, u)").unwrap();
+    let db = Database::new()
+        .with_i64_rows(
+            "R",
+            2,
+            (0..30).map(|i| vec![i % 7, i % 5]).collect::<Vec<_>>(),
+        )
+        .with_i64_rows(
+            "S",
+            2,
+            (0..30).map(|i| vec![i % 5, i % 6]).collect::<Vec<_>>(),
+        )
+        .with_i64_rows(
+            "T",
+            2,
+            (0..30).map(|i| vec![i % 6, i % 4]).collect::<Vec<_>>(),
+        );
+    let engine = Engine::new(db.freeze());
+    let plan = engine
+        .prepare(
+            &q3,
+            Spec::sum_by_value(),
+            &FdSet::empty(),
+            Policy::RankedEnum,
+        )
+        .unwrap();
+    assert_eq!(plan.backend(), Backend::RankedEnum);
+    // Let threads race the *first* materialization of the stream.
+    let len = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let plan = Arc::clone(&plan);
+                s.spawn(move || {
+                    let mut seen = Vec::new();
+                    for k in (0..64u64).skip(t % 4) {
+                        if let Some(tp) = plan.access(k) {
+                            seen.push((k, tp));
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let all: Vec<Vec<(u64, Tuple)>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect();
+        // Every thread saw a consistent (k → answer) mapping.
+        for views in &all {
+            for (k, t) in views {
+                assert_eq!(plan.access(*k).as_ref(), Some(t));
+            }
+        }
+        plan.len()
+    });
+    hammer(&plan);
+    assert!(len > 0);
+}
+
+/// `rank_of_lower_bound` (Remark 3) is only native on the lex arena:
+/// hammer it — answers and non-answer probes alike — from N threads
+/// against the single-threaded oracle.
+#[test]
+fn rank_of_lower_bound_is_consistent_across_threads() {
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let engine = Engine::new(fig_db(90).freeze());
+    let plan = engine
+        .prepare(
+            &q,
+            Spec::lex(&q, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    let RankedAnswers::Lex(da) = plan.answers() else {
+        panic!("expected the native lex backend");
+    };
+    let probes: Vec<Tuple> = (0..da.len())
+        .map(|k| da.access(k).unwrap())
+        .chain((0..40i64).map(|i| {
+            [
+                Value::int(i % 9 - 1),
+                Value::int((i * 3) % 11),
+                Value::int(i % 31),
+            ]
+            .into_iter()
+            .collect()
+        }))
+        .collect();
+    let oracle: Vec<Option<u64>> = probes.iter().map(|t| da.rank_of_lower_bound(t)).collect();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (da, probes, oracle) = (&da, &probes, &oracle);
+            s.spawn(move || {
+                for (i, probe) in probes.iter().enumerate().skip(t % 5) {
+                    assert_eq!(
+                        da.rank_of_lower_bound(probe),
+                        oracle[i],
+                        "thread {t} probe {probe}"
+                    );
+                }
+            });
+        }
+    });
+}
+
+/// Concurrent `prepare` of the same key from many threads: everyone
+/// ends up sharing one plan (pointer-equal), and the cache stays
+/// within its bound under a churn of distinct keys.
+#[test]
+fn concurrent_prepare_converges_to_one_shared_plan() {
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let engine = Engine::new(fig_db(60).freeze());
+    let plans: Vec<Arc<AccessPlan>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let engine = &engine;
+                let q = &q;
+                s.spawn(move || {
+                    engine
+                        .prepare(
+                            q,
+                            Spec::lex(q, &["x", "y", "z"]),
+                            &FdSet::empty(),
+                            Policy::Reject,
+                        )
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+    // All racers converge: after the cache settles, the engine serves
+    // one canonical Arc — and every plan that "lost" the race is still
+    // correct, so late arrivals are pointer-equal to the cached one.
+    let canonical = engine
+        .prepare(
+            &q,
+            Spec::lex(&q, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    assert!(plans.iter().any(|p| Arc::ptr_eq(p, &canonical)));
+    for p in &plans {
+        assert_eq!(p.len(), canonical.len());
+    }
+    assert_eq!(engine.plan_cache_len(), 1);
+}
+
+/// Cache semantics under churn: the bound holds while many threads
+/// prepare distinct keys concurrently.
+#[test]
+fn bounded_cache_holds_under_concurrent_churn() {
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let engine = Engine::with_plan_cache_capacity(fig_db(40).freeze(), 3);
+    let orders: Vec<Vec<&str>> = vec![
+        vec!["x", "y", "z"],
+        vec!["y", "x", "z"],
+        vec!["z", "y", "x"],
+        vec!["y", "z", "x"],
+        vec!["y"],
+        vec!["z", "y"],
+    ];
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let engine = &engine;
+            let q = &q;
+            let orders = &orders;
+            s.spawn(move || {
+                for i in 0..24 {
+                    let names = &orders[(t + i) % orders.len()];
+                    let plan = engine
+                        .prepare(q, Spec::lex(q, names), &FdSet::empty(), Policy::Reject)
+                        .unwrap();
+                    assert!(plan.access(0).is_some());
+                }
+            });
+        }
+    });
+    assert!(engine.plan_cache_len() <= 3, "cache bound violated");
+}

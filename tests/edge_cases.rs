@@ -11,14 +11,9 @@ fn no_fds() -> FdSet {
 fn single_tuple_universe() {
     let q = parse("Q(x) :- R(x)").unwrap();
     let db = Database::new().with_i64_rows("R", 1, vec![vec![42]]);
-    let plan = Engine::prepare(
-        &q,
-        &db,
-        OrderSpec::lex(&q, &["x"]),
-        &no_fds(),
-        Policy::Reject,
-    )
-    .unwrap();
+    let plan = Engine::new(db.freeze())
+        .prepare(&q, OrderSpec::lex(&q, &["x"]), &no_fds(), Policy::Reject)
+        .unwrap();
     assert_eq!(plan.backend(), Backend::LexDirectAccess);
     assert_eq!(plan.len(), 1);
     assert_eq!(plan.access(0).unwrap().values(), &[Value::int(42)]);
@@ -37,7 +32,9 @@ fn empty_relations_everywhere() {
         OrderSpec::lex(&q, &["x", "z", "y"]), // selection-lex handle
         OrderSpec::sum_by_value(),            // selection-sum handle
     ] {
-        let plan = Engine::prepare(&q, &db, spec, &no_fds(), Policy::Reject).unwrap();
+        let plan = Engine::new(db.clone().freeze())
+            .prepare(&q, spec, &no_fds(), Policy::Reject)
+            .unwrap();
         assert!(plan.is_empty());
         assert_eq!(plan.access(0), None);
     }
@@ -231,14 +228,9 @@ fn weights_on_shared_variable_count_once() {
     let db = Database::new()
         .with_i64_rows("R", 2, vec![vec![0, 100]])
         .with_i64_rows("S", 2, vec![vec![100, 0]]);
-    let plan = Engine::prepare(
-        &q,
-        &db,
-        OrderSpec::sum_by_value(),
-        &no_fds(),
-        Policy::Reject,
-    )
-    .unwrap();
+    let plan = Engine::new(db.freeze())
+        .prepare(&q, OrderSpec::sum_by_value(), &no_fds(), Policy::Reject)
+        .unwrap();
     let RankedAnswers::SelectionSum(handle) = plan.answers() else {
         panic!("routed to {}", plan.backend());
     };

@@ -98,7 +98,7 @@ proptest! {
             } else {
                 OrderSpec::lex(&q, &lex)
             };
-            let plan = Engine::prepare(&q, &db, spec, &FdSet::empty(), policy).unwrap();
+            let plan = Engine::new(db.clone().freeze()).prepare(&q, spec, &FdSet::empty(), policy).unwrap();
             prop_assert_eq!(plan.backend(), backend, "{}", src);
 
             let n = plan.len();
@@ -147,7 +147,7 @@ proptest! {
             } else {
                 OrderSpec::lex(&q, &lex)
             };
-            let plan = Engine::prepare(&q, &db, spec, &FdSet::empty(), policy).unwrap();
+            let plan = Engine::new(db.clone().freeze()).prepare(&q, spec, &FdSet::empty(), policy).unwrap();
             let mut got: Vec<Tuple> = plan.iter().collect();
             got.sort();
             got.dedup();
@@ -177,7 +177,7 @@ proptest! {
             let l = q.vars(&lex);
             let da_v = classify(&q, &FdSet::empty(), &Problem::DirectAccessLex(l.clone()));
             let sel_v = classify(&q, &FdSet::empty(), &Problem::SelectionLex(l.clone()));
-            match Engine::prepare(&q, &db, OrderSpec::Lex(l), &FdSet::empty(), Policy::Reject) {
+            match Engine::new(db.clone().freeze()).prepare(&q, OrderSpec::Lex(l), &FdSet::empty(), Policy::Reject) {
                 Ok(plan) => {
                     prop_assert!(da_v.is_tractable() || sel_v.is_tractable(), "{}", src);
                     prop_assert_eq!(
@@ -206,9 +206,8 @@ proptest! {
     fn selection_handle_orders_by_requested_prefix(seed in 0u64..1_000_000, rows in 1usize..15) {
         let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
         let db = random_db(&q, rows, 4, seed);
-        let plan = Engine::prepare(
+        let plan = Engine::new(db.clone().freeze()).prepare(
             &q,
-            &db,
             OrderSpec::lex(&q, &["x", "z", "y"]),
             &FdSet::empty(),
             Policy::Reject,
@@ -240,42 +239,42 @@ fn explain_covers_all_three_regimes() {
 
     // Tractable: native backend, no witness.
     let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
-    let plan = Engine::prepare(
-        &q,
-        &db,
-        OrderSpec::lex(&q, &["x", "y", "z"]),
-        &FdSet::empty(),
-        Policy::Reject,
-    )
-    .unwrap();
+    let plan = Engine::new(db.clone().freeze())
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
     let report = plan.explain().to_string();
     assert!(report.contains("tractable"), "{report}");
     assert!(report.contains("lex-direct-access"), "{report}");
     assert!(plan.explain().witness().is_none());
 
     // Selection-only: disruptive-trio witness, selection backend.
-    let plan = Engine::prepare(
-        &q,
-        &db,
-        OrderSpec::lex(&q, &["x", "z", "y"]),
-        &FdSet::empty(),
-        Policy::Reject,
-    )
-    .unwrap();
+    let plan = Engine::new(db.clone().freeze())
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "z", "y"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
     let report = plan.explain().to_string();
     assert!(report.contains("disruptive trio (x, z, y)"), "{report}");
     assert!(report.contains("selection-lex"), "{report}");
 
     // Fallback: free-path witness, materialized backend.
     let qp = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
-    let plan = Engine::prepare(
-        &qp,
-        &db,
-        OrderSpec::lex(&qp, &["x", "z"]),
-        &FdSet::empty(),
-        Policy::Materialize,
-    )
-    .unwrap();
+    let plan = Engine::new(db.clone().freeze())
+        .prepare(
+            &qp,
+            OrderSpec::lex(&qp, &["x", "z"]),
+            &FdSet::empty(),
+            Policy::Materialize,
+        )
+        .unwrap();
     let report = plan.explain().to_string();
     assert!(report.contains("not free-connex"), "{report}");
     assert!(report.contains("materialized"), "{report}");

@@ -2,9 +2,6 @@
 //! and the algorithms exploit them on real instances, for all four
 //! problems.
 
-// This file intentionally cross-validates all four algorithms (including the deprecated shims) under FDs.
-#![allow(deprecated)]
-
 use ranked_access::prelude::*;
 
 fn tup(vals: &[i64]) -> Tuple {
@@ -56,13 +53,10 @@ fn example_8_3_end_to_end() {
         assert_eq!(da.inverted_access(t), Some(k as u64));
     }
     // LEX selection agrees.
+    let lex_handle =
+        SelectionLexHandle::new(&q, &db.clone().freeze(), q.vars(&["x", "z"]), &fds).unwrap();
     for k in 0..3 {
-        assert_eq!(
-            selection_lex(&q, &db, &q.vars(&["x", "z"]), k, &fds)
-                .unwrap()
-                .as_ref(),
-            got.get(k as usize)
-        );
+        assert_eq!(lex_handle.select_once(k).as_ref(), got.get(k as usize));
     }
     // SUM direct access: weights 6, 6, 8.
     let sda = SumDirectAccess::build(&q, &db, &Weights::identity(), &fds).unwrap();
@@ -71,10 +65,10 @@ fn example_8_3_end_to_end() {
         .collect();
     assert_eq!(weights, vec![6.0, 6.0, 8.0]);
     // SUM selection matches.
+    let sum_handle =
+        SelectionSumHandle::new(&q, &db.clone().freeze(), Weights::identity(), &fds).unwrap();
     for k in 0..3 {
-        let (w, t) = selection_sum(&q, &db, &Weights::identity(), k, &fds)
-            .unwrap()
-            .unwrap();
+        let (w, t) = sum_handle.select_once(k).unwrap();
         assert_eq!(w.0, weights[k as usize]);
         assert!(oracle.contains(&t));
     }
@@ -154,9 +148,8 @@ fn example_8_19_end_to_end() {
         Err(BuildError::NotTractable(_))
     ));
     // Selection became tractable (Q⁺ is free-connex).
-    let got: Vec<Tuple> = (0..2)
-        .map(|k| selection_lex(&q, &db, &lex, k, &fds).unwrap().unwrap())
-        .collect();
+    let handle = SelectionLexHandle::new(&q, &db.freeze(), lex, &fds).unwrap();
+    let got: Vec<Tuple> = (0..2).map(|k| handle.select_once(k).unwrap()).collect();
     assert_eq!(got, vec![tup(&[1, 7]), tup(&[2, 8])]);
 }
 
@@ -173,7 +166,7 @@ fn fd_violation_is_reported() {
         Err(BuildError::FdViolated(_))
     ));
     assert!(matches!(
-        selection_sum(&q, &db, &Weights::identity(), 0, &fds),
+        SelectionSumHandle::new(&q, &db.freeze(), Weights::identity(), &fds),
         Err(BuildError::FdViolated(_))
     ));
 }

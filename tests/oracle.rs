@@ -2,9 +2,6 @@
 //! the materialize-and-sort oracle on randomized instances, across a
 //! catalog of queries covering the tractability landscape.
 
-// This file intentionally cross-validates the selection algorithms against the native structures.
-#![allow(deprecated)]
-
 use proptest::prelude::*;
 use ranked_access::prelude::*;
 use ranked_access::rda_core::HashLexDirectAccess;
@@ -114,14 +111,9 @@ proptest! {
             let db = random_db(&q, rows, domain, seed);
             // Route through the engine: every catalog order is on the
             // tractable side, so it must pick the native structure.
-            let plan = Engine::prepare(
-                &q,
-                &db,
-                OrderSpec::Lex(lex.clone()),
-                &FdSet::empty(),
-                Policy::Reject,
-            )
-            .unwrap();
+            let plan = Engine::new(db.clone().freeze())
+                .prepare(&q, OrderSpec::Lex(lex.clone()), &FdSet::empty(), Policy::Reject)
+                .unwrap();
             let RankedAnswers::Lex(ref da) = *plan.answers() else {
                 panic!("expected the native lex backend, got {}", plan.backend());
             };
@@ -272,12 +264,13 @@ proptest! {
     fn lex_selection_matches_direct_access(seed in 0u64..1_000_000, rows in 1usize..20, domain in 1i64..5) {
         for (q, lex) in lex_catalog() {
             let db = random_db(&q, rows, domain, seed);
-            let da = LexDirectAccess::build(&q, &db, &lex, &FdSet::empty()).unwrap();
+            let snap = db.freeze();
+            let da = LexDirectAccess::build_on(&q, &snap, &lex, &FdSet::empty()).unwrap();
+            let handle = SelectionLexHandle::new(&q, &snap, lex.clone(), &FdSet::empty()).unwrap();
             for k in 0..da.len().min(8) {
-                let sel = selection_lex(&q, &db, &lex, k, &FdSet::empty()).unwrap();
-                prop_assert_eq!(sel, da.access(k), "k={} on {}", k, q);
+                prop_assert_eq!(handle.select_once(k), da.access(k), "k={} on {}", k, q);
             }
-            prop_assert_eq!(selection_lex(&q, &db, &lex, da.len(), &FdSet::empty()).unwrap(), None);
+            prop_assert_eq!(handle.select_once(da.len()), None);
         }
     }
 
@@ -296,16 +289,16 @@ proptest! {
             let oracle = MaterializedAccess::by_sum(&q, &db, |_, v| {
                 v.as_int().map_or(0.0, |i| i as f64)
             });
+            let handle =
+                SelectionSumHandle::new(&q, &db.clone().freeze(), Weights::identity(), &FdSet::empty())
+                    .unwrap();
             for k in 0..oracle.len().min(10) {
-                let got = selection_sum(&q, &db, &Weights::identity(), k, &FdSet::empty())
-                    .unwrap()
-                    .expect("within bounds");
+                let got = handle.select_once(k).expect("within bounds");
                 prop_assert_eq!(got.0, TotalF64(oracle.weight_at(k).unwrap()), "k={} on {}", k, src);
                 // The witness is a genuine answer.
                 prop_assert!(all_answers(&q, &db).contains(&got.1), "witness on {}", src);
             }
-            let oob = selection_sum(&q, &db, &Weights::identity(), oracle.len(), &FdSet::empty()).unwrap();
-            prop_assert!(oob.is_none());
+            prop_assert!(handle.select_once(oracle.len()).is_none());
         }
     }
 

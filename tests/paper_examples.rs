@@ -43,14 +43,14 @@ fn figure_2b() {
 fn figure_2c() {
     let q = two_path();
     let db = fig2_db();
-    let plan = Engine::prepare(
-        &q,
-        &db,
-        OrderSpec::lex(&q, &["x", "z", "y"]),
-        &FdSet::empty(),
-        Policy::Reject,
-    )
-    .unwrap();
+    let plan = Engine::new(db.clone().freeze())
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "z", "y"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
     assert_eq!(plan.backend(), Backend::SelectionLex);
     assert!(matches!(
         plan.explain().verdict().reason(),
@@ -74,14 +74,14 @@ fn figure_2c() {
 fn figure_2d() {
     let q = two_path();
     let db = fig2_db();
-    let plan = Engine::prepare(
-        &q,
-        &db,
-        OrderSpec::sum_by_value(),
-        &FdSet::empty(),
-        Policy::Reject,
-    )
-    .unwrap();
+    let plan = Engine::new(db.clone().freeze())
+        .prepare(
+            &q,
+            OrderSpec::sum_by_value(),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
     assert_eq!(plan.backend(), Backend::SelectionSum);
     let RankedAnswers::SelectionSum(handle) = plan.answers() else {
         panic!("routed to {}", plan.backend());
@@ -156,26 +156,26 @@ fn example_6_2() {
     let db = fig2_db();
     let q = two_path();
     for lex in [vec!["x", "z", "y"], vec!["x", "z"]] {
-        let plan = Engine::prepare(
-            &q,
-            &db,
-            OrderSpec::lex(&q, &lex),
-            &FdSet::empty(),
-            Policy::Reject,
-        )
-        .unwrap();
+        let plan = Engine::new(db.clone().freeze())
+            .prepare(
+                &q,
+                OrderSpec::lex(&q, &lex),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .unwrap();
         assert_eq!(plan.backend(), Backend::SelectionLex, "{lex:?}");
         assert!(plan.access(0).is_some());
     }
     let qp = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
-    let err = Engine::prepare(
-        &qp,
-        &db,
-        OrderSpec::lex(&qp, &["x", "z"]),
-        &FdSet::empty(),
-        Policy::Reject,
-    )
-    .unwrap_err();
+    let err = Engine::new(db.clone().freeze())
+        .prepare(
+            &qp,
+            OrderSpec::lex(&qp, &["x", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap_err();
     assert!(matches!(err, PlanError::Intractable { .. }));
     assert!(matches!(
         err.verdict().and_then(Verdict::reason),
@@ -193,37 +193,37 @@ fn example_7_4() {
         .with_i64_rows("T", 2, vec![vec![5, 7], vec![6, 8]]);
     // Q2: a single atom covers the head — native SUM direct access.
     let q2 = parse("Q(x, y) :- R(x, y)").unwrap();
-    let plan = Engine::prepare(
-        &q2,
-        &db,
-        OrderSpec::sum_by_value(),
-        &FdSet::empty(),
-        Policy::Reject,
-    )
-    .unwrap();
+    let plan = Engine::new(db.clone().freeze())
+        .prepare(
+            &q2,
+            OrderSpec::sum_by_value(),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
     assert_eq!(plan.backend(), Backend::SumDirectAccess);
     // Q'3 (u projected away): fmh = 2 — selection backend.
     let q3p = parse("Q(x, y, z) :- R(x, y), S(y, z), T(z, u)").unwrap();
-    let plan = Engine::prepare(
-        &q3p,
-        &db,
-        OrderSpec::sum_by_value(),
-        &FdSet::empty(),
-        Policy::Reject,
-    )
-    .unwrap();
+    let plan = Engine::new(db.clone().freeze())
+        .prepare(
+            &q3p,
+            OrderSpec::sum_by_value(),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
     assert_eq!(plan.backend(), Backend::SelectionSum);
     assert_eq!(plan.access(0), Some(tup(&[1, 2, 5]))); // weight 8
                                                        // Q3 full: fmh = 3 — outside both tractable regions.
     let q3 = parse("Q(x, y, z, u) :- R(x, y), S(y, z), T(z, u)").unwrap();
-    let err = Engine::prepare(
-        &q3,
-        &db,
-        OrderSpec::sum_by_value(),
-        &FdSet::empty(),
-        Policy::Reject,
-    )
-    .unwrap_err();
+    let err = Engine::new(db.clone().freeze())
+        .prepare(
+            &q3,
+            OrderSpec::sum_by_value(),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap_err();
     assert!(matches!(err, PlanError::Intractable { .. }));
 }
 

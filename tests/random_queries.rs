@@ -4,9 +4,6 @@
 //! whole pipeline against the oracle. This exercises layered-join-tree
 //! construction across shapes no hand-written catalog would cover.
 
-// This file intentionally cross-validates the deprecated selection shims against oracles.
-#![allow(deprecated)]
-
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -137,9 +134,11 @@ fn random_acyclic_full_queries_match_oracle() {
         }
 
         // Selection agrees on a few ranks.
+        let handle =
+            SelectionLexHandle::new(&q, &db.clone().freeze(), lex.clone(), &FdSet::empty())
+                .unwrap();
         for k in [0, got.len() as u64 / 2, got.len() as u64] {
-            let sel = selection_lex(&q, &db, &lex, k, &FdSet::empty()).unwrap();
-            assert_eq!(sel, da.access(k), "round {round} k={k}");
+            assert_eq!(handle.select_once(k), da.access(k), "round {round} k={k}");
         }
     }
     assert!(tractable_hits > 0);
@@ -158,9 +157,15 @@ fn random_queries_sum_selection_matches_oracle() {
         let db = random_db(&mut rng, &q, 1 + (round % 10), 4);
         let oracle =
             MaterializedAccess::by_sum(&q, &db, |_, v| v.as_int().map_or(0.0, |i| i as f64));
+        let handle = SelectionSumHandle::new(
+            &q,
+            &db.clone().freeze(),
+            Weights::identity(),
+            &FdSet::empty(),
+        )
+        .unwrap_or_else(|e| panic!("round {round}: {q}: {e}"));
         for k in [0u64, oracle.len() / 3, oracle.len().saturating_sub(1)] {
-            let got = selection_sum(&q, &db, &Weights::identity(), k, &FdSet::empty())
-                .unwrap_or_else(|e| panic!("round {round}: {q}: {e}"));
+            let got = handle.select_once(k);
             match (got, oracle.weight_at(k)) {
                 (Some((w, t)), Some(expect)) => {
                     assert_eq!(w, TotalF64(expect), "round {round}: {q} k={k}");
