@@ -21,4 +21,4 @@ pub mod ranked_enum;
 pub mod reductions;
 
 pub use materialize::{all_answers, MaterializedAccess};
-pub use ranked_enum::RankedEnumerator;
+pub use ranked_enum::{ranked_prefix, RankedEnumerator};

@@ -280,6 +280,20 @@ impl RankedEnumerator {
     }
 }
 
+/// Parity oracle for lazy ranked enumeration: the first `k` answers of
+/// `q` over `db` with their weights, in the enumeration order. Any lazy
+/// ranked stream over the same (query, weights) must match this
+/// prefix-for-prefix — the differential contract `tests/window.rs`
+/// checks against every streaming backend.
+pub fn ranked_prefix(
+    q: &Cq,
+    db: &Database,
+    weight_of: impl Fn(VarId, &Value) -> f64,
+    k: usize,
+) -> Vec<(f64, Tuple)> {
+    RankedEnumerator::new(q, db, weight_of).take(k)
+}
+
 /// Yannakakis full reducer (local copy to keep the baseline crate
 /// independent of `rda-core`).
 fn reduce(vars: &[Vec<VarId>], rels: &mut [rda_db::Relation], parent: &[usize], order: &[usize]) {

@@ -2,12 +2,14 @@
 //!
 //! Usage: `cargo run --release -p rda_bench --bin experiments [id…]`
 //! where ids are `fig1 fig2 fig45 fig8 t33 t41 t61 t73 t8x t25 scale
-//! access serve`. With no arguments, all experiments run. The `access`
-//! id additionally writes `BENCH_access.json` (machine-readable median
-//! ns/op for the access hot paths, old-vs-new), and `serve` writes
-//! `BENCH_serve.json` (encode-once vs re-encode builds, plan-cache hit
-//! latency, multi-threaded access throughput); add `--smoke` for the
-//! small CI-sized variants.
+//! access serve window`. With no arguments, all experiments run. The
+//! `access` id additionally writes `BENCH_access.json`
+//! (machine-readable median ns/op for the access hot paths,
+//! old-vs-new), `serve` writes `BENCH_serve.json` (encode-once vs
+//! re-encode builds, plan-cache hit latency, multi-threaded access
+//! throughput), and `window` writes `BENCH_window.json` (per-tuple cost
+//! of windowed vs repeated single access across page sizes); add
+//! `--smoke` for the small CI-sized variants.
 
 use rda_bench::stats::{json_num, json_str, median, median_round_ns};
 use rda_bench::workloads;
@@ -844,6 +846,244 @@ fn access_bench(smoke: bool) {
     );
 }
 
+/// One page-size sample of the windowed-access benchmark.
+struct PageSample {
+    page_len: u64,
+    pages: usize,
+    single_ns_per_tuple: f64,
+    window_ns_per_tuple: f64,
+    speedup: f64,
+}
+
+impl PageSample {
+    fn json(&self) -> String {
+        format!(
+            "{{\"page_len\": {}, \"pages\": {}, \"single_access_ns_per_tuple\": {}, \"window_ns_per_tuple\": {}, \"window_speedup\": {}}}",
+            self.page_len,
+            self.pages,
+            json_num(self.single_ns_per_tuple),
+            json_num(self.window_ns_per_tuple),
+            json_num(self.speedup),
+        )
+    }
+}
+
+/// One workload row of `BENCH_window.json`.
+struct WindowRow {
+    name: String,
+    order: String,
+    answers: u64,
+    /// Full-scan cost of the cursor walk (`iter()`), ns per answer.
+    iter_ns_per_tuple: f64,
+    pages: Vec<PageSample>,
+    /// LEX rows carry the headline (SUM access is O(1) already, so its
+    /// windows mostly save call overhead, not a bracketing).
+    lex: bool,
+}
+
+impl WindowRow {
+    fn json(&self) -> String {
+        let pages = self
+            .pages
+            .iter()
+            .map(|p| format!("        {}", p.json()))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "    {{\n      \"name\": {},\n      \"order\": {},\n      \"answers\": {},\n      \"iter_ns_per_tuple\": {},\n      \"pages\": [\n{}\n      ]\n    }}",
+            json_str(&self.name),
+            json_str(&self.order),
+            self.answers,
+            json_num(self.iter_ns_per_tuple),
+            pages,
+        )
+    }
+}
+
+/// E16 — the windowed-access benchmark behind `BENCH_window.json`:
+/// per-tuple cost of `access_range_into` (one rank bracketing per page,
+/// O(1) amortized arena steps after it) against repeated single
+/// `access_into` calls (one bracketing per tuple), across page sizes,
+/// plus the cursor walk's full-scan cost. The headline — and the
+/// asserted floor — is the median speedup on 1k-tuple pages across the
+/// LEX workloads.
+fn window_bench(smoke: bool) {
+    use rda_core::{RankedAnswers, WindowBuf};
+    let rounds = if smoke { 3 } else { 5 };
+    let page_lens: [u64; 3] = [100, 1_000, 10_000];
+    let n_pages = if smoke { 4 } else { 8 };
+    println!(
+        "== E16 / windowed access: one bracketing per page vs one per tuple ({}) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!(
+        "{:<16} {:>10} | {:>9} | {:>11} {:>11} {:>9}",
+        "workload", "answers", "page", "single ns", "window ns", "speedup"
+    );
+
+    // The routed handles, built once per workload.
+    let backends: Vec<(String, String, bool, RankedAnswers)> = {
+        let (q1, db1) = workloads::two_path(if smoke { 400 } else { 8_000 }, 50, 42);
+        let (q2, db2) = workloads::product_query(if smoke { 120 } else { 1_000 }, 43);
+        let (q3, db3, fds3) = workloads::fd_two_path(if smoke { 400 } else { 8_000 }, 50, 17);
+        let (q4, db4) = workloads::covering_query(if smoke { 2_000 } else { 16_000 }, 50, 5);
+        vec![
+            (
+                "two_path_lex".to_string(),
+                "LEX <x, y, z>".to_string(),
+                true,
+                RankedAnswers::Lex(
+                    LexDirectAccess::build(&q1, &db1, &q1.vars(&["x", "y", "z"]), &FdSet::empty())
+                        .unwrap(),
+                ),
+            ),
+            (
+                "product_lex".to_string(),
+                "LEX <v1, v2, v3, v4>".to_string(),
+                true,
+                RankedAnswers::Lex(
+                    LexDirectAccess::build(
+                        &q2,
+                        &db2,
+                        &q2.vars(&["v1", "v2", "v3", "v4"]),
+                        &FdSet::empty(),
+                    )
+                    .unwrap(),
+                ),
+            ),
+            (
+                "fd_two_path_lex".to_string(),
+                "LEX <x, z>".to_string(),
+                true,
+                RankedAnswers::Lex(
+                    LexDirectAccess::build(&q3, &db3, &q3.vars(&["x", "z"]), &fds3).unwrap(),
+                ),
+            ),
+            (
+                "covering_sum".to_string(),
+                "SUM (identity weights)".to_string(),
+                false,
+                RankedAnswers::Sum(
+                    SumDirectAccess::build(&q4, &db4, &Weights::identity(), &FdSet::empty())
+                        .unwrap(),
+                ),
+            ),
+        ]
+    };
+
+    let mut rows: Vec<WindowRow> = Vec::new();
+    for (name, order, lex, answers) in &backends {
+        let len = DirectAccess::len(answers);
+        // Full scan through the stream cursor (constant-delay walk).
+        let iter_ops = len.min(if smoke { 20_000 } else { 200_000 }) as usize;
+        let iter_ns_per_tuple = per_op(rounds, iter_ops, || {
+            answers.stream().take(iter_ops).map(|t| t.arity()).sum()
+        });
+
+        let mut samples: Vec<PageSample> = Vec::new();
+        for &page_len in &page_lens {
+            let page_len = page_len.min(len);
+            if page_len == 0 || samples.iter().any(|s| s.page_len == page_len) {
+                continue;
+            }
+            // Deterministic page starts spread across the rank space.
+            let starts: Vec<u64> = (0..n_pages as u64)
+                .map(|i| i * (len - page_len) / (n_pages as u64).max(1))
+                .collect();
+            let ops = (page_len as usize) * starts.len();
+            let mut buf: Vec<rda_db::Value> = Vec::new();
+            let mut wbuf = WindowBuf::new();
+            let measured = interleaved_ns(
+                rounds,
+                &mut [
+                    (
+                        &mut |_| {
+                            let mut sink = 0usize;
+                            for &lo in &starts {
+                                for k in lo..lo + page_len {
+                                    answers.access_into(k, &mut buf);
+                                    sink ^= buf.len();
+                                }
+                            }
+                            sink
+                        },
+                        ops,
+                    ),
+                    (
+                        &mut |_| {
+                            let mut sink = 0usize;
+                            for &lo in &starts {
+                                answers.access_range_into(lo..lo + page_len, &mut wbuf);
+                                sink ^= wbuf.len();
+                            }
+                            sink
+                        },
+                        ops,
+                    ),
+                ],
+            );
+            let [single_ns, window_ns] = measured[..] else {
+                unreachable!("two measurements requested");
+            };
+            println!(
+                "{:<16} {:>10} | {:>9} | {:>11.1} {:>11.1} {:>8.1}x",
+                name,
+                len,
+                page_len,
+                single_ns,
+                window_ns,
+                single_ns / window_ns
+            );
+            samples.push(PageSample {
+                page_len,
+                pages: starts.len(),
+                single_ns_per_tuple: single_ns,
+                window_ns_per_tuple: window_ns,
+                speedup: single_ns / window_ns,
+            });
+        }
+        rows.push(WindowRow {
+            name: name.clone(),
+            order: order.clone(),
+            answers: len,
+            iter_ns_per_tuple,
+            pages: samples,
+            lex: *lex,
+        });
+    }
+
+    // Headline: median 1k-page speedup across the LEX workloads — the
+    // structures whose per-access bracketing the window amortizes away.
+    let speedups_1k: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.lex)
+        .filter_map(|r| {
+            r.pages
+                .iter()
+                .find(|p| p.page_len == 1_000.min(r.answers))
+                .map(|p| p.speedup)
+        })
+        .collect();
+    let median_speedup = median(speedups_1k);
+    assert!(
+        median_speedup >= 2.0,
+        "windowed access must be >= 2x per tuple on 1k pages (got {median_speedup:.2}x)"
+    );
+    let json = format!(
+        "{{\n  \"schema\": \"bench_window/v1\",\n  \"command\": \"cargo run --release -p rda_bench --bin experiments -- window{}\",\n  \"mode\": {},\n  \"rounds\": {},\n  \"median_window_speedup_1k_pages\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        if smoke { " --smoke" } else { "" },
+        json_str(if smoke { "smoke" } else { "full" }),
+        rounds,
+        json_num(median_speedup),
+        rows.iter().map(WindowRow::json).collect::<Vec<_>>().join(",\n"),
+    );
+    std::fs::write("BENCH_window.json", &json).expect("write BENCH_window.json");
+    println!(
+        "median 1k-page window speedup over repeated access (LEX workloads): {median_speedup:.1}x\nwrote BENCH_window.json ({} workloads)\n",
+        rows.len()
+    );
+}
+
 /// One thread-count sample of the multi-client access throughput sweep.
 struct ThreadSample {
     threads: usize,
@@ -1143,6 +1383,7 @@ fn main() {
     if smoke && args.is_empty() {
         access_bench(true);
         serve_bench(true);
+        window_bench(true);
         return;
     }
     let all = args.is_empty();
@@ -1185,5 +1426,8 @@ fn main() {
     }
     if want("serve") {
         serve_bench(smoke);
+    }
+    if want("window") {
+        window_bench(smoke);
     }
 }

@@ -107,9 +107,14 @@ pub enum Policy {
     /// Materialize and sort the full answer set (Θ(|out|) memory) —
     /// always possible, including for cyclic queries.
     Materialize,
-    /// Serve answers through any-k ranked enumeration (full acyclic
-    /// CQs under SUM orders only); reaching index `k` costs Θ(k log n)
-    /// once, then it is cached.
+    /// Never materialize the full answer set: serve answers as a lazy
+    /// ranked stream. Tractable queries stream straight from the
+    /// direct-access / selection structures the router prefers anyway
+    /// (batched window cursors — see [`crate::AccessPlan::stream`]);
+    /// outside both tractable regions the any-k enumerator takes over
+    /// (full acyclic CQs under SUM orders only), advancing exactly as
+    /// far as the stream is consumed — reaching index `k` costs
+    /// Θ(k log n) once, then it is cached.
     RankedEnum,
 }
 
@@ -445,8 +450,8 @@ impl Engine {
     /// scripts over small inputs.
     #[deprecated(
         since = "0.3.0",
-        note = "freeze the database once and route through a stateful engine: \
-                `Engine::new(db.freeze()).prepare(q, order, fds, policy)`"
+        note = "removed in 0.5.0; freeze the database once and route through a stateful \
+                engine: `Engine::new(db.freeze()).prepare(q, order, fds, policy)`"
     )]
     pub fn prepare_stateless(
         q: &Cq,

@@ -39,6 +39,7 @@ use crate::snapprep::{
     build_derivations_encoded, check_fds_encoded, extend_instance_encoded, normalize_encoded,
     reduce_to_full_encoded, Derivation,
 };
+use crate::window::WindowBuf;
 use rda_db::parallel;
 use rda_db::{Database, Dictionary, EncodedRelation, Snapshot, Tuple, Value};
 use rda_query::classify::{classify, Problem, Verdict};
@@ -50,6 +51,7 @@ use rda_query::query::Cq;
 use rda_query::VarId;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// How a promoted (FD-implied) variable's value is derived from an
@@ -119,8 +121,6 @@ struct BucketMeta {
 /// touch of one or two cache lines per layer.
 #[derive(Debug, Clone)]
 struct Layer {
-    /// The layer's variable `v_i`.
-    var: VarId,
     /// Bucket-key variables (ascending); `key_cols[j]` holds the codes
     /// of `key_vars[j]`, one per bucket.
     key_vars: Vec<VarId>,
@@ -352,8 +352,8 @@ pub(crate) fn prepare_layers(
 /// the structure's dimensions.
 #[derive(Default)]
 struct Scratch {
-    /// Per variable slot: the code assigned during the descent.
-    assignment: Vec<u32>,
+    /// Per layer: the absolute entry index chosen for it.
+    entry: Vec<u32>,
     /// Per layer: the bucket index chosen for it.
     chosen: Vec<u32>,
     /// Per order position: `(code lower bound, could be exact)`.
@@ -364,12 +364,12 @@ struct Scratch {
 
 impl Scratch {
     fn ensure(&mut self, var_slots: usize, layers: usize, order: usize) {
-        if self.assignment.len() < var_slots {
-            self.assignment.resize(var_slots, 0);
+        if self.var_bound.len() < var_slots {
             self.var_bound.resize(var_slots, (0, false));
         }
         if self.chosen.len() < layers {
             self.chosen.resize(layers, 0);
+            self.entry.resize(layers, 0);
         }
         if self.target.len() < order {
             self.target.resize(order, (0, false));
@@ -380,7 +380,7 @@ impl Scratch {
 thread_local! {
     static SCRATCH: RefCell<Scratch> = const {
         RefCell::new(Scratch {
-            assignment: Vec::new(),
+            entry: Vec::new(),
             chosen: Vec::new(),
             target: Vec::new(),
             var_bound: Vec::new(),
@@ -417,6 +417,10 @@ thread_local! {
 pub struct LexDirectAccess {
     /// Head variables of the original query, defining the output tuple.
     out_vars: Vec<VarId>,
+    /// Per head position: the layer whose variable fills it (every head
+    /// variable is an order variable, so answers decode straight from
+    /// the chosen layer entries).
+    out_layers: Vec<usize>,
     /// The complete order over `free(Q⁺)` actually used internally.
     order: Vec<VarId>,
     /// Number of variables interned in the query (assignment array size).
@@ -490,9 +494,23 @@ impl LexDirectAccess {
             );
         }
 
+        // Every head variable is free in Q⁺, and the completed order
+        // ranges over all of free(Q⁺), so each head position maps to
+        // exactly one layer — the decode table of every emit path.
+        let out_layers: Vec<usize> = out_vars
+            .iter()
+            .map(|v| {
+                order
+                    .iter()
+                    .position(|o| o == v)
+                    .expect("head variables appear in the completed order")
+            })
+            .collect();
+
         if enc_layers.is_empty() {
             return Ok(LexDirectAccess {
                 out_vars,
+                out_layers,
                 order,
                 var_slots,
                 snap,
@@ -537,7 +555,6 @@ impl LexDirectAccess {
             );
 
             let mut layer = Layer {
-                var,
                 key_vars,
                 children: kids,
                 entries: Vec::new(),
@@ -610,6 +627,7 @@ impl LexDirectAccess {
 
         Ok(LexDirectAccess {
             out_vars,
+            out_layers,
             order,
             var_slots,
             snap,
@@ -655,19 +673,17 @@ impl LexDirectAccess {
             return None;
         }
         if self.fits_stack_scratch() {
-            let mut assignment = [0u32; STACK_SCRATCH];
             let mut chosen = [0u32; STACK_SCRATCH];
-            self.locate(k, &mut assignment, &mut chosen);
-            return Some(self.emit(&assignment));
+            let mut entry = [0u32; STACK_SCRATCH];
+            self.locate(k, &mut chosen, &mut entry);
+            return Some(self.emit(&entry));
         }
         SCRATCH.with(|s| {
             let mut s = s.borrow_mut();
             s.ensure(self.var_slots, self.layers.len(), self.order.len());
-            let Scratch {
-                assignment, chosen, ..
-            } = &mut *s;
-            self.locate(k, assignment, chosen);
-            Some(self.emit(assignment))
+            let Scratch { chosen, entry, .. } = &mut *s;
+            self.locate(k, chosen, entry);
+            Some(self.emit(entry))
         })
     }
 
@@ -682,20 +698,18 @@ impl LexDirectAccess {
             return false;
         }
         if self.fits_stack_scratch() {
-            let mut assignment = [0u32; STACK_SCRATCH];
             let mut chosen = [0u32; STACK_SCRATCH];
-            self.locate(k, &mut assignment, &mut chosen);
-            self.emit_into(&assignment, out);
+            let mut entry = [0u32; STACK_SCRATCH];
+            self.locate(k, &mut chosen, &mut entry);
+            self.emit_into(&entry, out);
             return true;
         }
         SCRATCH.with(|s| {
             let mut s = s.borrow_mut();
             s.ensure(self.var_slots, self.layers.len(), self.order.len());
-            let Scratch {
-                assignment, chosen, ..
-            } = &mut *s;
-            self.locate(k, assignment, chosen);
-            self.emit_into(assignment, out);
+            let Scratch { chosen, entry, .. } = &mut *s;
+            self.locate(k, chosen, entry);
+            self.emit_into(entry, out);
         });
         true
     }
@@ -708,25 +722,27 @@ impl LexDirectAccess {
         self.var_slots <= STACK_SCRATCH && self.layers.len() <= STACK_SCRATCH
     }
 
-    /// Decode the assignment into an owned answer tuple (head order) —
-    /// the access path's single allocation.
-    fn emit(&self, assignment: &[u32]) -> Tuple {
+    /// Decode the chosen layer entries into an owned answer tuple (head
+    /// order) — the access path's single allocation.
+    fn emit(&self, entry: &[u32]) -> Tuple {
         let dict = self.snap.dict();
-        self.out_vars
+        self.out_layers
             .iter()
-            .map(|v| dict.value(assignment[v.index()]).clone())
+            .map(|&i| {
+                dict.value(self.layers[i].entries[entry[i] as usize].value)
+                    .clone()
+            })
             .collect()
     }
 
-    /// Decode the assignment into `out` (head order), allocation-free
-    /// once `out` has the head arity's capacity.
-    fn emit_into(&self, assignment: &[u32], out: &mut Vec<Value>) {
+    /// Decode the chosen layer entries into `out` (head order),
+    /// allocation-free once `out` has the head arity's capacity.
+    fn emit_into(&self, entry: &[u32], out: &mut Vec<Value>) {
         let dict = self.snap.dict();
-        out.extend(
-            self.out_vars
-                .iter()
-                .map(|v| dict.value(assignment[v.index()]).clone()),
-        );
+        out.extend(self.out_layers.iter().map(|&i| {
+            dict.value(self.layers[i].entries[entry[i] as usize].value)
+                .clone()
+        }));
     }
 
     /// Algorithm 2: the index of `answer` in the sorted answer array, or
@@ -754,10 +770,11 @@ impl LexDirectAccess {
         self.access(rank).map(|t| (rank, t))
     }
 
-    /// Iterate over all answers in order (log-delay enumeration via
-    /// repeated access).
-    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
-        (0..self.total).map(|k| self.access(k).expect("k < total"))
+    /// Iterate over all answers in order: one bracketing, then O(1)
+    /// amortized per answer (constant-delay enumeration via the window
+    /// walk — not repeated O(log n) accesses).
+    pub fn iter(&self) -> LexRangeIter<'_> {
+        self.iter_range(0..self.total)
     }
 
     /// Shared core of the probe APIs: encode `answer` into code bounds
@@ -821,15 +838,16 @@ impl LexDirectAccess {
         true
     }
 
-    /// Algorithm 1's descent: locate answer `k`, writing the chosen code
-    /// of every order variable into `assignment`. Caller guarantees
-    /// `k < total`. Pure integer binary searches; no allocation.
+    /// Algorithm 1's descent: locate answer `k`, writing the chosen
+    /// bucket and absolute entry index of every layer into `chosen` /
+    /// `entry`. Caller guarantees `k < total`. Pure integer binary
+    /// searches; no allocation.
     ///
     /// Overflow-freedom: `factor` always equals the exact number of
     /// answers extending the current partial assignment, and every
     /// `start × factor` product counts a subset of those answers — both
     /// are `≤ total ≤ u64::MAX` by the build-time overflow check.
-    fn locate(&self, mut k: u64, assignment: &mut [u32], chosen: &mut [u32]) {
+    fn locate(&self, mut k: u64, chosen: &mut [u32], entry: &mut [u32]) {
         let mut factor = self.total;
         if !self.layers.is_empty() {
             chosen[0] = 0;
@@ -859,7 +877,7 @@ impl LexDirectAccess {
                 lo + wlo + layer.entries[lo + wlo..lo + whi].partition_point(|e| e.start <= q) - 1;
             let e = &layer.entries[idx];
             k -= e.start * factor;
-            assignment[layer.var.index()] = e.value;
+            entry[i] = idx as u32;
             if let Some((&c0, rest)) = layer.children.split_first() {
                 chosen[c0] = e.child0;
                 factor *= self.layers[c0].buckets[e.child0 as usize].total;
@@ -872,6 +890,125 @@ impl LexDirectAccess {
             }
         }
         debug_assert_eq!(k, 0, "descent consumes the whole rank");
+    }
+
+    /// Odometer step of the window walk: move `chosen` / `entry` (a
+    /// state produced by [`LexDirectAccess::locate`]) to the next
+    /// answer. Amortized O(1): most steps advance the deepest layer's
+    /// entry within its bucket; a carry resets the suffix of layers to
+    /// the first entries of their (re-derived) buckets, with no binary
+    /// search anywhere. Returns `false` past the last answer.
+    fn advance(&self, chosen: &mut [u32], entry: &mut [u32]) -> bool {
+        let mut i = self.layers.len();
+        loop {
+            if i == 0 {
+                return false;
+            }
+            i -= 1;
+            let layer = &self.layers[i];
+            let m = &layer.buckets[chosen[i] as usize];
+            if entry[i] + 1 < m.offset + m.len {
+                entry[i] += 1;
+                break;
+            }
+        }
+        // Re-derive the suffix: every layer after the carry point
+        // restarts at the first entry of its bucket, and each layer's
+        // children (always deeper, by layered-tree construction) get
+        // their buckets from the freshly chosen entry before they are
+        // themselves visited.
+        for j in i..self.layers.len() {
+            let layer = &self.layers[j];
+            if j > i {
+                entry[j] = layer.buckets[chosen[j] as usize].offset;
+            }
+            let e = entry[j] as usize;
+            if let Some((&c0, rest)) = layer.children.split_first() {
+                let ent = &layer.entries[e];
+                chosen[c0] = ent.child0;
+                let base = e * rest.len();
+                for (ci, &c) in rest.iter().enumerate() {
+                    chosen[c] = layer.extra_children[base + ci];
+                }
+            }
+        }
+        true
+    }
+
+    /// Seed a walk at rank `lo` and emit `n` consecutive answers through
+    /// `out`: one O(log n) bracketing, then O(1) amortized per tuple.
+    /// Caller guarantees `lo + n ≤ total` and non-empty layers.
+    fn walk_emit(
+        &self,
+        lo: u64,
+        n: u64,
+        chosen: &mut [u32],
+        entry: &mut [u32],
+        out: &mut WindowBuf,
+    ) {
+        self.locate(lo, chosen, entry);
+        for step in 0..n {
+            if step > 0 {
+                let more = self.advance(chosen, entry);
+                debug_assert!(more, "the walk stays within len()");
+            }
+            out.push_with(|vals| self.emit_into(entry, vals));
+        }
+    }
+
+    /// Windowed access: write the answers at ranks `range` (clamped to
+    /// `len()`) into `out` in order, returning how many were written.
+    ///
+    /// The O(log n) rank bracketing of [`LexDirectAccess::access`] is
+    /// paid **once** for the whole window; every further tuple is an
+    /// O(1) amortized arena step. After `out` has grown to the window's
+    /// size once, refills perform **zero** heap allocations.
+    pub fn access_range_into(&self, range: Range<u64>, out: &mut WindowBuf) -> u64 {
+        out.begin(self.out_vars.len());
+        let (lo, hi) = crate::window::clamp_range(&range, self.total);
+        if lo >= hi {
+            return 0;
+        }
+        let n = hi - lo;
+        if self.layers.is_empty() {
+            // Boolean head: `n` empty rows.
+            for _ in 0..n {
+                out.push_with(|_| {});
+            }
+            return n;
+        }
+        if self.fits_stack_scratch() {
+            let mut chosen = [0u32; STACK_SCRATCH];
+            let mut entry = [0u32; STACK_SCRATCH];
+            self.walk_emit(lo, n, &mut chosen, &mut entry, out);
+        } else {
+            SCRATCH.with(|s| {
+                let mut s = s.borrow_mut();
+                s.ensure(self.var_slots, self.layers.len(), self.order.len());
+                let Scratch { chosen, entry, .. } = &mut *s;
+                self.walk_emit(lo, n, chosen, entry, out);
+            });
+        }
+        n
+    }
+
+    /// Iterate the answers at ranks `range` (clamped to `len()`) in
+    /// order, as owned tuples: one rank bracketing up front, O(1)
+    /// amortized per step — constant-delay ranked enumeration over the
+    /// arena.
+    pub fn iter_range(&self, range: Range<u64>) -> LexRangeIter<'_> {
+        let (lo, hi) = crate::window::clamp_range(&range, self.total);
+        let mut it = LexRangeIter {
+            da: self,
+            chosen: vec![0; self.layers.len()],
+            entry: vec![0; self.layers.len()],
+            remaining: hi.saturating_sub(lo),
+            started: false,
+        };
+        if it.remaining > 0 && !self.layers.is_empty() {
+            self.locate(lo, &mut it.chosen, &mut it.entry);
+        }
+        it
     }
 
     /// Core of Algorithm 2 and Remark 3: count answers strictly before
@@ -924,6 +1061,42 @@ impl LexDirectAccess {
             }
         }
         (rank, true)
+    }
+}
+
+/// The cursor behind [`LexDirectAccess::iter_range`]: a seeded window
+/// walk yielding owned tuples with O(1) amortized delay.
+pub struct LexRangeIter<'a> {
+    da: &'a LexDirectAccess,
+    chosen: Vec<u32>,
+    entry: Vec<u32>,
+    remaining: u64,
+    started: bool,
+}
+
+impl Iterator for LexRangeIter<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.da.layers.is_empty() {
+            return Some(Tuple::new(Vec::new()));
+        }
+        if self.started {
+            let more = self.da.advance(&mut self.chosen, &mut self.entry);
+            debug_assert!(more, "the walk stays within len()");
+        } else {
+            self.started = true;
+        }
+        Some(self.da.emit(&self.entry))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (n, Some(n))
     }
 }
 

@@ -101,7 +101,7 @@ fn histogram(atom_vars: &[Vec<VarId>], rels: &[Relation], var: VarId) -> Vec<(Va
 /// Runs in expected O(n) per call; nothing is cached between calls.
 #[deprecated(
     since = "0.2.0",
-    note = "freeze the database and route through a stateful engine \
+    note = "removed in 0.5.0; freeze the database and route through a stateful engine \
             (`Engine::new(db.freeze()).prepare(..)` with `OrderSpec::Lex`); the \
             returned plan serves repeated accesses and explains the classification"
 )]

@@ -47,10 +47,16 @@
 //! (query, order, FDs, policy). Plans are `Send + Sync`: one prepared
 //! plan serves any number of client threads concurrently, answering
 //! through the uniform [`DirectAccess`] trait and explaining its
-//! routing via [`Explain`]. The pre-snapshot stateless entry point
-//! survives as the deprecated `Engine::prepare_stateless`, and the
+//! routing via [`Explain`]. Since 0.4.0 the trait is
+//! **pagination-native**: whole rank windows (`access_range`, `top_k`,
+//! `page`, with allocation-free `*_into` variants over [`WindowBuf`])
+//! pay the native structures' rank bracketing once per window, and
+//! [`AccessPlan::stream`] enumerates lazily in batches ([`RankedStream`],
+//! any-k style — see [`mod@window`]). The pre-snapshot stateless entry
+//! point survives as the deprecated `Engine::prepare_stateless`, and the
 //! PR-1 free functions `lexsel::selection_lex` / `sumsel::selection_sum`
-//! remain as deprecated shims in their modules.
+//! remain as deprecated shims in their modules; all three are removed
+//! in 0.5.0.
 
 pub mod decompose;
 pub mod engine;
@@ -62,16 +68,17 @@ pub mod lexsel;
 pub mod plan;
 pub mod random_order;
 pub mod reference;
-mod snapprep;
+pub mod snapprep;
 pub mod sumda;
 pub mod sumsel;
 pub mod tupleweights;
 pub mod weights;
+pub mod window;
 
 pub use decompose::{lex_direct_access_decomposed, rewrite_by_decomposition};
 pub use engine::{Engine, OrderSpec, PlanError, Policy};
 pub use error::BuildError;
-pub use lexda::LexDirectAccess;
+pub use lexda::{LexDirectAccess, LexRangeIter};
 pub use plan::{
     AccessPlan, Backend, DirectAccess, Explain, RankedAnswers, RankedEnumHandle,
     SelectionLexHandle, SelectionSumHandle,
@@ -81,3 +88,4 @@ pub use reference::HashLexDirectAccess;
 pub use sumda::SumDirectAccess;
 pub use tupleweights::{selection_sum_tw, SumDirectAccessTw, TupleWeights};
 pub use weights::Weights;
+pub use window::{RankedStream, WindowBuf, DEFAULT_STREAM_BATCH};

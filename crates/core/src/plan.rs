@@ -16,11 +16,32 @@
 //! * [`Explain`] — why the router chose what it chose: the verdict, the
 //!   structural witness (e.g. a disruptive trio), and the backend with
 //!   its ⟨preprocessing, access⟩ guarantee.
+//!
+//! Every backend serves single accesses, whole windows, and lazy
+//! streams through the same trait:
+//!
+//! ```
+//! use rda_core::{DirectAccess, Engine, OrderSpec, Policy};
+//! use rda_db::Database;
+//! use rda_query::{parser::parse, FdSet};
+//!
+//! let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+//! let db = Database::new()
+//!     .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+//!     .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]]);
+//! let plan = Engine::new(db.freeze())
+//!     .prepare(&q, OrderSpec::lex(&q, &["x", "y", "z"]), &FdSet::empty(), Policy::Reject)
+//!     .unwrap();
+//! assert_eq!(plan.access(2), plan.page(2, 1).pop());       // one rank …
+//! assert_eq!(plan.top_k(3), plan.access_range(0..3));      // … or a window
+//! assert_eq!(plan.stream().count() as u64, plan.len());    // … or a stream
+//! ```
 
 use crate::error::BuildError;
 use crate::lexsel::selection_lex_impl;
 use crate::sumsel::selection_sum_impl;
 use crate::weights::Weights;
+use crate::window::{clamp_range, RankedStream, WindowBuf, DEFAULT_STREAM_BATCH};
 use crate::{LexDirectAccess, SumDirectAccess};
 use rda_baseline::{MaterializedAccess, RankedEnumerator};
 use rda_db::{Snapshot, Tuple};
@@ -30,6 +51,7 @@ use rda_query::query::Cq;
 use rda_query::VarId;
 use std::cmp::Ordering;
 use std::fmt;
+use std::ops::Range;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Position-indexed ranked access to a query's answers, with one owned
@@ -60,11 +82,62 @@ pub trait DirectAccess {
     /// arity does not match the query head.
     fn inverted_access(&self, answer: &Tuple) -> Option<u64>;
 
-    /// The answers at indices `lo..hi` (clamped to `len()`), in order.
+    /// The answers at the ranks in `range` (clamped to the answer
+    /// count), in order — one window, equivalent to the sequence of
+    /// `access(k)` results for `k` in `range`.
+    ///
+    /// The default walks rank by rank; the native direct-access
+    /// structures override it to pay their O(log n) rank bracketing
+    /// once per window instead of once per tuple.
+    fn access_range(&self, range: Range<u64>) -> Vec<Tuple> {
+        range.map_while(|k| self.access(k)).collect()
+    }
+
+    /// The `k` first answers (fewer when the query has fewer).
+    fn top_k(&self, k: u64) -> Vec<Tuple> {
+        self.access_range(0..k)
+    }
+
+    /// Page `offset..offset + len` of the answers (clamped) — the
+    /// pagination shape of [`DirectAccess::access_range`].
+    fn page(&self, offset: u64, len: u64) -> Vec<Tuple> {
+        self.access_range(offset..offset.saturating_add(len))
+    }
+
+    /// Allocation-free [`DirectAccess::access_range`]: fill `out` with
+    /// the window's rows (reusing its storage) and return how many were
+    /// written. On the native structures a refill of an already-grown
+    /// buffer performs **zero** heap allocations.
+    fn access_range_into(&self, range: Range<u64>, out: &mut WindowBuf) -> u64 {
+        out.clear();
+        let mut n = 0;
+        for k in range {
+            match self.access(k) {
+                Some(t) => {
+                    out.push_tuple(&t);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Allocation-free [`DirectAccess::top_k`].
+    fn top_k_into(&self, k: u64, out: &mut WindowBuf) -> u64 {
+        self.access_range_into(0..k, out)
+    }
+
+    /// Allocation-free [`DirectAccess::page`].
+    fn page_into(&self, offset: u64, len: u64, out: &mut WindowBuf) -> u64 {
+        self.access_range_into(offset..offset.saturating_add(len), out)
+    }
+
+    /// The answers at indices `lo..hi` (clamped), in order. Equivalent
+    /// to [`DirectAccess::access_range`]`(lo..hi)`, kept for callers
+    /// preferring two indices over a [`Range`].
     fn range(&self, lo: u64, hi: u64) -> Vec<Tuple> {
-        (lo..hi.min(self.len()))
-            .map(|k| self.access(k).expect("k < len"))
-            .collect()
+        self.access_range(lo..hi)
     }
 
     /// Iterate all answers in order.
@@ -81,6 +154,12 @@ impl DirectAccess for LexDirectAccess {
     fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
         LexDirectAccess::inverted_access(self, answer)
     }
+    fn access_range(&self, range: Range<u64>) -> Vec<Tuple> {
+        LexDirectAccess::iter_range(self, range).collect()
+    }
+    fn access_range_into(&self, range: Range<u64>, out: &mut WindowBuf) -> u64 {
+        LexDirectAccess::access_range_into(self, range, out)
+    }
     fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
         Box::new(LexDirectAccess::iter(self))
     }
@@ -96,6 +175,12 @@ impl DirectAccess for SumDirectAccess {
     fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
         SumDirectAccess::inverted_access(self, answer)
     }
+    fn access_range(&self, range: Range<u64>) -> Vec<Tuple> {
+        SumDirectAccess::iter_range(self, range).collect()
+    }
+    fn access_range_into(&self, range: Range<u64>, out: &mut WindowBuf) -> u64 {
+        SumDirectAccess::access_range_into(self, range, out)
+    }
     fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
         Box::new(SumDirectAccess::iter(self))
     }
@@ -110,6 +195,18 @@ impl DirectAccess for MaterializedAccess {
     }
     fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
         MaterializedAccess::inverted_access(self, answer)
+    }
+    fn access_range(&self, range: Range<u64>) -> Vec<Tuple> {
+        let (lo, hi) = clamp_range(&range, self.len());
+        self.answers()[lo as usize..hi as usize].to_vec()
+    }
+    fn access_range_into(&self, range: Range<u64>, out: &mut WindowBuf) -> u64 {
+        out.clear();
+        let (lo, hi) = clamp_range(&range, self.len());
+        for t in &self.answers()[lo as usize..hi as usize] {
+            out.push_tuple(t);
+        }
+        hi - lo
     }
     fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
         Box::new(MaterializedAccess::iter(self))
@@ -320,6 +417,13 @@ impl SelectionSumHandle {
         })
     }
 
+    /// `true` once a tie forced the lazily materialized tie-break index
+    /// into existence — the materialization meter for laziness tests:
+    /// windowed scans over distinct-weight workloads must never flip it.
+    pub fn tie_index_built(&self) -> bool {
+        self.tie_index.get().is_some()
+    }
+
     /// The answer at index `k` together with its weight.
     pub fn access_weighted(&self, k: u64) -> Option<(rda_orderstat::TotalF64, Tuple)> {
         // Once the tie index exists it is strictly cheaper than
@@ -444,9 +548,11 @@ impl RankedEnumHandle {
         self.state.lock().expect("enumerator state not poisoned")
     }
 
-    #[cfg(test)]
-    fn cached(&self) -> usize {
-        self.state().cache.len()
+    /// How many answers the underlying enumerator has produced so far —
+    /// the laziness meter: streaming a prefix must keep this close to
+    /// the prefix length, never the full answer count.
+    pub fn cached_prefix_len(&self) -> u64 {
+        self.state().cache.len() as u64
     }
 }
 
@@ -479,14 +585,25 @@ impl DirectAccess for RankedEnumHandle {
         s.cache.iter().position(|t| t == answer).map(|i| i as u64)
     }
 
-    fn range(&self, lo: u64, hi: u64) -> Vec<Tuple> {
-        // The default clamps via len(), which would drain the whole
-        // stream; filling to `hi` keeps the pay-as-you-go guarantee.
+    fn access_range(&self, range: Range<u64>) -> Vec<Tuple> {
+        // One lock and one fill for the whole window; filling only to
+        // `range.end` (never via len()) keeps the pay-as-you-go
+        // guarantee.
         let mut s = self.state();
-        s.fill_to(hi);
-        let hi = (hi as usize).min(s.cache.len());
-        let lo = (lo as usize).min(hi);
-        s.cache[lo..hi].to_vec()
+        s.fill_to(range.end);
+        let (lo, hi) = clamp_range(&range, s.cache.len() as u64);
+        s.cache[lo as usize..hi as usize].to_vec()
+    }
+
+    fn access_range_into(&self, range: Range<u64>, out: &mut WindowBuf) -> u64 {
+        out.clear();
+        let mut s = self.state();
+        s.fill_to(range.end);
+        let (lo, hi) = clamp_range(&range, s.cache.len() as u64);
+        for t in &s.cache[lo as usize..hi as usize] {
+            out.push_tuple(t);
+        }
+        hi - lo
     }
 
     fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
@@ -554,8 +671,11 @@ impl DirectAccess for RankedAnswers {
     fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
         dispatch!(self, b => DirectAccess::inverted_access(b, answer))
     }
-    fn range(&self, lo: u64, hi: u64) -> Vec<Tuple> {
-        dispatch!(self, b => DirectAccess::range(b, lo, hi))
+    fn access_range(&self, range: Range<u64>) -> Vec<Tuple> {
+        dispatch!(self, b => DirectAccess::access_range(b, range))
+    }
+    fn access_range_into(&self, range: Range<u64>, out: &mut WindowBuf) -> u64 {
+        dispatch!(self, b => DirectAccess::access_range_into(b, range, out))
     }
     fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
         dispatch!(self, b => DirectAccess::iter(b))
@@ -590,6 +710,19 @@ impl RankedAnswers {
                 }
             },
         }
+    }
+
+    /// A lazy, batch-fetching ranked iterator over all answers (see
+    /// [`RankedStream`]): any-k-style enumeration with nothing
+    /// materialized beyond one batch.
+    pub fn stream(&self) -> RankedStream<'_> {
+        self.stream_from(0)
+    }
+
+    /// [`RankedAnswers::stream`] starting at rank `start` — resume a
+    /// paginated scan exactly where the previous page ended.
+    pub fn stream_from(&self, start: u64) -> RankedStream<'_> {
+        RankedStream::new(self, start, DEFAULT_STREAM_BATCH)
     }
 
     /// Which backend the router chose.
@@ -777,6 +910,39 @@ impl AccessPlan {
     pub fn access_into(&self, k: u64, out: &mut Vec<rda_db::Value>) -> bool {
         self.answers.access_into(k, out)
     }
+
+    /// The window of answers at the ranks in `range`, as a reusable
+    /// batch buffer — [`DirectAccess::access_range`]'s rows without the
+    /// per-tuple `Tuple` allocations. See [`AccessPlan::window_into`]
+    /// to reuse a caller-owned buffer across pages.
+    pub fn window(&self, range: Range<u64>) -> WindowBuf {
+        let mut out = WindowBuf::new();
+        self.answers.access_range_into(range, &mut out);
+        out
+    }
+
+    /// Fill `out` with the window of answers at the ranks in `range`
+    /// (clamped), returning how many rows were written. On the native
+    /// direct-access backends this pays the rank bracketing once per
+    /// window and performs **zero** heap allocations once `out` has
+    /// grown to the window's size.
+    pub fn window_into(&self, range: Range<u64>, out: &mut WindowBuf) -> u64 {
+        self.answers.access_range_into(range, out)
+    }
+
+    /// A lazy, batch-fetching ranked iterator over the plan's answers —
+    /// ranked enumeration in the any-k style: answers arrive in order,
+    /// the next-batch cursor lives in the stream, and nothing is
+    /// materialized beyond one batch (see [`RankedStream`]).
+    pub fn stream(&self) -> RankedStream<'_> {
+        self.answers.stream()
+    }
+
+    /// [`AccessPlan::stream`] starting at rank `start` — resume a
+    /// paginated scan exactly where the previous page ended.
+    pub fn stream_from(&self, start: u64) -> RankedStream<'_> {
+        self.answers.stream_from(start)
+    }
 }
 
 impl DirectAccess for AccessPlan {
@@ -792,8 +958,11 @@ impl DirectAccess for AccessPlan {
     fn inverted_access(&self, answer: &Tuple) -> Option<u64> {
         self.answers.inverted_access(answer)
     }
-    fn range(&self, lo: u64, hi: u64) -> Vec<Tuple> {
-        self.answers.range(lo, hi)
+    fn access_range(&self, range: Range<u64>) -> Vec<Tuple> {
+        self.answers.access_range(range)
+    }
+    fn access_range_into(&self, range: Range<u64>, out: &mut WindowBuf) -> u64 {
+        self.answers.access_range_into(range, out)
     }
     fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
         self.answers.iter()
@@ -894,14 +1063,18 @@ mod tests {
         let first3: Vec<Tuple> = h.iter().take(3).collect();
         assert_eq!(first3.len(), 3);
         assert!(
-            h.cached() < 100,
+            h.cached_prefix_len() < 100,
             "iter().take(3) must not drain the stream (cached {})",
-            h.cached()
+            h.cached_prefix_len()
         );
         assert!(!h.is_empty());
-        assert!(h.cached() < 100, "is_empty must stay lazy");
+        assert!(h.cached_prefix_len() < 100, "is_empty must stay lazy");
         assert_eq!(h.range(2, 5).len(), 3);
-        assert!(h.cached() < 100, "range must stay lazy");
+        assert_eq!(h.access_range(2..5).len(), 3);
+        let mut buf = WindowBuf::new();
+        assert_eq!(h.access_range_into(2..5, &mut buf), 3);
+        assert_eq!(buf.to_tuples(), h.access_range(2..5));
+        assert!(h.cached_prefix_len() < 100, "windows must stay lazy");
         assert_eq!(h.len(), 100); // len() is the one that drains
     }
 }

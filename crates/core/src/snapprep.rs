@@ -10,6 +10,29 @@
 //! costs no copy at all. Because the snapshot's dictionary is
 //! order-preserving, each step produces exactly the relations its
 //! value-level twin would, just in code space.
+//!
+//! The contract is observable from the outside: relations are encoded
+//! at freeze time and **never again**, however many structures are
+//! built over the snapshot.
+//!
+//! ```
+//! use rda_core::{DirectAccess, Engine, OrderSpec, Policy};
+//! use rda_db::{relation_encode_count, Database};
+//! use rda_query::{parser::parse, FdSet};
+//!
+//! let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+//! let db = Database::new()
+//!     .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+//!     .with_i64_rows("S", 2, vec![vec![5, 3], vec![2, 5]]);
+//! let engine = Engine::new(db.freeze()); // both relations encoded here …
+//! let encoded_at_freeze = relation_encode_count();
+//! let plan = engine
+//!     .prepare(&q, OrderSpec::lex(&q, &["x", "y", "z"]), &FdSet::empty(), Policy::Reject)
+//!     .unwrap();
+//! assert_eq!(plan.len(), 3);
+//! // … and the whole build pipeline re-encoded nothing.
+//! assert_eq!(relation_encode_count(), encoded_at_freeze);
+//! ```
 
 use crate::error::BuildError;
 use crate::instance::{full_reduce, normalize_query, positions_of, sorted_vars};

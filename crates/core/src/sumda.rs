@@ -19,6 +19,7 @@ use crate::error::BuildError;
 use crate::instance::{full_reduce, positions_of};
 use crate::snapprep::{check_fds_encoded, extend_instance_encoded, normalize_encoded};
 use crate::weights::Weights;
+use crate::window::WindowBuf;
 use rda_db::{Database, Dictionary, Snapshot, Tuple, Value};
 use rda_orderstat::TotalF64;
 use rda_query::classify::{classify, Problem, Verdict};
@@ -28,6 +29,7 @@ use rda_query::query::Cq;
 use rda_query::VarId;
 use std::cell::RefCell;
 use std::cmp::Ordering;
+use std::ops::Range;
 use std::sync::Arc;
 
 thread_local! {
@@ -249,6 +251,27 @@ impl SumDirectAccess {
                 .ok()
                 .map(|j| self.by_tuple[j] as u64)
         })
+    }
+
+    /// Windowed access: write the answers at ranks `range` (clamped to
+    /// `len()`) into `out` in order, returning how many were written.
+    /// A straight columnar scan: O(1) per tuple, and **zero** heap
+    /// allocations once `out` has grown to the window's size.
+    pub fn access_range_into(&self, range: Range<u64>, out: &mut WindowBuf) -> u64 {
+        out.begin(self.cols.len());
+        let (lo, hi) = crate::window::clamp_range(&range, self.len as u64);
+        let dict = self.snap.dict();
+        for k in lo as usize..hi as usize {
+            out.push_with(|vals| vals.extend(self.cols.iter().map(|c| dict.value(c[k]).clone())));
+        }
+        hi - lo
+    }
+
+    /// Iterate the answers at ranks `range` (clamped to `len()`) in
+    /// weight order.
+    pub fn iter_range(&self, range: Range<u64>) -> impl Iterator<Item = Tuple> + '_ {
+        let (lo, hi) = crate::window::clamp_range(&range, self.len as u64);
+        (lo as usize..hi as usize).map(|k| self.decode(k))
     }
 
     /// Iterate answers in weight order.

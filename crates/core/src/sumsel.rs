@@ -41,7 +41,7 @@ type WeightedSide = Vec<(TotalF64, Tuple)>;
 /// `Ok(None)` means "out-of-bound".
 #[deprecated(
     since = "0.2.0",
-    note = "freeze the database and route through a stateful engine \
+    note = "removed in 0.5.0; freeze the database and route through a stateful engine \
             (`Engine::new(db.freeze()).prepare(..)` with `OrderSpec::Sum`); the \
             returned plan serves repeated accesses and explains the classification"
 )]

@@ -46,8 +46,8 @@ impl Database {
     /// caller.
     #[deprecated(
         since = "0.3.0",
-        note = "freeze the database into a shared snapshot instead: builders borrow \
-                from `&Snapshot` and never need relation ownership"
+        note = "removed in 0.5.0; freeze the database into a shared snapshot instead: \
+                builders borrow from `&Snapshot` and never need relation ownership"
     )]
     pub fn take(&mut self, name: &str) -> Option<Relation> {
         self.relations.remove(name)

@@ -7,6 +7,18 @@
 //! scoped threads, no runtime, deterministic results (output slot `i`
 //! always holds the result for input `i`), and a serial fast path when
 //! the work or the machine has no parallelism to offer.
+//!
+//! ```
+//! use rda_db::parallel;
+//!
+//! // Fan a pure per-index computation out over scoped workers; the
+//! // result is positional, so parallelism never reorders anything.
+//! let squares = parallel::map_indexed(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! let mut rows = vec![3, 1, 2];
+//! parallel::for_each_mut(&mut rows, |i, r| *r += i);
+//! assert_eq!(rows, vec![3, 2, 4]);
+//! ```
 
 /// Map `f` over `0..n`, producing results positionally. Runs serially
 /// for `n <= 1` or on single-core machines.

@@ -87,16 +87,32 @@ fn main() {
         plan.backend()
     );
 
-    // Quantiles by direct access: each is a single O(log n) probe.
-    for (label, k) in [
-        ("min   ", 0),
-        ("25%   ", plan.len() / 4),
-        ("median", plan.len() / 2),
-        ("75%   ", 3 * plan.len() / 4),
-        ("max   ", plan.len() - 1),
-    ] {
-        let t = plan.access(k).unwrap();
-        println!("  {label} (index {k}): {t}");
+    // The median is one O(log n) probe …
+    let median = plan.access(plan.len() / 2).unwrap();
+    println!("  median (index {}): {median}", plan.len() / 2);
+
+    // … but pages come batched: one window pays the rank bracketing
+    // once and walks the structure tuple by tuple.
+    println!("\ntop 3 by (cases, city, age):");
+    for t in plan.top_k(3) {
+        println!("  {t}");
+    }
+    println!("\npage 2 (offset 2, length 2):");
+    for t in plan.page(2, 2) {
+        println!("  {t}");
+    }
+
+    // Serving the same page shape repeatedly? Reuse one buffer and the
+    // refills stop allocating entirely.
+    let mut page = WindowBuf::new();
+    let mut offset = 0;
+    loop {
+        let n = plan.window_into(offset..offset + 2, &mut page);
+        if n == 0 {
+            break;
+        }
+        println!("page at offset {offset}: {n} answers");
+        offset += n;
     }
 
     // Inverted access: where does a specific answer rank?
@@ -106,9 +122,10 @@ fn main() {
         plan.inverted_access(&some_answer).unwrap()
     );
 
-    // Range scans come with the trait.
-    println!("\nanswers 1..4:");
-    for t in plan.range(1, 4) {
+    // And the whole ranked answer set as a lazy stream (any-k style:
+    // batched cursors, nothing materialized beyond one batch).
+    println!("\nfirst answers, streamed:");
+    for t in plan.stream().take(3) {
         println!("  {t}");
     }
 }

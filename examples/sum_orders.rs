@@ -42,12 +42,19 @@ fn main() {
         )
         .unwrap();
     println!("--- explain ---\n{}\n", plan.explain());
-    println!("  {} answers; quantiles of x + y:", plan.len());
     let weight = |t: &Tuple| Weights::identity().answer_weight(q.free(), t.values()).0;
-    for pct in [0, 25, 50, 75, 100] {
-        let k = (plan.len().saturating_sub(1)) * pct / 100;
-        let t = plan.access(k).unwrap();
-        println!("    p{pct:<3} weight {:>6}  answer {t}", weight(&t));
+    // The lowest-weight answers come as one batched window — no
+    // hand-rolled access loop, one rank bracketing for the whole page.
+    println!("  {} answers; top 5 by x + y:", plan.len());
+    for t in plan.top_k(5) {
+        println!("    weight {:>6}  answer {t}", weight(&t));
+    }
+    // Pagination is rank arithmetic: any page of the sorted answer
+    // array, at the same cost shape.
+    let mid = plan.len() / 2;
+    println!("  the 3 answers straddling the median (page at {mid}):");
+    for t in plan.page(mid.saturating_sub(1), 3) {
+        println!("    weight {:>6}  answer {t}", weight(&t));
     }
 
     // ----- Part 2: SUM selection where direct access is 3SUM-hard -----
@@ -112,8 +119,11 @@ fn main() {
         .prepare(&qv, OrderSpec::sum(w), &FdSet::empty(), Policy::Reject)
         .unwrap();
     println!("  backend: {}", planv.backend());
-    println!("  {} answers by ascending risk:", planv.len());
-    for (k, t) in planv.iter().enumerate() {
+    println!(
+        "  {} answers by ascending risk, streamed lazily:",
+        planv.len()
+    );
+    for (k, t) in planv.stream().enumerate() {
         let r = risk.answer_weight(qv.free(), t.values()).0;
         println!("    #{k}: risk {r:>6.1}  {t}");
     }

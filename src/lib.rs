@@ -51,6 +51,15 @@
 //! let median = plan.access(plan.len() / 2).unwrap();   // O(log n)
 //! assert_eq!(plan.inverted_access(&median), Some(2));   // O(log n)
 //!
+//! // Pagination is native: a window pays the rank bracketing once and
+//! // walks the structure tuple by tuple, and `stream()` enumerates
+//! // lazily in batches (any-k style, nothing fully materialized).
+//! assert_eq!(plan.top_k(2).len(), 2);
+//! assert_eq!(plan.page(3, 10), plan.access_range(3..5));
+//! let mut page = WindowBuf::new();                      // reusable, alloc-free refills
+//! assert_eq!(plan.window_into(1..4, &mut page), 3);
+//! assert_eq!(plan.stream().count(), 5);
+//!
 //! // Preparing the same request again is a cache hit: the same
 //! // Arc<AccessPlan> comes back, nothing is re-classified or rebuilt.
 //! let again = engine.prepare(
@@ -128,7 +137,8 @@
 //! snapshot buys nothing: it re-encodes the database on every call and
 //! caches nothing. Everything else — repeated queries, multiple
 //! orders, concurrent clients — should freeze once and go through a
-//! stateful engine.
+//! stateful engine. The shim (like `Database::take` and the PR-1
+//! selection free functions) is removed in 0.5.0.
 //!
 //! The building blocks remain public for direct use:
 //! `LexDirectAccess::build_on`, `SumDirectAccess::build_on` (and their
@@ -153,11 +163,11 @@ pub use rda_query;
 
 /// The commonly used types and functions in one import.
 pub mod prelude {
-    pub use rda_baseline::{all_answers, MaterializedAccess, RankedEnumerator};
+    pub use rda_baseline::{all_answers, ranked_prefix, MaterializedAccess, RankedEnumerator};
     pub use rda_core::{
         AccessPlan, Backend, BuildError, DirectAccess, Engine, Explain, LexDirectAccess, OrderSpec,
-        PlanError, Policy, RankedAnswers, SelectionLexHandle, SelectionSumHandle, SumDirectAccess,
-        Weights,
+        PlanError, Policy, RankedAnswers, RankedStream, SelectionLexHandle, SelectionSumHandle,
+        SumDirectAccess, Weights, WindowBuf,
     };
     pub use rda_db::{Database, Relation, Snapshot, Tuple, Value};
     pub use rda_orderstat::TotalF64;

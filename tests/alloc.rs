@@ -158,4 +158,26 @@ fn access_hot_paths_do_not_allocate() {
         sum.len(),
         "SUM access() must allocate exactly the returned tuple"
     );
+
+    // Windowed access: after one warm-up fill has grown the buffer,
+    // refilling a same-sized window — the steady state of a paginating
+    // server — performs zero heap allocations on both native arenas.
+    let mut wbuf = WindowBuf::new();
+    da.access_range_into(0..500, &mut wbuf); // warm: grow to 500 rows
+    let n = allocations_during(|| {
+        for lo in [0u64, 137, 1000] {
+            assert_eq!(da.access_range_into(lo..lo + 500, &mut wbuf), 500);
+            std::hint::black_box(&wbuf);
+        }
+    });
+    assert_eq!(n, 0, "LEX windowed refills must not allocate");
+
+    sum.access_range_into(0..100, &mut wbuf); // warm for arity 2
+    let n = allocations_during(|| {
+        for lo in [0u64, 17, 50] {
+            assert_eq!(sum.access_range_into(lo..lo + 100, &mut wbuf), 100);
+            std::hint::black_box(&wbuf);
+        }
+    });
+    assert_eq!(n, 0, "SUM windowed refills must not allocate");
 }
