@@ -2,14 +2,16 @@
 //!
 //! Usage: `cargo run --release -p rda_bench --bin experiments [id…]`
 //! where ids are `fig1 fig2 fig45 fig8 t33 t41 t61 t73 t8x t25 scale
-//! access serve window`. With no arguments, all experiments run. The
-//! `access` id additionally writes `BENCH_access.json`
+//! access serve window update`. With no arguments, all experiments run.
+//! The `access` id additionally writes `BENCH_access.json`
 //! (machine-readable median ns/op for the access hot paths,
 //! old-vs-new), `serve` writes `BENCH_serve.json` (encode-once vs
 //! re-encode builds, plan-cache hit latency, multi-threaded access
-//! throughput), and `window` writes `BENCH_window.json` (per-tuple cost
-//! of windowed vs repeated single access across page sizes); add
-//! `--smoke` for the small CI-sized variants.
+//! throughput), `window` writes `BENCH_window.json` (per-tuple cost
+//! of windowed vs repeated single access across page sizes), and
+//! `update` writes `BENCH_update.json` (incremental `freeze_delta` vs
+//! full freeze, carried-forward vs rebuilt prepare); add `--smoke` for
+//! the small CI-sized variants.
 
 use rda_bench::stats::{json_num, json_str, median, median_round_ns};
 use rda_bench::workloads;
@@ -1373,6 +1375,191 @@ fn serve_bench(smoke: bool) {
     );
 }
 
+/// E17 — the versioned-snapshot benchmark behind `BENCH_update.json`:
+/// incremental (`freeze_delta`) vs full (`freeze`) snapshot latency on
+/// a 1-dirty-of-8-relations workload — for both dictionary-extension
+/// paths (appended values with stable codes, and interior values that
+/// rebase clean encodings by a gather) — plus the serving-side payoff:
+/// a carried-forward (clean-query) prepare after `Engine::advance`
+/// against the rebuild a dirty-query prepare pays.
+fn update_bench(smoke: bool) {
+    use rda_db::{Database, Relation, Tuple, Value};
+    const RELATIONS: usize = 8;
+    let (reps, rows) = if smoke {
+        (3usize, 2_000i64)
+    } else {
+        (7, 20_000)
+    };
+    let batch = (rows / 100).max(1); // 1% of one relation per delta
+    println!(
+        "== E17 / versioned snapshots: delta vs full freeze, 1 dirty of {RELATIONS} relations ({}) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    // Eight relations over an even-valued domain, so interior (odd)
+    // inserts exercise the rebase path and top-end inserts the append
+    // path.
+    let mut db = Database::new();
+    for i in 0..RELATIONS as i64 {
+        let tuples: Vec<Tuple> = (0..rows)
+            .map(|j| {
+                [Value::int(j * 2), Value::int(((j * 7 + i) % rows) * 2)]
+                    .into_iter()
+                    .collect()
+            })
+            .collect();
+        db.add(Relation::from_tuples(format!("R{i}"), 2, tuples));
+    }
+    db.clear_mutation_log();
+    let base = db.clone().freeze();
+
+    // Full freeze: what every generation cost before freeze_delta.
+    let full_freeze_ns = median(
+        (0..reps)
+            .map(|_| {
+                let dbc = db.clone();
+                let start = Instant::now();
+                std::hint::black_box(dbc.freeze());
+                start.elapsed().as_nanos() as f64
+            })
+            .collect(),
+    );
+
+    // Delta freeze, append path: fresh values above the domain top.
+    let delta_ns = |interior: bool| -> f64 {
+        median(
+            (0..reps)
+                .map(|_| {
+                    let mut dbc = db.clone();
+                    for j in 0..batch {
+                        let v = if interior { j * 2 + 1 } else { rows * 2 + j };
+                        dbc.insert_into("R0", [Value::int(v), Value::int(v)].into_iter().collect());
+                    }
+                    let start = Instant::now();
+                    std::hint::black_box(base.freeze_delta(&mut dbc));
+                    start.elapsed().as_nanos() as f64
+                })
+                .collect(),
+        )
+    };
+    let delta_extended_ns = delta_ns(false);
+    let delta_rebased_ns = delta_ns(true);
+
+    // Serving side: prepare all eight single-relation plans, dirty R0,
+    // advance — the seven clean plans are carried (a cache hit), the
+    // dirty one rebuilds.
+    let queries: Vec<rda_query::Cq> = (0..RELATIONS)
+        .map(|i| parse(&format!("Q{i}(x, y) :- R{i}(x, y)")).unwrap())
+        .collect();
+    let engine = Engine::new(std::sync::Arc::clone(&base));
+    let spec = |q: &rda_query::Cq| OrderSpec::Lex(q.vars(&["x", "y"]));
+    for q in &queries {
+        engine
+            .prepare(q, spec(q), &FdSet::empty(), Policy::Reject)
+            .unwrap();
+    }
+    for j in 0..batch {
+        let v = rows * 2 + j;
+        db.insert_into("R0", [Value::int(v), Value::int(v)].into_iter().collect());
+    }
+    let next = engine.snapshot().freeze_delta(&mut db);
+    let carried_plans = engine.advance(next);
+    assert_eq!(carried_plans, RELATIONS - 1, "seven clean plans carry");
+    let hit_rounds = 2_000u32;
+    let carried_prepare_ns = median(
+        (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..hit_rounds {
+                    let p = engine
+                        .prepare(
+                            &queries[7],
+                            spec(&queries[7]),
+                            &FdSet::empty(),
+                            Policy::Reject,
+                        )
+                        .unwrap();
+                    std::hint::black_box(&p);
+                }
+                start.elapsed().as_nanos() as f64 / f64::from(hit_rounds)
+            })
+            .collect(),
+    );
+    let rebuilt_prepare_ns = median(
+        (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(
+                    engine
+                        .prepare_uncached(
+                            &queries[0],
+                            spec(&queries[0]),
+                            &FdSet::empty(),
+                            Policy::Reject,
+                        )
+                        .unwrap(),
+                );
+                start.elapsed().as_nanos() as f64
+            })
+            .collect(),
+    );
+
+    let extended_speedup = full_freeze_ns / delta_extended_ns;
+    let rebased_speedup = full_freeze_ns / delta_rebased_ns;
+    println!("{:<28} {:>12.2} ms", "full freeze", full_freeze_ns / 1e6);
+    println!(
+        "{:<28} {:>12.2} ms  ({:.1}x)",
+        "delta freeze (append)",
+        delta_extended_ns / 1e6,
+        extended_speedup
+    );
+    println!(
+        "{:<28} {:>12.2} ms  ({:.1}x)",
+        "delta freeze (rebase)",
+        delta_rebased_ns / 1e6,
+        rebased_speedup
+    );
+    println!(
+        "{:<28} {:>12.1} ns  (vs {:.2} ms rebuild)",
+        "carried prepare",
+        carried_prepare_ns,
+        rebuilt_prepare_ns / 1e6
+    );
+    assert!(
+        extended_speedup >= 2.0,
+        "delta freeze (append) must be >= 2x a full freeze with 1 of {RELATIONS} relations \
+         dirty (got {extended_speedup:.2}x)"
+    );
+    assert!(
+        rebased_speedup >= 2.0,
+        "delta freeze (rebase) must be >= 2x a full freeze with 1 of {RELATIONS} relations \
+         dirty (got {rebased_speedup:.2}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"bench_update/v1\",\n  \"command\": \"cargo run --release -p rda_bench --bin experiments -- update{}\",\n  \"mode\": {},\n  \"reps\": {},\n  \"relations\": {},\n  \"rows_per_relation\": {},\n  \"dirty_relations\": 1,\n  \"mutation_batch\": {},\n  \"full_freeze_ns\": {},\n  \"delta_freeze_extended_ns\": {},\n  \"delta_freeze_rebased_ns\": {},\n  \"delta_freeze_speedup_extended\": {},\n  \"delta_freeze_speedup_rebased\": {},\n  \"carried_plans\": {},\n  \"carried_prepare_ns\": {},\n  \"rebuilt_prepare_ns\": {},\n  \"carried_over_rebuilt_speedup\": {}\n}}\n",
+        if smoke { " --smoke" } else { "" },
+        json_str(if smoke { "smoke" } else { "full" }),
+        reps,
+        RELATIONS,
+        rows,
+        batch,
+        json_num(full_freeze_ns),
+        json_num(delta_extended_ns),
+        json_num(delta_rebased_ns),
+        json_num(extended_speedup),
+        json_num(rebased_speedup),
+        carried_plans,
+        json_num(carried_prepare_ns),
+        json_num(rebuilt_prepare_ns),
+        json_num(rebuilt_prepare_ns / carried_prepare_ns),
+    );
+    std::fs::write("BENCH_update.json", &json).expect("write BENCH_update.json");
+    println!(
+        "delta-freeze speedup over full freeze (1 dirty of {RELATIONS}): {extended_speedup:.1}x append / {rebased_speedup:.1}x rebase\nwrote BENCH_update.json\n"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -1384,6 +1571,7 @@ fn main() {
         access_bench(true);
         serve_bench(true);
         window_bench(true);
+        update_bench(true);
         return;
     }
     let all = args.is_empty();
@@ -1429,5 +1617,8 @@ fn main() {
     }
     if want("window") {
         window_bench(smoke);
+    }
+    if want("update") {
+        update_bench(smoke);
     }
 }

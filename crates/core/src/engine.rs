@@ -65,7 +65,7 @@ use rda_query::{gyo, VarId};
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// The order a prepared plan ranks answers by.
 #[derive(Debug, Clone)]
@@ -193,8 +193,10 @@ impl PlanError {
 }
 
 /// The cache key of a prepared plan: canonical, name-based renderings
-/// of the query, the order, the FDs, and the fallback policy. Two
-/// requests with equal keys are served by the same `Arc<AccessPlan>`.
+/// of the query, the order, the FDs, and the fallback policy — plus the
+/// identity of the snapshot the plan serves, so a key can never match
+/// across data versions. Two requests with equal keys are served by the
+/// same `Arc<AccessPlan>`.
 ///
 /// Every name (relation names are arbitrary user strings) is encoded
 /// **length-prefixed**, so the rendering is injective: no choice of
@@ -202,6 +204,11 @@ impl PlanError {
 /// structurally different requests collide on one key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct PlanKey {
+    /// [`Snapshot::uid`] of the generation the plan was keyed under —
+    /// strictly finer than the generation number (unique across
+    /// lineages), re-keyed by [`Engine::advance`] when a plan is
+    /// carried forward.
+    snapshot_uid: u64,
     query: String,
     order: String,
     fds: String,
@@ -214,7 +221,7 @@ fn push_token(out: &mut String, tok: &str) {
     let _ = write!(out, "{}:{tok};", tok.len());
 }
 
-fn plan_key(q: &Cq, order: &OrderSpec, fds: &FdSet, policy: Policy) -> PlanKey {
+fn plan_key(snapshot_uid: u64, q: &Cq, order: &OrderSpec, fds: &FdSet, policy: Policy) -> PlanKey {
     let mut query = String::new();
     push_token(&mut query, q.name());
     let _ = write!(query, "[{}](", q.free().len());
@@ -253,11 +260,26 @@ fn plan_key(q: &Cq, order: &OrderSpec, fds: &FdSet, policy: Policy) -> PlanKey {
         .collect();
     fd_strings.sort_unstable();
     PlanKey {
+        snapshot_uid,
         query,
         order,
         fds: fd_strings.concat(),
         policy,
     }
+}
+
+/// What a cached plan depends on: each referenced relation with its
+/// content version in the snapshot the plan was built over. A plan can
+/// be carried into a later generation of the *same lineage* iff every
+/// dependency reports the same version there.
+fn plan_deps(q: &Cq, snap: &Snapshot) -> Option<Vec<(String, u64)>> {
+    let mut names: Vec<&str> = q.atoms().iter().map(|a| a.relation.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    names
+        .into_iter()
+        .map(|n| snap.relation_version(n).map(|v| (n.to_string(), v)))
+        .collect()
 }
 
 /// The bounded plan cache: LRU over [`PlanKey`]s.
@@ -270,6 +292,9 @@ struct PlanCache {
 struct CacheEntry {
     plan: Arc<AccessPlan>,
     last_used: u64,
+    /// Relation → content version in the build snapshot; `None` when
+    /// the dependency set could not be established (never carried).
+    deps: Option<Vec<(String, u64)>>,
 }
 
 impl PlanCache {
@@ -286,7 +311,12 @@ impl PlanCache {
     /// which case the incumbent is returned (so equal keys always yield
     /// pointer-equal plans). Evicts the least-recently-used entry when
     /// over capacity.
-    fn insert_or_get(&mut self, key: PlanKey, plan: Arc<AccessPlan>) -> Arc<AccessPlan> {
+    fn insert_or_get(
+        &mut self,
+        key: PlanKey,
+        plan: Arc<AccessPlan>,
+        deps: Option<Vec<(String, u64)>>,
+    ) -> Arc<AccessPlan> {
         if self.capacity == 0 {
             return plan;
         }
@@ -299,6 +329,7 @@ impl PlanCache {
             CacheEntry {
                 plan: Arc::clone(&plan),
                 last_used: self.clock,
+                deps,
             },
         );
         while self.map.len() > self.capacity {
@@ -336,15 +367,30 @@ impl PlanCache {
 /// clients share both the encoded data and the built structures. The
 /// engine is `Sync` — share it behind an `Arc` and call
 /// [`Engine::prepare`] from as many threads as you like.
+///
+/// ## Serving live data
+///
+/// The engine is **generation-aware**: the plan cache is keyed by the
+/// snapshot's identity, and [`Engine::advance`] swaps the served
+/// snapshot atomically. When the database changes, freeze the delta
+/// ([`Snapshot::freeze_delta`], or the [`Engine::advance_delta`]
+/// convenience) and advance: in-flight readers keep their old-
+/// generation plans (each plan pins its own snapshot), new
+/// [`Engine::prepare`] calls see only the new generation, and cached
+/// plans whose relations provably did not change are **carried
+/// forward** — re-keyed into the new generation without rebuilding a
+/// thing.
 pub struct Engine {
-    snapshot: Arc<Snapshot>,
+    snapshot: RwLock<Arc<Snapshot>>,
     cache: Mutex<PlanCache>,
 }
 
 impl fmt::Debug for Engine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let snap = self.snapshot();
         f.debug_struct("Engine")
-            .field("snapshot_tuples", &self.snapshot.size())
+            .field("snapshot_tuples", &snap.size())
+            .field("generation", &snap.generation())
             .field("cached_plans", &self.plan_cache_len())
             .finish()
     }
@@ -364,7 +410,7 @@ impl Engine {
     /// disables memoization (every `prepare` builds afresh).
     pub fn with_plan_cache_capacity(snapshot: Arc<Snapshot>, capacity: usize) -> Self {
         Engine {
-            snapshot,
+            snapshot: RwLock::new(snapshot),
             cache: Mutex::new(PlanCache {
                 map: HashMap::new(),
                 capacity,
@@ -373,9 +419,72 @@ impl Engine {
         }
     }
 
-    /// The snapshot this engine serves.
-    pub fn snapshot(&self) -> &Arc<Snapshot> {
-        &self.snapshot
+    /// The snapshot this engine currently serves. New
+    /// [`Engine::prepare`] calls are answered over exactly this
+    /// generation until the next [`Engine::advance`].
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read().expect("snapshot slot not poisoned"))
+    }
+
+    /// The generation of the currently served snapshot.
+    pub fn generation(&self) -> u64 {
+        self.snapshot().generation()
+    }
+
+    /// Atomically switch the engine to a newer snapshot (normally one
+    /// produced by [`Snapshot::freeze_delta`] from the current one).
+    ///
+    /// * New `prepare` calls see only `snapshot` from here on; an
+    ///   old-generation plan is **never** served to them.
+    /// * In-flight readers are undisturbed: every issued
+    ///   `Arc<AccessPlan>` pins its own snapshot and keeps serving its
+    ///   original generation.
+    /// * Cached plans are re-keyed, not flushed: a plan whose
+    ///   relations all report the *same content version* in `snapshot`
+    ///   (and whose snapshot `snapshot` descends from) is carried into
+    ///   the new generation as-is — structure reuse across versions.
+    ///   Every other entry is invalidated.
+    ///
+    /// Returns how many plans were carried forward.
+    pub fn advance(&self, snapshot: Arc<Snapshot>) -> usize {
+        let mut cache = self.cache.lock().expect("plan cache not poisoned");
+        let mut slot = self.snapshot.write().expect("snapshot slot not poisoned");
+        if slot.uid() == snapshot.uid() {
+            return 0; // advancing to the current snapshot is a no-op
+        }
+        let mut carried = 0;
+        let old_map = std::mem::take(&mut cache.map);
+        for (mut key, entry) in old_map {
+            if key.snapshot_uid == snapshot.uid() {
+                // A racer already keyed against the incoming snapshot.
+                cache.map.insert(key, entry);
+                continue;
+            }
+            let clean = snapshot.descends_from(key.snapshot_uid)
+                && entry.deps.as_ref().is_some_and(|deps| {
+                    deps.iter()
+                        .all(|(name, ver)| snapshot.relation_version(name) == Some(*ver))
+                });
+            if clean {
+                key.snapshot_uid = snapshot.uid();
+                if let std::collections::hash_map::Entry::Vacant(v) = cache.map.entry(key) {
+                    v.insert(entry);
+                    carried += 1;
+                }
+            }
+        }
+        *slot = snapshot;
+        carried
+    }
+
+    /// Freeze the pending mutations of `db` against the currently
+    /// served snapshot ([`Snapshot::freeze_delta`]) and
+    /// [`Engine::advance`] to the result in one step. Returns the new
+    /// snapshot.
+    pub fn advance_delta(&self, db: &mut Database) -> Arc<Snapshot> {
+        let next = self.snapshot().freeze_delta(db);
+        self.advance(Arc::clone(&next));
+        next
     }
 
     /// Number of plans currently memoized.
@@ -411,7 +520,10 @@ impl Engine {
         fds: &FdSet,
         policy: Policy,
     ) -> Result<Arc<AccessPlan>, PlanError> {
-        let key = plan_key(q, &order, fds, policy);
+        // Pin the generation first: the whole prepare runs against one
+        // snapshot, however many `advance` calls race it.
+        let snap = self.snapshot();
+        let key = plan_key(snap.uid(), q, &order, fds, policy);
         if let Some(plan) = self
             .cache
             .lock()
@@ -421,12 +533,24 @@ impl Engine {
             return Ok(plan);
         }
         // Build outside the lock so distinct keys don't serialize.
-        let plan = Arc::new(prepare_on(&self.snapshot, q, order, fds, policy)?);
-        Ok(self
-            .cache
-            .lock()
-            .expect("plan cache not poisoned")
-            .insert_or_get(key, plan))
+        let plan = Arc::new(prepare_on(&snap, q, order, fds, policy)?);
+        let deps = plan_deps(q, &snap);
+        // Cache only if the engine still serves the snapshot this plan
+        // was built against: a plan that lost a race with `advance`
+        // goes to the caller uncached rather than occupying (and
+        // evicting live entries from) the bounded cache under a key no
+        // future prepare can hit. Lock order (cache, then snapshot)
+        // matches `advance`.
+        let mut cache = self.cache.lock().expect("plan cache not poisoned");
+        let current_uid = self
+            .snapshot
+            .read()
+            .expect("snapshot slot not poisoned")
+            .uid();
+        if key.snapshot_uid != current_uid {
+            return Ok(plan);
+        }
+        Ok(cache.insert_or_get(key, plan, deps))
     }
 
     /// [`Engine::prepare`] without memoization: always classify and
@@ -439,7 +563,7 @@ impl Engine {
         fds: &FdSet,
         policy: Policy,
     ) -> Result<AccessPlan, PlanError> {
-        prepare_on(&self.snapshot, q, order, fds, policy)
+        prepare_on(&self.snapshot(), q, order, fds, policy)
     }
 
     /// The pre-snapshot, stateless entry point: freezes a private copy
@@ -473,10 +597,11 @@ fn prepare_on(
     fds: &FdSet,
     policy: Policy,
 ) -> Result<AccessPlan, PlanError> {
-    match order {
+    let plan = match order {
         OrderSpec::Lex(lex) => prepare_lex(snap, q, lex, fds, policy),
         OrderSpec::Sum(w) => prepare_sum(snap, q, w, fds, policy),
-    }
+    }?;
+    Ok(plan.with_generation(snap.generation()))
 }
 
 fn prepare_lex(
@@ -1140,6 +1265,126 @@ mod tests {
             )
             .unwrap();
         assert!(Arc::ptr_eq(&weighted, &weighted2));
+    }
+
+    #[test]
+    fn advance_serves_only_the_new_generation() {
+        let q = two_path();
+        let mut db = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+            .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]]);
+        let engine = Engine::new(db.clone().freeze());
+        db.clear_mutation_log();
+        let spec = || OrderSpec::lex(&q, &["x", "y", "z"]);
+        let old = engine
+            .prepare(&q, spec(), &FdSet::empty(), Policy::Reject)
+            .unwrap();
+        assert_eq!((old.len(), old.generation()), (5, 0));
+
+        // Mutate R and advance: a new generation with one more answer.
+        db.insert_into("R", tup![6, 5]);
+        let next = engine.advance_delta(&mut db);
+        assert_eq!(engine.generation(), 1);
+        assert_eq!(next.generation(), 1);
+        let new = engine
+            .prepare(&q, spec(), &FdSet::empty(), Policy::Reject)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&old, &new), "dirty plans must rebuild");
+        assert_eq!((new.len(), new.generation()), (8, 1));
+        // The in-flight reader's plan still serves generation 0.
+        assert_eq!(old.len(), 5);
+        assert_eq!(old.access(0), Some(tup![1, 2, 5]));
+    }
+
+    #[test]
+    fn clean_plans_carry_across_generations_dirty_ones_do_not() {
+        let qr = parse("Q(x, y) :- R(x, y)").unwrap();
+        let qs = parse("Q(x, y) :- S(x, y)").unwrap();
+        let mut db = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 2]])
+            .with_i64_rows("S", 2, vec![vec![3, 4]]);
+        let engine = Engine::new(db.clone().freeze());
+        db.clear_mutation_log();
+        let prep = |q: &Cq| {
+            engine
+                .prepare(
+                    q,
+                    OrderSpec::lex(q, &["x", "y"]),
+                    &FdSet::empty(),
+                    Policy::Reject,
+                )
+                .unwrap()
+        };
+        let (r0, s0) = (prep(&qr), prep(&qs));
+        db.insert_into("R", tup![5, 6]);
+        let next = engine.snapshot().freeze_delta(&mut db);
+        let carried = engine.advance(Arc::clone(&next));
+        assert_eq!(carried, 1, "only the S plan is clean");
+        let (r1, s1) = (prep(&qr), prep(&qs));
+        assert!(Arc::ptr_eq(&s0, &s1), "clean-query plans carry forward");
+        assert!(!Arc::ptr_eq(&r0, &r1), "dirty-query plans rebuild");
+        assert_eq!(r1.len(), 2);
+        // Advancing to the snapshot already served is a no-op.
+        assert_eq!(engine.advance(next), 0);
+        assert_eq!(engine.plan_cache_len(), 2);
+    }
+
+    #[test]
+    fn advance_to_an_unrelated_snapshot_carries_nothing() {
+        let q = parse("Q(x, y) :- R(x, y)").unwrap();
+        let engine = Engine::new(
+            Database::new()
+                .with_i64_rows("R", 2, vec![vec![1, 2]])
+                .freeze(),
+        );
+        let spec = || OrderSpec::lex(&q, &["x", "y"]);
+        let a = engine
+            .prepare(&q, spec(), &FdSet::empty(), Policy::Reject)
+            .unwrap();
+        // A fresh freeze of different data: same generation number (0),
+        // same relation versions (0) — but a different lineage, so the
+        // cached plan must NOT be mistaken for current.
+        let other = Database::new()
+            .with_i64_rows("R", 2, vec![vec![7, 8], vec![9, 10]])
+            .freeze();
+        assert_eq!(engine.advance(other), 0);
+        let b = engine
+            .prepare(&q, spec(), &FdSet::empty(), Policy::Reject)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(b.len(), 2);
+        assert_eq!(a.len(), 1, "the old plan still serves its snapshot");
+    }
+
+    #[test]
+    fn empty_delta_advance_carries_every_plan() {
+        let q = two_path();
+        let mut db = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5], vec![6, 2]])
+            .with_i64_rows("S", 2, vec![vec![5, 3], vec![2, 5]]);
+        let engine = Engine::new(db.clone().freeze());
+        db.clear_mutation_log();
+        let specs = [
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            OrderSpec::lex(&q, &["z", "y"]),
+        ];
+        let before: Vec<_> = specs
+            .iter()
+            .map(|s| {
+                engine
+                    .prepare(&q, s.clone(), &FdSet::empty(), Policy::Reject)
+                    .unwrap()
+            })
+            .collect();
+        let carried = engine.advance(engine.snapshot().freeze_delta(&mut db));
+        assert_eq!(carried, 2);
+        assert_eq!(engine.generation(), 1);
+        for (spec, old) in specs.iter().zip(&before) {
+            let again = engine
+                .prepare(&q, spec.clone(), &FdSet::empty(), Policy::Reject)
+                .unwrap();
+            assert!(Arc::ptr_eq(old, &again));
+        }
     }
 
     #[test]

@@ -441,6 +441,13 @@ impl LexDirectAccess {
     /// over the same snapshot shares one dictionary and one encoding
     /// pass.
     ///
+    /// The structure pins the snapshot it was built over (that is what
+    /// keeps it immutable): under live updates, later
+    /// [`Snapshot::freeze_delta`] generations never disturb it — it
+    /// keeps serving its own generation's answers until a new structure
+    /// is built over (or carried into) the next generation by the
+    /// engine.
+    ///
     /// Fails with [`BuildError::NotTractable`] exactly on the paper's
     /// intractable side (Theorem 4.1 / 8.21), and with
     /// [`BuildError::CountOverflow`] when the answer count would not fit

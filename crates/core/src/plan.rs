@@ -869,6 +869,8 @@ impl Explain {
 pub struct AccessPlan {
     answers: RankedAnswers,
     explain: Explain,
+    /// The [`Snapshot::generation`] this plan was prepared over.
+    generation: u64,
 }
 
 impl fmt::Debug for AccessPlan {
@@ -876,13 +878,35 @@ impl fmt::Debug for AccessPlan {
         f.debug_struct("AccessPlan")
             .field("backend", &self.explain.backend)
             .field("verdict", &self.explain.verdict)
+            .field("generation", &self.generation)
             .finish_non_exhaustive()
     }
 }
 
 impl AccessPlan {
     pub(crate) fn new(answers: RankedAnswers, explain: Explain) -> Self {
-        AccessPlan { answers, explain }
+        AccessPlan {
+            answers,
+            explain,
+            generation: 0,
+        }
+    }
+
+    /// Stamp the snapshot generation this plan was prepared over (done
+    /// once, by the routing layer).
+    pub(crate) fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
+    }
+
+    /// The snapshot generation this plan serves: every answer it
+    /// returns reflects exactly that generation's data, however many
+    /// [`crate::Engine::advance`] calls happen around it. A plan
+    /// carried forward across generations keeps its original number —
+    /// its relations provably did not change, so the generations are
+    /// indistinguishable through it.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The routed backend handle.

@@ -65,6 +65,8 @@ impl SumDirectAccess {
     /// Build for `q` over a frozen [`Snapshot`] with attribute weights
     /// `w`, under unary FDs `fds`. The whole build runs in the
     /// snapshot's code space — no relation is re-encoded or cloned.
+    /// The structure pins its snapshot: later
+    /// [`Snapshot::freeze_delta`] generations never disturb it.
     /// Fails with [`BuildError::NotTractable`] exactly on the paper's
     /// intractable side.
     pub fn build_on(

@@ -1,18 +1,109 @@
-//! Database instances: collections of named relations.
+//! Database instances: collections of named relations, plus the
+//! mutation log that makes incremental re-freezing
+//! ([`crate::Snapshot::freeze_delta`]) possible.
 
 use crate::relation::Relation;
 use crate::tuple::Tuple;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// What happened to one relation since the last freeze.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelationDelta {
+    /// Tuples appended via [`Database::insert_into`].
+    pub inserts: u64,
+    /// Tuple occurrences removed via [`Database::delete_from`].
+    pub deletes: u64,
+    /// `true` when the relation was replaced or handed out mutably
+    /// (via [`Database::add`] / [`Database::get_mut`]), so the log can
+    /// no longer bound the change.
+    pub replaced: bool,
+}
+
+/// The per-relation mutation log: which relations changed — and
+/// roughly how — since this database was last frozen into a snapshot.
+///
+/// [`crate::Snapshot::freeze_delta`] consults the log to re-encode
+/// *only* the dirty relations; both freeze entry points clear it. The
+/// log is deliberately conservative: it may mark a relation dirty that
+/// ended up content-identical (e.g. an insert later deleted), but a
+/// relation it calls clean has provably not changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MutationLog {
+    dirty: BTreeMap<String, RelationDelta>,
+}
+
+impl MutationLog {
+    /// `true` when nothing was mutated since the last freeze.
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// Number of dirty relations.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// `true` when `name` was mutated since the last freeze.
+    pub fn is_dirty(&self, name: &str) -> bool {
+        self.dirty.contains_key(name)
+    }
+
+    /// The dirty relations, in name order.
+    pub fn dirty_relations(&self) -> impl Iterator<Item = &str> {
+        self.dirty.keys().map(String::as_str)
+    }
+
+    /// The recorded delta for `name`, when it is dirty.
+    pub fn delta(&self, name: &str) -> Option<&RelationDelta> {
+        self.dirty.get(name)
+    }
+
+    fn entry(&mut self, name: &str) -> &mut RelationDelta {
+        self.dirty.entry(name.to_string()).or_default()
+    }
+
+    fn clear(&mut self) {
+        self.dirty.clear();
+    }
+}
+
 /// A database instance `I`: a finite relation per relational symbol.
 ///
 /// The paper measures input size as `n`, the total number of tuples
-/// ([`Database::size`]).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// ([`Database::size`]). Unlike the paper's static instance, a
+/// [`Database`] is the *mutable source of truth* of the serving
+/// lifecycle: [`Database::insert_into`] / [`Database::delete_from`]
+/// record their targets in a [`MutationLog`] so that the next
+/// [`crate::Snapshot::freeze_delta`] call re-encodes only what changed.
+///
+/// Equality compares relation contents only; the mutation log is
+/// bookkeeping, not data.
+///
+/// Relations are held behind [`Arc`](std::sync::Arc) with
+/// **copy-on-write** mutation: cloning a database (and freezing it
+/// into a snapshot) shares every relation's tuple storage, and only a
+/// relation actually mutated afterwards pays for its own copy — so a
+/// generation chain of snapshots keeps exactly one value-level copy of
+/// every clean relation, however many generations pin it.
+#[derive(Debug, Clone, Default)]
 pub struct Database {
-    relations: BTreeMap<String, Relation>,
+    relations: BTreeMap<String, std::sync::Arc<Relation>>,
+    log: MutationLog,
 }
+
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        self.relations.len() == other.relations.len()
+            && self
+                .relations
+                .iter()
+                .zip(&other.relations)
+                .all(|((an, ar), (bn, br))| an == bn && ar == br)
+    }
+}
+
+impl Eq for Database {}
 
 impl Database {
     /// An empty database.
@@ -20,9 +111,22 @@ impl Database {
         Database::default()
     }
 
-    /// Insert (or replace) a relation under its own name.
+    /// Copy-on-write mutable access to a relation known to exist.
+    fn make_mut(&mut self, name: &str, op: &str) -> &mut Relation {
+        std::sync::Arc::make_mut(
+            self.relations
+                .get_mut(name)
+                .unwrap_or_else(|| panic!("{op}: no relation named {name}")),
+        )
+    }
+
+    /// Insert (or replace) a relation under its own name. Marks the
+    /// relation dirty in the mutation log (its previous encoding, if
+    /// any, can no longer be reused).
     pub fn add(&mut self, relation: Relation) -> &mut Self {
-        self.relations.insert(relation.name().to_string(), relation);
+        self.log.entry(relation.name()).replaced = true;
+        self.relations
+            .insert(relation.name().to_string(), std::sync::Arc::new(relation));
         self
     }
 
@@ -34,12 +138,68 @@ impl Database {
 
     /// Look up a relation by name.
     pub fn get(&self, name: &str) -> Option<&Relation> {
-        self.relations.get(name)
+        self.relations.get(name).map(std::sync::Arc::as_ref)
     }
 
-    /// Mutable lookup.
+    /// Mutable lookup (copy-on-write: a relation still shared with an
+    /// older snapshot is cloned first). Conservatively marks the
+    /// relation dirty — the log cannot see what the caller does with
+    /// the borrow.
     pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
-        self.relations.get_mut(name)
+        if self.relations.contains_key(name) {
+            self.log.entry(name).replaced = true;
+            Some(self.make_mut(name, "get_mut"))
+        } else {
+            None
+        }
+    }
+
+    /// Append one tuple to the named relation, recording the insert in
+    /// the mutation log.
+    ///
+    /// # Panics
+    /// Panics if the relation does not exist (create it with
+    /// [`Database::add`] first) or on arity mismatch.
+    pub fn insert_into(&mut self, name: &str, t: Tuple) {
+        self.make_mut(name, "insert_into").insert(t);
+        self.log.entry(name).inserts += 1;
+    }
+
+    /// Remove every occurrence of `t` from the named relation,
+    /// recording the deletion in the mutation log. Returns how many
+    /// occurrences were removed (0 when `t` was not present — which
+    /// leaves the relation clean).
+    ///
+    /// # Panics
+    /// Panics if the relation does not exist.
+    pub fn delete_from(&mut self, name: &str, t: &Tuple) -> u64 {
+        if self
+            .get(name)
+            .unwrap_or_else(|| panic!("delete_from: no relation named {name}"))
+            .tuples()
+            .iter()
+            .all(|x| x != t)
+        {
+            return 0; // miss: no copy-on-write, relation stays clean
+        }
+        let removed = self.make_mut(name, "delete_from").remove(t);
+        debug_assert!(removed > 0);
+        self.log.entry(name).deletes += removed;
+        removed
+    }
+
+    /// The mutations recorded since the last freeze.
+    pub fn mutation_log(&self) -> &MutationLog {
+        &self.log
+    }
+
+    /// Forget the recorded mutations. Called by [`Database::freeze`]
+    /// and [`crate::Snapshot::freeze_delta`]; only call it yourself if
+    /// you re-baseline the database some other way — a log that
+    /// under-reports changes makes the next `freeze_delta` reuse stale
+    /// encodings.
+    pub fn clear_mutation_log(&mut self) {
+        self.log.clear();
     }
 
     /// Remove and return a relation, transferring ownership to the
@@ -50,7 +210,12 @@ impl Database {
                 builders borrow from `&Snapshot` and never need relation ownership"
     )]
     pub fn take(&mut self, name: &str) -> Option<Relation> {
-        self.relations.remove(name)
+        if self.relations.contains_key(name) {
+            self.log.entry(name).replaced = true;
+        }
+        self.relations
+            .remove(name)
+            .map(|a| std::sync::Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()))
     }
 
     /// Freeze this database into an immutable, shareable
@@ -59,13 +224,21 @@ impl Database {
     /// relation exactly once. All access-structure builders borrow from
     /// the returned snapshot, so the encoding cost is paid once per
     /// database — not once per prepared query.
+    ///
+    /// The returned snapshot is **generation 0**; mutate a kept copy of
+    /// the database and call
+    /// [`Snapshot::freeze_delta`](crate::Snapshot::freeze_delta) to
+    /// produce later generations incrementally. Freezing clears the
+    /// mutation log.
     pub fn freeze(self) -> std::sync::Arc<crate::Snapshot> {
+        // Snapshot::new clears the mutation log (it must, for direct
+        // callers), re-baselining the frozen copy.
         crate::Snapshot::new(self)
     }
 
     /// Total number of tuples (the paper's `n`).
     pub fn size(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.relations.values().map(|r| r.len()).sum()
     }
 
     /// Number of relations.
@@ -75,13 +248,19 @@ impl Database {
 
     /// Iterate over relations in name order.
     pub fn relations(&self) -> impl Iterator<Item = &Relation> {
-        self.relations.values()
+        self.relations.values().map(std::sync::Arc::as_ref)
     }
 
-    /// Normalize every relation (sort + dedup).
+    /// Normalize every relation (sort + dedup). Does **not** mark
+    /// anything dirty: normalization preserves set semantics, and
+    /// snapshots encode relations up to set semantics. (Relations
+    /// already normalized are left shared; copy-on-write only triggers
+    /// where sorting or deduplication actually changes something.)
     pub fn normalize(&mut self) {
         for r in self.relations.values_mut() {
-            r.normalize();
+            if !r.is_normalized() {
+                std::sync::Arc::make_mut(r).normalize();
+            }
         }
     }
 
@@ -142,5 +321,82 @@ mod tests {
         let mut db = Database::new().with_i64_rows("R", 1, vec![vec![2], vec![1], vec![2]]);
         db.normalize();
         assert_eq!(db.get("R").unwrap().tuples(), &[tup![1], tup![2]]);
+    }
+
+    #[test]
+    fn mutation_log_tracks_inserts_and_deletes() {
+        let mut db = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 2], vec![1, 2], vec![3, 4]])
+            .with_i64_rows("S", 1, vec![vec![9]]);
+        db.clear_mutation_log(); // baseline: `with` marked both dirty
+        assert!(db.mutation_log().is_empty());
+
+        db.insert_into("R", tup![5, 6]);
+        assert_eq!(db.delete_from("R", &tup![1, 2]), 2);
+        assert_eq!(db.delete_from("S", &tup![404]), 0, "miss removes nothing");
+
+        let log = db.mutation_log();
+        assert_eq!(log.dirty_count(), 1);
+        assert!(log.is_dirty("R"));
+        assert!(!log.is_dirty("S"), "a no-op delete leaves S clean");
+        let d = log.delta("R").unwrap();
+        assert_eq!((d.inserts, d.deletes, d.replaced), (1, 2, false));
+        assert_eq!(log.dirty_relations().collect::<Vec<_>>(), vec!["R"]);
+    }
+
+    #[test]
+    fn replacement_style_mutations_mark_replaced() {
+        let mut db = Database::new().with_i64_rows("R", 1, vec![vec![1]]);
+        db.clear_mutation_log();
+        assert!(db.get_mut("T").is_none());
+        assert!(
+            !db.mutation_log().is_dirty("T"),
+            "missing lookups are clean"
+        );
+        db.get_mut("R").unwrap().insert(tup![2]);
+        assert!(db.mutation_log().delta("R").unwrap().replaced);
+        let mut db2 = Database::new().with_i64_rows("S", 1, vec![vec![1]]);
+        db2.clear_mutation_log();
+        db2.add(Relation::from_tuples("S", 1, vec![tup![7]]));
+        assert!(db2.mutation_log().delta("S").unwrap().replaced);
+    }
+
+    #[test]
+    #[should_panic(expected = "no relation named")]
+    fn insert_into_missing_relation_panics() {
+        Database::new().insert_into("nope", tup![1]);
+    }
+
+    #[test]
+    fn clones_share_relation_storage_until_mutated() {
+        let mut db = Database::new()
+            .with_i64_rows("R", 1, vec![vec![1]])
+            .with_i64_rows("S", 1, vec![vec![2]]);
+        let copy = db.clone();
+        assert!(
+            std::ptr::eq(db.get("R").unwrap(), copy.get("R").unwrap()),
+            "a clone shares every relation's storage"
+        );
+        db.insert_into("R", tup![3]);
+        assert!(
+            !std::ptr::eq(db.get("R").unwrap(), copy.get("R").unwrap()),
+            "mutation copies the touched relation out of the share"
+        );
+        assert!(
+            std::ptr::eq(db.get("S").unwrap(), copy.get("S").unwrap()),
+            "untouched relations stay shared"
+        );
+        assert_eq!(copy.get("R").unwrap().len(), 1, "the clone is isolated");
+        // A no-op delete neither copies nor dirties.
+        assert_eq!(db.delete_from("S", &tup![404]), 0);
+        assert!(std::ptr::eq(db.get("S").unwrap(), copy.get("S").unwrap()));
+    }
+
+    #[test]
+    fn equality_ignores_the_log() {
+        let mut a = Database::new().with_i64_rows("R", 1, vec![vec![1]]);
+        let b = a.clone();
+        a.clear_mutation_log();
+        assert_eq!(a, b, "log state must not affect equality");
     }
 }

@@ -126,6 +126,102 @@ impl Dictionary {
         }
         true
     }
+
+    /// Extend this dictionary with `extra` values, keeping codes dense
+    /// and order-preserving, and report how the old code space fared —
+    /// the dictionary half of
+    /// [`Snapshot::freeze_delta`](crate::Snapshot::freeze_delta).
+    ///
+    /// Three outcomes, from cheapest to dearest:
+    ///
+    /// * [`DictDelta::Unchanged`] — every value was already interned;
+    ///   the old dictionary serves the new generation as-is.
+    /// * [`DictDelta::Extended`] — every new value sorts **after** every
+    ///   interned one, so fresh codes are appended at the top of the
+    ///   code space and *existing codes are untouched*: encodings made
+    ///   under the old dictionary remain valid verbatim.
+    /// * [`DictDelta::Rebased`] — some new value lands between interned
+    ///   ones. Codes are re-assigned densely; the returned `remap`
+    ///   (`remap[old_code] = new_code`, strictly monotone) lets old
+    ///   encodings be upgraded by a pure integer gather
+    ///   ([`crate::EncodedRelation::remapped`]) — never by re-encoding.
+    ///
+    /// Cost: O(|extra| log |extra| + m) — no re-sort of the old values
+    /// (they are merged, already ordered) and no re-hash of any
+    /// relation cell.
+    ///
+    /// # Panics
+    /// Panics if the union would exceed the `u32` code space.
+    pub fn extend(&self, extra: impl IntoIterator<Item = Value>) -> DictDelta {
+        let mut add: Vec<Value> = extra
+            .into_iter()
+            .filter(|v| self.code(v).is_none())
+            .collect();
+        add.sort_unstable();
+        add.dedup();
+        if add.is_empty() {
+            return DictDelta::Unchanged;
+        }
+        assert!(
+            self.values.len() + add.len() <= u32::MAX as usize,
+            "active domain exceeds the u32 code space"
+        );
+        if self.values.last().is_none_or(|last| *last < add[0]) {
+            // Monotone append: old codes stay stable.
+            let mut values = self.values.clone();
+            let mut codes = self.codes.clone();
+            for v in add {
+                codes.insert(v.clone(), values.len() as u32);
+                values.push(v);
+            }
+            return DictDelta::Extended(Dictionary { values, codes });
+        }
+        // Interior values: merge the two sorted runs and record where
+        // each old code moved.
+        let mut values: Vec<Value> = Vec::with_capacity(self.values.len() + add.len());
+        let mut remap: Vec<u32> = Vec::with_capacity(self.values.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.values.len() || j < add.len() {
+            let take_old = j >= add.len() || (i < self.values.len() && self.values[i] < add[j]);
+            if take_old {
+                remap.push(values.len() as u32);
+                values.push(self.values[i].clone());
+                i += 1;
+            } else {
+                values.push(add[j].clone());
+                j += 1;
+            }
+        }
+        let codes = values
+            .iter()
+            .enumerate()
+            .map(|(c, v)| (v.clone(), c as u32))
+            .collect();
+        DictDelta::Rebased {
+            dict: Dictionary { values, codes },
+            remap,
+        }
+    }
+}
+
+/// Outcome of [`Dictionary::extend`]: what a monotone domain extension
+/// did to the existing code space.
+#[derive(Debug, Clone)]
+pub enum DictDelta {
+    /// No new values; keep using the old dictionary.
+    Unchanged,
+    /// New codes appended at the top; existing codes are stable, so
+    /// encodings made under the old dictionary remain valid.
+    Extended(Dictionary),
+    /// Codes were re-assigned. `remap[old_code] = new_code` is strictly
+    /// monotone, so old encodings upgrade by a gather that preserves
+    /// row order, sortedness and distinctness.
+    Rebased {
+        /// The rebased dictionary.
+        dict: Dictionary,
+        /// Old code → new code, strictly increasing.
+        remap: Vec<u32>,
+    },
 }
 
 #[cfg(test)]
@@ -171,6 +267,55 @@ mod tests {
         assert!(d.encode_tuple_into(&crate::tup![5, 1], &mut buf));
         assert_eq!(buf, vec![1, 0]);
         assert!(!d.encode_tuple_into(&crate::tup![5, 99], &mut buf));
+    }
+
+    #[test]
+    fn extend_with_known_values_is_unchanged() {
+        let d = dict();
+        assert!(matches!(
+            d.extend([Value::int(1), Value::int(5), Value::int(5)]),
+            DictDelta::Unchanged
+        ));
+    }
+
+    #[test]
+    fn extend_appends_when_values_sort_last() {
+        let d = dict(); // {1, 5, "a"}
+        let DictDelta::Extended(e) = d.extend([Value::str("z"), Value::str("m")]) else {
+            panic!("values past the top must append");
+        };
+        // Old codes stable, new codes dense above them, order preserved.
+        for c in 0..3u32 {
+            assert_eq!(e.value(c), d.value(c));
+        }
+        assert_eq!(e.code(&Value::str("m")), Some(3));
+        assert_eq!(e.code(&Value::str("z")), Some(4));
+        assert_eq!(e.len(), 5);
+        // The empty dictionary extends by append too.
+        assert!(matches!(
+            Dictionary::default().extend([Value::int(3)]),
+            DictDelta::Extended(_)
+        ));
+    }
+
+    #[test]
+    fn extend_rebases_interior_values_with_monotone_remap() {
+        let d = dict(); // {1, 5, "a"}
+        let DictDelta::Rebased { dict: r, remap } =
+            d.extend([Value::int(3), Value::int(9), Value::int(3)])
+        else {
+            panic!("interior values must rebase");
+        };
+        // New order: 1, 3, 5, 9, "a".
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.code(&Value::int(3)), Some(1));
+        assert_eq!(r.code(&Value::int(9)), Some(3));
+        assert_eq!(remap, vec![0, 2, 4]);
+        // The remap is exactly "where did my value go".
+        for (old, &new) in remap.iter().enumerate() {
+            assert_eq!(r.value(new), d.value(old as u32));
+        }
+        assert!(remap.windows(2).all(|w| w[0] < w[1]), "strictly monotone");
     }
 
     #[test]

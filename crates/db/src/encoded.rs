@@ -230,6 +230,28 @@ impl EncodedRelation {
         (keep.len() != self.rows).then_some(keep)
     }
 
+    /// Rebase every code through `remap` (`remap[old_code] = new_code`),
+    /// producing the encoding this relation would have under a rebased
+    /// dictionary (see [`crate::dict::DictDelta::Rebased`]).
+    ///
+    /// This is a pure integer gather, **not** an encoding: no value is
+    /// hashed or compared and [`relation_encode_count`] does not move.
+    /// Because the remap is strictly monotone, row order, sortedness
+    /// and distinctness are all preserved.
+    ///
+    /// # Panics
+    /// Panics if some code has no remap entry.
+    pub fn remapped(&self, remap: &[u32]) -> EncodedRelation {
+        EncodedRelation {
+            rows: self.rows,
+            cols: self
+                .cols
+                .iter()
+                .map(|c| c.iter().map(|&x| remap[x as usize]).collect())
+                .collect(),
+        }
+    }
+
     /// Decode row `row` back into an owned [`Tuple`].
     pub fn decode_row(&self, row: usize, dict: &Dictionary) -> Tuple {
         self.cols
@@ -313,6 +335,25 @@ mod tests {
         other.push_row(&[]);
         enc.semijoin(&[], &other, &[]);
         assert_eq!(enc.len(), 4);
+    }
+
+    // ("remapped never bumps relation_encode_count" is asserted in
+    // tests/updates.rs, which serializes on a mutex — the process-wide
+    // counter cannot be exactly asserted from parallel unit tests.)
+    #[test]
+    fn remapped_is_a_pure_gather() {
+        let (_, mut enc) = setup();
+        enc.normalize();
+        // Shift every code up by one (as if one value was inserted below
+        // the whole domain).
+        let remap: Vec<u32> = (1..=4).collect();
+        let out = enc.remapped(&remap);
+        assert_eq!(out.len(), enc.len());
+        for r in 0..enc.len() {
+            for p in 0..enc.arity() {
+                assert_eq!(out.code(r, p), enc.code(r, p) + 1);
+            }
+        }
     }
 
     #[test]

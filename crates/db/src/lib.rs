@@ -22,8 +22,8 @@ pub mod snapshot;
 pub mod tuple;
 pub mod value;
 
-pub use database::Database;
-pub use dict::Dictionary;
+pub use database::{Database, MutationLog, RelationDelta};
+pub use dict::{DictDelta, Dictionary};
 pub use encoded::{relation_encode_count, EncodedRelation};
 pub use relation::Relation;
 pub use snapshot::Snapshot;

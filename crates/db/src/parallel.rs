@@ -55,6 +55,20 @@ where
         .collect()
 }
 
+/// Map `f` over a slice's items, positionally — [`map_indexed`] for
+/// callers holding the inputs in a slice. Used by
+/// [`Snapshot::freeze_delta`](crate::Snapshot::freeze_delta) to fan the
+/// re-encoding work out over exactly the *dirty* relation set (the
+/// clean ones never enter the slice).
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_indexed(items.len(), |i| f(&items[i]))
+}
+
 /// Run `f(i, &mut items[i])` for every item, in parallel over scoped
 /// workers. Mutations are per-slot, so the result is deterministic.
 pub fn for_each_mut<T, F>(items: &mut [T], f: F)
@@ -131,6 +145,14 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn map_over_slices_is_positional() {
+        let items: Vec<String> = (0..9).map(|i| format!("x{i}")).collect();
+        let got = map(&items, |s| s.len());
+        assert_eq!(got, vec![2; 9]);
+        assert!(map(&Vec::<u8>::new(), |b| *b).is_empty());
     }
 
     #[test]

@@ -91,10 +91,23 @@ impl Relation {
         self.tuples.push(t);
     }
 
+    /// Remove every occurrence of `t`, returning how many were removed.
+    pub fn remove(&mut self, t: &Tuple) -> u64 {
+        let before = self.tuples.len();
+        self.tuples.retain(|x| x != t);
+        (before - self.tuples.len()) as u64
+    }
+
     /// Sort lexicographically and remove duplicates (set semantics).
     pub fn normalize(&mut self) {
         self.tuples.sort_unstable();
         self.tuples.dedup();
+    }
+
+    /// `true` when the tuples are already sorted and duplicate-free —
+    /// i.e. [`Relation::normalize`] would be a no-op.
+    pub fn is_normalized(&self) -> bool {
+        self.tuples.windows(2).all(|w| w[0] < w[1])
     }
 
     /// Rename this relation.

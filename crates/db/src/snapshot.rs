@@ -1,4 +1,4 @@
-//! Frozen, encode-once database snapshots.
+//! Frozen, encode-once database snapshots — now versioned.
 //!
 //! The access structures of the paper are built over an *immutable*
 //! database: preprocessing pays ⟨n log n⟩ once and every subsequent
@@ -14,16 +14,54 @@
 //! downstream re-encodes or clones relations; the paper's preprocessing
 //! phases run directly on the shared code-space columns.
 //!
+//! Live traffic mutates data, and a full re-freeze per mutation batch
+//! would re-intern the whole active domain. [`Snapshot::freeze_delta`]
+//! is the incremental path: it consults the database's
+//! [`MutationLog`](crate::database::MutationLog), extends the shared
+//! dictionary monotonically ([`Dictionary::extend`]), re-encodes **only
+//! the dirty relations** (fanning that work out over
+//! [`crate::parallel`] workers), and `Arc`-shares every clean
+//! relation's existing encoding into the next [`Snapshot::generation`].
+//! Per-relation [`Snapshot::relation_version`]s record, for each
+//! relation, the generation that last changed it — the signal the
+//! engine uses to carry prepared plans across generations.
+//!
 //! The process-wide counter [`crate::relation_encode_count`] records
-//! every relation encoding — the hook the encode-once contract is
-//! tested against.
+//! every relation encoding — the hook the encode-once contract (and its
+//! delta extension: *clean relations are never re-encoded*) is tested
+//! against.
 
 use crate::database::Database;
-use crate::dict::Dictionary;
+use crate::dict::{DictDelta, Dictionary};
 use crate::encoded::EncodedRelation;
 use crate::relation::Relation;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide snapshot identity: every snapshot gets a unique id so
+/// generation-aware caches can tell "the same lineage, one step later"
+/// from "an unrelated database that happens to share version numbers".
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_uid() -> u64 {
+    NEXT_UID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// How many ancestor uids a snapshot remembers. Plans cached against a
+/// snapshot more than this many generations back stop being
+/// carry-forward candidates (they are rebuilt instead — a conservative
+/// answer, never a wrong one); in exchange, delta freezes stay O(1) in
+/// the lineage length instead of cloning an ever-growing history.
+const MAX_ANCESTRY: usize = 1024;
+
+/// One relation's share of a snapshot: the `Arc`-shared columnar
+/// encoding plus the generation that last changed its content.
+#[derive(Debug, Clone)]
+struct EncodedEntry {
+    rel: Arc<EncodedRelation>,
+    version: u64,
+}
 
 /// An immutable, dictionary-encoded view of a [`Database`], shared via
 /// [`Arc`] between every structure built over it.
@@ -36,8 +74,14 @@ use std::sync::Arc;
 ///   domain (code order == value order, so every order-sensitive
 ///   operation can run on `u32` codes);
 /// * one columnar [`EncodedRelation`] per relation, normalized to set
-///   semantics (sorted + deduplicated), encoded exactly once at
-///   [`Database::freeze`] time.
+///   semantics (sorted + deduplicated), encoded exactly once — at
+///   [`Database::freeze`] time, or at the [`Snapshot::freeze_delta`]
+///   that last dirtied it.
+///
+/// Snapshots form a lineage: [`Database::freeze`] starts one at
+/// [`Snapshot::generation`] 0 and every [`Snapshot::freeze_delta`]
+/// appends a generation that `Arc`-shares everything the mutations did
+/// not touch.
 ///
 /// ```
 /// use rda_db::Database;
@@ -46,19 +90,37 @@ use std::sync::Arc;
 ///     .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2]])
 ///     .freeze();
 /// assert_eq!(snap.size(), 2);
+/// assert_eq!(snap.generation(), 0);
 /// assert_eq!(snap.dict().len(), 3); // {1, 2, 5}
 /// assert_eq!(snap.encoded("R").unwrap().len(), 2);
+///
+/// // Mutate a kept copy of the database and freeze the delta: a new
+/// // generation, re-encoding only what changed.
+/// let mut db = snap.database().clone();
+/// db.insert_into("R", rda_db::tup![7, 7]);
+/// let next = snap.freeze_delta(&mut db);
+/// assert_eq!(next.generation(), 1);
+/// assert_eq!(next.encoded("R").unwrap().len(), 3);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     db: Database,
-    dict: Dictionary,
-    encoded: BTreeMap<String, EncodedRelation>,
+    dict: Arc<Dictionary>,
+    encoded: BTreeMap<String, EncodedEntry>,
+    /// How many delta freezes separate this snapshot from its base
+    /// freeze (== `ancestry.len()`).
+    generation: u64,
+    /// This snapshot's process-unique identity.
+    uid: u64,
+    /// The uids of every ancestor, base freeze first.
+    ancestry: Arc<Vec<u64>>,
 }
 
 impl Snapshot {
-    /// Freeze `db`. Prefer calling [`Database::freeze`].
-    pub fn new(db: Database) -> Arc<Snapshot> {
+    /// Freeze `db` as a fresh generation-0 snapshot. Prefer calling
+    /// [`Database::freeze`].
+    pub fn new(mut db: Database) -> Arc<Snapshot> {
+        db.clear_mutation_log();
         let dict = Dictionary::from_relations(db.relations());
         // Encode each relation exactly once. The per-relation encodings
         // are independent, so fan them out over scoped workers; results
@@ -72,9 +134,141 @@ impl Snapshot {
         let encoded = rels
             .iter()
             .map(|r| r.name().to_string())
-            .zip(encoded_rels)
+            .zip(encoded_rels.into_iter().map(|rel| EncodedEntry {
+                rel: Arc::new(rel),
+                version: 0,
+            }))
             .collect();
-        Arc::new(Snapshot { db, dict, encoded })
+        Arc::new(Snapshot {
+            db,
+            dict: Arc::new(dict),
+            encoded,
+            generation: 0,
+            uid: fresh_uid(),
+            ancestry: Arc::new(Vec::new()),
+        })
+    }
+
+    /// Freeze the next generation of this snapshot from `db`, paying
+    /// only for what changed since `self` was frozen.
+    ///
+    /// `db` must be the database `self` was frozen from plus the
+    /// mutations its [`MutationLog`](crate::database::MutationLog)
+    /// records (the log is cleared on return, re-baselining `db` to the
+    /// returned snapshot). Three incremental moves replace the full
+    /// freeze:
+    ///
+    /// 1. **Dictionary extension** ([`Dictionary::extend`]): only the
+    ///    dirty relations are scanned for unseen values. If nothing new
+    ///    appeared the dictionary `Arc` itself is shared; values past
+    ///    the top of the domain are appended with existing codes kept
+    ///    stable; interior values rebase old codes through a monotone
+    ///    remap.
+    /// 2. **Dirty relations are re-encoded** — and *only* those, fanned
+    ///    out over [`crate::parallel`] workers. Clean relations keep
+    ///    their encoding `Arc` verbatim (stable codes) or receive a
+    ///    pure integer gather ([`EncodedRelation::remapped`], rebase
+    ///    case). Either way, [`crate::relation_encode_count`] moves by
+    ///    exactly the number of dirty relations.
+    /// 3. **Versions roll forward**: dirty relations get
+    ///    [`Snapshot::relation_version`] == the new generation, clean
+    ///    ones inherit theirs — so a cache can prove "this query's
+    ///    relations did not change" across any number of generations.
+    ///
+    /// An empty mutation log therefore yields a snapshot that shares
+    /// *everything* (`Arc::ptr_eq` dictionary and encodings) and only
+    /// bumps the generation.
+    ///
+    /// Structures already built on `self` keep serving the old
+    /// generation unchanged; nothing is mutated in place.
+    pub fn freeze_delta(&self, db: &mut Database) -> Arc<Snapshot> {
+        let generation = self.generation + 1;
+        // Dirty = mutated since `self`, or absent from `self` entirely
+        // (a relation added after the freeze has no encoding to reuse).
+        let dirty: Vec<&Relation> = db
+            .relations()
+            .filter(|r| {
+                db.mutation_log().is_dirty(r.name()) || !self.encoded.contains_key(r.name())
+            })
+            .collect();
+        // Unseen domain values can only hide in dirty relations.
+        // Deduplicate while scanning so a value repeated across a
+        // million cells is cloned once, not once per occurrence.
+        let mut fresh: std::collections::BTreeSet<crate::Value> = std::collections::BTreeSet::new();
+        for v in dirty
+            .iter()
+            .flat_map(|r| r.tuples().iter().flat_map(|t| t.iter()))
+        {
+            if self.dict.code(v).is_none() && !fresh.contains(v) {
+                fresh.insert(v.clone());
+            }
+        }
+        let (dict, remap) = match self.dict.extend(fresh) {
+            DictDelta::Unchanged => (Arc::clone(&self.dict), None),
+            DictDelta::Extended(d) => (Arc::new(d), None),
+            DictDelta::Rebased { dict, remap } => (Arc::new(dict), Some(remap)),
+        };
+
+        // Re-encode exactly the dirty set, in parallel.
+        let encoded_dirty: Vec<EncodedRelation> = crate::parallel::map(&dirty, |r| {
+            let mut enc = r.encode(&dict);
+            enc.normalize();
+            enc
+        });
+        let mut encoded: BTreeMap<String, EncodedEntry> = dirty
+            .iter()
+            .map(|r| r.name().to_string())
+            .zip(encoded_dirty.into_iter().map(|rel| EncodedEntry {
+                rel: Arc::new(rel),
+                version: generation,
+            }))
+            .collect();
+
+        // Clean relations carry over: shared verbatim when codes are
+        // stable, upgraded by a parallel gather when the dictionary was
+        // rebased. Content is unchanged either way, so the version is
+        // inherited. Relations dropped from `db` simply don't carry.
+        let clean: Vec<(&str, &EncodedEntry)> = db
+            .relations()
+            .filter(|r| !encoded.contains_key(r.name()))
+            .map(|r| (r.name(), &self.encoded[r.name()]))
+            .collect();
+        let carried: Vec<Arc<EncodedRelation>> = match &remap {
+            None => clean.iter().map(|(_, e)| Arc::clone(&e.rel)).collect(),
+            Some(remap) => crate::parallel::map(&clean, |(_, e)| Arc::new(e.rel.remapped(remap))),
+        };
+        for ((name, entry), rel) in clean.into_iter().zip(carried) {
+            encoded.insert(
+                name.to_string(),
+                EncodedEntry {
+                    rel,
+                    version: entry.version,
+                },
+            );
+        }
+
+        db.clear_mutation_log();
+        // Record lineage for cross-generation plan reuse. Uids are
+        // assigned in chain order, so the vec stays sorted ascending
+        // (binary-searchable); it is also bounded: beyond
+        // `MAX_ANCESTRY` generations the oldest ancestors are
+        // forgotten, which can only make `descends_from` — and
+        // therefore plan carry-forward — conservatively say "no" for
+        // plans that many generations stale.
+        let mut ancestry = (*self.ancestry).clone();
+        ancestry.push(self.uid);
+        if ancestry.len() > MAX_ANCESTRY {
+            let excess = ancestry.len() - MAX_ANCESTRY;
+            ancestry.drain(..excess);
+        }
+        Arc::new(Snapshot {
+            db: db.clone(),
+            dict,
+            encoded,
+            generation,
+            uid: fresh_uid(),
+            ancestry: Arc::new(ancestry),
+        })
     }
 
     /// The value-level database the snapshot was frozen from.
@@ -88,15 +282,59 @@ impl Snapshot {
         &self.dict
     }
 
+    /// The dictionary's `Arc` — for callers (and tests) checking that a
+    /// delta freeze shared rather than rebuilt it.
+    pub fn dict_arc(&self) -> &Arc<Dictionary> {
+        &self.dict
+    }
+
     /// A relation's value-level form.
     pub fn relation(&self, name: &str) -> Option<&Relation> {
         self.db.get(name)
     }
 
     /// A relation's dictionary-encoded columnar form, normalized to set
-    /// semantics. Encoded once, at freeze time.
+    /// semantics. Encoded once, at the freeze that last dirtied it.
     pub fn encoded(&self, name: &str) -> Option<&EncodedRelation> {
-        self.encoded.get(name)
+        self.encoded.get(name).map(|e| e.rel.as_ref())
+    }
+
+    /// A relation's encoding `Arc` — for callers (and tests) checking
+    /// that a delta freeze shared a clean relation's encoding.
+    pub fn encoded_arc(&self, name: &str) -> Option<&Arc<EncodedRelation>> {
+        self.encoded.get(name).map(|e| &e.rel)
+    }
+
+    /// The generation that last changed `name`'s content: 0 for
+    /// relations unchanged since the base freeze, and monotonically
+    /// rising with each delta freeze that found them dirty. Two
+    /// snapshots of one lineage agree on a relation's version iff its
+    /// content is unchanged between them.
+    pub fn relation_version(&self, name: &str) -> Option<u64> {
+        self.encoded.get(name).map(|e| e.version)
+    }
+
+    /// Which generation this snapshot is: 0 for [`Database::freeze`],
+    /// parent + 1 for each [`Snapshot::freeze_delta`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// This snapshot's process-unique identity (distinct even across
+    /// unrelated databases — generations are only comparable within one
+    /// lineage).
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// `true` when this snapshot is `uid` itself or was produced from
+    /// it by a chain of [`Snapshot::freeze_delta`] calls — the lineage
+    /// check behind cross-generation plan reuse. May conservatively
+    /// return `false` for ancestors further back than the bounded
+    /// ancestry window (1024 generations). O(log generations): uids are
+    /// assigned in chain order, so the ancestry is sorted.
+    pub fn descends_from(&self, uid: u64) -> bool {
+        self.uid == uid || self.ancestry.binary_search(&uid).is_ok()
     }
 
     /// Total number of tuples (the paper's `n`).
@@ -151,11 +389,131 @@ mod tests {
         assert_eq!(s.relation_count(), 2);
         assert!(s.encoded("T").is_none());
         assert!(s.relation("T").is_none());
+        assert!(s.relation_version("T").is_none());
     }
 
     #[test]
     fn snapshot_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Snapshot>();
+    }
+
+    #[test]
+    fn base_freeze_is_generation_zero_with_zero_versions() {
+        let s = snap();
+        assert_eq!(s.generation(), 0);
+        assert_eq!(s.relation_version("R"), Some(0));
+        assert_eq!(s.relation_version("S"), Some(0));
+        assert!(s.descends_from(s.uid()));
+    }
+
+    #[test]
+    fn delta_freeze_shares_clean_and_reencodes_dirty() {
+        let s = snap();
+        let mut db = s.database().clone();
+        db.insert_into("R", tup![9, 9]); // 9 > max(domain): append path
+        let s2 = s.freeze_delta(&mut db);
+        assert_eq!(s2.generation(), 1);
+        assert!(s2.descends_from(s.uid()));
+        assert!(!s.descends_from(s2.uid()));
+        // Clean S: the very same encoding Arc; dirty R: a new one.
+        assert!(Arc::ptr_eq(
+            s.encoded_arc("S").unwrap(),
+            s2.encoded_arc("S").unwrap()
+        ));
+        assert!(!Arc::ptr_eq(
+            s.encoded_arc("R").unwrap(),
+            s2.encoded_arc("R").unwrap()
+        ));
+        assert_eq!(s2.relation_version("R"), Some(1));
+        assert_eq!(s2.relation_version("S"), Some(0));
+        // Old codes survive verbatim (append path), 9 on top.
+        for v in [1i64, 2, 3, 5, 6] {
+            assert_eq!(
+                s2.dict().code(&Value::int(v)),
+                s.dict().code(&Value::int(v))
+            );
+        }
+        assert_eq!(s2.dict().code(&Value::int(9)), Some(5));
+        // The new row is served; the log was cleared.
+        assert_eq!(s2.encoded("R").unwrap().len(), 4);
+        assert!(db.mutation_log().is_empty());
+        // The old snapshot is untouched.
+        assert_eq!(s.encoded("R").unwrap().len(), 3);
+    }
+
+    // NOTE: the exact relation_encode_count() deltas ("only the dirty
+    // relation encodes") are asserted in tests/updates.rs, whose tests
+    // serialize on a file-local mutex — the counter is process-wide,
+    // so exact deltas are unsafe to assert from this parallel-threaded
+    // unit-test binary.
+    #[test]
+    fn delta_freeze_rebases_clean_relations_on_interior_values() {
+        let s = snap(); // domain {1, 2, 3, 5, 6}
+        let mut db = s.database().clone();
+        db.insert_into("R", tup![4, 4]); // interior: rebase path
+        let s2 = s.freeze_delta(&mut db);
+        // S's encoding was rebased (new Arc) but its content — and
+        // version — are unchanged.
+        assert!(!Arc::ptr_eq(
+            s.encoded_arc("S").unwrap(),
+            s2.encoded_arc("S").unwrap()
+        ));
+        assert_eq!(s2.relation_version("S"), Some(0));
+        let srel = s2.encoded("S").unwrap();
+        let decoded: Vec<_> = (0..srel.len())
+            .map(|i| srel.decode_row(i, s2.dict()))
+            .collect();
+        assert_eq!(decoded, vec![tup![5, 3]]);
+        assert_eq!(s2.dict().code(&Value::int(4)), Some(3));
+    }
+
+    #[test]
+    fn empty_delta_shares_everything_and_bumps_the_generation() {
+        let s = snap();
+        let mut db = s.database().clone();
+        let s2 = s.freeze_delta(&mut db);
+        assert_eq!(s2.generation(), 1);
+        assert_ne!(s2.uid(), s.uid());
+        assert!(Arc::ptr_eq(s.dict_arc(), s2.dict_arc()));
+        for name in ["R", "S"] {
+            assert!(Arc::ptr_eq(
+                s.encoded_arc(name).unwrap(),
+                s2.encoded_arc(name).unwrap()
+            ));
+            assert_eq!(s2.relation_version(name), Some(0));
+        }
+    }
+
+    #[test]
+    fn delta_freeze_handles_added_and_removed_relations() {
+        let s = snap();
+        let mut db = s.database().clone();
+        db.add(Relation::from_tuples("T", 1, vec![tup![100]]));
+        #[allow(deprecated)]
+        let _ = db.take("S");
+        let s2 = s.freeze_delta(&mut db);
+        assert_eq!(s2.relation_version("T"), Some(1));
+        assert!(s2.encoded("S").is_none(), "dropped relations don't carry");
+        assert_eq!(s2.relation_count(), 2);
+        assert_eq!(s2.dict().code(&Value::int(100)), Some(5));
+    }
+
+    #[test]
+    fn chained_deltas_keep_versions_and_lineage() {
+        let s0 = snap();
+        let mut db = s0.database().clone();
+        db.insert_into("R", tup![9, 9]);
+        let s1 = s0.freeze_delta(&mut db);
+        db.insert_into("S", tup![10, 10]);
+        let s2 = s1.freeze_delta(&mut db);
+        assert_eq!(s2.generation(), 2);
+        assert!(s2.descends_from(s0.uid()) && s2.descends_from(s1.uid()));
+        assert_eq!(s2.relation_version("R"), Some(1), "inherited from s1");
+        assert_eq!(s2.relation_version("S"), Some(2));
+        assert!(Arc::ptr_eq(
+            s1.encoded_arc("R").unwrap(),
+            s2.encoded_arc("R").unwrap()
+        ));
     }
 }

@@ -131,6 +131,40 @@
 //! });
 //! ```
 //!
+//! ## Live data: delta freezes and generations
+//!
+//! Snapshots are versioned. Keep the [`Database`](prelude::Database) as
+//! your mutable source of truth — [`insert_into`](prelude::Database::insert_into)
+//! and [`delete_from`](prelude::Database::delete_from) record a
+//! per-relation mutation log — and roll the served state forward
+//! incrementally: [`Snapshot::freeze_delta`](prelude::Snapshot::freeze_delta)
+//! re-encodes **only the dirty relations** (clean encodings are
+//! `Arc`-shared into the next generation) and
+//! [`Engine::advance`](prelude::Engine::advance) swaps the served
+//! snapshot atomically, carrying cached plans whose relations did not
+//! change and invalidating the rest.
+//!
+//! ```
+//! use ranked_access::prelude::*;
+//!
+//! let q = parse("Q(x, y) :- R(x, y)").unwrap();
+//! let mut db = Database::new().with_i64_rows("R", 2, vec![vec![1, 2]]);
+//! let engine = Engine::new(db.clone().freeze());       // generation 0
+//! db.clear_mutation_log();                             // db matches gen 0
+//! let plan = engine
+//!     .prepare(&q, OrderSpec::lex(&q, &["x", "y"]), &FdSet::empty(), Policy::Reject)
+//!     .unwrap();
+//! assert_eq!((plan.len(), plan.generation()), (1, 0));
+//!
+//! db.insert_into("R", [Value::int(3), Value::int(4)].into_iter().collect());
+//! engine.advance_delta(&mut db);                       // freeze delta + swap
+//! let fresh = engine
+//!     .prepare(&q, OrderSpec::lex(&q, &["x", "y"]), &FdSet::empty(), Policy::Reject)
+//!     .unwrap();
+//! assert_eq!((fresh.len(), fresh.generation()), (2, 1));
+//! assert_eq!(plan.len(), 1); // in-flight readers keep their generation
+//! ```
+//!
 //! When should you still use the deprecated stateless shim
 //! (`Engine::prepare_stateless(q, &db, ...)`)? Only for genuine
 //! one-shot scripts over small inputs, where freezing a shared

@@ -275,6 +275,181 @@ fn concurrent_prepare_converges_to_one_shared_plan() {
     assert_eq!(engine.plan_cache_len(), 1);
 }
 
+/// The generation-consistency contract of [`Engine::advance`]: readers
+/// racing a stream of delta freezes must never observe a tuple from a
+/// generation other than the one their plan reports. Every generation
+/// rewrites R wholesale with a distinct marker column, so a single
+/// tuple from the wrong generation is immediately visible.
+#[test]
+fn advance_race_never_serves_mixed_generations() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    const GENS: i64 = 12;
+    const ROWS: i64 = 32;
+    let rows = |marker: i64| -> Vec<Tuple> {
+        (0..ROWS)
+            .map(|i| [Value::int(i), Value::int(marker)].into_iter().collect())
+            .collect()
+    };
+    let q = parse("Q(x, g) :- R(x, g)").unwrap();
+    let mut db = Database::new().with(Relation::from_tuples("R", 2, rows(0)));
+    let engine = Engine::new(db.clone().freeze());
+    db.clear_mutation_log();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (engine, q, done) = (&engine, &q, &done);
+            s.spawn(move || {
+                let mut iterations = 0u64;
+                loop {
+                    let plan = engine
+                        .prepare(
+                            q,
+                            Spec::lex(q, &["x", "g"]),
+                            &FdSet::empty(),
+                            Policy::Reject,
+                        )
+                        .unwrap();
+                    let marker = Value::int(plan.generation() as i64);
+                    assert_eq!(plan.len(), ROWS as u64, "thread {t}");
+                    for tuple in plan.iter() {
+                        assert_eq!(
+                            tuple[1], marker,
+                            "thread {t}: tuple from generation {} served by a \
+                             generation-{} plan",
+                            tuple[1], marker
+                        );
+                    }
+                    iterations += 1;
+                    // Keep racing until the writer is done, then take
+                    // one final lap against the settled snapshot.
+                    if done.load(Ordering::Acquire) && iterations >= 2 {
+                        break;
+                    }
+                }
+            });
+        }
+        // The writer: one delta freeze + advance per generation, each
+        // rewriting R with its own marker.
+        for marker in 1..=GENS {
+            db.add(Relation::from_tuples("R", 2, rows(marker)));
+            let snap = engine.snapshot().freeze_delta(&mut db);
+            assert_eq!(engine.advance(snap), 0, "R is dirty every time");
+        }
+        done.store(true, Ordering::Release);
+    });
+    assert_eq!(engine.generation(), GENS as u64);
+    let settled = engine
+        .prepare(
+            &q,
+            Spec::lex(&q, &["x", "g"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    assert_eq!(settled.generation(), GENS as u64);
+    assert_eq!(
+        settled.access(0),
+        Some([Value::int(0), Value::int(GENS)].into_iter().collect())
+    );
+}
+
+/// Eviction and churn across generations: the LRU bound holds while
+/// threads hammer a mix of keys and the writer advances generations
+/// under them; carried (clean) plans stay pointer-identical, dirty
+/// ones rebuild against the new generation.
+#[test]
+fn generation_rekeyed_cache_bound_holds_under_churn() {
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let qs = parse("P(a, b) :- S(a, b)").unwrap();
+    let mut db = fig_db(48);
+    let engine = Engine::with_plan_cache_capacity(db.clone().freeze(), 3);
+    db.clear_mutation_log();
+    let clean_before = engine
+        .prepare(
+            &qs,
+            Spec::lex(&qs, &["a", "b"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    let dirty_before = engine
+        .prepare(
+            &q,
+            Spec::lex(&q, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    let orders: Vec<Vec<&str>> = vec![
+        vec!["x", "y", "z"],
+        vec!["y", "x", "z"],
+        vec!["z", "y", "x"],
+        vec!["y"],
+    ];
+    for round in 0..4u64 {
+        // Dirty R only; S — and the S-only plan — stays clean.
+        db.insert_into(
+            "R",
+            [Value::int(100 + round as i64), Value::int(1)]
+                .into_iter()
+                .collect(),
+        );
+        engine.advance_delta(&mut db);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let (engine, q, orders) = (&engine, &q, &orders);
+                s.spawn(move || {
+                    for i in 0..12 {
+                        let names = &orders[(t + i) % orders.len()];
+                        let plan = engine
+                            .prepare(q, Spec::lex(q, names), &FdSet::empty(), Policy::Reject)
+                            .unwrap();
+                        assert_eq!(plan.generation(), engine.generation());
+                        assert!(plan.access(0).is_some());
+                    }
+                });
+            }
+        });
+        assert!(engine.plan_cache_len() <= 3, "cache bound violated");
+    }
+    // Dirty plans were invalidated: preparing the original key now
+    // yields a fresh structure at the current generation.
+    let dirty_after = engine
+        .prepare(
+            &q,
+            Spec::lex(&q, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    assert!(!Arc::ptr_eq(&dirty_before, &dirty_after));
+    assert_eq!(dirty_after.generation(), 4);
+    assert_eq!(
+        dirty_before.generation(),
+        0,
+        "old readers keep generation 0"
+    );
+    // The clean plan may have been evicted by churn (capacity 3), but
+    // if re-prepared it must still serve identical answers.
+    let clean_after = engine
+        .prepare(
+            &qs,
+            Spec::lex(&qs, &["a", "b"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    assert_eq!(
+        (0..clean_after.len())
+            .map(|k| clean_after.access(k))
+            .collect::<Vec<_>>(),
+        (0..clean_before.len())
+            .map(|k| clean_before.access(k))
+            .collect::<Vec<_>>(),
+        "S never changed"
+    );
+}
+
 /// Cache semantics under churn: the bound holds while many threads
 /// prepare distinct keys concurrently.
 #[test]

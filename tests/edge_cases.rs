@@ -220,6 +220,103 @@ fn quantile_trait_is_usable_through_prelude() {
     assert_eq!(da.range_count(&lo, &hi), Some(10));
 }
 
+/// Degenerate window shapes on every backend the router serves:
+/// `top_k(0)`, pages starting at or past the end, ranges beyond the
+/// answer count, and streams resumed exactly at `len()`. All must
+/// return cleanly empty results — never panic, never wrap, never
+/// over-fetch.
+#[test]
+fn window_edges_top_k_zero_pages_past_end_stream_at_len() {
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let qcov = parse("Q(x, y) :- R(x, y), S(y, z)").unwrap();
+    let qproj = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+    let db = Database::new()
+        .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+        .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]]);
+    let engine = Engine::new(db.freeze());
+    let plans = vec![
+        engine
+            .prepare(
+                &q,
+                OrderSpec::lex(&q, &["x", "y", "z"]),
+                &no_fds(),
+                Policy::Reject,
+            )
+            .unwrap(), // native lex
+        engine
+            .prepare(&qcov, OrderSpec::sum_by_value(), &no_fds(), Policy::Reject)
+            .unwrap(), // native sum
+        engine
+            .prepare(
+                &q,
+                OrderSpec::lex(&q, &["x", "z", "y"]),
+                &no_fds(),
+                Policy::Reject,
+            )
+            .unwrap(), // lazy lex selection
+        engine
+            .prepare(&q, OrderSpec::sum_by_value(), &no_fds(), Policy::Reject)
+            .unwrap(), // lazy sum selection
+        engine
+            .prepare(
+                &qproj,
+                OrderSpec::lex(&qproj, &["x", "z"]),
+                &no_fds(),
+                Policy::Materialize,
+            )
+            .unwrap(), // materialized fallback
+    ];
+    for plan in &plans {
+        let len = plan.len();
+        let backend = plan.backend();
+        assert!(len > 0, "{backend}: non-degenerate fixture");
+
+        assert_eq!(plan.top_k(0), Vec::<Tuple>::new(), "{backend}: top_k(0)");
+        let mut buf = WindowBuf::new();
+        buf.push_tuple(&plan.access(0).unwrap()); // pre-dirty the buffer
+        assert_eq!(plan.window_into(0..0, &mut buf), 0, "{backend}");
+        assert!(buf.is_empty(), "{backend}: empty refill clears the buffer");
+
+        // Pages starting at the end, fully past it, and overflowing.
+        assert_eq!(
+            plan.page(len, 3),
+            Vec::<Tuple>::new(),
+            "{backend}: page at len"
+        );
+        assert_eq!(
+            plan.page(len + 10, 3),
+            Vec::<Tuple>::new(),
+            "{backend}: page past end"
+        );
+        assert_eq!(
+            plan.page(u64::MAX, 5),
+            Vec::<Tuple>::new(),
+            "{backend}: page at u64::MAX"
+        );
+        assert_eq!(
+            plan.access_range(len..len + 4),
+            Vec::<Tuple>::new(),
+            "{backend}"
+        );
+        // A window straddling the end is clamped, not truncated to
+        // nothing.
+        assert_eq!(
+            plan.access_range(len - 1..len + 4),
+            vec![plan.access(len - 1).unwrap()],
+            "{backend}: straddling window clamps"
+        );
+
+        // Streams resumed at (and past) the end are immediately done;
+        // resumed one before the end, they yield exactly the last row.
+        let mut at_end = plan.stream_from(len);
+        assert_eq!(at_end.next(), None, "{backend}: stream at len()");
+        let mut past_end = plan.stream_from(len + 7);
+        assert_eq!(past_end.next(), None, "{backend}: stream past len()");
+        let tail: Vec<Tuple> = plan.stream_from(len - 1).collect();
+        assert_eq!(tail, vec![plan.access(len - 1).unwrap()], "{backend}");
+    }
+}
+
 #[test]
 fn weights_on_shared_variable_count_once() {
     // x + y + z with the join variable y weighted: each answer counts

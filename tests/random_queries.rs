@@ -78,25 +78,87 @@ fn random_db(rng: &mut StdRng, q: &Cq, rows: usize, domain: i64) -> Database {
     db
 }
 
-/// Pick a random order; retry until the classifier accepts one (the
-/// empty order always does, so this terminates).
-fn random_tractable_order(rng: &mut StdRng, q: &Cq) -> Vec<VarId> {
+/// Pick a random order; retry until the classifier accepts one under
+/// `fds` (the empty order always does, so this terminates).
+fn random_tractable_order_under(rng: &mut StdRng, q: &Cq, fds: &FdSet) -> Vec<VarId> {
     let mut vars: Vec<VarId> = q.free().to_vec();
     for _ in 0..20 {
         vars.shuffle(rng);
         let len = rng.random_range(0..=vars.len());
         let lex: Vec<VarId> = vars[..len].to_vec();
-        if classify(
-            &q.clone(),
-            &FdSet::empty(),
-            &Problem::DirectAccessLex(lex.clone()),
-        )
-        .is_tractable()
-        {
+        if classify(q, fds, &Problem::DirectAccessLex(lex.clone())).is_tractable() {
             return lex;
         }
     }
     Vec::new()
+}
+
+fn random_tractable_order(rng: &mut StdRng, q: &Cq) -> Vec<VarId> {
+    random_tractable_order_under(rng, q, &FdSet::empty())
+}
+
+/// Draw up to one random unary FD on an atom with at least two
+/// variables (or none at all) — enough to put the classifier's
+/// FD-extension machinery on the random path without making instance
+/// repair ambiguous.
+fn random_fd_set(rng: &mut StdRng, q: &Cq) -> FdSet {
+    if rng.random_range(0..3) == 0 {
+        return FdSet::empty();
+    }
+    let candidates: Vec<usize> = (0..q.atoms().len())
+        .filter(|&i| q.atoms()[i].terms.len() >= 2)
+        .collect();
+    let Some(&ai) = candidates.get(rng.random_range(0..candidates.len().max(1))) else {
+        return FdSet::empty();
+    };
+    let atom = &q.atoms()[ai];
+    let lp = rng.random_range(0..atom.terms.len());
+    let mut rp = rng.random_range(0..atom.terms.len());
+    if rp == lp {
+        rp = (rp + 1) % atom.terms.len();
+    }
+    FdSet::parse(
+        q,
+        &[(
+            atom.relation.as_str(),
+            q.var_name(atom.terms[lp]),
+            q.var_name(atom.terms[rp]),
+        )],
+    )
+}
+
+/// Rewrite `db` so every declared FD holds: within each FD's relation,
+/// the first tuple seen for a left-hand value fixes the right-hand
+/// value of all its successors.
+fn repair_fds(db: &mut Database, q: &Cq, fds: &FdSet) {
+    use std::collections::HashMap;
+    for fd in fds.iter() {
+        let atom = q
+            .atoms()
+            .iter()
+            .find(|a| a.relation == fd.relation)
+            .expect("FD names a query atom");
+        let lp = atom.terms.iter().position(|&t| t == fd.lhs).unwrap();
+        let rp = atom.terms.iter().position(|&t| t == fd.rhs).unwrap();
+        let rel = db.get(&fd.relation).expect("relation exists");
+        let mut witness: HashMap<Value, Value> = HashMap::new();
+        let repaired: Vec<Tuple> = rel
+            .tuples()
+            .iter()
+            .map(|t| {
+                let rhs = witness
+                    .entry(t[lp].clone())
+                    .or_insert_with(|| t[rp].clone())
+                    .clone();
+                t.iter()
+                    .enumerate()
+                    .map(|(p, v)| if p == rp { rhs.clone() } else { v.clone() })
+                    .collect()
+            })
+            .collect();
+        let arity = rel.arity();
+        db.add(Relation::from_tuples(fd.relation.clone(), arity, repaired));
+    }
 }
 
 #[test]
@@ -142,6 +204,102 @@ fn random_acyclic_full_queries_match_oracle() {
         }
     }
     assert!(tractable_hits > 0);
+}
+
+/// Random queries with random FD sets and random *windowed* access:
+/// the classifier's FD-extension path, and the pagination surface
+/// (`access_range` / `top_k` / `page` / resumable streams), both under
+/// differential test against the sorted-oracle — previously only plain
+/// per-rank access was fuzzed, and only without FDs.
+#[test]
+fn random_queries_with_fds_windows_and_streams_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(20260729);
+    let mut fd_rounds = 0;
+    let mut fd_rescued = 0;
+    for round in 0..150 {
+        let q = random_full_acyclic(&mut rng, 1 + (round % 4), 7);
+        let mut db = random_db(&mut rng, &q, 2 + (round % 10), 5);
+        let fds = random_fd_set(&mut rng, &q);
+        repair_fds(&mut db, &q, &fds);
+        if !fds.is_empty() {
+            fd_rounds += 1;
+        }
+        let lex = random_tractable_order_under(&mut rng, &q, &fds);
+        // Track how often the FDs *rescued* an order the plain
+        // classifier rejects — the extension path proper.
+        if !fds.is_empty()
+            && !classify(&q, &FdSet::empty(), &Problem::DirectAccessLex(lex.clone())).is_tractable()
+        {
+            fd_rescued += 1;
+        }
+        let da = LexDirectAccess::build(&q, &db, &lex, &fds)
+            .unwrap_or_else(|e| panic!("round {round}: {q} with {lex:?}: {e}"));
+
+        // Oracle: answers sorted by the structure's internal complete
+        // order. Under FDs the completion may omit functionally
+        // determined variables; the comparator is still total on
+        // answers (determined components agree whenever the rest do).
+        let mut oracle = all_answers(&q, &db);
+        let positions: Vec<usize> = da
+            .internal_order()
+            .iter()
+            .map(|v| q.free().iter().position(|f| f == v).expect("full query"))
+            .collect();
+        oracle.sort_by(|a, b| {
+            positions
+                .iter()
+                .map(|&p| a[p].cmp(&b[p]))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let got: Vec<Tuple> = da.iter().collect();
+        assert_eq!(got, oracle, "round {round}: {q} by {lex:?} under {fds:?}");
+
+        // The windowed surface against oracle slices, clamping
+        // included.
+        let len = da.len();
+        let windows = [
+            (0, len.min(3)),
+            (len / 3, (len / 3 + 4).min(len)),
+            (len.saturating_sub(2), len),
+            (len, len + 2),
+            (len + 3, len + 6),
+        ];
+        for (lo, hi) in windows {
+            let expect = &oracle[lo.min(len) as usize..hi.min(len) as usize];
+            assert_eq!(
+                da.access_range(lo..hi),
+                expect,
+                "round {round}: window {lo}..{hi} of {q}"
+            );
+        }
+        assert_eq!(da.top_k(4), oracle[..len.min(4) as usize], "round {round}");
+        assert_eq!(
+            da.page(len / 2, 3),
+            oracle[(len / 2) as usize..(len / 2 + 3).min(len) as usize],
+            "round {round}"
+        );
+
+        // Inverted access round-trips on a sample (FD derivations
+        // included).
+        for (k, t) in got.iter().enumerate().take(12) {
+            assert_eq!(da.inverted_access(t), Some(k as u64), "round {round}");
+        }
+
+        // Streams: full, resumed mid-way, and partially consumed.
+        let answers = RankedAnswers::Lex(da);
+        let streamed: Vec<Tuple> = answers.stream().collect();
+        assert_eq!(streamed, oracle, "round {round}: stream of {q}");
+        let resumed: Vec<Tuple> = answers.stream_from(len / 2).collect();
+        assert_eq!(resumed, oracle[(len / 2) as usize..], "round {round}");
+        let prefix: Vec<Tuple> = answers.stream().take(3).collect();
+        assert_eq!(prefix, oracle[..len.min(3) as usize], "round {round}");
+    }
+    assert!(fd_rounds > 40, "FD sets must be drawn often ({fd_rounds})");
+    assert!(
+        fd_rescued > 0,
+        "some rounds must exercise FD-rescued orders"
+    );
 }
 
 #[test]

@@ -1,0 +1,490 @@
+//! The differential update-fuzz suite: versioned snapshots under
+//! random mutation traffic, checked against a rebuild-from-scratch
+//! oracle after every generation.
+//!
+//! Two families of guarantees are enforced here:
+//!
+//! * **Correctness under mutation** — after any interleaving of
+//!   inserts, deletes, delta freezes and queries, every backend the
+//!   engine can route to (native lex/sum direct access, both lazy
+//!   selection handles, the materialized fallback) must serve exactly
+//!   what a from-scratch rebuild over the current data serves —
+//!   including `rank_of_lower_bound` and the windowed/streamed access
+//!   surface.
+//! * **Incrementality** — `freeze_delta` re-encodes *only* the dirty
+//!   relations (proved through the process-wide
+//!   [`relation_encode_count`] hook), shares clean encodings by `Arc`,
+//!   and the engine carries clean-query plans across generations by
+//!   pointer identity while dirty-query plans rebuild.
+//!
+//! Every test takes the file-local [`guard`] lock: the encode counter
+//! is process-wide, and this binary is the one place its deltas are
+//! asserted exactly.
+
+use proptest::prelude::*;
+use ranked_access::prelude::*;
+use ranked_access::rda_db::relation_encode_count;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Serialize the tests in this binary (see module docs).
+fn guard() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn t1(a: i64) -> Tuple {
+    [Value::int(a)].into_iter().collect()
+}
+
+fn t2(a: i64, b: i64) -> Tuple {
+    [Value::int(a), Value::int(b)].into_iter().collect()
+}
+
+fn no_fds() -> FdSet {
+    FdSet::empty()
+}
+
+/// Compare one plan against the oracle's answer array on the full
+/// direct-access surface: every rank, inverted access, out-of-bounds,
+/// windows, pages and resumed streams.
+fn check_plan_against(plan: &AccessPlan, oracle: &[Tuple], ctx: &str) {
+    assert_eq!(plan.len(), oracle.len() as u64, "{ctx}: answer count");
+    for (k, expect) in oracle.iter().enumerate() {
+        let k = k as u64;
+        assert_eq!(plan.access(k).as_ref(), Some(expect), "{ctx}: access({k})");
+        assert_eq!(
+            plan.inverted_access(expect),
+            Some(k),
+            "{ctx}: inverted_access({expect})"
+        );
+    }
+    assert_eq!(plan.access(plan.len()), None, "{ctx}: out of bounds");
+
+    // Windows & pages, including clamped and empty shapes.
+    let len = plan.len();
+    let ranges = [0..len, 0..len.min(3), len / 2..len + 7, len..len + 3];
+    for r in ranges {
+        let expect: Vec<Tuple> =
+            oracle[(r.start.min(len) as usize)..(r.end.min(len) as usize)].to_vec();
+        assert_eq!(plan.access_range(r.clone()), expect, "{ctx}: window {r:?}");
+    }
+    assert_eq!(
+        plan.top_k(2),
+        oracle[..oracle.len().min(2)].to_vec(),
+        "{ctx}: top_k"
+    );
+    assert_eq!(
+        plan.page(1, 4),
+        oracle[1.min(oracle.len())..oracle.len().min(5)].to_vec(),
+        "{ctx}: page"
+    );
+
+    // Streams, fresh and resumed mid-way.
+    let streamed: Vec<Tuple> = plan.stream().collect();
+    assert_eq!(streamed, oracle, "{ctx}: full stream");
+    let resumed: Vec<Tuple> = plan.stream_from(len / 2).collect();
+    assert_eq!(
+        resumed,
+        oracle[(len / 2) as usize..],
+        "{ctx}: resumed stream"
+    );
+}
+
+/// Check the currently served generation of `engine` against
+/// rebuild-from-scratch oracles on every routable backend.
+fn verify_generation(db: &Database, engine: &Engine) {
+    let snap = engine.snapshot();
+    assert_eq!(
+        snap.database(),
+        db,
+        "the served snapshot must reflect the source of truth"
+    );
+
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let qcov = parse("Q(x, y) :- R(x, y), S(y, z)").unwrap();
+    let qproj = parse("Q(x, z) :- R(x, y), S(y, z)").unwrap();
+
+    // Native lex direct access vs materialize-and-sort rebuild.
+    let lex_oracle = MaterializedAccess::by_lex(&q, db, &q.vars(&["x", "y", "z"]));
+    let plan = engine
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            &no_fds(),
+            Policy::Reject,
+        )
+        .unwrap();
+    assert_eq!(plan.backend(), Backend::LexDirectAccess);
+    let oracle: Vec<Tuple> = lex_oracle.iter().collect();
+    check_plan_against(&plan, &oracle, "lex-da");
+
+    // rank_of_lower_bound (Remark 3) on answers and a probe grid, vs
+    // counting the strictly-smaller answers by hand.
+    let RankedAnswers::Lex(da) = plan.answers() else {
+        panic!("expected the native lex backend");
+    };
+    let probes = oracle
+        .iter()
+        .cloned()
+        .chain((-1..7).flat_map(|a| (0..7).map(move |b| t2(a, b).concat(&t1((a + b) % 5)))));
+    for probe in probes {
+        let expect = oracle.iter().filter(|t| **t < probe).count() as u64;
+        assert_eq!(
+            da.rank_of_lower_bound(&probe),
+            Some(expect),
+            "lower bound of {probe}"
+        );
+    }
+
+    // Lazy lex selection on the trio-blocked order <x, z, y>.
+    let trio = q.vars(&["x", "z", "y"]);
+    let trio_oracle: Vec<Tuple> = MaterializedAccess::by_lex(&q, db, &trio).iter().collect();
+    let plan = engine
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "z", "y"]),
+            &no_fds(),
+            Policy::Reject,
+        )
+        .unwrap();
+    assert_eq!(plan.backend(), Backend::SelectionLex);
+    check_plan_against(&plan, &trio_oracle, "selection-lex");
+
+    // Lazy sum selection (fmh = 2) with identity weights.
+    let by_weight = |v: VarId, val: &Value| {
+        let _ = v;
+        val.as_int().map_or(0.0, |i| i as f64)
+    };
+    let sum_oracle: Vec<Tuple> = MaterializedAccess::by_sum(&q, db, by_weight)
+        .iter()
+        .collect();
+    let plan = engine
+        .prepare(&q, OrderSpec::sum_by_value(), &no_fds(), Policy::Reject)
+        .unwrap();
+    assert_eq!(plan.backend(), Backend::SelectionSum);
+    check_plan_against(&plan, &sum_oracle, "selection-sum");
+
+    // Native sum direct access (one atom covers the free variables).
+    let cov_oracle: Vec<Tuple> = MaterializedAccess::by_sum(&qcov, db, by_weight)
+        .iter()
+        .collect();
+    let plan = engine
+        .prepare(&qcov, OrderSpec::sum_by_value(), &no_fds(), Policy::Reject)
+        .unwrap();
+    assert_eq!(plan.backend(), Backend::SumDirectAccess);
+    check_plan_against(&plan, &cov_oracle, "sum-da");
+
+    // The materialized fallback on a non-free-connex projection.
+    let proj_oracle: Vec<Tuple> = MaterializedAccess::by_lex(&qproj, db, &qproj.vars(&["x", "z"]))
+        .iter()
+        .collect();
+    let plan = engine
+        .prepare(
+            &qproj,
+            OrderSpec::lex(&qproj, &["x", "z"]),
+            &no_fds(),
+            Policy::Materialize,
+        )
+        .unwrap();
+    assert_eq!(plan.backend(), Backend::Materialized);
+    check_plan_against(&plan, &proj_oracle, "materialized");
+}
+
+/// Run one mutation script: ops are (kind, a, b) with kind selecting
+/// insert/delete/freeze. Every freeze asserts the exact encode count
+/// (== dirty relations) and re-verifies every backend.
+fn run_mutation_script(ops: &[(u8, i64, i64)]) -> Result<(), String> {
+    let mut db = Database::new()
+        .with_i64_rows("R", 2, vec![vec![0, 1], vec![1, 2]])
+        .with_i64_rows("S", 2, vec![vec![1, 3], vec![2, 0]])
+        .with_i64_rows("T", 1, vec![vec![0]]); // never mutated
+    let engine = Engine::new(db.clone().freeze());
+    db.clear_mutation_log();
+    verify_generation(&db, &engine);
+
+    let mut dirty_since_freeze = false;
+    for &(kind, a, b) in ops {
+        match kind % 5 {
+            0 => {
+                db.insert_into("R", t2(a, b));
+                dirty_since_freeze = true;
+            }
+            1 => {
+                db.insert_into("S", t2(a, b));
+                dirty_since_freeze = true;
+            }
+            k @ (2 | 3) => {
+                // Delete an *existing* tuple (by index) so deletions
+                // actually bite instead of mostly missing.
+                let name = if k == 2 { "R" } else { "S" };
+                let victim = {
+                    let tuples = db.get(name).unwrap().tuples();
+                    if tuples.is_empty() {
+                        continue;
+                    }
+                    tuples[(a.unsigned_abs() as usize) % tuples.len()].clone()
+                };
+                let removed = db.delete_from(name, &victim);
+                if removed == 0 {
+                    return Err(format!("existing tuple {victim} must delete"));
+                }
+                dirty_since_freeze = true;
+            }
+            _ => {
+                freeze_and_verify(&mut db, &engine)?;
+                dirty_since_freeze = false;
+            }
+        }
+    }
+    if dirty_since_freeze {
+        freeze_and_verify(&mut db, &engine)?;
+    }
+    // T was never touched: its version — and its very encoding — date
+    // from generation 0.
+    let snap = engine.snapshot();
+    if snap.relation_version("T") != Some(0) {
+        return Err("untouched relation must keep version 0".to_string());
+    }
+    Ok(())
+}
+
+fn freeze_and_verify(db: &mut Database, engine: &Engine) -> Result<(), String> {
+    let dirty = db.mutation_log().dirty_count() as u64;
+    let gen_before = engine.generation();
+    let before = relation_encode_count();
+    let snap = engine.snapshot().freeze_delta(db);
+    let encoded = relation_encode_count() - before;
+    if encoded != dirty {
+        return Err(format!(
+            "freeze_delta encoded {encoded} relations, but only {dirty} were dirty"
+        ));
+    }
+    engine.advance(Arc::clone(&snap));
+    if engine.generation() != gen_before + 1 {
+        return Err("advance must serve the next generation".to_string());
+    }
+    verify_generation(db, engine);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline property: random interleavings of inserts, deletes,
+    /// delta freezes and queries are indistinguishable — on every
+    /// backend, over every generation — from rebuilding from scratch.
+    #[test]
+    fn update_fuzz_matches_rebuild_oracle(
+        ops in proptest::collection::vec((0u8..5, -2i64..7, 0i64..7), 8..48),
+    ) {
+        let _g = guard();
+        run_mutation_script(&ops)?;
+    }
+}
+
+/// The acceptance-criterion workload, pinned deterministically: eight
+/// relations, one dirtied — `freeze_delta` must re-encode exactly one
+/// relation, `Arc`-share the other seven, and the engine must carry
+/// the seven clean plans by pointer identity while the dirty one
+/// rebuilds.
+#[test]
+fn one_dirty_of_eight_shares_seven_and_carries_their_plans() {
+    let _g = guard();
+    let mut db = Database::new();
+    for i in 0..8 {
+        db.add(Relation::from_tuples(
+            format!("R{i}"),
+            2,
+            (0..20i64)
+                .map(|j| t2(j * 2, (j * 7 + i as i64) % 19))
+                .collect(),
+        ));
+    }
+    let queries: Vec<Cq> = (0..8)
+        .map(|i| parse(&format!("Q{i}(x, y) :- R{i}(x, y)")).unwrap())
+        .collect();
+    let engine = Engine::new(db.clone().freeze());
+    db.clear_mutation_log();
+    let snap0 = engine.snapshot();
+    let plans: Vec<Arc<AccessPlan>> = queries
+        .iter()
+        .map(|q| {
+            engine
+                .prepare(q, OrderSpec::lex(q, &["x", "y"]), &no_fds(), Policy::Reject)
+                .unwrap()
+        })
+        .collect();
+
+    // Dirty exactly R0 — with an interior value, so even the rebase
+    // path must leave the clean seven un-encoded.
+    db.insert_into("R0", t2(1, 1));
+    let before = relation_encode_count();
+    let snap1 = engine.snapshot().freeze_delta(&mut db);
+    assert_eq!(
+        relation_encode_count() - before,
+        1,
+        "freeze_delta must re-encode exactly the one dirty relation"
+    );
+    for i in 1..8 {
+        let name = format!("R{i}");
+        assert_eq!(snap1.relation_version(&name), Some(0), "{name} stays clean");
+    }
+    assert_eq!(snap1.relation_version("R0"), Some(1));
+
+    let carried = engine.advance(Arc::clone(&snap1));
+    assert_eq!(carried, 7, "the seven clean plans carry forward");
+    for (i, q) in queries.iter().enumerate() {
+        let again = engine
+            .prepare(q, OrderSpec::lex(q, &["x", "y"]), &no_fds(), Policy::Reject)
+            .unwrap();
+        if i == 0 {
+            assert!(!Arc::ptr_eq(&plans[0], &again), "dirty plan rebuilds");
+            assert_eq!(again.len(), 21);
+        } else {
+            assert!(Arc::ptr_eq(&plans[i], &again), "clean plan {i} is carried");
+        }
+    }
+    // In-flight readers of generation 0 still see generation 0.
+    assert_eq!(plans[0].len(), 20);
+    drop(snap0);
+}
+
+/// A relation emptied by deletes is a legitimate generation: plans see
+/// zero answers, and a later re-fill brings them back.
+#[test]
+fn relation_emptied_by_deletes_then_refrozen() {
+    let _g = guard();
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let mut db = Database::new()
+        .with_i64_rows("R", 2, vec![vec![1, 5], vec![6, 2]])
+        .with_i64_rows("S", 2, vec![vec![5, 3], vec![2, 5]]);
+    let engine = Engine::new(db.clone().freeze());
+    db.clear_mutation_log();
+
+    for t in [t2(1, 5), t2(6, 2)] {
+        assert_eq!(db.delete_from("R", &t), 1);
+    }
+    assert!(db.get("R").unwrap().is_empty());
+    engine.advance_delta(&mut db);
+    verify_generation(&db, &engine);
+    let plan = engine
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            &no_fds(),
+            Policy::Reject,
+        )
+        .unwrap();
+    assert!(plan.is_empty());
+    assert_eq!(plan.top_k(3), Vec::<Tuple>::new());
+    let mut stream = plan.stream();
+    assert_eq!(stream.next(), None);
+
+    // Refill and refreeze: answers return, the old empty generation is
+    // still what the old plan serves.
+    db.insert_into("R", t2(1, 5));
+    engine.advance_delta(&mut db);
+    verify_generation(&db, &engine);
+    let refilled = engine
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            &no_fds(),
+            Policy::Reject,
+        )
+        .unwrap();
+    assert_eq!(refilled.len(), 1);
+    assert!(plan.is_empty(), "generation pinning holds");
+}
+
+/// The empty-delta contract: a freeze with no recorded mutations shares
+/// *everything* by `Arc` under a fresh generation, and the engine
+/// carries every cached plan.
+#[test]
+fn empty_mutation_log_delta_is_a_shared_generation() {
+    let _g = guard();
+    let q = parse("Q(x, y) :- R(x, y)").unwrap();
+    let mut db = Database::new().with_i64_rows("R", 2, vec![vec![1, 2], vec![3, 4]]);
+    let engine = Engine::new(db.clone().freeze());
+    db.clear_mutation_log();
+    let plan = engine
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "y"]),
+            &no_fds(),
+            Policy::Reject,
+        )
+        .unwrap();
+
+    let snap0 = engine.snapshot();
+    let before = relation_encode_count();
+    let snap1 = snap0.freeze_delta(&mut db);
+    assert_eq!(relation_encode_count(), before, "nothing to encode");
+    assert_eq!(snap1.generation(), snap0.generation() + 1);
+    assert!(Arc::ptr_eq(snap0.dict_arc(), snap1.dict_arc()));
+    assert!(Arc::ptr_eq(
+        snap0.encoded_arc("R").unwrap(),
+        snap1.encoded_arc("R").unwrap()
+    ));
+
+    assert_eq!(engine.advance(snap1), 1);
+    let again = engine
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "y"]),
+            &no_fds(),
+            Policy::Reject,
+        )
+        .unwrap();
+    assert!(Arc::ptr_eq(&plan, &again));
+}
+
+/// Monotone dictionary extension, observed end to end: values past the
+/// top of the domain append codes (old encodings shared verbatim);
+/// interior values rebase clean encodings by a gather — but never
+/// re-encode them.
+#[test]
+fn dictionary_extension_paths_share_or_gather_clean_encodings() {
+    let _g = guard();
+    let mut db = Database::new()
+        .with_i64_rows("R", 2, vec![vec![10, 20]])
+        .with_i64_rows("S", 2, vec![vec![20, 30]]);
+    let snap0 = Database::freeze(db.clone());
+    db.clear_mutation_log();
+
+    // Append path: 40 > max(domain).
+    db.insert_into("R", t2(40, 40));
+    let snap1 = snap0.freeze_delta(&mut db);
+    assert!(Arc::ptr_eq(
+        snap0.encoded_arc("S").unwrap(),
+        snap1.encoded_arc("S").unwrap()
+    ));
+    for v in [10i64, 20, 30] {
+        assert_eq!(
+            snap1.dict().code(&Value::int(v)),
+            snap0.dict().code(&Value::int(v)),
+            "old codes stay stable on append"
+        );
+    }
+
+    // Rebase path: 15 lands inside the domain.
+    db.insert_into("R", t2(15, 15));
+    let before = relation_encode_count();
+    let snap2 = snap1.freeze_delta(&mut db);
+    assert_eq!(relation_encode_count() - before, 1, "only R encodes");
+    assert!(!Arc::ptr_eq(
+        snap1.encoded_arc("S").unwrap(),
+        snap2.encoded_arc("S").unwrap()
+    ));
+    // The gathered encoding decodes to the same content, in the same
+    // order, under the rebased dictionary.
+    let s = snap2.encoded("S").unwrap();
+    let rows: Vec<Tuple> = (0..s.len())
+        .map(|i| s.decode_row(i, snap2.dict()))
+        .collect();
+    assert_eq!(rows, vec![t2(20, 30)]);
+    assert_eq!(snap2.relation_version("S"), Some(0), "content unchanged");
+}
