@@ -2,7 +2,8 @@
 //!
 //! Usage: `cargo run --release -p rda_bench --bin experiments [id…]`
 //! where ids are `fig1 fig2 fig45 fig8 t33 t41 t61 t73 t8x t25 scale
-//! access serve window update`. With no arguments, all experiments run.
+//! access serve window update traffic`. With no arguments, all
+//! experiments run.
 //! The `access` id additionally writes `BENCH_access.json`
 //! (machine-readable median ns/op for the access hot paths,
 //! old-vs-new), `serve` writes `BENCH_serve.json` (encode-once vs
@@ -10,8 +11,11 @@
 //! throughput), `window` writes `BENCH_window.json` (per-tuple cost
 //! of windowed vs repeated single access across page sizes), and
 //! `update` writes `BENCH_update.json` (incremental `freeze_delta` vs
-//! full freeze, carried-forward vs rebuilt prepare); add `--smoke` for
-//! the small CI-sized variants.
+//! full freeze, carried-forward vs rebuilt prepare), and `traffic`
+//! writes `BENCH_traffic.json` (zipfian concurrent sessions through
+//! the `rda_serve` front door under interleaved update batches:
+//! throughput, p50/p95/p99 latency, and a bounded-queue overload
+//! scenario); add `--smoke` for the small CI-sized variants.
 
 use rda_bench::stats::{json_num, json_str, median, median_round_ns};
 use rda_bench::workloads;
@@ -30,6 +34,13 @@ fn ms(d: std::time::Duration) -> f64 {
 
 fn us(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e6
+}
+
+/// The host's available parallelism, recorded in every BENCH_*.json so
+/// thread-scaling (and throughput) numbers stay interpretable on
+/// single-core CI runners.
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
 }
 
 fn timed<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
@@ -832,11 +843,12 @@ fn access_bench(smoke: bool) {
     let median_speedup = median(speedups);
     let median_owned_speedup = median(owned_speedups);
     let json = format!(
-        "{{\n  \"schema\": \"bench_access/v1\",\n  \"command\": \"cargo run --release -p rda_bench --bin experiments -- access{}\",\n  \"mode\": {},\n  \"rounds\": {},\n  \"ops_per_round\": {},\n  \"median_access_speedup\": {},\n  \"median_access_owned_speedup\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"bench_access/v1\",\n  \"command\": \"cargo run --release -p rda_bench --bin experiments -- access{}\",\n  \"mode\": {},\n  \"rounds\": {},\n  \"ops_per_round\": {},\n  \"host_parallelism\": {},\n  \"median_access_speedup\": {},\n  \"median_access_owned_speedup\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         if smoke { " --smoke" } else { "" },
         json_str(if smoke { "smoke" } else { "full" }),
         rounds,
         ops,
+        host_parallelism(),
         json_num(median_speedup),
         json_num(median_owned_speedup),
         rows.iter().map(AccessRow::json).collect::<Vec<_>>().join(",\n"),
@@ -1072,10 +1084,11 @@ fn window_bench(smoke: bool) {
         "windowed access must be >= 2x per tuple on 1k pages (got {median_speedup:.2}x)"
     );
     let json = format!(
-        "{{\n  \"schema\": \"bench_window/v1\",\n  \"command\": \"cargo run --release -p rda_bench --bin experiments -- window{}\",\n  \"mode\": {},\n  \"rounds\": {},\n  \"median_window_speedup_1k_pages\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"bench_window/v1\",\n  \"command\": \"cargo run --release -p rda_bench --bin experiments -- window{}\",\n  \"mode\": {},\n  \"rounds\": {},\n  \"host_parallelism\": {},\n  \"median_window_speedup_1k_pages\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         if smoke { " --smoke" } else { "" },
         json_str(if smoke { "smoke" } else { "full" }),
         rounds,
+        host_parallelism(),
         json_num(median_speedup),
         rows.iter().map(WindowRow::json).collect::<Vec<_>>().join(",\n"),
     );
@@ -1357,7 +1370,7 @@ fn serve_bench(smoke: bool) {
     // the sweep demonstrates *absence of contention* (flat throughput,
     // no per-thread regression), not speedup. Record the bound so the
     // numbers stay interpretable.
-    let host_parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let host_parallelism = host_parallelism();
     let json = format!(
         "{{\n  \"schema\": \"bench_serve/v1\",\n  \"command\": \"cargo run --release -p rda_bench --bin experiments -- serve{}\",\n  \"mode\": {},\n  \"reps\": {},\n  \"ops_per_thread\": {},\n  \"host_parallelism\": {},\n  \"min_cached_over_cold_speedup\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         if smoke { " --smoke" } else { "" },
@@ -1537,10 +1550,11 @@ fn update_bench(smoke: bool) {
     );
 
     let json = format!(
-        "{{\n  \"schema\": \"bench_update/v1\",\n  \"command\": \"cargo run --release -p rda_bench --bin experiments -- update{}\",\n  \"mode\": {},\n  \"reps\": {},\n  \"relations\": {},\n  \"rows_per_relation\": {},\n  \"dirty_relations\": 1,\n  \"mutation_batch\": {},\n  \"full_freeze_ns\": {},\n  \"delta_freeze_extended_ns\": {},\n  \"delta_freeze_rebased_ns\": {},\n  \"delta_freeze_speedup_extended\": {},\n  \"delta_freeze_speedup_rebased\": {},\n  \"carried_plans\": {},\n  \"carried_prepare_ns\": {},\n  \"rebuilt_prepare_ns\": {},\n  \"carried_over_rebuilt_speedup\": {}\n}}\n",
+        "{{\n  \"schema\": \"bench_update/v1\",\n  \"command\": \"cargo run --release -p rda_bench --bin experiments -- update{}\",\n  \"mode\": {},\n  \"reps\": {},\n  \"host_parallelism\": {},\n  \"relations\": {},\n  \"rows_per_relation\": {},\n  \"dirty_relations\": 1,\n  \"mutation_batch\": {},\n  \"full_freeze_ns\": {},\n  \"delta_freeze_extended_ns\": {},\n  \"delta_freeze_rebased_ns\": {},\n  \"delta_freeze_speedup_extended\": {},\n  \"delta_freeze_speedup_rebased\": {},\n  \"carried_plans\": {},\n  \"carried_prepare_ns\": {},\n  \"rebuilt_prepare_ns\": {},\n  \"carried_over_rebuilt_speedup\": {}\n}}\n",
         if smoke { " --smoke" } else { "" },
         json_str(if smoke { "smoke" } else { "full" }),
         reps,
+        host_parallelism(),
         RELATIONS,
         rows,
         batch,
@@ -1560,6 +1574,310 @@ fn update_bench(smoke: bool) {
     );
 }
 
+/// E18 — the mixed-workload service driver behind `BENCH_traffic.json`:
+/// zipfian client sessions paging `rda_serve` cursors (hot queries are
+/// hot, the tail is cold) while a writer lands `advance_delta` batches
+/// — most touching only an unread relation (every in-flight cursor
+/// resumes cleanly), some dirtying a join input (cursors fail typed
+/// and clients re-prepare). Records throughput and p50/p95/p99
+/// latency, then a deterministic overload scenario demonstrating the
+/// bounded admission queue shedding load with typed `Overloaded`
+/// rejections. Nominal load must finish with **zero** errors — the CI
+/// smoke gate.
+fn traffic_bench(smoke: bool) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rda_bench::stats::percentile;
+    use rda_db::{Database, Value};
+    use rda_serve::{ServeError, Server, ServerConfig, Token};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    // The writer pause paces update batches against rebuild cost: a
+    // plan over the full-size join takes ~10ms to rebuild cold, so
+    // dirtying its inputs every 4th batch at a 25ms cadence (~every
+    // 100ms) models a write rate the service can absorb — cursors go
+    // stale and recover instead of thrashing on a re-prepare treadmill.
+    let (clients, ops_per_client, rows, workers, writer_pause_ms) = if smoke {
+        (4usize, 150usize, 800i64, 2usize, 2u64)
+    } else {
+        (8, 1200, 8000, 4, 25)
+    };
+    let queue_limit = 64usize;
+    println!(
+        "== E18 / service traffic: {clients} zipfian clients x {ops_per_client} ops, {workers} workers ({}) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let mut db = Database::new()
+        .with_i64_rows("R", 2, (0..rows).map(|i| vec![i % 211, i % 101]))
+        .with_i64_rows("S", 2, (0..rows).map(|i| vec![i % 101, (i * 7) % 151]))
+        .with_i64_rows("T", 2, (0..rows).map(|i| vec![i % 97, i % 89]))
+        .with_i64_rows("U", 2, (0..rows).map(|i| vec![i % 61, i % 53]));
+    let engine = Arc::new(Engine::new(db.clone().freeze()));
+    db.clear_mutation_log();
+    let server = Server::new(
+        Arc::clone(&engine),
+        ServerConfig {
+            workers,
+            queue_limit,
+            ..ServerConfig::default()
+        },
+    );
+
+    // The query population: three orders over the hot join (deps R, S —
+    // dirtied occasionally, so their cursors see the stale/re-prepare
+    // path) plus a cold scan over U (never dirtied: always resumes
+    // cleanly across generations).
+    let join_q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let scan_q = parse("P(a, b) :- U(a, b)").unwrap();
+    let specs: Vec<(&rda_query::Cq, OrderSpec)> = vec![
+        (&join_q, OrderSpec::lex(&join_q, &["x", "y", "z"])),
+        (&join_q, OrderSpec::lex(&join_q, &["y", "x", "z"])),
+        (&join_q, OrderSpec::lex(&join_q, &["z", "y", "x"])),
+        (&scan_q, OrderSpec::lex(&scan_q, &["a", "b"])),
+    ];
+    let zipf = |rng: &mut StdRng, n: usize| -> usize {
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(1.2)).collect();
+        let mut u = rng.random_f64() * weights.iter().sum::<f64>();
+        for (i, w) in weights.iter().enumerate() {
+            if u < *w {
+                return i;
+            }
+            u -= w;
+        }
+        n - 1
+    };
+
+    let prepare_us: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let page_us: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let rows_served = AtomicU64::new(0);
+    let clean_resumes = AtomicU64::new(0);
+    let stale_repairs = AtomicU64::new(0);
+    let completed_scans = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let clients_done = AtomicUsize::new(0);
+    let update_batches = AtomicU64::new(0);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let (server, specs) = (&server, &specs);
+            let (prepare_us, page_us) = (&prepare_us, &page_us);
+            let (rows_served, clean_resumes) = (&rows_served, &clean_resumes);
+            let (stale_repairs, completed_scans) = (&stale_repairs, &completed_scans);
+            let (errors, clients_done) = (&errors, &clients_done);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xF00D + c as u64);
+                let mut session = server.session();
+                let mut cursors: Vec<Option<Token>> = vec![None; specs.len()];
+                let (mut my_prep, mut my_page) = (Vec::new(), Vec::new());
+                for _ in 0..ops_per_client {
+                    let i = zipf(&mut rng, specs.len());
+                    if cursors[i].is_none() {
+                        let (q, order) = &specs[i];
+                        let t0 = Instant::now();
+                        match session.prepare(q, order.clone(), &FdSet::empty(), Policy::Reject) {
+                            Ok(prepared) => {
+                                my_prep.push(us(t0.elapsed()));
+                                cursors[i] = Some(prepared.token);
+                            }
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        }
+                    }
+                    let token = cursors[i].take().expect("prepared above");
+                    let len = rng.random_range(5..40u64);
+                    let t0 = Instant::now();
+                    match session.stream_next(&token, len) {
+                        Ok(page) => {
+                            my_page.push(us(t0.elapsed()));
+                            rows_served.fetch_add(page.rows, Ordering::Relaxed);
+                            clean_resumes.fetch_add(u64::from(page.resumed), Ordering::Relaxed);
+                            match page.next {
+                                Some(next) => cursors[i] = Some(next),
+                                None => {
+                                    completed_scans.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Err(ServeError::CursorStale(_)) => {
+                            // Expected under writes: drop the cursor; the
+                            // next op on this query re-prepares.
+                            stale_repairs.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                prepare_us.lock().unwrap().append(&mut my_prep);
+                page_us.lock().unwrap().append(&mut my_page);
+                clients_done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // The writer: update batches land while clients page. Every
+        // fourth batch dirties the join input S (staling its cursors);
+        // the rest touch only T, which no query reads.
+        let (engine, update_batches, clients_done) = (&engine, &update_batches, &clients_done);
+        let db = &mut db;
+        scope.spawn(move || {
+            let mut batch = 0i64;
+            loop {
+                batch += 1;
+                if batch % 4 == 0 {
+                    db.insert_into(
+                        "S",
+                        [Value::int(batch % 101), Value::int(batch % 151)]
+                            .into_iter()
+                            .collect(),
+                    );
+                } else {
+                    for j in 0..8 {
+                        db.insert_into(
+                            "T",
+                            [Value::int(batch % 97), Value::int(j)]
+                                .into_iter()
+                                .collect(),
+                        );
+                    }
+                }
+                engine.advance_delta(db);
+                update_batches.fetch_add(1, Ordering::Relaxed);
+                if clients_done.load(Ordering::Relaxed) == clients {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(writer_pause_ms));
+            }
+        });
+    });
+    let elapsed = start.elapsed();
+
+    let stats = server.stats();
+    let total_ops = stats.prepares + stats.pages;
+    let throughput = total_ops as f64 / elapsed.as_secs_f64();
+    let error_count = errors.load(Ordering::Relaxed);
+    assert_eq!(
+        error_count, 0,
+        "nominal load must complete with zero errors"
+    );
+    assert_eq!(stats.overloaded, 0, "nominal load must not shed");
+    assert!(
+        stale_repairs.load(Ordering::Relaxed) > 0,
+        "writer never staled a cursor"
+    );
+    assert!(
+        clean_resumes.load(Ordering::Relaxed) > 0,
+        "no cursor resumed across a generation"
+    );
+
+    let prepare_us = prepare_us.into_inner().unwrap();
+    let page_us = page_us.into_inner().unwrap();
+    let pct = |xs: &[f64], p: f64| percentile(xs.to_vec(), p);
+
+    // The overload scenario: a deliberately tiny pool, paused so the
+    // admission queue fills to its bound, then hit with single-shot
+    // requests that must all be rejected with the typed error.
+    let small = Server::new(
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 2,
+            queue_limit: 3,
+            ..ServerConfig::default()
+        },
+    );
+    let prepared = small
+        .session()
+        .prepare(
+            &scan_q,
+            OrderSpec::lex(&scan_q, &["a", "b"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .expect("prepare on the overload server");
+    let capacity = (3 + 2) as u64; // queue slots + one held per worker
+    let admitted_before = small.stats().admitted;
+    small.pause();
+    let rejected = AtomicU64::new(0);
+    let drained = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..capacity {
+            let (small, drained) = (&small, &drained);
+            let token = prepared.token.clone();
+            scope.spawn(move || {
+                let mut session = small.session();
+                loop {
+                    match session.stream_next(&token, 2) {
+                        Err(ServeError::Overloaded { .. }) => std::thread::yield_now(),
+                        Ok(_) => {
+                            drained.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                        Err(e) => panic!("filler hit {e}"),
+                    }
+                }
+            });
+        }
+        while small.stats().admitted - admitted_before < capacity {
+            std::thread::yield_now();
+        }
+        // Saturated and paused: every further submission is shed.
+        for _ in 0..8 {
+            match small.session().stream_next(&prepared.token, 2) {
+                Err(ServeError::Overloaded { queue_limit }) => {
+                    assert_eq!(queue_limit, 3);
+                    rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+        }
+        small.resume();
+    });
+    assert_eq!(rejected.load(Ordering::Relaxed), 8);
+    assert_eq!(drained.load(Ordering::Relaxed), capacity);
+
+    let json = format!(
+        "{{\n  \"schema\": \"bench_traffic/v1\",\n  \"command\": \"cargo run --release -p rda_bench --bin experiments -- traffic{}\",\n  \"mode\": {},\n  \"host_parallelism\": {},\n  \"clients\": {},\n  \"ops_per_client\": {},\n  \"workers\": {},\n  \"queue_limit\": {},\n  \"db_rows_per_relation\": {},\n  \"update_batches\": {},\n  \"elapsed_ms\": {},\n  \"total_ops\": {},\n  \"throughput_ops_per_sec\": {},\n  \"rows_served\": {},\n  \"prepares\": {},\n  \"pages\": {},\n  \"clean_resumes\": {},\n  \"stale_repairs\": {},\n  \"completed_scans\": {},\n  \"errors\": {},\n  \"latency_us\": {{\n    \"prepare\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }},\n    \"page\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }}\n  }},\n  \"overload\": {{\n    \"workers\": 2,\n    \"queue_limit\": 3,\n    \"pool_capacity\": {},\n    \"single_shot_submissions\": 8,\n    \"typed_overloaded_rejections\": {},\n    \"admitted_completed_after_resume\": {}\n  }}\n}}\n",
+        if smoke { " --smoke" } else { "" },
+        json_str(if smoke { "smoke" } else { "full" }),
+        host_parallelism(),
+        clients,
+        ops_per_client,
+        workers,
+        queue_limit,
+        rows,
+        update_batches.load(Ordering::Relaxed),
+        json_num(ms(elapsed)),
+        total_ops,
+        json_num(throughput),
+        rows_served.load(Ordering::Relaxed),
+        stats.prepares,
+        stats.pages,
+        clean_resumes.load(Ordering::Relaxed),
+        stale_repairs.load(Ordering::Relaxed),
+        completed_scans.load(Ordering::Relaxed),
+        error_count,
+        json_num(pct(&prepare_us, 50.0)),
+        json_num(pct(&prepare_us, 95.0)),
+        json_num(pct(&prepare_us, 99.0)),
+        json_num(pct(&page_us, 50.0)),
+        json_num(pct(&page_us, 95.0)),
+        json_num(pct(&page_us, 99.0)),
+        capacity,
+        rejected.load(Ordering::Relaxed),
+        drained.load(Ordering::Relaxed),
+    );
+    std::fs::write("BENCH_traffic.json", &json).expect("write BENCH_traffic.json");
+    println!(
+        "{total_ops} ops in {:.0} ms ({throughput:.0} ops/s), {} clean resumes, {} stale repairs, 0 errors\nwrote BENCH_traffic.json\n",
+        ms(elapsed),
+        clean_resumes.load(Ordering::Relaxed),
+        stale_repairs.load(Ordering::Relaxed),
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -1572,6 +1890,7 @@ fn main() {
         serve_bench(true);
         window_bench(true);
         update_bench(true);
+        traffic_bench(true);
         return;
     }
     let all = args.is_empty();
@@ -1620,5 +1939,8 @@ fn main() {
     }
     if want("update") {
         update_bench(smoke);
+    }
+    if want("traffic") {
+        traffic_bench(smoke);
     }
 }

@@ -19,6 +19,22 @@ pub fn median(mut xs: Vec<f64>) -> f64 {
     }
 }
 
+/// The `p`-th percentile (0–100) of a sample by linear interpolation
+/// between closest ranks — the service-latency convention (p50 of a
+/// two-point sample is their mean, p99 is near the max).
+///
+/// # Panics
+/// Panics on an empty sample or a `p` outside `[0, 100]`.
+pub fn percentile(mut xs: Vec<f64>, p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of [0, 100]");
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let rank = p / 100.0 * (xs.len() - 1) as f64;
+    let (lo, hi) = (rank.floor() as usize, rank.ceil() as usize);
+    let frac = rank - lo as f64;
+    xs[lo] + (xs[hi] - xs[lo]) * frac
+}
+
 /// Run `body` for `rounds` rounds and return the **median** elapsed
 /// nanoseconds per round. Callers divide by their op count themselves.
 pub fn median_round_ns(rounds: usize, mut body: impl FnMut()) -> f64 {
@@ -67,6 +83,15 @@ mod tests {
         assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
         assert_eq!(median(vec![7.0]), 7.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_between_ranks() {
+        let xs = vec![10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(xs.clone(), 0.0), 10.0);
+        assert_eq!(percentile(xs.clone(), 50.0), 25.0);
+        assert_eq!(percentile(xs.clone(), 100.0), 40.0);
+        assert_eq!(percentile(vec![7.0], 99.0), 7.0);
     }
 
     #[test]

@@ -192,16 +192,10 @@ impl PlanError {
     }
 }
 
-/// The cache key of a prepared plan: canonical, name-based renderings
-/// of the query, the order, the FDs, and the fallback policy — plus the
-/// identity of the snapshot the plan serves, so a key can never match
-/// across data versions. Two requests with equal keys are served by the
-/// same `Arc<AccessPlan>`.
-///
-/// Every name (relation names are arbitrary user strings) is encoded
-/// **length-prefixed**, so the rendering is injective: no choice of
-/// names containing `(`, `,`, or any other delimiter can make two
-/// structurally different requests collide on one key.
+/// The cache key of a prepared plan: the [`canonical_request_key`] of
+/// the request plus the identity of the snapshot the plan serves, so a
+/// key can never match across data versions. Two requests with equal
+/// keys are served by the same `Arc<AccessPlan>`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct PlanKey {
     /// [`Snapshot::uid`] of the generation the plan was keyed under —
@@ -209,10 +203,7 @@ struct PlanKey {
     /// lineages), re-keyed by [`Engine::advance`] when a plan is
     /// carried forward.
     snapshot_uid: u64,
-    query: String,
-    order: String,
-    fds: String,
-    policy: Policy,
+    canonical: String,
 }
 
 /// Append `tok` to `out` unambiguously: `"{len}:{tok};"`. The length
@@ -221,33 +212,45 @@ fn push_token(out: &mut String, tok: &str) {
     let _ = write!(out, "{}:{tok};", tok.len());
 }
 
-fn plan_key(snapshot_uid: u64, q: &Cq, order: &OrderSpec, fds: &FdSet, policy: Policy) -> PlanKey {
-    let mut query = String::new();
-    push_token(&mut query, q.name());
-    let _ = write!(query, "[{}](", q.free().len());
+/// The canonical, snapshot-independent rendering of a prepare request:
+/// name-based encodings of the query, the order, the FDs, and the
+/// fallback policy. Two requests have equal keys **iff** the engine's
+/// plan cache would serve them the same plan (over one snapshot) — this
+/// string is the data-independent half of the cache key, and the
+/// identity a service layer should embed in a resumable cursor.
+///
+/// Every name (relation names are arbitrary user strings) is encoded
+/// **length-prefixed**, so the rendering is injective: no choice of
+/// names containing `(`, `,`, or any other delimiter can make two
+/// structurally different requests collide on one key.
+pub fn canonical_request_key(q: &Cq, order: &OrderSpec, fds: &FdSet, policy: Policy) -> String {
+    let mut out = String::new();
+    push_token(&mut out, q.name());
+    let _ = write!(out, "[{}](", q.free().len());
     for &v in q.free() {
-        push_token(&mut query, q.var_name(v));
+        push_token(&mut out, q.var_name(v));
     }
-    query.push_str("):-");
+    out.push_str("):-");
     for atom in q.atoms() {
-        push_token(&mut query, &atom.relation);
-        let _ = write!(query, "[{}](", atom.terms.len());
+        push_token(&mut out, &atom.relation);
+        let _ = write!(out, "[{}](", atom.terms.len());
         for &t in &atom.terms {
-            push_token(&mut query, q.var_name(t));
+            push_token(&mut out, q.var_name(t));
         }
-        query.push(')');
+        out.push(')');
     }
-    let order = match order {
+    match order {
         OrderSpec::Lex(vs) => {
-            let mut s = String::from("lex<");
+            out.push_str("|lex<");
             for name in q.names_of(vs) {
-                push_token(&mut s, name);
+                push_token(&mut out, name);
             }
-            s.push('>');
-            s
+            out.push('>');
         }
-        OrderSpec::Sum(w) => format!("sum{{{}}}", w.fingerprint(q)),
-    };
+        OrderSpec::Sum(w) => {
+            let _ = write!(out, "|sum{{{}}}", w.fingerprint(q));
+        }
+    }
     let mut fd_strings: Vec<String> = fds
         .iter()
         .map(|fd| {
@@ -259,20 +262,28 @@ fn plan_key(snapshot_uid: u64, q: &Cq, order: &OrderSpec, fds: &FdSet, policy: P
         })
         .collect();
     fd_strings.sort_unstable();
+    out.push('|');
+    out.push_str(&fd_strings.concat());
+    let _ = write!(out, "|{policy:?}");
+    out
+}
+
+fn plan_key(snapshot_uid: u64, q: &Cq, order: &OrderSpec, fds: &FdSet, policy: Policy) -> PlanKey {
     PlanKey {
         snapshot_uid,
-        query,
-        order,
-        fds: fd_strings.concat(),
-        policy,
+        canonical: canonical_request_key(q, order, fds, policy),
     }
 }
 
-/// What a cached plan depends on: each referenced relation with its
-/// content version in the snapshot the plan was built over. A plan can
-/// be carried into a later generation of the *same lineage* iff every
-/// dependency reports the same version there.
-fn plan_deps(q: &Cq, snap: &Snapshot) -> Option<Vec<(String, u64)>> {
+/// What a cached plan depends on: each relation the query references,
+/// with its content [`Snapshot::relation_version`] in `snap` — `None`
+/// when a referenced relation is absent from the snapshot. A plan built
+/// over `snap` can be carried into a later generation of the *same
+/// lineage* iff every dependency reports the same version there; a
+/// service layer embedding these versions in a resumable cursor can
+/// decide, after any number of [`Engine::advance`] calls, whether the
+/// cursor's ranked answer sequence is provably unchanged.
+pub fn plan_dependencies(q: &Cq, snap: &Snapshot) -> Option<Vec<(String, u64)>> {
     let mut names: Vec<&str> = q.atoms().iter().map(|a| a.relation.as_str()).collect();
     names.sort_unstable();
     names.dedup();
@@ -520,6 +531,26 @@ impl Engine {
         fds: &FdSet,
         policy: Policy,
     ) -> Result<Arc<AccessPlan>, PlanError> {
+        self.prepare_pinned(q, order, fds, policy)
+            .map(|(_, plan)| plan)
+    }
+
+    /// [`Engine::prepare`], also returning the snapshot the plan is
+    /// consistent with: for every relation the plan reads, the plan
+    /// serves exactly that snapshot's data.
+    ///
+    /// This is the race-free way to stamp version metadata (generation,
+    /// per-relation content versions) next to a plan's answers: calling
+    /// `prepare` and then [`Engine::snapshot`] separately can observe a
+    /// concurrent [`Engine::advance`] in between, pairing a plan with a
+    /// snapshot it was never built against.
+    pub fn prepare_pinned(
+        &self,
+        q: &Cq,
+        order: OrderSpec,
+        fds: &FdSet,
+        policy: Policy,
+    ) -> Result<(Arc<Snapshot>, Arc<AccessPlan>), PlanError> {
         // Pin the generation first: the whole prepare runs against one
         // snapshot, however many `advance` calls race it.
         let snap = self.snapshot();
@@ -530,11 +561,15 @@ impl Engine {
             .expect("plan cache not poisoned")
             .get(&key)
         {
-            return Ok(plan);
+            // A hit under `snap`'s uid is consistent with `snap` even
+            // if the plan was carried forward from an older
+            // generation: carrying requires every dependency's content
+            // version to be unchanged.
+            return Ok((snap, plan));
         }
         // Build outside the lock so distinct keys don't serialize.
         let plan = Arc::new(prepare_on(&snap, q, order, fds, policy)?);
-        let deps = plan_deps(q, &snap);
+        let deps = plan_dependencies(q, &snap);
         // Cache only if the engine still serves the snapshot this plan
         // was built against: a plan that lost a race with `advance`
         // goes to the caller uncached rather than occupying (and
@@ -548,9 +583,9 @@ impl Engine {
             .expect("snapshot slot not poisoned")
             .uid();
         if key.snapshot_uid != current_uid {
-            return Ok(plan);
+            return Ok((snap, plan));
         }
-        Ok(cache.insert_or_get(key, plan, deps))
+        Ok((snap, cache.insert_or_get(key, plan, deps)))
     }
 
     /// [`Engine::prepare`] without memoization: always classify and
@@ -564,27 +599,6 @@ impl Engine {
         policy: Policy,
     ) -> Result<AccessPlan, PlanError> {
         prepare_on(&self.snapshot(), q, order, fds, policy)
-    }
-
-    /// The pre-snapshot, stateless entry point: freezes a private copy
-    /// of `db` (re-encoding it) and builds one plan over it.
-    ///
-    /// Still correct, but it re-pays the encoding on every call and
-    /// shares nothing; it only remains useful for genuine one-shot
-    /// scripts over small inputs.
-    #[deprecated(
-        since = "0.3.0",
-        note = "removed in 0.5.0; freeze the database once and route through a stateful \
-                engine: `Engine::new(db.freeze()).prepare(q, order, fds, policy)`"
-    )]
-    pub fn prepare_stateless(
-        q: &Cq,
-        db: &Database,
-        order: OrderSpec,
-        fds: &FdSet,
-        policy: Policy,
-    ) -> Result<AccessPlan, PlanError> {
-        prepare_on(&db.clone().freeze(), q, order, fds, policy)
     }
 }
 
@@ -1388,21 +1402,68 @@ mod tests {
     }
 
     #[test]
-    fn stateless_shim_still_prepares() {
+    fn canonical_request_key_is_injective_on_structure() {
         let q = two_path();
-        let db = Database::new()
-            .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
-            .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]]);
-        #[allow(deprecated)]
-        let plan = Engine::prepare_stateless(
+        let fds = FdSet::empty();
+        let k1 = canonical_request_key(
             &q,
-            &db,
-            OrderSpec::lex(&q, &["x", "y", "z"]),
-            &FdSet::empty(),
+            &OrderSpec::lex(&q, &["x", "y", "z"]),
+            &fds,
             Policy::Reject,
-        )
-        .unwrap();
-        assert_eq!(plan.backend(), Backend::LexDirectAccess);
-        assert_eq!(plan.len(), 5);
+        );
+        let k2 = canonical_request_key(
+            &q,
+            &OrderSpec::lex(&q, &["x", "z", "y"]),
+            &fds,
+            Policy::Reject,
+        );
+        let k3 = canonical_request_key(
+            &q,
+            &OrderSpec::lex(&q, &["x", "y", "z"]),
+            &fds,
+            Policy::Materialize,
+        );
+        let k4 = canonical_request_key(&q, &OrderSpec::sum_by_value(), &fds, Policy::Reject);
+        let with_fd = FdSet::parse(&q, &[("R", "x", "y")]);
+        let k5 = canonical_request_key(
+            &q,
+            &OrderSpec::lex(&q, &["x", "y", "z"]),
+            &with_fd,
+            Policy::Reject,
+        );
+        let keys = [&k1, &k2, &k3, &k4, &k5];
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate() {
+                assert_eq!(a == b, i == j, "keys {i} and {j}: {a} vs {b}");
+            }
+        }
+        // Equal requests render equal keys.
+        let again = canonical_request_key(
+            &q,
+            &OrderSpec::lex(&q, &["x", "y", "z"]),
+            &fds,
+            Policy::Reject,
+        );
+        assert_eq!(k1, again);
+    }
+
+    #[test]
+    fn plan_dependencies_track_relation_versions() {
+        let q = two_path();
+        let mut db = Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5]])
+            .with_i64_rows("S", 2, vec![vec![5, 3]]);
+        let snap = db.clone().freeze();
+        db.clear_mutation_log();
+        let deps = plan_dependencies(&q, &snap).unwrap();
+        assert_eq!(deps, vec![("R".to_string(), 0), ("S".to_string(), 0)]);
+        // Dirty R: its version bumps in the next generation, S stays.
+        db.insert_into("R", tup![7, 8]);
+        let next = snap.freeze_delta(&mut db);
+        let deps2 = plan_dependencies(&q, &next).unwrap();
+        assert_eq!(deps2, vec![("R".to_string(), 1), ("S".to_string(), 0)]);
+        // A query over a missing relation has no dependency set.
+        let qm = parse("Q(x, y) :- T(x, y)").unwrap();
+        assert_eq!(plan_dependencies(&qm, &snap), None);
     }
 }

@@ -61,8 +61,7 @@ pub fn normalize_instance(q: &Cq, db: &Database) -> Result<(Cq, Database), Build
 /// [`normalize_instance`], but returning the normalized relations
 /// positionally (one per atom of the normalized query, already renamed
 /// to match it). Builders that walk atoms by index use this directly —
-/// no database detour, no ownership hand-off via the deprecated
-/// `Database::take`.
+/// no database detour, no relation ownership hand-off.
 pub(crate) fn normalize_relations(
     q: &Cq,
     db: &Database,

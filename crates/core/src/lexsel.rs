@@ -93,28 +93,6 @@ fn histogram(atom_vars: &[Vec<VarId>], rels: &[Relation], var: VarId) -> Vec<(Va
     counts.into_iter().collect()
 }
 
-/// Theorem 6.1 / 8.22: the answer of `q` over `db` at index `k` when the
-/// answers are sorted by the (possibly partial) lexicographic order
-/// `lex` (ties broken by a fixed completion of the order), or
-/// `Ok(None)` ("out-of-bound") when `k ≥ |Q(I)|`.
-///
-/// Runs in expected O(n) per call; nothing is cached between calls.
-#[deprecated(
-    since = "0.2.0",
-    note = "removed in 0.5.0; freeze the database and route through a stateful engine \
-            (`Engine::new(db.freeze()).prepare(..)` with `OrderSpec::Lex`); the \
-            returned plan serves repeated accesses and explains the classification"
-)]
-pub fn selection_lex(
-    q: &Cq,
-    db: &Database,
-    lex: &[VarId],
-    k: u64,
-    fds: &FdSet,
-) -> Result<Option<Tuple>, BuildError> {
-    selection_lex_impl(q, db, lex, k, fds)
-}
-
 /// Head positions realizing the completed internal order for comparing
 /// answers, or `None` when the restriction to head variables is not
 /// sound.
@@ -178,8 +156,12 @@ fn complete_over_free(qp: &Cq, l_plus: &[VarId]) -> Vec<VarId> {
     })
 }
 
-/// Non-deprecated implementation behind [`selection_lex`], used by the
-/// engine's selection-backed handle.
+/// Theorem 6.1 / 8.22: the answer of `q` over `db` at index `k` when
+/// the answers are sorted by the (possibly partial) lexicographic order
+/// `lex` (ties broken by a fixed completion of the order), or
+/// `Ok(None)` ("out-of-bound") when `k ≥ |Q(I)|`. Expected O(n) per
+/// call, nothing cached — the raw operation behind the engine's
+/// [`crate::SelectionLexHandle`], which is the public route to it.
 pub(crate) fn selection_lex_impl(
     q: &Cq,
     db: &Database,

@@ -10,12 +10,12 @@
 //!   orders in ⟨n log n, log n⟩ (Sections 3–4: layered join trees,
 //!   Algorithm 1), with inverted access (Algorithm 2) and
 //!   next-answer access (Remark 3);
-//! * [`lexsel::selection_lex`] — selection by lexicographic orders in ⟨1, n⟩
+//! * [`SelectionLexHandle`] — selection by lexicographic orders in ⟨1, n⟩
 //!   for every free-connex CQ (Section 6, Lemmas 6.5/6.6);
 //! * [`SumDirectAccess`] — direct access by sum-of-weights in
 //!   ⟨n log n, 1⟩ when one atom covers the free variables (Section 5,
 //!   Lemma 5.9);
-//! * [`sumsel::selection_sum`] — selection by sum-of-weights in ⟨1, n log n⟩
+//! * [`SelectionSumHandle`] — selection by sum-of-weights in ⟨1, n log n⟩
 //!   when `fmh(Q) ≤ 2` (Section 7, Lemmas 7.8/7.10);
 //! * all four transparently handle unary functional dependencies via
 //!   the FD-(reordered-)extension (Section 8).
@@ -52,11 +52,14 @@
 //! `page`, with allocation-free `*_into` variants over [`WindowBuf`])
 //! pay the native structures' rank bracketing once per window, and
 //! [`AccessPlan::stream`] enumerates lazily in batches ([`RankedStream`],
-//! any-k style — see [`mod@window`]). The pre-snapshot stateless entry
-//! point survives as the deprecated `Engine::prepare_stateless`, and the
-//! PR-1 free functions `lexsel::selection_lex` / `sumsel::selection_sum`
-//! remain as deprecated shims in their modules; all three are removed
-//! in 0.5.0.
+//! any-k style — see [`mod@window`]). Since 0.5.0 the pre-snapshot
+//! shims (`Engine::prepare_stateless` and the PR-1 selection free
+//! functions) are gone: the engine is the single entry point, and the
+//! [`rda_serve`-style](engine::canonical_request_key) service hooks —
+//! [`engine::canonical_request_key`], [`engine::plan_dependencies`],
+//! and resumable [`AccessPlan::stream_batched`] cursors — let a request
+//! front door encode plan identity and data versions into opaque
+//! pagination tokens.
 
 pub mod decompose;
 pub mod engine;
@@ -76,7 +79,7 @@ pub mod weights;
 pub mod window;
 
 pub use decompose::{lex_direct_access_decomposed, rewrite_by_decomposition};
-pub use engine::{Engine, OrderSpec, PlanError, Policy};
+pub use engine::{canonical_request_key, plan_dependencies, Engine, OrderSpec, PlanError, Policy};
 pub use error::BuildError;
 pub use lexda::{LexDirectAccess, LexRangeIter};
 pub use plan::{

@@ -725,6 +725,14 @@ impl RankedAnswers {
         RankedStream::new(self, start, DEFAULT_STREAM_BATCH)
     }
 
+    /// [`RankedAnswers::stream_from`] with an explicit batch size — the
+    /// resumption hook for service layers that re-create a stream per
+    /// request from a client cursor and want the batch to match the
+    /// requested page.
+    pub fn stream_batched(&self, start: u64, batch: usize) -> RankedStream<'_> {
+        RankedStream::new(self, start, batch)
+    }
+
     /// Which backend the router chose.
     pub fn backend(&self) -> Backend {
         match self {
@@ -966,6 +974,12 @@ impl AccessPlan {
     /// paginated scan exactly where the previous page ended.
     pub fn stream_from(&self, start: u64) -> RankedStream<'_> {
         self.answers.stream_from(start)
+    }
+
+    /// [`AccessPlan::stream_from`] with an explicit batch size (see
+    /// [`RankedAnswers::stream_batched`]).
+    pub fn stream_batched(&self, start: u64, batch: usize) -> RankedStream<'_> {
+        self.answers.stream_batched(start, batch)
     }
 }
 

@@ -38,25 +38,9 @@ type WeightedSide = Vec<(TotalF64, Tuple)>;
 /// over `db` are sorted by total weight under `w`, together with that
 /// weight. Ties on equal weight are broken arbitrarily: the returned
 /// answer is guaranteed to have the k-th smallest answer weight.
-/// `Ok(None)` means "out-of-bound".
-#[deprecated(
-    since = "0.2.0",
-    note = "removed in 0.5.0; freeze the database and route through a stateful engine \
-            (`Engine::new(db.freeze()).prepare(..)` with `OrderSpec::Sum`); the \
-            returned plan serves repeated accesses and explains the classification"
-)]
-pub fn selection_sum(
-    q: &Cq,
-    db: &Database,
-    w: &Weights,
-    k: u64,
-    fds: &FdSet,
-) -> Result<Option<(TotalF64, Tuple)>, BuildError> {
-    selection_sum_impl(q, db, w, k, fds)
-}
-
-/// Non-deprecated implementation behind [`selection_sum`], used by the
-/// engine's selection-backed handle.
+/// `Ok(None)` means "out-of-bound". The raw operation behind the
+/// engine's [`crate::SelectionSumHandle`], which is the public route
+/// to it.
 pub(crate) fn selection_sum_impl(
     q: &Cq,
     db: &Database,

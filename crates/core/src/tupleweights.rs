@@ -8,7 +8,7 @@
 //! observation are implemented: [`TupleWeights::from_attribute_weights`]
 //! is the linear-time attribute→tuple translation, and the two
 //! entry points mirror [`crate::SumDirectAccess`] /
-//! [`crate::sumsel::selection_sum`].
+//! [`crate::SelectionSumHandle`].
 
 use crate::error::BuildError;
 use crate::instance::{normalize_relations, positions_of};
@@ -160,7 +160,8 @@ impl SumDirectAccessTw {
     }
 }
 
-/// Tuple-weight variant of [`crate::sumsel::selection_sum`] for full
+/// Tuple-weight variant of sum-order selection (the engine's
+/// [`crate::SelectionSumHandle`]) for full
 /// self-join-free CQs with `mh(Q) ≤ 2` (Lemma 7.14). Returns the
 /// weight of the k-th answer and a witness answer of that weight.
 ///

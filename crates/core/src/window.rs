@@ -169,6 +169,18 @@ pub const DEFAULT_STREAM_BATCH: usize = 256;
 /// backend's per-access guarantee says; on the any-k fallback the
 /// underlying enumerator advances exactly as far as the stream has been
 /// consumed.
+///
+/// ## Generation pinning
+///
+/// A stream borrows its plan, and every plan pins the snapshot
+/// generation it was prepared over — so a stream is **immune to
+/// concurrent updates**: however many [`crate::Engine::advance`] calls
+/// swap the served snapshot mid-stream, the remaining items continue
+/// the *same* ranked sequence over the plan's original generation,
+/// never a mix of generations. Clients that want the new data ask the
+/// engine for a fresh plan and open a new stream (resuming a rank
+/// position across generations is the service layer's job — see the
+/// `rda_serve` cursor contract).
 pub struct RankedStream<'a> {
     answers: &'a RankedAnswers,
     batch: WindowBuf,

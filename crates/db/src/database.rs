@@ -202,20 +202,16 @@ impl Database {
         self.log.clear();
     }
 
-    /// Remove and return a relation, transferring ownership to the
-    /// caller.
-    #[deprecated(
-        since = "0.3.0",
-        note = "removed in 0.5.0; freeze the database into a shared snapshot instead: \
-                builders borrow from `&Snapshot` and never need relation ownership"
-    )]
-    pub fn take(&mut self, name: &str) -> Option<Relation> {
+    /// Drop a relation from the database, recording the removal in the
+    /// mutation log (the next
+    /// [`Snapshot::freeze_delta`](crate::Snapshot::freeze_delta) stops
+    /// carrying its encoding). Returns `true` when the relation
+    /// existed.
+    pub fn remove(&mut self, name: &str) -> bool {
         if self.relations.contains_key(name) {
             self.log.entry(name).replaced = true;
         }
-        self.relations
-            .remove(name)
-            .map(|a| std::sync::Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()))
+        self.relations.remove(name).is_some()
     }
 
     /// Freeze this database into an immutable, shareable

@@ -490,8 +490,8 @@ mod tests {
         let s = snap();
         let mut db = s.database().clone();
         db.add(Relation::from_tuples("T", 1, vec![tup![100]]));
-        #[allow(deprecated)]
-        let _ = db.take("S");
+        assert!(db.remove("S"));
+        assert!(!db.remove("S"), "already gone");
         let s2 = s.freeze_delta(&mut db);
         assert_eq!(s2.relation_version("T"), Some(1));
         assert!(s2.encoded("S").is_none(), "dropped relations don't carry");

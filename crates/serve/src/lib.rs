@@ -1,0 +1,84 @@
+#![warn(missing_docs)]
+
+//! # rda_serve — the in-process serving layer
+//!
+//! Everything below the engine answers *"what is answer number k?"*;
+//! this crate answers *"how do many concurrent clients ask that
+//! safely?"*. It is an in-process request front door — threads and
+//! channels, no network dependency — exposing three calls against a
+//! shared [`rda_core::Engine`]:
+//!
+//! - [`Session::prepare`] registers a (query, order, FDs, policy)
+//!   request, plans it through the engine's cache, and returns an
+//!   **opaque resumable cursor** ([`Token`]) at rank 0;
+//! - [`Session::page`] serves any window of the ranked sequence by
+//!   explicit rank (direct access is random access — pages need not
+//!   be read in order);
+//! - [`Session::stream_next`] continues sequentially from the
+//!   cursor's own position.
+//!
+//! ## Cursors survive writers
+//!
+//! The cursor token encodes the canonical request key, the snapshot
+//! identity it was validated against, the next rank, and the
+//! per-relation *content versions* the plan reads. When the engine
+//! [`advance`](rda_core::Engine::advance)s underneath a client, the
+//! next page re-validates: if the new snapshot descends from the
+//! cursor's and every dependency version still matches, the ranked
+//! sequence is provably unchanged and the cursor **resumes
+//! transparently**; if any dependency moved, the call fails with
+//! typed [`ServeError::CursorStale`] rather than silently skipping or
+//! repeating answers. Damaged tokens of any kind decode to
+//! [`ServeError::BadCursor`] — never a panic.
+//!
+//! ## Backpressure, not buffering
+//!
+//! Requests pass through a **bounded** admission queue into a fixed
+//! worker pool. When the queue is full, new requests are rejected
+//! immediately with [`ServeError::Overloaded`]; requests that sit
+//! queued past their deadline are dropped with
+//! [`ServeError::DeadlineExceeded`]. Load shedding is a typed,
+//! client-visible outcome, not an OOM.
+//!
+//! ```
+//! use rda_serve::{Server, ServerConfig};
+//! use rda_core::{Engine, OrderSpec, Policy};
+//! use rda_db::Database;
+//! use rda_query::{parser::parse, FdSet};
+//! use std::sync::Arc;
+//!
+//! let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+//! let db = Database::new()
+//!     .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2]])
+//!     .with_i64_rows("S", 2, vec![vec![5, 3], vec![5, 4], vec![5, 6], vec![2, 5]]);
+//! let engine = Arc::new(Engine::new(db.freeze()));
+//! let server = Server::new(Arc::clone(&engine), ServerConfig::default());
+//!
+//! // Each client thread opens its own session (one reusable buffer).
+//! let mut session = server.session();
+//! let prepared = session
+//!     .prepare(&q, OrderSpec::lex(&q, &["x", "y", "z"]), &FdSet::empty(), Policy::Reject)
+//!     .unwrap();
+//! assert_eq!(prepared.len, 5);
+//!
+//! // Page through the whole sequence with the resumable cursor.
+//! let mut token = prepared.token;
+//! let mut seen = 0;
+//! loop {
+//!     let page = session.stream_next(&token, 2).unwrap();
+//!     seen += page.rows;
+//!     match page.next {
+//!         Some(next) => token = next,
+//!         None => break,
+//!     }
+//! }
+//! assert_eq!(seen, 5);
+//! ```
+
+mod cursor;
+mod error;
+mod server;
+
+pub use cursor::{Cursor, CursorError, Token, MAX_TOKEN_LEN, TOKEN_VERSION};
+pub use error::{ServeError, StaleReason};
+pub use server::{PageOutcome, Prepared, Server, ServerConfig, Session, StatsSnapshot};

@@ -1,0 +1,635 @@
+//! The in-process request front door: a bounded worker pool serving
+//! `prepare` / `page` / `stream_next` calls from concurrent client
+//! sessions against one shared [`Engine`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rda_core::{
+    canonical_request_key, plan_dependencies, AccessPlan, Backend, DirectAccess, Engine, OrderSpec,
+    Policy, WindowBuf,
+};
+use rda_db::Snapshot;
+use rda_query::{Cq, FdSet};
+
+use crate::cursor::{Cursor, Token};
+use crate::error::{ServeError, StaleReason};
+
+/// Tunables for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing requests (at least 1).
+    pub workers: usize,
+    /// Bound on the admission queue: requests past this many waiting
+    /// are rejected with [`ServeError::Overloaded`] instead of
+    /// buffering without limit.
+    pub queue_limit: usize,
+    /// Deadline applied to sessions that do not set their own: a
+    /// request still queued when it expires is dropped with
+    /// [`ServeError::DeadlineExceeded`].
+    pub default_deadline: Duration,
+    /// Hard cap on rows per page; larger requests are clamped, so one
+    /// greedy client cannot turn a page into a full materialization.
+    pub max_page_rows: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_limit: 64,
+            default_deadline: Duration::from_secs(5),
+            max_page_rows: 1 << 16,
+        }
+    }
+}
+
+/// A registered (query, order, FDs, policy) request, stored under its
+/// canonical key so cursors can re-prepare after the engine advances.
+struct QuerySpec {
+    q: Cq,
+    order: OrderSpec,
+    fds: FdSet,
+    policy: Policy,
+}
+
+/// Monotone service counters (see [`Server::stats`]).
+#[derive(Default)]
+struct Stats {
+    admitted: AtomicU64,
+    prepares: AtomicU64,
+    pages: AtomicU64,
+    rows: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_expired: AtomicU64,
+    stale_cursors: AtomicU64,
+    bad_cursors: AtomicU64,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct StatsSnapshot {
+    pub admitted: u64,
+    pub prepares: u64,
+    pub pages: u64,
+    pub rows: u64,
+    pub overloaded: u64,
+    pub deadline_expired: u64,
+    pub stale_cursors: u64,
+    pub bad_cursors: u64,
+}
+
+/// Pause/resume gate the workers check between dequeue and execution.
+#[derive(Default)]
+struct Gate {
+    paused: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn wait_open(&self) {
+        let mut paused = self.paused.lock().expect("gate not poisoned");
+        while *paused {
+            paused = self.cv.wait(paused).expect("gate not poisoned");
+        }
+    }
+
+    fn set(&self, paused: bool) {
+        *self.paused.lock().expect("gate not poisoned") = paused;
+        if !paused {
+            self.cv.notify_all();
+        }
+    }
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    registry: RwLock<HashMap<String, Arc<QuerySpec>>>,
+    stats: Stats,
+    gate: Gate,
+    queue_limit: usize,
+    max_page_rows: u64,
+    default_deadline: Duration,
+}
+
+enum PageAt {
+    /// Continue from the cursor's own next rank.
+    Next,
+    /// Jump to an explicit rank (the cursor still proves freshness).
+    Rank(u64),
+}
+
+enum JobKind {
+    Prepare {
+        spec: QuerySpec,
+    },
+    Page {
+        token: Token,
+        at: PageAt,
+        len: u64,
+        buf: WindowBuf,
+    },
+}
+
+struct Job {
+    kind: JobKind,
+    deadline: Instant,
+    reply: SyncSender<Reply>,
+}
+
+enum Reply {
+    Prepare(Result<Prepared, ServeError>),
+    Page {
+        result: Result<PageOutcome, ServeError>,
+        buf: WindowBuf,
+    },
+}
+
+/// What [`Session::prepare`] returns: the opening cursor plus the
+/// plan's vitals.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Opaque cursor at rank 0 of the prepared sequence.
+    pub token: Token,
+    /// Total number of ranked answers.
+    pub len: u64,
+    /// The backend the engine routed the request to.
+    pub backend: Backend,
+    /// The snapshot generation the sequence was validated against.
+    pub generation: u64,
+}
+
+/// What a successful [`Session::page`] / [`Session::stream_next`]
+/// returns; the rows themselves are in [`Session::rows`].
+#[derive(Debug, Clone)]
+pub struct PageOutcome {
+    /// Rows written into the session buffer.
+    pub rows: u64,
+    /// Cursor for the next page, or `None` at the end of the sequence.
+    pub next: Option<Token>,
+    /// The snapshot generation the page was validated against.
+    pub generation: u64,
+    /// Whether the cursor was issued against an older snapshot and
+    /// resumed cleanly on the current one (all plan dependencies
+    /// unchanged).
+    pub resumed: bool,
+}
+
+/// The in-process serving front door.
+///
+/// A `Server` owns a pool of worker threads behind a **bounded**
+/// admission queue. Clients talk to it through cheap per-client
+/// [`Session`]s; every call is executed by a worker, so a spike of
+/// clients degrades into queueing and then into typed
+/// [`ServeError::Overloaded`] rejections — never into unbounded
+/// memory growth.
+///
+/// The server holds the [`Engine`] behind an `Arc` and never blocks
+/// writers: [`Engine::advance`] / [`Engine::advance_delta`] may be
+/// called at any time from outside, and in-flight cursors either
+/// resume cleanly (their relations provably unchanged) or fail with
+/// [`ServeError::CursorStale`].
+pub struct Server {
+    shared: Arc<Shared>,
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spin up the worker pool over `engine`.
+    pub fn new(engine: Arc<Engine>, config: ServerConfig) -> Server {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            engine,
+            registry: RwLock::new(HashMap::new()),
+            stats: Stats::default(),
+            gate: Gate::default(),
+            queue_limit: config.queue_limit.max(1),
+            max_page_rows: config.max_page_rows.max(1),
+            default_deadline: config.default_deadline,
+        });
+        let (tx, rx) = mpsc::sync_channel::<Job>(shared.queue_limit);
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("rda-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Server {
+            shared,
+            tx: Some(tx),
+            workers: handles,
+        }
+    }
+
+    /// [`Server::new`] with [`ServerConfig::default`].
+    pub fn with_defaults(engine: Arc<Engine>) -> Server {
+        Server::new(engine, ServerConfig::default())
+    }
+
+    /// Open a client session. Sessions are cheap (one reusable page
+    /// buffer) and independent: make one per client thread.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            server: self,
+            buf: WindowBuf::new(),
+            deadline: self.shared.default_deadline,
+        }
+    }
+
+    /// The engine this server fronts (writers advance it directly).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// The configured admission-queue bound.
+    pub fn queue_limit(&self) -> usize {
+        self.shared.queue_limit
+    }
+
+    /// Stop executing queued requests. Admission continues until the
+    /// queue fills, at which point new requests get
+    /// [`ServeError::Overloaded`] — which is exactly what makes
+    /// backpressure and deadline behavior deterministically testable.
+    /// Also usable as a maintenance drain before a large `advance`.
+    pub fn pause(&self) {
+        self.shared.gate.set(true);
+    }
+
+    /// Resume executing queued requests.
+    pub fn resume(&self) {
+        self.shared.gate.set(false);
+    }
+
+    /// A point-in-time copy of the service counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.shared.stats;
+        StatsSnapshot {
+            admitted: s.admitted.load(Ordering::Relaxed),
+            prepares: s.prepares.load(Ordering::Relaxed),
+            pages: s.pages.load(Ordering::Relaxed),
+            rows: s.rows.load(Ordering::Relaxed),
+            overloaded: s.overloaded.load(Ordering::Relaxed),
+            deadline_expired: s.deadline_expired.load(Ordering::Relaxed),
+            stale_cursors: s.stale_cursors.load(Ordering::Relaxed),
+            bad_cursors: s.bad_cursors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn submit(
+        &self,
+        kind: JobKind,
+        deadline: Duration,
+    ) -> Result<Receiver<Reply>, (ServeError, Option<WindowBuf>)> {
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let job = Job {
+            kind,
+            deadline: Instant::now() + deadline,
+            reply: reply_tx,
+        };
+        let tx = match &self.tx {
+            Some(tx) => tx,
+            None => return Err((ServeError::Shutdown, None)),
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(reply_rx)
+            }
+            Err(TrySendError::Full(job)) => {
+                self.shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                Err((
+                    ServeError::Overloaded {
+                        queue_limit: self.shared.queue_limit,
+                    },
+                    job.into_buf(),
+                ))
+            }
+            Err(TrySendError::Disconnected(job)) => Err((ServeError::Shutdown, job.into_buf())),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Unblock any worker parked at the gate, close the queue, and
+        // wait for the pool to drain.
+        self.shared.gate.set(false);
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Job {
+    fn into_buf(self) -> Option<WindowBuf> {
+        match self.kind {
+            JobKind::Page { buf, .. } => Some(buf),
+            JobKind::Prepare { .. } => None,
+        }
+    }
+}
+
+/// A per-client handle onto a [`Server`].
+///
+/// The session owns one reusable [`WindowBuf`]: on every page request
+/// the buffer travels to the worker, is refilled in place, and comes
+/// back — so steady-state paging performs no per-page heap
+/// allocations once the buffer has grown to the page size. Sessions
+/// are `Send` (move one into each client thread) but not `Sync`; they
+/// borrow the server, so scoped threads are the natural shape.
+pub struct Session<'a> {
+    server: &'a Server,
+    buf: WindowBuf,
+    deadline: Duration,
+}
+
+impl Session<'_> {
+    /// Set the per-request deadline for subsequent calls.
+    pub fn set_deadline(&mut self, deadline: Duration) {
+        self.deadline = deadline;
+    }
+
+    /// Register and plan a (query, order, FDs, policy) request,
+    /// returning the opening cursor. Memoized end to end: repeating an
+    /// equal request hits the engine's plan cache.
+    pub fn prepare(
+        &mut self,
+        q: &Cq,
+        order: OrderSpec,
+        fds: &FdSet,
+        policy: Policy,
+    ) -> Result<Prepared, ServeError> {
+        let spec = QuerySpec {
+            q: q.clone(),
+            order,
+            fds: fds.clone(),
+            policy,
+        };
+        let rx = match self.server.submit(JobKind::Prepare { spec }, self.deadline) {
+            Ok(rx) => rx,
+            Err((e, _)) => return Err(e),
+        };
+        match rx.recv() {
+            Ok(Reply::Prepare(result)) => result,
+            Ok(Reply::Page { .. }) => unreachable!("prepare jobs get prepare replies"),
+            Err(_) => Err(ServeError::Shutdown),
+        }
+    }
+
+    /// Fetch the page of `len` rows starting at rank `offset`. The
+    /// cursor only proves which sequence to read and that it is still
+    /// fresh; the offset is free-form (random access is O(log n) on
+    /// native backends). Rows land in [`Session::rows`].
+    pub fn page(
+        &mut self,
+        token: &Token,
+        offset: u64,
+        len: u64,
+    ) -> Result<PageOutcome, ServeError> {
+        self.page_at(token, PageAt::Rank(offset), len)
+    }
+
+    /// Fetch the next `len` rows from the cursor's own position — the
+    /// sequential resumption path. Rows land in [`Session::rows`].
+    pub fn stream_next(&mut self, token: &Token, len: u64) -> Result<PageOutcome, ServeError> {
+        self.page_at(token, PageAt::Next, len)
+    }
+
+    fn page_at(&mut self, token: &Token, at: PageAt, len: u64) -> Result<PageOutcome, ServeError> {
+        let buf = std::mem::take(&mut self.buf);
+        let kind = JobKind::Page {
+            token: token.clone(),
+            at,
+            len,
+            buf,
+        };
+        let rx = match self.server.submit(kind, self.deadline) {
+            Ok(rx) => rx,
+            Err((e, buf)) => {
+                // The queue rejected the job: recover our buffer.
+                self.buf = buf.unwrap_or_default();
+                return Err(e);
+            }
+        };
+        match rx.recv() {
+            Ok(Reply::Page { result, buf }) => {
+                self.buf = buf;
+                result
+            }
+            Ok(Reply::Prepare(_)) => unreachable!("page jobs get page replies"),
+            Err(_) => Err(ServeError::Shutdown),
+        }
+    }
+
+    /// The rows of the most recent successful page, in rank order.
+    pub fn rows(&self) -> &WindowBuf {
+        &self.buf
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = {
+            let guard = rx.lock().expect("worker queue not poisoned");
+            match guard.recv() {
+                Ok(job) => job,
+                Err(_) => return, // queue closed: server dropped
+            }
+        };
+        // The gate sits between dequeue and execution so a paused
+        // server holds work (deterministic backpressure), and the
+        // deadline is re-checked after the gate so queue time counts
+        // against it.
+        shared.gate.wait_open();
+        if Instant::now() >= job.deadline {
+            shared
+                .stats
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            let reply = match job.kind {
+                JobKind::Prepare { .. } => Reply::Prepare(Err(ServeError::DeadlineExceeded)),
+                JobKind::Page { buf, .. } => Reply::Page {
+                    result: Err(ServeError::DeadlineExceeded),
+                    buf,
+                },
+            };
+            let _ = job.reply.send(reply);
+            continue;
+        }
+        let reply = match job.kind {
+            JobKind::Prepare { spec } => Reply::Prepare(execute_prepare(shared, spec)),
+            JobKind::Page {
+                token,
+                at,
+                len,
+                mut buf,
+            } => {
+                let result = execute_page(shared, &token, at, len, &mut buf);
+                Reply::Page { result, buf }
+            }
+        };
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// Pin a (snapshot, plan) pair that is mutually consistent: the plan
+/// serves exactly `snap`'s data for every relation it reads, so the
+/// dependency versions stamped into the outgoing cursor describe the
+/// sequence the page came from. [`Engine::prepare_pinned`] makes the
+/// pairing atomic with respect to racing `advance` calls; the cursor
+/// check then runs against the very snapshot the page will be served
+/// and stamped from.
+fn pin_plan(
+    shared: &Shared,
+    spec: &QuerySpec,
+    validate: impl FnOnce(&Snapshot) -> Result<bool, ServeError>,
+) -> Result<(Arc<Snapshot>, Arc<AccessPlan>, bool), ServeError> {
+    let (snap, plan) =
+        shared
+            .engine
+            .prepare_pinned(&spec.q, spec.order.clone(), &spec.fds, spec.policy)?;
+    let resumed = validate(&snap)?;
+    Ok((snap, plan, resumed))
+}
+
+fn execute_prepare(shared: &Shared, spec: QuerySpec) -> Result<Prepared, ServeError> {
+    let (snap, plan, _) = pin_plan(shared, &spec, |_| Ok(false))?;
+    let request_key = canonical_request_key(&spec.q, &spec.order, &spec.fds, spec.policy);
+    let deps = plan_dependencies(&spec.q, &snap).unwrap_or_default();
+    shared
+        .registry
+        .write()
+        .expect("registry not poisoned")
+        .entry(request_key.clone())
+        .or_insert_with(|| Arc::new(spec));
+    shared.stats.prepares.fetch_add(1, Ordering::Relaxed);
+    let cursor = Cursor {
+        request_key,
+        snapshot_uid: snap.uid(),
+        generation: snap.generation(),
+        next_rank: 0,
+        deps,
+    };
+    Ok(Prepared {
+        token: cursor.encode(),
+        len: plan.len(),
+        backend: plan.backend(),
+        generation: snap.generation(),
+    })
+}
+
+fn execute_page(
+    shared: &Shared,
+    token: &Token,
+    at: PageAt,
+    len: u64,
+    buf: &mut WindowBuf,
+) -> Result<PageOutcome, ServeError> {
+    let cursor = match Cursor::decode(token) {
+        Ok(c) => c,
+        Err(e) => {
+            shared.stats.bad_cursors.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::BadCursor(e));
+        }
+    };
+    let spec = shared
+        .registry
+        .read()
+        .expect("registry not poisoned")
+        .get(&cursor.request_key)
+        .cloned();
+    let spec = match spec {
+        Some(spec) => spec,
+        None => {
+            return Err(ServeError::UnknownQuery {
+                request_key: cursor.request_key,
+            })
+        }
+    };
+    let pinned = pin_plan(shared, &spec, |snap| validate_cursor(&cursor, snap));
+    let (snap, plan, resumed) = match pinned {
+        Ok(ok) => ok,
+        Err(e) => {
+            if matches!(e, ServeError::CursorStale(_)) {
+                shared.stats.stale_cursors.fetch_add(1, Ordering::Relaxed);
+            }
+            return Err(e);
+        }
+    };
+    let len = len.min(shared.max_page_rows);
+    let start = match at {
+        PageAt::Next => cursor.next_rank,
+        PageAt::Rank(r) => r,
+    };
+    let served = plan.window_into(start..start.saturating_add(len), buf);
+    shared.stats.pages.fetch_add(1, Ordering::Relaxed);
+    shared.stats.rows.fetch_add(served, Ordering::Relaxed);
+    let end = start + served;
+    let next = if end < plan.len() {
+        let deps = plan_dependencies(&spec.q, &snap).unwrap_or_default();
+        Some(
+            Cursor {
+                request_key: cursor.request_key,
+                snapshot_uid: snap.uid(),
+                generation: snap.generation(),
+                next_rank: end,
+                deps,
+            }
+            .encode(),
+        )
+    } else {
+        None
+    };
+    Ok(PageOutcome {
+        rows: served,
+        next,
+        generation: snap.generation(),
+        resumed,
+    })
+}
+
+/// The stale-cursor policy. Returns `Ok(resumed)`:
+///
+/// - same snapshot uid — fresh, serve as-is;
+/// - a *descendant* snapshot whose content versions still match every
+///   relation the plan reads — **clean**: the ranked sequence is
+///   provably identical, so the cursor resumes transparently
+///   (`Ok(true)`);
+/// - a descendant with any dependency changed — **dirty**: the
+///   sequence the cursor indexes no longer exists
+///   ([`StaleReason::DirtyDependency`]);
+/// - not a descendant at all — no comparison is meaningful
+///   ([`StaleReason::UnrelatedSnapshot`]).
+fn validate_cursor(cursor: &Cursor, snap: &Snapshot) -> Result<bool, ServeError> {
+    if snap.uid() == cursor.snapshot_uid {
+        return Ok(false);
+    }
+    if !snap.descends_from(cursor.snapshot_uid) {
+        return Err(ServeError::CursorStale(StaleReason::UnrelatedSnapshot {
+            cursor_uid: cursor.snapshot_uid,
+        }));
+    }
+    for (relation, cursor_version) in &cursor.deps {
+        let current = snap.relation_version(relation);
+        if current != Some(*cursor_version) {
+            return Err(ServeError::CursorStale(StaleReason::DirtyDependency {
+                relation: relation.clone(),
+                cursor_version: *cursor_version,
+                current_version: current,
+            }));
+        }
+    }
+    Ok(true)
+}

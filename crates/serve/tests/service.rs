@@ -1,0 +1,466 @@
+//! The service contract end to end: concurrent zipfian sessions
+//! against one server observe exactly what a single-threaded oracle
+//! observes, cursors resume cleanly across generations whose changes
+//! they provably cannot see and fail typed when they could, and the
+//! bounded admission queue sheds load deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rda_core::{DirectAccess, Engine, OrderSpec, Policy};
+use rda_db::{Database, Snapshot, Tuple, Value};
+use rda_query::parser::parse;
+use rda_query::{Cq, FdSet};
+use rda_serve::{ServeError, Server, ServerConfig, StaleReason, Token};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+fn service_db(n: i64) -> Database {
+    Database::new()
+        .with_i64_rows("R", 2, (0..n).map(|i| vec![i % 13, i % 7]))
+        .with_i64_rows("S", 2, (0..n).map(|i| vec![i % 7, (i * 5) % 11]))
+        .with_i64_rows("T", 2, (0..n).map(|i| vec![(i * 3) % 17, i % 5]))
+}
+
+fn tup(a: i64, b: i64) -> Tuple {
+    [Value::int(a), Value::int(b)].into_iter().collect()
+}
+
+/// The full ranked sequence for a request, from a fresh
+/// single-threaded engine over `snap` — the ground truth every
+/// concurrent session must reproduce.
+fn oracle(snap: &Arc<Snapshot>, q: &Cq, order: OrderSpec) -> Vec<Tuple> {
+    let plan = Engine::new(Arc::clone(snap))
+        .prepare(q, order, &FdSet::empty(), Policy::Reject)
+        .unwrap();
+    plan.access_range(0..plan.len())
+}
+
+/// Zipf(s) pick over `n` items: item 0 is the hot query, the tail is
+/// cold — the classic skew of a serving workload.
+fn zipf_pick(rng: &mut StdRng, n: usize, s: f64) -> usize {
+    let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let mut u = rng.random_f64() * weights.iter().sum::<f64>();
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return i;
+        }
+        u -= w;
+    }
+    n - 1
+}
+
+struct Report {
+    order: usize,
+    join_rows: Vec<Tuple>,
+    resumed_seen: bool,
+    stale: ServeError,
+    t_rows: Vec<Tuple>,
+}
+
+/// The acceptance scenario: N client sessions with zipfian query
+/// popularity page concurrently while the writer lands an
+/// `advance_delta` touching only `T`. Join cursors (deps `R`, `S`)
+/// must resume transparently across the generation and reproduce the
+/// single-threaded oracle exactly; `T` cursors must fail with a typed
+/// `CursorStale` naming the dirty relation, then re-prepare and read
+/// the new generation exactly.
+#[test]
+fn zipfian_sessions_match_oracle_across_generations() {
+    const CLIENTS: usize = 6;
+    let mut db = service_db(60);
+    let snap0 = db.clone().freeze();
+    db.clear_mutation_log();
+    let engine = Arc::new(Engine::new(Arc::clone(&snap0)));
+    let server = Server::new(
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 4,
+            queue_limit: 128,
+            ..ServerConfig::default()
+        },
+    );
+
+    let join_q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let t_q = parse("P(x, y) :- T(x, y)").unwrap();
+    let orders: Vec<Vec<&str>> = vec![
+        vec!["x", "y", "z"],
+        vec!["y", "x", "z"],
+        vec!["z", "y", "x"],
+    ];
+
+    let barrier = Barrier::new(CLIENTS + 1);
+    let reports: Mutex<Vec<Report>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let (server, barrier, reports) = (&server, &barrier, &reports);
+            let (join_q, t_q, orders) = (&join_q, &t_q, &orders);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(7 * c as u64 + 1);
+                let mut session = server.session();
+                let order = zipf_pick(&mut rng, orders.len(), 1.2);
+                let prepared = session
+                    .prepare(
+                        join_q,
+                        OrderSpec::lex(join_q, &orders[order]),
+                        &FdSet::empty(),
+                        Policy::Reject,
+                    )
+                    .unwrap();
+                let total = prepared.len;
+                assert!(total >= 8, "workload too small to split across the update");
+                let mut token = prepared.token;
+                let mut join_rows: Vec<Tuple> = Vec::new();
+                // Page the first half in small bites; the barrier below
+                // guarantees the generation flips mid-sequence.
+                while (join_rows.len() as u64) < total / 2 {
+                    let len = rng.random_range(1..3u64);
+                    let page = session.stream_next(&token, len).unwrap();
+                    join_rows.extend(session.rows().to_tuples());
+                    token = page.next.expect("not at the end before the update");
+                }
+                let t_prepared = session
+                    .prepare(
+                        t_q,
+                        OrderSpec::lex(t_q, &["x", "y"]),
+                        &FdSet::empty(),
+                        Policy::Reject,
+                    )
+                    .unwrap();
+
+                barrier.wait(); // writer lands advance_delta (dirties T)
+                barrier.wait();
+
+                // Clean resume: R and S did not change, so the cursor
+                // continues the identical sequence on the new generation.
+                let mut resumed_seen = false;
+                let mut done = false;
+                while !done {
+                    let len = rng.random_range(1..6u64);
+                    let page = session.stream_next(&token, len).unwrap();
+                    resumed_seen |= page.resumed;
+                    join_rows.extend(session.rows().to_tuples());
+                    match page.next {
+                        Some(next) => token = next,
+                        None => done = true,
+                    }
+                }
+                // Dirty resume: T changed under the cursor.
+                let stale = session.stream_next(&t_prepared.token, 4).unwrap_err();
+                let reprepared = session
+                    .prepare(
+                        t_q,
+                        OrderSpec::lex(t_q, &["x", "y"]),
+                        &FdSet::empty(),
+                        Policy::Reject,
+                    )
+                    .unwrap();
+                let mut t_rows: Vec<Tuple> = Vec::new();
+                let mut t_token = reprepared.token;
+                loop {
+                    let page = session.stream_next(&t_token, 7).unwrap();
+                    t_rows.extend(session.rows().to_tuples());
+                    match page.next {
+                        Some(next) => t_token = next,
+                        None => break,
+                    }
+                }
+                reports.lock().unwrap().push(Report {
+                    order,
+                    join_rows,
+                    resumed_seen,
+                    stale,
+                    t_rows,
+                });
+            });
+        }
+        barrier.wait(); // all clients mid-sequence
+        db.insert_into("T", tup(100, 100));
+        engine.advance_delta(&mut db);
+        barrier.wait();
+    });
+
+    let snap1 = engine.snapshot();
+    assert_eq!(snap1.generation(), 1);
+    let t_oracle = oracle(&snap1, &t_q, OrderSpec::lex(&t_q, &["x", "y"]));
+    let reports = reports.into_inner().unwrap();
+    assert_eq!(reports.len(), CLIENTS);
+    for report in reports {
+        // The paged sequence spans the generation flip yet matches the
+        // prepare-time oracle exactly: no skips, no repeats.
+        let expected = oracle(
+            &snap0,
+            &join_q,
+            OrderSpec::lex(&join_q, &orders[report.order]),
+        );
+        assert_eq!(
+            report.join_rows, expected,
+            "order {:?} diverged",
+            orders[report.order]
+        );
+        assert!(report.resumed_seen, "cursor never crossed the generation");
+        match &report.stale {
+            ServeError::CursorStale(StaleReason::DirtyDependency { relation, .. }) => {
+                assert_eq!(relation, "T");
+            }
+            other => panic!("expected DirtyDependency stale error, got {other:?}"),
+        }
+        assert_eq!(report.t_rows, t_oracle);
+    }
+    assert_eq!(server.stats().overloaded, 0, "nominal load must not shed");
+}
+
+/// Random access through the service: a cursor proves freshness, the
+/// offset is free-form, and every page equals the oracle's slice.
+#[test]
+fn paged_random_access_matches_oracle_slices() {
+    let db = service_db(40);
+    let snap = db.freeze();
+    let engine = Arc::new(Engine::new(Arc::clone(&snap)));
+    let server = Server::with_defaults(Arc::clone(&engine));
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let expected = oracle(&snap, &q, OrderSpec::lex(&q, &["x", "y", "z"]));
+
+    let mut session = server.session();
+    let prepared = session
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    assert_eq!(prepared.len as usize, expected.len());
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..32 {
+        let offset = rng.random_range(0..prepared.len + 3);
+        let len = rng.random_range(1..9u64);
+        let page = session.page(&prepared.token, offset, len).unwrap();
+        let lo = offset.min(prepared.len);
+        let hi = (offset + len).min(prepared.len);
+        assert_eq!(page.rows, hi - lo);
+        assert_eq!(
+            session.rows().to_tuples(),
+            expected[lo as usize..hi as usize],
+            "window [{lo}, {hi})"
+        );
+    }
+}
+
+/// Deterministic load shedding: with the workers paused, the pool can
+/// hold exactly `queue_limit + workers` requests (each worker parks on
+/// at most one). Once `admitted` shows the pool saturated, every
+/// further submission must be rejected with the typed `Overloaded`
+/// error — and after `resume`, everything admitted completes.
+#[test]
+fn full_admission_queue_rejects_with_typed_overloaded() {
+    const WORKERS: usize = 2;
+    const QUEUE: usize = 3;
+    let db = service_db(30);
+    let engine = Arc::new(Engine::new(db.freeze()));
+    let server = Server::new(
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: WORKERS,
+            queue_limit: QUEUE,
+            ..ServerConfig::default()
+        },
+    );
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let mut session = server.session();
+    let prepared = session
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    let admitted_before = server.stats().admitted;
+
+    server.pause();
+    let capacity = (QUEUE + WORKERS) as u64;
+    let outcomes: Mutex<Vec<Result<u64, ServeError>>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        // Saturate: each filler retries until admitted, so exactly
+        // `capacity` requests end up parked in the pool.
+        for _ in 0..capacity {
+            let (server, outcomes) = (&server, &outcomes);
+            let token = prepared.token.clone();
+            scope.spawn(move || {
+                let mut session = server.session();
+                loop {
+                    match session.stream_next(&token, 2) {
+                        Err(ServeError::Overloaded { .. }) => std::thread::yield_now(),
+                        other => {
+                            outcomes.lock().unwrap().push(other.map(|p| p.rows));
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+        while server.stats().admitted - admitted_before < capacity {
+            std::thread::yield_now();
+        }
+        // Paused and saturated: the queue is full and stays full, so
+        // these submissions fail immediately and deterministically.
+        for _ in 0..2 {
+            let err = server
+                .session()
+                .stream_next(&prepared.token, 2)
+                .unwrap_err();
+            assert_eq!(err, ServeError::Overloaded { queue_limit: QUEUE });
+        }
+        server.resume();
+    });
+
+    let outcomes = outcomes.into_inner().unwrap();
+    assert_eq!(outcomes.len(), capacity as usize);
+    for outcome in outcomes {
+        assert_eq!(
+            outcome,
+            Ok(2),
+            "admitted requests must complete after resume"
+        );
+    }
+    assert!(server.stats().overloaded >= 2);
+}
+
+/// A request whose deadline has already passed when a worker picks it
+/// up is dropped with a typed error — and the session (buffer and
+/// all) stays usable.
+#[test]
+fn expired_deadlines_are_dropped_at_dequeue() {
+    let db = service_db(30);
+    let engine = Arc::new(Engine::new(db.freeze()));
+    let server = Server::with_defaults(Arc::clone(&engine));
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let mut session = server.session();
+    let prepared = session
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+
+    session.set_deadline(Duration::ZERO);
+    match session.stream_next(&prepared.token, 4) {
+        Err(ServeError::DeadlineExceeded) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(server.stats().deadline_expired, 1);
+
+    session.set_deadline(Duration::from_secs(5));
+    let page = session.stream_next(&prepared.token, 4).unwrap();
+    assert_eq!(page.rows, 4);
+}
+
+/// The full stale-cursor policy through the service API.
+#[test]
+fn stale_cursor_policy_clean_dirty_unrelated() {
+    let mut db = service_db(40);
+    let engine = Arc::new(Engine::new(db.clone().freeze()));
+    db.clear_mutation_log();
+    let server = Server::with_defaults(Arc::clone(&engine));
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let mut session = server.session();
+    let prepared = session
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    let page = session.stream_next(&prepared.token, 3).unwrap();
+    assert!(!page.resumed);
+    let token = page.next.unwrap();
+
+    // Clean: only T changes; the join's dependencies are untouched.
+    db.insert_into("T", tup(1, 1));
+    engine.advance_delta(&mut db);
+    let page = session.stream_next(&token, 3).unwrap();
+    assert!(
+        page.resumed,
+        "unchanged dependencies must resume transparently"
+    );
+    assert_eq!(page.generation, 1);
+    let token = page.next.unwrap();
+
+    // Dirty: R changes; the sequence the cursor indexes is gone.
+    db.insert_into("R", tup(2, 2));
+    engine.advance_delta(&mut db);
+    match session.stream_next(&token, 3) {
+        Err(ServeError::CursorStale(StaleReason::DirtyDependency { relation, .. })) => {
+            assert_eq!(relation, "R");
+        }
+        other => panic!("expected DirtyDependency, got {other:?}"),
+    }
+    assert!(server.stats().stale_cursors >= 1);
+
+    // Unrelated: the engine is re-pointed at a foreign lineage.
+    let foreign = Database::new()
+        .with_i64_rows("R", 2, vec![vec![1, 1]])
+        .with_i64_rows("S", 2, vec![vec![1, 1]])
+        .freeze();
+    engine.advance(foreign);
+    match session.stream_next(&token, 3) {
+        Err(ServeError::CursorStale(StaleReason::UnrelatedSnapshot { .. })) => {}
+        other => panic!("expected UnrelatedSnapshot, got {other:?}"),
+    }
+}
+
+/// Tokens are server-scoped: a different server over the same engine
+/// never prepared the request, so the cursor names an unknown query.
+#[test]
+fn foreign_server_rejects_unknown_request_key() {
+    let db = service_db(30);
+    let engine = Arc::new(Engine::new(db.freeze()));
+    let server_a = Server::with_defaults(Arc::clone(&engine));
+    let server_b = Server::with_defaults(Arc::clone(&engine));
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let prepared = server_a
+        .session()
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    match server_b.session().stream_next(&prepared.token, 2) {
+        Err(ServeError::UnknownQuery { .. }) => {}
+        other => panic!("expected UnknownQuery, got {other:?}"),
+    }
+}
+
+/// Garbage bytes at the service boundary come back as a typed
+/// `BadCursor` — the worker, the session, and its buffer all survive.
+#[test]
+fn garbage_tokens_fail_typed_and_leave_the_session_usable() {
+    let db = service_db(30);
+    let engine = Arc::new(Engine::new(db.freeze()));
+    let server = Server::with_defaults(Arc::clone(&engine));
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let mut session = server.session();
+    let prepared = session
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+
+    for garbage in [&b""[..], b"x", b"not a cursor token at all"] {
+        match session.stream_next(&Token::from_bytes(garbage), 2) {
+            Err(ServeError::BadCursor(_)) => {}
+            other => panic!("expected BadCursor for {garbage:?}, got {other:?}"),
+        }
+    }
+    assert_eq!(server.stats().bad_cursors, 3);
+    let page = session.stream_next(&prepared.token, 2).unwrap();
+    assert_eq!(page.rows, 2);
+}

@@ -165,14 +165,11 @@
 //! assert_eq!(plan.len(), 1); // in-flight readers keep their generation
 //! ```
 //!
-//! When should you still use the deprecated stateless shim
-//! (`Engine::prepare_stateless(q, &db, ...)`)? Only for genuine
-//! one-shot scripts over small inputs, where freezing a shared
-//! snapshot buys nothing: it re-encodes the database on every call and
-//! caches nothing. Everything else — repeated queries, multiple
-//! orders, concurrent clients — should freeze once and go through a
-//! stateful engine. The shim (like `Database::take` and the PR-1
-//! selection free functions) is removed in 0.5.0.
+//! As of 0.5.0 the pre-snapshot shims (`Engine::prepare_stateless`,
+//! `Database::take`, and the PR-1 selection free functions) are gone:
+//! every caller freezes once and routes through a stateful engine. For
+//! one-shot scripts, `Engine::new(db.freeze()).prepare_uncached(..)`
+//! is the equivalent — same routing, no memoization.
 //!
 //! The building blocks remain public for direct use:
 //! `LexDirectAccess::build_on`, `SumDirectAccess::build_on` (and their
@@ -188,12 +185,14 @@
 //! | [`rda_orderstat`] | quickselect, weighted selection, sorted-matrix selection |
 //! | [`rda_core`] | the `Engine`/`AccessPlan` serving core plus the paper's access/selection algorithms |
 //! | [`rda_baseline`] | materialize-and-sort, ranked enumeration (any-k) |
+//! | [`rda_serve`] | in-process request front door: worker pool, sessions, opaque resumable cursors, backpressure |
 
 pub use rda_baseline;
 pub use rda_core;
 pub use rda_db;
 pub use rda_orderstat;
 pub use rda_query;
+pub use rda_serve;
 
 /// The commonly used types and functions in one import.
 pub mod prelude {
@@ -209,4 +208,7 @@ pub mod prelude {
     pub use rda_query::parser::parse;
     pub use rda_query::query::CqBuilder;
     pub use rda_query::{Cq, Fd, FdSet, VarId, VarSet};
+    pub use rda_serve::{
+        PageOutcome, Prepared, ServeError, Server, ServerConfig, Session, StaleReason, Token,
+    };
 }

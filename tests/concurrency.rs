@@ -482,3 +482,68 @@ fn bounded_cache_holds_under_concurrent_churn() {
     });
     assert!(engine.plan_cache_len() <= 3, "cache bound violated");
 }
+
+/// The serving-layer pinning contract: a `RankedStream` borrows its
+/// plan, and a plan serves exactly the generation it was prepared
+/// over — so a stream opened before `Engine::advance` keeps yielding
+/// the *old* generation's answers, in order, to the very end, while
+/// new prepares see the new data. A half-consumed stream never mixes
+/// generations (this is what makes the `rda_serve` cursor sound: a
+/// clean-resumed cursor re-prepares, it never splices sequences).
+#[test]
+fn ranked_stream_stays_pinned_to_its_generation_across_advance() {
+    let q = parse("Q(x, y) :- R(x, y)").unwrap();
+    let rows: Vec<Vec<i64>> = (0..20i64).map(|i| vec![i % 5, i % 3]).collect();
+    let mut db = Database::new().with_i64_rows("R", 2, rows);
+    let engine = Engine::new(db.clone().freeze());
+    db.clear_mutation_log();
+
+    let plan = engine
+        .prepare(
+            &q,
+            Spec::lex(&q, &["x", "y"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    let expected = plan.access_range(0..plan.len());
+    assert!(
+        expected.len() >= 4,
+        "need a few answers to split the stream"
+    );
+
+    // Consume a prefix, then advance the engine mid-stream.
+    let mut stream = plan.stream_batched(0, 2);
+    let mut got: Vec<Tuple> = vec![stream.next().unwrap(), stream.next().unwrap()];
+    db.insert_into(
+        "R",
+        [Value::int(-100), Value::int(-100)].into_iter().collect(),
+    );
+    engine.advance_delta(&mut db);
+
+    // New prepares serve the new generation...
+    let fresh = engine
+        .prepare(
+            &q,
+            Spec::lex(&q, &["x", "y"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    assert_eq!(fresh.generation(), 1);
+    assert_eq!(fresh.len(), plan.len() + 1);
+    assert_eq!(
+        fresh.access(0).unwrap(),
+        [Value::int(-100), Value::int(-100)].into_iter().collect()
+    );
+
+    // ...while the in-flight stream finishes the old one, unchanged.
+    assert_eq!(stream.position(), 2);
+    got.extend(&mut stream);
+    assert_eq!(got, expected, "stream mixed generations");
+    assert_eq!(plan.generation(), 0);
+
+    // A stream opened on the old plan even now still serves gen 0.
+    let replay: Vec<Tuple> = plan.stream_batched(0, 7).collect();
+    assert_eq!(replay, expected);
+}
