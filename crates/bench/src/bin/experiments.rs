@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run --release -p rda_bench --bin experiments [id…]`
 //! where ids are `fig1 fig2 fig45 fig8 t33 t41 t61 t73 t8x t25 scale
-//! access serve window update traffic`. With no arguments, all
+//! access serve window update traffic chaos`. With no arguments, all
 //! experiments run.
 //! The `access` id additionally writes `BENCH_access.json`
 //! (machine-readable median ns/op for the access hot paths,
@@ -15,7 +15,11 @@
 //! writes `BENCH_traffic.json` (zipfian concurrent sessions through
 //! the `rda_serve` front door under interleaved update batches:
 //! throughput, p50/p95/p99 latency, and a bounded-queue overload
-//! scenario); add `--smoke` for the small CI-sized variants.
+//! scenario), and `chaos` writes `BENCH_chaos.json` (a deterministic
+//! fault storm — injected build/page panics plus a worker kill —
+//! absorbed by session retry policies with zero session loss, plus
+//! isolated recovery-latency, respawn, and shed/degrade probes); add
+//! `--smoke` for the small CI-sized variants.
 
 use rda_bench::stats::{json_num, json_str, median, median_round_ns};
 use rda_bench::workloads;
@@ -1878,6 +1882,505 @@ fn traffic_bench(smoke: bool) {
     );
 }
 
+/// E19 — the fault-containment driver behind `BENCH_chaos.json`.
+///
+/// Phase 1 is a deterministic chaos storm: zipfian retry-enabled
+/// clients page through the server while a seeded
+/// [`FaultPlan`](rda_serve::fault::FaultPlan)
+/// injects panics into both build kernels, the prepare entry, and
+/// in-flight pages — plus one scheduled worker kill — and a writer
+/// keeps dirtying a join input so stale cursors exercise transparent
+/// repair. Every fault must be absorbed: zero unrecovered errors, zero
+/// lost sessions, the pool back at full strength, and the post-storm
+/// sequence equal to a fresh single-threaded oracle.
+///
+/// Phases 2-4 isolate the numbers the storm mixes together: the
+/// latency of recovering one fenced panic through retry, the time to
+/// respawn a killed worker, and the shed/degrade behavior of a
+/// saturated bounded queue.
+fn chaos_bench(smoke: bool) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rda_bench::stats::percentile;
+    use rda_db::{Database, Value};
+    use rda_serve::fault::{self, FaultAction, FaultPlan};
+    use rda_serve::{RetryPolicy, ServeError, Server, ServerConfig, Token};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    let (clients, pages_per_client, rows, workers, writer_pause_ms, probes) = if smoke {
+        (3usize, 60usize, 600i64, 2usize, 1u64, 30usize)
+    } else {
+        (6, 400, 4000, 4, 10, 200)
+    };
+    println!(
+        "== E19 / chaos: {clients} retrying clients x {pages_per_client} pages under a seeded fault storm, {workers} workers ({}) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    // Injected panics unwind through worker threads by design;
+    // silence exactly those so the storm does not spray backtraces
+    // over the bench output. Real panics keep the default report.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied());
+        if msg.is_some_and(|m| m.contains("injected panic")) {
+            return;
+        }
+        default_hook(info);
+    }));
+
+    let mut db = Database::new()
+        .with_i64_rows("R", 2, (0..rows).map(|i| vec![i % 211, i % 101]))
+        .with_i64_rows("S", 2, (0..rows).map(|i| vec![i % 101, (i * 7) % 151]))
+        .with_i64_rows("T", 2, (0..rows).map(|i| vec![i % 97, i % 89]))
+        .with_i64_rows("U", 2, (0..rows).map(|i| vec![i % 61, i % 53]));
+    let engine = Arc::new(Engine::new(db.clone().freeze()));
+    db.clear_mutation_log();
+    let server = Server::new(
+        Arc::clone(&engine),
+        ServerConfig {
+            workers,
+            queue_limit: 64,
+            ..ServerConfig::default()
+        },
+    );
+
+    let join_q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let scan_q = parse("P(a, b) :- U(a, b)").unwrap();
+    let specs: Vec<(&rda_query::Cq, OrderSpec)> = vec![
+        (&join_q, OrderSpec::lex(&join_q, &["x", "y", "z"])),
+        (&join_q, OrderSpec::lex(&join_q, &["y", "x", "z"])),
+        (&scan_q, OrderSpec::sum_by_value()),
+        (&scan_q, OrderSpec::lex(&scan_q, &["a", "b"])),
+    ];
+    let zipf = |rng: &mut StdRng, n: usize| -> usize {
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(1.2)).collect();
+        let mut u = rng.random_f64() * weights.iter().sum::<f64>();
+        for (i, w) in weights.iter().enumerate() {
+            if u < *w {
+                return i;
+            }
+            u -= w;
+        }
+        n - 1
+    };
+
+    // The storm schedule. Explicit low-index entries guarantee the
+    // first builds and an early page panic fire; seeded entries spread
+    // the rest of the storm pseudo-randomly (the seed names the whole
+    // schedule, so the exact same storm replays anywhere); one worker
+    // kill lands a few jobs in. Every entry fires at most once, so the
+    // storm always reaches a fault-free steady state.
+    let total_page_ops = (clients * pages_per_client) as u64;
+    let plan = FaultPlan::seeded(0xC4A0_5EED)
+        .inject(fault::SITE_LEXDA_BUILD, 0, FaultAction::Panic)
+        .inject(fault::SITE_SUMDA_BUILD, 0, FaultAction::Panic)
+        .inject(fault::SITE_SERVE_PAGE, 1, FaultAction::Panic)
+        .inject(fault::SITE_SERVE_WORKER, 11, FaultAction::Panic)
+        .inject_seeded(
+            fault::SITE_SERVE_PAGE,
+            (total_page_ops / 40) as usize,
+            total_page_ops / 2,
+            FaultAction::Panic,
+        )
+        .inject_seeded(
+            fault::SITE_ENGINE_PREPARE,
+            (total_page_ops / 60) as usize,
+            total_page_ops / 2,
+            FaultAction::Panic,
+        );
+    let faults_scheduled = plan.len();
+    let guard = fault::install(plan.clone());
+
+    let op_us: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let rows_served = AtomicU64::new(0);
+    let repaired_pages = AtomicU64::new(0);
+    let unrecovered = AtomicU64::new(0);
+    let clients_done = AtomicUsize::new(0);
+    let update_batches = AtomicU64::new(0);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let (server, specs) = (&server, &specs);
+            let (op_us, rows_served) = (&op_us, &rows_served);
+            let (repaired_pages, unrecovered) = (&repaired_pages, &unrecovered);
+            let clients_done = &clients_done;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xC4A0 + c as u64);
+                let mut session = server.session();
+                session.set_retry_policy(RetryPolicy {
+                    max_attempts: 8,
+                    base_backoff: Duration::from_micros(200),
+                    max_backoff: Duration::from_millis(5),
+                    seed: 0xBEEF ^ c as u64,
+                    ..RetryPolicy::default()
+                });
+                let mut cursors: Vec<Option<Token>> = vec![None; specs.len()];
+                let (mut my_lat, mut my_repaired) = (Vec::new(), 0u64);
+                for _ in 0..pages_per_client {
+                    let i = zipf(&mut rng, specs.len());
+                    if cursors[i].is_none() {
+                        let (q, order) = &specs[i];
+                        let t0 = Instant::now();
+                        match session.prepare(q, order.clone(), &FdSet::empty(), Policy::Reject) {
+                            Ok(prepared) => {
+                                my_lat.push(us(t0.elapsed()));
+                                cursors[i] = Some(prepared.token);
+                            }
+                            Err(_) => {
+                                unrecovered.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        }
+                    }
+                    let token = cursors[i].take().expect("prepared above");
+                    let len = rng.random_range(8..64u64);
+                    let t0 = Instant::now();
+                    match session.stream_next(&token, len) {
+                        Ok(page) => {
+                            my_lat.push(us(t0.elapsed()));
+                            my_repaired += u64::from(page.repaired);
+                            rows_served.fetch_add(page.rows, Ordering::Relaxed);
+                            if let Some(next) = page.next {
+                                cursors[i] = Some(next);
+                            }
+                        }
+                        // With an 8-attempt retry policy absorbing the
+                        // whole schedule, any surfaced error is a
+                        // containment failure.
+                        Err(_) => {
+                            unrecovered.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                op_us.lock().unwrap().append(&mut my_lat);
+                repaired_pages.fetch_add(my_repaired, Ordering::Relaxed);
+                clients_done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // The writer: keeps generations moving so build-site faults
+        // have fresh builds to hit and join cursors go stale (and get
+        // repaired) mid-storm.
+        let (engine, update_batches, clients_done) = (&engine, &update_batches, &clients_done);
+        let db = &mut db;
+        scope.spawn(move || {
+            let mut batch = 0i64;
+            loop {
+                batch += 1;
+                // Every other batch dirties the join input S so live
+                // join cursors keep going stale mid-storm (exercising
+                // transparent repair); the rest touch only T, which no
+                // query reads.
+                if batch % 2 == 1 {
+                    db.insert_into(
+                        "S",
+                        [Value::int(batch % 101), Value::int(batch % 151)]
+                            .into_iter()
+                            .collect(),
+                    );
+                } else {
+                    db.insert_into(
+                        "T",
+                        [Value::int(batch % 97), Value::int(batch % 89)]
+                            .into_iter()
+                            .collect(),
+                    );
+                }
+                engine.advance_delta(db);
+                update_batches.fetch_add(1, Ordering::Relaxed);
+                if clients_done.load(Ordering::Relaxed) == clients {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(writer_pause_ms));
+            }
+        });
+    });
+    let elapsed = start.elapsed();
+    let storm_stats = server.stats();
+
+    // How much of the schedule actually fired (entries whose hit index
+    // the storm reached) — read while the plan is still armed.
+    let sites = [
+        fault::SITE_LEXDA_BUILD,
+        fault::SITE_SUMDA_BUILD,
+        fault::SITE_ENGINE_PREPARE,
+        fault::SITE_SERVE_PAGE,
+        fault::SITE_SERVE_WORKER,
+    ];
+    let faults_fired: usize = sites
+        .iter()
+        .map(|site| {
+            let hits = fault::hits(site);
+            plan.scheduled(site)
+                .iter()
+                .filter(|&&(nth, _)| nth < hits)
+                .count()
+        })
+        .sum();
+    drop(guard);
+
+    // Containment audit: everything absorbed, nobody lost, pool whole.
+    let sessions_lost = clients - clients_done.load(Ordering::Relaxed);
+    assert_eq!(sessions_lost, 0, "every client session must finish");
+    assert_eq!(
+        unrecovered.load(Ordering::Relaxed),
+        0,
+        "retry policies must absorb the whole schedule"
+    );
+    let health = loop {
+        let h = server.health();
+        if h.workers_alive == h.workers_configured {
+            break h;
+        }
+        std::thread::yield_now();
+    };
+    assert!(health.panics_caught > 0, "the storm never fired");
+    assert_eq!(health.worker_respawns, 1, "exactly one scheduled kill");
+
+    // Post-chaos differential: the served sequences equal a fresh
+    // single-threaded oracle — the storm left no corruption behind.
+    let final_snap = engine.snapshot();
+    let mut oracle_rows = 0usize;
+    for (q, order) in &specs {
+        let truth = Engine::new(Arc::clone(&final_snap))
+            .prepare(q, order.clone(), &FdSet::empty(), Policy::Reject)
+            .expect("oracle prepare");
+        let expected = truth.access_range(0..truth.len());
+        let mut session = server.session();
+        let prepared = session
+            .prepare(q, order.clone(), &FdSet::empty(), Policy::Reject)
+            .expect("post-chaos prepare");
+        let mut got = Vec::new();
+        let mut token = prepared.token;
+        loop {
+            let page = session.stream_next(&token, 512).expect("post-chaos page");
+            got.extend(session.rows().to_tuples());
+            match page.next {
+                Some(next) => token = next,
+                None => break,
+            }
+        }
+        assert_eq!(got, expected, "post-chaos sequence diverged from oracle");
+        oracle_rows += expected.len();
+    }
+
+    // Phase 2 — recovery latency: one fenced page panic absorbed by
+    // retry, measured in isolation, `probes` times.
+    let mut recovery_us: Vec<f64> = Vec::with_capacity(probes);
+    {
+        let mut session = server.session();
+        session.set_retry_policy(RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(2),
+            ..RetryPolicy::default()
+        });
+        let prepared = session
+            .prepare(
+                &scan_q,
+                OrderSpec::lex(&scan_q, &["a", "b"]),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .expect("probe prepare");
+        for _ in 0..probes {
+            let g = fault::install(FaultPlan::new().inject(
+                fault::SITE_SERVE_PAGE,
+                0,
+                FaultAction::Panic,
+            ));
+            let t0 = Instant::now();
+            session
+                .page(&prepared.token, 0, 16)
+                .expect("probe recovers within four attempts");
+            recovery_us.push(us(t0.elapsed()));
+            drop(g);
+        }
+    }
+
+    // Phase 3 — respawn latency: kill the next worker through the
+    // loop; the probe's first attempt is the lost job, the retry
+    // succeeds, and the pool must return to full strength.
+    let respawns_before = server.health().worker_respawns;
+    let respawn_ms = {
+        let mut session = server.session();
+        session.set_retry_policy(RetryPolicy {
+            base_backoff: Duration::from_micros(100),
+            ..RetryPolicy::default()
+        });
+        let prepared = session
+            .prepare(
+                &scan_q,
+                OrderSpec::lex(&scan_q, &["a", "b"]),
+                &FdSet::empty(),
+                Policy::Reject,
+            )
+            .expect("respawn-probe prepare");
+        let g = fault::install(FaultPlan::new().inject(
+            fault::SITE_SERVE_WORKER,
+            0,
+            FaultAction::Panic,
+        ));
+        let t0 = Instant::now();
+        session
+            .page(&prepared.token, 0, 16)
+            .expect("probe survives the worker kill");
+        loop {
+            let h = server.health();
+            if h.workers_alive == h.workers_configured {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        drop(g);
+        ms(t0.elapsed())
+    };
+    assert_eq!(server.health().worker_respawns, respawns_before + 1);
+
+    // Phase 4 — shed & degrade: a tiny paused pool saturates, typed
+    // rejections shed the excess, and a degrading session converges to
+    // a page length the pool can sustain.
+    let small = Server::new(
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 2,
+            queue_limit: 3,
+            ..ServerConfig::default()
+        },
+    );
+    let prepared = small
+        .session()
+        .prepare(
+            &scan_q,
+            OrderSpec::lex(&scan_q, &["a", "b"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .expect("prepare on the shed server");
+    let capacity = (3 + 2) as u64; // queue slots + one held per worker
+    let admitted_before = small.stats().admitted;
+    small.pause();
+    let rejected = AtomicU64::new(0);
+    let drained = AtomicU64::new(0);
+    let (degrade_shift, degraded_rows) = std::thread::scope(|scope| {
+        for _ in 0..capacity {
+            let (small, drained) = (&small, &drained);
+            let token = prepared.token.clone();
+            scope.spawn(move || {
+                let mut session = small.session();
+                loop {
+                    match session.stream_next(&token, 2) {
+                        Err(ServeError::Overloaded { .. }) => std::thread::yield_now(),
+                        Ok(_) => {
+                            drained.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                        Err(e) => panic!("filler hit {e}"),
+                    }
+                }
+            });
+        }
+        while small.stats().admitted - admitted_before < capacity {
+            std::thread::yield_now();
+        }
+        // Saturated and paused: single shots shed typed...
+        for _ in 0..8 {
+            match small.session().stream_next(&prepared.token, 2) {
+                Err(ServeError::Overloaded { queue_limit }) => {
+                    assert_eq!(queue_limit, 3);
+                    rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+        }
+        // ...and a degrading session digs one halving per rejection.
+        let mut degrading = small.session();
+        degrading.set_retry_policy(RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(1),
+            degrade_after: 1,
+            ..RetryPolicy::default()
+        });
+        match degrading.page(&prepared.token, 0, 32) {
+            Err(ServeError::Overloaded { .. }) => {}
+            other => panic!("expected Overloaded under sustained pressure, got {other:?}"),
+        }
+        let shift = degrading.degrade_shift();
+        assert!(shift > 0, "sustained overload must degrade");
+        small.resume();
+        // Pressure lifted: the degraded session is served a shortened
+        // page (32 halved `shift` times) instead of failing.
+        let page = degrading
+            .page(&prepared.token, 0, 32)
+            .expect("degraded page after resume");
+        assert_eq!(page.rows, 32 >> shift);
+        (shift, page.rows)
+    });
+    assert_eq!(drained.load(Ordering::Relaxed), capacity);
+    let shed_stats = small.stats();
+    let shed_rate =
+        shed_stats.overloaded as f64 / (shed_stats.overloaded + shed_stats.admitted) as f64;
+
+    let op_us = op_us.into_inner().unwrap();
+    let pct = |xs: &[f64], p: f64| percentile(xs.to_vec(), p);
+    let storm_ops = storm_stats.prepares + storm_stats.pages;
+    let json = format!(
+        "{{\n  \"schema\": \"bench_chaos/v1\",\n  \"command\": \"cargo run --release -p rda_bench --bin experiments -- chaos{}\",\n  \"mode\": {},\n  \"host_parallelism\": {},\n  \"storm\": {{\n    \"clients\": {},\n    \"pages_per_client\": {},\n    \"workers\": {},\n    \"db_rows_per_relation\": {},\n    \"update_batches\": {},\n    \"faults_scheduled\": {},\n    \"faults_fired\": {},\n    \"panics_caught\": {},\n    \"worker_respawns\": {},\n    \"repaired_pages\": {},\n    \"rows_served\": {},\n    \"elapsed_ms\": {},\n    \"ops\": {},\n    \"throughput_ops_per_sec\": {},\n    \"unrecovered_errors\": 0,\n    \"sessions_lost\": 0,\n    \"post_chaos_oracle_rows\": {}\n  }},\n  \"op_latency_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }},\n  \"recovery\": {{ \"probes\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {} }},\n  \"respawn\": {{ \"probe_ms\": {}, \"workers_alive\": {} }},\n  \"overload\": {{\n    \"queue_limit\": 3,\n    \"pool_capacity\": {},\n    \"single_shot_submissions\": 8,\n    \"typed_overloaded_rejections\": {},\n    \"admitted\": {},\n    \"shed\": {},\n    \"shed_rate\": {},\n    \"degrade_shift_under_pressure\": {},\n    \"degraded_page_rows\": {},\n    \"admitted_completed_after_resume\": {}\n  }}\n}}\n",
+        if smoke { " --smoke" } else { "" },
+        json_str(if smoke { "smoke" } else { "full" }),
+        host_parallelism(),
+        clients,
+        pages_per_client,
+        workers,
+        rows,
+        update_batches.load(Ordering::Relaxed),
+        faults_scheduled,
+        faults_fired,
+        health.panics_caught,
+        health.worker_respawns,
+        repaired_pages.load(Ordering::Relaxed),
+        rows_served.load(Ordering::Relaxed),
+        json_num(ms(elapsed)),
+        storm_ops,
+        json_num(storm_ops as f64 / elapsed.as_secs_f64()),
+        oracle_rows,
+        json_num(pct(&op_us, 50.0)),
+        json_num(pct(&op_us, 95.0)),
+        json_num(pct(&op_us, 99.0)),
+        probes,
+        json_num(pct(&recovery_us, 50.0)),
+        json_num(pct(&recovery_us, 95.0)),
+        json_num(pct(&recovery_us, 99.0)),
+        json_num(respawn_ms),
+        server.health().workers_alive,
+        capacity,
+        rejected.load(Ordering::Relaxed),
+        shed_stats.admitted,
+        shed_stats.overloaded,
+        json_num(shed_rate),
+        degrade_shift,
+        degraded_rows,
+        drained.load(Ordering::Relaxed),
+    );
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!(
+        "{faults_fired}/{faults_scheduled} scheduled faults fired, {} panics fenced, 1 worker respawned, {} pages repaired, 0 unrecovered errors, 0 sessions lost\nrecovery p50 {:.0} us, respawn probe {:.1} ms, shed rate {:.2}\nwrote BENCH_chaos.json\n",
+        health.panics_caught,
+        repaired_pages.load(Ordering::Relaxed),
+        pct(&recovery_us, 50.0),
+        respawn_ms,
+        shed_rate,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -1891,6 +2394,7 @@ fn main() {
         window_bench(true);
         update_bench(true);
         traffic_bench(true);
+        chaos_bench(true);
         return;
     }
     let all = args.is_empty();
@@ -1942,5 +2446,8 @@ fn main() {
     }
     if want("traffic") {
         traffic_bench(smoke);
+    }
+    if want("chaos") {
+        chaos_bench(smoke);
     }
 }

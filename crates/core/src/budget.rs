@@ -1,0 +1,166 @@
+//! Build budgets: bounded resource envelopes for structure builds.
+//!
+//! A hostile (or merely unlucky) query can ask the engine to build a
+//! direct-access structure whose preprocessing output is enormous —
+//! the layered-DP arenas of [`lexda`](crate::lexda) and the
+//! weight-sorted answer array of [`sumda`](crate::sumda) are both
+//! `O(|answers|)`-sized, and the answer count can be polynomially
+//! larger than the input. A [`BuildBudget`] caps what a single build
+//! may allocate; the build kernels charge a [`BudgetMeter`] at their
+//! allocation sites and abort with the typed
+//! [`BuildError::BudgetExceeded`] instead of exhausting process
+//! memory. The partially-built structure is dropped; nothing is
+//! cached, and the engine's shared state is untouched.
+//!
+//! Budgets are a *containment* mechanism, not an exact accountant:
+//! meters charge the dominant, answer-proportional allocations
+//! (arena entries, rank directories, answer columns) and ignore
+//! O(input) bookkeeping. The default budget is unlimited.
+
+use crate::error::BuildError;
+
+/// Resource caps for one structure build. `None` means unlimited.
+///
+/// Set process-wide on an [`Engine`](crate::Engine) via
+/// [`Engine::set_build_budget`](crate::Engine::set_build_budget), or
+/// per-build through the `*_budgeted` constructors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildBudget {
+    /// Cap on bytes of answer-proportional arena/column storage.
+    pub max_arena_bytes: Option<u64>,
+    /// Cap on dynamic-programming entries (lexda arena entries, sumda
+    /// answer rows).
+    pub max_dp_entries: Option<u64>,
+}
+
+impl BuildBudget {
+    /// The unlimited budget (both caps off).
+    pub const UNLIMITED: BuildBudget = BuildBudget {
+        max_arena_bytes: None,
+        max_dp_entries: None,
+    };
+
+    /// A budget capping both bytes and entries.
+    pub fn capped(max_arena_bytes: u64, max_dp_entries: u64) -> Self {
+        BuildBudget {
+            max_arena_bytes: Some(max_arena_bytes),
+            max_dp_entries: Some(max_dp_entries),
+        }
+    }
+
+    /// `true` when neither cap is set (charging can be skipped).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_arena_bytes.is_none() && self.max_dp_entries.is_none()
+    }
+
+    /// Start metering one build against this budget.
+    pub fn meter(&self) -> BudgetMeter {
+        BudgetMeter {
+            budget: *self,
+            bytes: 0,
+            entries: 0,
+        }
+    }
+}
+
+/// Running consumption of one build against a [`BuildBudget`].
+#[derive(Debug, Clone)]
+pub struct BudgetMeter {
+    budget: BuildBudget,
+    bytes: u64,
+    entries: u64,
+}
+
+impl BudgetMeter {
+    /// A meter that never trips.
+    pub fn unlimited() -> Self {
+        BuildBudget::UNLIMITED.meter()
+    }
+
+    /// Charge `bytes` of arena storage and `entries` DP entries;
+    /// errors with [`BuildError::BudgetExceeded`] on the first cap
+    /// crossed.
+    #[inline]
+    pub fn charge(&mut self, bytes: u64, entries: u64) -> Result<(), BuildError> {
+        if self.budget.is_unlimited() {
+            return Ok(());
+        }
+        self.bytes = self.bytes.saturating_add(bytes);
+        self.entries = self.entries.saturating_add(entries);
+        if let Some(cap) = self.budget.max_dp_entries {
+            if self.entries > cap {
+                return Err(BuildError::BudgetExceeded {
+                    resource: "dp_entries",
+                    used: self.entries,
+                    limit: cap,
+                });
+            }
+        }
+        if let Some(cap) = self.budget.max_arena_bytes {
+            if self.bytes > cap {
+                return Err(BuildError::BudgetExceeded {
+                    resource: "arena_bytes",
+                    used: self.bytes,
+                    limit: cap,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes charged so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Entries charged so far.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let mut m = BudgetMeter::unlimited();
+        for _ in 0..1000 {
+            m.charge(u64::MAX / 2, u64::MAX / 2).unwrap();
+        }
+        // Unlimited meters skip accounting entirely.
+        assert_eq!(m.bytes(), 0);
+    }
+
+    #[test]
+    fn entry_cap_trips_first_crossing() {
+        let mut m = BuildBudget::capped(1 << 30, 10).meter();
+        m.charge(16, 8).unwrap();
+        m.charge(16, 2).unwrap(); // exactly at the cap: fine
+        let err = m.charge(16, 1).unwrap_err();
+        match err {
+            BuildError::BudgetExceeded {
+                resource,
+                used,
+                limit,
+            } => {
+                assert_eq!(resource, "dp_entries");
+                assert_eq!(used, 11);
+                assert_eq!(limit, 10);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn byte_cap_trips_and_saturates() {
+        let mut m = BuildBudget {
+            max_arena_bytes: Some(100),
+            max_dp_entries: None,
+        }
+        .meter();
+        m.charge(100, 5).unwrap();
+        assert!(m.charge(u64::MAX, 0).is_err(), "saturating add still trips");
+    }
+}

@@ -49,7 +49,9 @@
 //! assert!(plan.access(0).is_some());
 //! ```
 
+use crate::budget::BuildBudget;
 use crate::error::BuildError;
+use crate::fault;
 use crate::plan::{
     describe_reason, AccessPlan, Backend, Explain, RankedAnswers, RankedEnumHandle,
     SelectionLexHandle, SelectionSumHandle,
@@ -65,7 +67,7 @@ use rda_query::{gyo, VarId};
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// The order a prepared plan ranks answers by.
 #[derive(Debug, Clone)]
@@ -394,6 +396,17 @@ impl PlanCache {
 pub struct Engine {
     snapshot: RwLock<Arc<Snapshot>>,
     cache: Mutex<PlanCache>,
+    build_budget: RwLock<BuildBudget>,
+}
+
+// Poison recovery: every shared slot in the engine is either swapped
+// atomically (the `Arc<Snapshot>` slot) or re-validated on read (the
+// plan cache is keyed by snapshot uid and checked against it), so a
+// panic while a lock was held cannot leave state a later reader could
+// misinterpret — recovering the guard is strictly better than
+// propagating the poison to every future caller.
+fn relock<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
 }
 
 impl fmt::Debug for Engine {
@@ -427,14 +440,34 @@ impl Engine {
                 capacity,
                 clock: 0,
             }),
+            build_budget: RwLock::new(BuildBudget::UNLIMITED),
         }
+    }
+
+    /// The budget applied to subsequent structure builds (default:
+    /// [`BuildBudget::UNLIMITED`]).
+    pub fn build_budget(&self) -> BuildBudget {
+        *relock(self.build_budget.read())
+    }
+
+    /// Cap what any single structure build may allocate: builds that
+    /// cross the budget abort with
+    /// [`BuildError::BudgetExceeded`]
+    /// instead of exhausting process memory. Affects subsequent
+    /// [`Engine::prepare`] calls; already-cached plans are untouched,
+    /// and the budget is **not** part of the plan-cache key (a plan
+    /// that finished under an old budget is evidence it fit, so serving
+    /// it after a tightening is sound containment-wise).
+    pub fn set_build_budget(&self, budget: BuildBudget) {
+        *relock(self.build_budget.write()) = budget;
     }
 
     /// The snapshot this engine currently serves. New
     /// [`Engine::prepare`] calls are answered over exactly this
     /// generation until the next [`Engine::advance`].
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.snapshot.read().expect("snapshot slot not poisoned"))
+        let guard = relock(self.snapshot.read());
+        Arc::clone(&guard)
     }
 
     /// The generation of the currently served snapshot.
@@ -458,8 +491,8 @@ impl Engine {
     ///
     /// Returns how many plans were carried forward.
     pub fn advance(&self, snapshot: Arc<Snapshot>) -> usize {
-        let mut cache = self.cache.lock().expect("plan cache not poisoned");
-        let mut slot = self.snapshot.write().expect("snapshot slot not poisoned");
+        let mut cache = relock(self.cache.lock());
+        let mut slot = relock(self.snapshot.write());
         if slot.uid() == snapshot.uid() {
             return 0; // advancing to the current snapshot is a no-op
         }
@@ -500,20 +533,12 @@ impl Engine {
 
     /// Number of plans currently memoized.
     pub fn plan_cache_len(&self) -> usize {
-        self.cache
-            .lock()
-            .expect("plan cache not poisoned")
-            .map
-            .len()
+        relock(self.cache.lock()).map.len()
     }
 
     /// Drop every memoized plan (already-shared `Arc`s stay alive).
     pub fn clear_plan_cache(&self) {
-        self.cache
-            .lock()
-            .expect("plan cache not poisoned")
-            .map
-            .clear();
+        relock(self.cache.lock()).map.clear();
     }
 
     /// Classify `(q, order)` under `fds` and serve the best plan the
@@ -551,16 +576,16 @@ impl Engine {
         fds: &FdSet,
         policy: Policy,
     ) -> Result<(Arc<Snapshot>, Arc<AccessPlan>), PlanError> {
+        // Chaos hook: fires before any shared state is touched, so an
+        // injected panic here proves the serve-side fence alone keeps
+        // the engine usable. Disarmed, this is one atomic load.
+        fault::trip(fault::SITE_ENGINE_PREPARE)
+            .map_err(|f| PlanError::Build(BuildError::FaultInjected { site: f.site }))?;
         // Pin the generation first: the whole prepare runs against one
         // snapshot, however many `advance` calls race it.
         let snap = self.snapshot();
         let key = plan_key(snap.uid(), q, &order, fds, policy);
-        if let Some(plan) = self
-            .cache
-            .lock()
-            .expect("plan cache not poisoned")
-            .get(&key)
-        {
+        if let Some(plan) = relock(self.cache.lock()).get(&key) {
             // A hit under `snap`'s uid is consistent with `snap` even
             // if the plan was carried forward from an older
             // generation: carrying requires every dependency's content
@@ -568,7 +593,8 @@ impl Engine {
             return Ok((snap, plan));
         }
         // Build outside the lock so distinct keys don't serialize.
-        let plan = Arc::new(prepare_on(&snap, q, order, fds, policy)?);
+        let budget = self.build_budget();
+        let plan = Arc::new(prepare_on(&snap, q, order, fds, policy, budget)?);
         let deps = plan_dependencies(q, &snap);
         // Cache only if the engine still serves the snapshot this plan
         // was built against: a plan that lost a race with `advance`
@@ -576,12 +602,8 @@ impl Engine {
         // evicting live entries from) the bounded cache under a key no
         // future prepare can hit. Lock order (cache, then snapshot)
         // matches `advance`.
-        let mut cache = self.cache.lock().expect("plan cache not poisoned");
-        let current_uid = self
-            .snapshot
-            .read()
-            .expect("snapshot slot not poisoned")
-            .uid();
+        let mut cache = relock(self.cache.lock());
+        let current_uid = relock(self.snapshot.read()).uid();
         if key.snapshot_uid != current_uid {
             return Ok((snap, plan));
         }
@@ -598,7 +620,7 @@ impl Engine {
         fds: &FdSet,
         policy: Policy,
     ) -> Result<AccessPlan, PlanError> {
-        prepare_on(&self.snapshot(), q, order, fds, policy)
+        prepare_on(&self.snapshot(), q, order, fds, policy, self.build_budget())
     }
 }
 
@@ -610,10 +632,11 @@ fn prepare_on(
     order: OrderSpec,
     fds: &FdSet,
     policy: Policy,
+    budget: BuildBudget,
 ) -> Result<AccessPlan, PlanError> {
     let plan = match order {
-        OrderSpec::Lex(lex) => prepare_lex(snap, q, lex, fds, policy),
-        OrderSpec::Sum(w) => prepare_sum(snap, q, w, fds, policy),
+        OrderSpec::Lex(lex) => prepare_lex(snap, q, lex, fds, policy, budget),
+        OrderSpec::Sum(w) => prepare_sum(snap, q, w, fds, policy, budget),
     }?;
     Ok(plan.with_generation(snap.generation()))
 }
@@ -624,6 +647,7 @@ fn prepare_lex(
     lex: Vec<VarId>,
     fds: &FdSet,
     policy: Policy,
+    budget: BuildBudget,
 ) -> Result<AccessPlan, PlanError> {
     crate::lexda::validate_lex(q, &lex)?;
     let problem = Problem::DirectAccessLex(lex.clone());
@@ -632,7 +656,7 @@ fn prepare_lex(
     let witness = verdict.reason().map(|r| describe_reason(q, r));
 
     if verdict.is_tractable() {
-        let da = LexDirectAccess::build_on(q, snap, &lex, fds)?;
+        let da = LexDirectAccess::build_on_budgeted(q, snap, &lex, fds, budget)?;
         return Ok(AccessPlan::new(
             RankedAnswers::Lex(da),
             Explain {
@@ -693,6 +717,7 @@ fn prepare_sum(
     weights: Weights,
     fds: &FdSet,
     policy: Policy,
+    budget: BuildBudget,
 ) -> Result<AccessPlan, PlanError> {
     let problem = Problem::DirectAccessSum;
     let problem_desc = "direct access by SUM of attribute weights".to_string();
@@ -700,7 +725,7 @@ fn prepare_sum(
     let witness = verdict.reason().map(|r| describe_reason(q, r));
 
     if verdict.is_tractable() {
-        let da = SumDirectAccess::build_on(q, snap, &weights, fds)?;
+        let da = SumDirectAccess::build_on_budgeted(q, snap, &weights, fds, budget)?;
         return Ok(AccessPlan::new(
             RankedAnswers::Sum(da),
             Explain {

@@ -30,6 +30,24 @@ pub enum BuildError {
     /// computes in `u128` and rejects at build time rather than serving
     /// silently wrong ranks from saturated arithmetic.
     CountOverflow,
+    /// The build crossed a [`BuildBudget`](crate::budget::BuildBudget)
+    /// cap and was aborted before exhausting process memory. The
+    /// partially-built structure is dropped; nothing is cached.
+    BudgetExceeded {
+        /// Which cap tripped: `"arena_bytes"` or `"dp_entries"`.
+        resource: &'static str,
+        /// The metered consumption at the point of abort.
+        used: u64,
+        /// The configured cap.
+        limit: u64,
+    },
+    /// An armed [`FaultPlan`](crate::fault::FaultPlan) injected a
+    /// spurious failure at a build/prepare site (chaos testing only;
+    /// never produced in production configurations).
+    FaultInjected {
+        /// The fault site that fired (e.g. `"lexda::build"`).
+        site: String,
+    },
 }
 
 impl BuildError {
@@ -75,6 +93,19 @@ impl fmt::Display for BuildError {
                     f,
                     "answer count exceeds u64::MAX; ranks are unrepresentable"
                 )
+            }
+            BuildError::BudgetExceeded {
+                resource,
+                used,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "build budget exceeded: {resource} used {used} > limit {limit}"
+                )
+            }
+            BuildError::FaultInjected { site } => {
+                write!(f, "injected build fault at {site}")
             }
         }
     }

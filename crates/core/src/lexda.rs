@@ -33,7 +33,9 @@
 //! Values reappear only when an answer is emitted, decoded through the
 //! [`Dictionary`].
 
+use crate::budget::{BudgetMeter, BuildBudget};
 use crate::error::BuildError;
+use crate::fault;
 use crate::instance::{full_reduce, positions_of, sorted_vars};
 use crate::snapprep::{
     build_derivations_encoded, check_fds_encoded, extend_instance_encoded, normalize_encoded,
@@ -458,8 +460,25 @@ impl LexDirectAccess {
         lex: &[VarId],
         fds: &FdSet,
     ) -> Result<Self, BuildError> {
+        Self::build_on_budgeted(q, snap, lex, fds, BuildBudget::UNLIMITED)
+    }
+
+    /// [`LexDirectAccess::build_on`] under a [`BuildBudget`]: the
+    /// counting-DP arenas charge the budget as they grow (per entry and
+    /// per rank directory), and the build aborts with
+    /// [`BuildError::BudgetExceeded`] the moment a cap is crossed —
+    /// before, not after, the offending allocation dominates memory.
+    pub fn build_on_budgeted(
+        q: &Cq,
+        snap: &Arc<Snapshot>,
+        lex: &[VarId],
+        fds: &FdSet,
+        budget: BuildBudget,
+    ) -> Result<Self, BuildError> {
+        fault::trip(fault::SITE_LEXDA_BUILD)
+            .map_err(|f| BuildError::FaultInjected { site: f.site })?;
         let prep = prepare_layers(q, snap, lex, fds)?;
-        Self::from_prep(prep, Arc::clone(snap))
+        Self::from_prep(prep, Arc::clone(snap), budget)
     }
 
     /// Convenience for one-shot builds from a value-level [`Database`]:
@@ -471,7 +490,12 @@ impl LexDirectAccess {
         Self::build_on(q, &db.clone().freeze(), lex, fds)
     }
 
-    pub(crate) fn from_prep(prep: LayerPrep, snap: Arc<Snapshot>) -> Result<Self, BuildError> {
+    pub(crate) fn from_prep(
+        prep: LayerPrep,
+        snap: Arc<Snapshot>,
+        budget: BuildBudget,
+    ) -> Result<Self, BuildError> {
+        let mut meter = budget.meter();
         let LayerPrep {
             out_vars,
             order,
@@ -604,13 +628,17 @@ impl LexDirectAccess {
                     });
                 if key_changed {
                     if open {
-                        close_bucket(&mut layer, &mut bucket_ws)?;
+                        close_bucket(&mut layer, &mut bucket_ws, &mut meter)?;
                     }
                     open = true;
                     for (j, &p) in key_positions.iter().enumerate() {
                         layer.key_cols[j].push(enc.code(row, p));
                     }
                 }
+                // Budget charge precedes the arena growth it accounts
+                // for: a capped build stops before the allocation that
+                // would cross the cap, not after.
+                meter.charge((std::mem::size_of::<Entry>() + 4 + extra * 4) as u64, 1)?;
                 let value = enc.code(row, value_pos);
                 layer.entries.push(Entry {
                     start: 0, // prefix sums are filled in at bucket close
@@ -625,7 +653,7 @@ impl LexDirectAccess {
                 bucket_ws.push(w);
             }
             if open {
-                close_bucket(&mut layer, &mut bucket_ws)?;
+                close_bucket(&mut layer, &mut bucket_ws, &mut meter)?;
             }
             layers[i] = Some(layer);
         }
@@ -1109,8 +1137,13 @@ impl Iterator for LexRangeIter<'_> {
 
 /// Close the currently open bucket: turn its entry weights into prefix
 /// sums (`starts`), record the bucket metadata, and build its rank
-/// directory — rejecting counts above `u64::MAX`.
-fn close_bucket(layer: &mut Layer, ws: &mut Vec<u128>) -> Result<(), BuildError> {
+/// directory — rejecting counts above `u64::MAX` and charging the
+/// directory's pool growth against the build budget.
+fn close_bucket(
+    layer: &mut Layer,
+    ws: &mut Vec<u128>,
+    meter: &mut BudgetMeter,
+) -> Result<(), BuildError> {
     let len = ws.len();
     let offset = layer.entries.len() - len;
     let mut running: u128 = 0;
@@ -1143,6 +1176,7 @@ fn close_bucket(layer: &mut Layer, ws: &mut Vec<u128>) -> Result<(), BuildError>
         let fits_pool =
             log >= 3 && layer.dir_pool.len().saturating_add((1usize << log) + 1) < NO_DIR as usize;
         if fits_pool {
+            meter.charge((((1u64 << log) + 1) * 4) + 24, 0)?;
             dir = layer.dir_pool.len() as u32;
             dir_log = log;
             let entries = &layer.entries[offset..offset + len];

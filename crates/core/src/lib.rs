@@ -61,9 +61,11 @@
 //! front door encode plan identity and data versions into opaque
 //! pagination tokens.
 
+pub mod budget;
 pub mod decompose;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod fdtransform;
 pub mod instance;
 pub mod lexda;
@@ -78,9 +80,11 @@ pub mod tupleweights;
 pub mod weights;
 pub mod window;
 
+pub use budget::{BudgetMeter, BuildBudget};
 pub use decompose::{lex_direct_access_decomposed, rewrite_by_decomposition};
 pub use engine::{canonical_request_key, plan_dependencies, Engine, OrderSpec, PlanError, Policy};
 pub use error::BuildError;
+pub use fault::{FaultAction, FaultGuard, FaultPlan, InjectedFault};
 pub use lexda::{LexDirectAccess, LexRangeIter};
 pub use plan::{
     AccessPlan, Backend, DirectAccess, Explain, RankedAnswers, RankedEnumHandle,

@@ -15,7 +15,9 @@
 //! O(log n), no tuple hashing, no heap allocation (the pre-arena layout
 //! kept a `HashMap<Tuple, u64>` shadow copy of every answer).
 
+use crate::budget::BuildBudget;
 use crate::error::BuildError;
+use crate::fault;
 use crate::instance::{full_reduce, positions_of};
 use crate::snapprep::{check_fds_encoded, extend_instance_encoded, normalize_encoded};
 use crate::weights::Weights;
@@ -75,6 +77,23 @@ impl SumDirectAccess {
         w: &Weights,
         fds: &FdSet,
     ) -> Result<Self, BuildError> {
+        Self::build_on_budgeted(q, snap, w, fds, BuildBudget::UNLIMITED)
+    }
+
+    /// [`SumDirectAccess::build_on`] under a [`BuildBudget`]: the
+    /// answer-proportional columns are charged in one step once the
+    /// projected answer count is known — before the weight, permutation,
+    /// and column arrays are allocated — aborting hostile builds with
+    /// [`BuildError::BudgetExceeded`].
+    pub fn build_on_budgeted(
+        q: &Cq,
+        snap: &Arc<Snapshot>,
+        w: &Weights,
+        fds: &FdSet,
+        budget: BuildBudget,
+    ) -> Result<Self, BuildError> {
+        fault::trip(fault::SITE_SUMDA_BUILD)
+            .map_err(|f| BuildError::FaultInjected { site: f.site })?;
         if !fds.is_empty() && !q.is_self_join_free() {
             return Err(BuildError::InvalidOrder(
                 "functional dependencies require a self-join-free query".to_string(),
@@ -134,6 +153,14 @@ impl SumDirectAccess {
         // row index is exactly the (weight, tuple) order.
         let dict = snap.dict();
         let len = answers.len();
+        // The entire remaining build is Θ(len): per answer, one weight
+        // (16B), two permutation slots (8B), one column code per head
+        // position (4B each). Charge it all here, before the first big
+        // allocation.
+        budget.meter().charge(
+            len as u64 * (16 + 8 + 4 * out_vars.len() as u64),
+            len as u64,
+        )?;
         let row_weights: Vec<TotalF64> = (0..len)
             .map(|row| {
                 out_vars

@@ -78,6 +78,15 @@ pub enum ServeError {
     /// Planning failed (classification rejected the order, unknown
     /// relation, ...).
     Plan(PlanError),
+    /// The request died inside the server — a panic caught by the
+    /// worker's fence, or a worker lost mid-execution. The failure is
+    /// contained to this one request: the session, its cursors, and
+    /// the server all remain usable, and retrying the identical
+    /// request is safe (requests are read-only).
+    Internal {
+        /// Best-effort description (typically the panic message).
+        detail: String,
+    },
     /// The server is shutting down; no more requests are served.
     Shutdown,
 }
@@ -98,6 +107,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "no prepared query for request key {request_key:?}")
             }
             ServeError::Plan(e) => write!(f, "planning failed: {e}"),
+            ServeError::Internal { detail } => {
+                write!(f, "request failed inside the server: {detail}")
+            }
             ServeError::Shutdown => write!(f, "server is shut down"),
         }
     }

@@ -1,0 +1,32 @@
+//! Deterministic fault injection for the serving path.
+//!
+//! Re-exports the engine-side machinery of [`rda_core::fault`]
+//! (plans, actions, the global install/trip registry and its build
+//! sites) and adds the serve-side sites:
+//!
+//! | site | constant | where it fires | what it proves |
+//! |------|----------|----------------|----------------|
+//! | `serve::page` | [`SITE_SERVE_PAGE`] | inside `execute_page`, **inside** the worker's panic fence | an in-flight page panic becomes a typed [`ServeError::Internal`](crate::ServeError::Internal) reply |
+//! | `serve::worker` | [`SITE_SERVE_WORKER`] | in the worker loop, **outside** the fence | a worker that dies anyway is respawned and its queue keeps draining |
+//!
+//! A chaos run arms one seeded [`FaultPlan`] covering engine and
+//! serve sites together and replays the exact same failure schedule
+//! on any host. See `docs/TESTING.md` for the chaos strategy and
+//! `tests/chaos.rs` for the acceptance scenarios.
+
+pub use rda_core::fault::{
+    hits, install, trip, FaultAction, FaultGuard, FaultPlan, InjectedFault, SITE_ENGINE_PREPARE,
+    SITE_LEXDA_BUILD, SITE_SUMDA_BUILD,
+};
+
+/// Fault site: inside `execute_page`, within the worker's panic
+/// fence — a scheduled panic here simulates a bug in page execution
+/// and must surface as a typed reply, not a dead worker.
+pub const SITE_SERVE_PAGE: &str = "serve::page";
+
+/// Fault site: in the worker loop after dequeue, outside the panic
+/// fence — a scheduled panic here kills the worker outright (the one
+/// dequeued request is lost and its client gets
+/// [`ServeError::Internal`](crate::ServeError::Internal)), exercising
+/// death detection and respawn.
+pub const SITE_SERVE_WORKER: &str = "serve::worker";

@@ -40,6 +40,20 @@
 //! [`ServeError::DeadlineExceeded`]. Load shedding is a typed,
 //! client-visible outcome, not an OOM.
 //!
+//! ## Fault containment
+//!
+//! Every request body runs behind a per-worker **panic fence**: a
+//! panic in plan build or page execution becomes a typed
+//! [`ServeError::Internal`] reply on a worker that keeps serving, all
+//! locks recover from poisoning instead of propagating it, and a
+//! worker that dies outside the fence is detected and **respawned**
+//! ([`Server::health`] exposes the counters). Hostile build costs are
+//! contained by [`rda_core::BuildBudget`]; sustained overload is
+//! absorbed client-side by a [`RetryPolicy`] (decorrelated-jitter
+//! retry, stale-cursor repair, page-length degradation — see
+//! [`mod@retry`]). Deterministic chaos schedules for all of it live
+//! in [`mod@fault`].
+//!
 //! ```
 //! use rda_serve::{Server, ServerConfig};
 //! use rda_core::{Engine, OrderSpec, Policy};
@@ -77,8 +91,17 @@
 
 mod cursor;
 mod error;
+pub mod fault;
+pub mod retry;
 mod server;
+mod sync;
 
 pub use cursor::{Cursor, CursorError, Token, MAX_TOKEN_LEN, TOKEN_VERSION};
 pub use error::{ServeError, StaleReason};
-pub use server::{PageOutcome, Prepared, Server, ServerConfig, Session, StatsSnapshot};
+pub use retry::RetryPolicy;
+pub use server::{
+    PageOutcome, Prepared, Server, ServerConfig, ServerHealth, Session, StatsSnapshot,
+};
+
+#[doc(hidden)]
+pub use server::deadline_expired;

@@ -3,6 +3,7 @@
 //! sessions against one shared [`Engine`].
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
@@ -18,6 +19,9 @@ use rda_query::{Cq, FdSet};
 
 use crate::cursor::{Cursor, Token};
 use crate::error::{ServeError, StaleReason};
+use crate::fault;
+use crate::retry::RetryPolicy;
+use crate::sync;
 
 /// Tunables for a [`Server`].
 #[derive(Debug, Clone)]
@@ -50,6 +54,7 @@ impl Default for ServerConfig {
 
 /// A registered (query, order, FDs, policy) request, stored under its
 /// canonical key so cursors can re-prepare after the engine advances.
+#[derive(Clone)]
 struct QuerySpec {
     q: Cq,
     order: OrderSpec,
@@ -92,19 +97,54 @@ struct Gate {
 }
 
 impl Gate {
+    // The gate guards a single boolean, so a poisoned guard (a worker
+    // panicking between dequeue and execution) is recovered, never
+    // propagated: pause/resume keep working after any panic.
     fn wait_open(&self) {
-        let mut paused = self.paused.lock().expect("gate not poisoned");
+        let mut paused = sync::lock(&self.paused);
         while *paused {
-            paused = self.cv.wait(paused).expect("gate not poisoned");
+            paused = sync::wait(&self.cv, paused);
         }
     }
 
     fn set(&self, paused: bool) {
-        *self.paused.lock().expect("gate not poisoned") = paused;
+        *sync::lock(&self.paused) = paused;
         if !paused {
             self.cv.notify_all();
         }
     }
+}
+
+/// Monotone fault-containment counters plus the live-worker gauge
+/// (see [`Server::health`]).
+#[derive(Default)]
+struct Health {
+    alive: AtomicU64,
+    panics_caught: AtomicU64,
+    respawns: AtomicU64,
+}
+
+/// A point-in-time picture of the server's fault containment: how many
+/// workers are live, what has been caught, respawned, and shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerHealth {
+    /// Worker threads the pool was configured with.
+    pub workers_configured: usize,
+    /// Worker threads currently alive (between respawns this can dip
+    /// below `workers_configured`; it never exceeds it).
+    pub workers_alive: usize,
+    /// Panics converted into typed [`ServeError::Internal`] replies by
+    /// the per-request fence.
+    pub panics_caught: u64,
+    /// Workers that died outside the fence and were replaced.
+    pub worker_respawns: u64,
+    /// Requests shed at admission ([`ServeError::Overloaded`]).
+    pub shed_overloaded: u64,
+    /// Requests shed at dequeue ([`ServeError::DeadlineExceeded`]).
+    pub shed_deadline: u64,
+    /// Poisoned lock guards recovered instead of propagated
+    /// (process-wide — see `sync`; 0 in a healthy process).
+    pub poison_recoveries: u64,
 }
 
 struct Shared {
@@ -112,11 +152,16 @@ struct Shared {
     registry: RwLock<HashMap<String, Arc<QuerySpec>>>,
     stats: Stats,
     gate: Gate,
+    health: Health,
+    /// Replacement workers spawned by [`WorkerGuard`]; joined on drop.
+    respawned: Mutex<Vec<JoinHandle<()>>>,
+    workers_configured: usize,
     queue_limit: usize,
     max_page_rows: u64,
     default_deadline: Duration,
 }
 
+#[derive(Clone, Copy)]
 enum PageAt {
     /// Continue from the cursor's own next rank.
     Next,
@@ -178,6 +223,11 @@ pub struct PageOutcome {
     /// resumed cleanly on the current one (all plan dependencies
     /// unchanged).
     pub resumed: bool,
+    /// Whether a stale cursor was repaired under the session's
+    /// [`RetryPolicy`]: the query was re-prepared and the page served
+    /// from the *fresh* sequence at the requested rank (ranks may
+    /// shift when the data changed — that is what repair means).
+    pub repaired: bool,
 }
 
 /// The in-process serving front door.
@@ -209,6 +259,9 @@ impl Server {
             registry: RwLock::new(HashMap::new()),
             stats: Stats::default(),
             gate: Gate::default(),
+            health: Health::default(),
+            respawned: Mutex::new(Vec::new()),
+            workers_configured: workers,
             queue_limit: config.queue_limit.max(1),
             max_page_rows: config.max_page_rows.max(1),
             default_deadline: config.default_deadline,
@@ -221,7 +274,7 @@ impl Server {
                 let rx = Arc::clone(&rx);
                 std::thread::Builder::new()
                     .name(format!("rda-serve-{i}"))
-                    .spawn(move || worker_loop(&shared, &rx))
+                    .spawn(move || worker_loop(shared, rx))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -244,6 +297,7 @@ impl Server {
             server: self,
             buf: WindowBuf::new(),
             deadline: self.shared.default_deadline,
+            retry: None,
         }
     }
 
@@ -286,6 +340,20 @@ impl Server {
         }
     }
 
+    /// A point-in-time picture of the server's fault containment.
+    pub fn health(&self) -> ServerHealth {
+        let h = &self.shared.health;
+        ServerHealth {
+            workers_configured: self.shared.workers_configured,
+            workers_alive: h.alive.load(Ordering::Relaxed) as usize,
+            panics_caught: h.panics_caught.load(Ordering::Relaxed),
+            worker_respawns: h.respawns.load(Ordering::Relaxed),
+            shed_overloaded: self.shared.stats.overloaded.load(Ordering::Relaxed),
+            shed_deadline: self.shared.stats.deadline_expired.load(Ordering::Relaxed),
+            poison_recoveries: sync::poison_recoveries(),
+        }
+    }
+
     fn submit(
         &self,
         kind: JobKind,
@@ -318,6 +386,19 @@ impl Server {
             Err(TrySendError::Disconnected(job)) => Err((ServeError::Shutdown, job.into_buf())),
         }
     }
+
+    /// What a dropped reply channel means: while the server is up it
+    /// can only be a worker that died carrying the request (the job
+    /// was lost, the session was not); after shutdown it is orderly.
+    fn lost_reply_error(&self) -> ServeError {
+        if self.tx.is_some() {
+            ServeError::Internal {
+                detail: "request lost: worker died mid-execution".to_string(),
+            }
+        } else {
+            ServeError::Shutdown
+        }
+    }
 }
 
 impl Drop for Server {
@@ -328,6 +409,18 @@ impl Drop for Server {
         self.tx.take();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        // Then any replacements spawned after worker deaths — popped
+        // one at a time so no lock is held across a join (a dying
+        // worker pushes its own replacement under the same lock).
+        loop {
+            let handle = sync::lock(&self.shared.respawned).pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
         }
     }
 }
@@ -353,6 +446,7 @@ pub struct Session<'a> {
     server: &'a Server,
     buf: WindowBuf,
     deadline: Duration,
+    retry: Option<crate::retry::RetryState>,
 }
 
 impl Session<'_> {
@@ -361,9 +455,30 @@ impl Session<'_> {
         self.deadline = deadline;
     }
 
+    /// Install a [`RetryPolicy`]: subsequent calls transparently retry
+    /// transient errors with decorrelated-jitter backoff, repair stale
+    /// cursors, and degrade page length under sustained overload (see
+    /// [`mod@crate::retry`]).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = Some(crate::retry::RetryState::new(policy));
+    }
+
+    /// Drop the retry policy: every error surfaces immediately again.
+    pub fn clear_retry_policy(&mut self) {
+        self.retry = None;
+    }
+
+    /// The session's current degradation level: page lengths are
+    /// halved this many times (0 = full pages; only ever non-zero
+    /// under a [`RetryPolicy`] with `degrade_after > 0`).
+    pub fn degrade_shift(&self) -> u32 {
+        self.retry.as_ref().map_or(0, |st| st.degrade_shift())
+    }
+
     /// Register and plan a (query, order, FDs, policy) request,
     /// returning the opening cursor. Memoized end to end: repeating an
-    /// equal request hits the engine's plan cache.
+    /// equal request hits the engine's plan cache. Under a
+    /// [`RetryPolicy`], transient failures are absorbed here.
     pub fn prepare(
         &mut self,
         q: &Cq,
@@ -377,6 +492,33 @@ impl Session<'_> {
             fds: fds.clone(),
             policy,
         };
+        match self.retry.take() {
+            None => self.prepare_once(spec),
+            Some(mut st) => {
+                let mut attempt = 0;
+                let result = loop {
+                    attempt += 1;
+                    match self.prepare_once(spec.clone()) {
+                        Ok(p) => {
+                            st.note_success();
+                            break Ok(p);
+                        }
+                        Err(e) if attempt < st.policy.max_attempts && st.policy.retryable(&e) => {
+                            if matches!(e, ServeError::Overloaded { .. }) {
+                                st.note_overloaded();
+                            }
+                            std::thread::sleep(st.backoff());
+                        }
+                        Err(e) => break Err(e),
+                    }
+                };
+                self.retry = Some(st);
+                result
+            }
+        }
+    }
+
+    fn prepare_once(&mut self, spec: QuerySpec) -> Result<Prepared, ServeError> {
         let rx = match self.server.submit(JobKind::Prepare { spec }, self.deadline) {
             Ok(rx) => rx,
             Err((e, _)) => return Err(e),
@@ -384,7 +526,7 @@ impl Session<'_> {
         match rx.recv() {
             Ok(Reply::Prepare(result)) => result,
             Ok(Reply::Page { .. }) => unreachable!("prepare jobs get prepare replies"),
-            Err(_) => Err(ServeError::Shutdown),
+            Err(_) => Err(self.server.lost_reply_error()),
         }
     }
 
@@ -408,6 +550,90 @@ impl Session<'_> {
     }
 
     fn page_at(&mut self, token: &Token, at: PageAt, len: u64) -> Result<PageOutcome, ServeError> {
+        match self.retry.take() {
+            None => self.page_at_once(token, at, len),
+            Some(mut st) => {
+                let result = self.page_with_retry(&mut st, token, at, len);
+                self.retry = Some(st);
+                result
+            }
+        }
+    }
+
+    /// The retry loop for pages: backoff-resubmit on transient errors,
+    /// degrade the requested length under sustained overload, repair
+    /// stale cursors by re-preparing and jumping to the stale cursor's
+    /// rank on the fresh sequence.
+    fn page_with_retry(
+        &mut self,
+        st: &mut crate::retry::RetryState,
+        token: &Token,
+        at: PageAt,
+        len: u64,
+    ) -> Result<PageOutcome, ServeError> {
+        let mut token = token.clone();
+        let mut at = at;
+        let mut repaired = false;
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.page_at_once(&token, at, st.effective_len(len)) {
+                Ok(mut out) => {
+                    st.note_success();
+                    out.repaired = repaired;
+                    return Ok(out);
+                }
+                Err(e) if attempt >= st.policy.max_attempts => return Err(e),
+                Err(ServeError::CursorStale(reason)) if st.policy.repair_stale => {
+                    // Repair: the sequence this cursor indexed is gone,
+                    // but the server still knows the query. Re-prepare
+                    // (fresh sequence, fresh token) and resume at the
+                    // rank the caller wanted.
+                    let Ok(cursor) = Cursor::decode(&token) else {
+                        return Err(ServeError::CursorStale(reason));
+                    };
+                    let spec = sync::read(&self.server.shared.registry)
+                        .get(&cursor.request_key)
+                        .cloned();
+                    let Some(spec) = spec else {
+                        return Err(ServeError::CursorStale(reason));
+                    };
+                    let rank = match at {
+                        PageAt::Next => cursor.next_rank,
+                        PageAt::Rank(r) => r,
+                    };
+                    match self.prepare_once(QuerySpec::clone(&spec)) {
+                        Ok(fresh) => {
+                            token = fresh.token;
+                            at = PageAt::Rank(rank);
+                            repaired = true;
+                        }
+                        Err(pe) if st.policy.retryable(&pe) => {
+                            if matches!(pe, ServeError::Overloaded { .. }) {
+                                st.note_overloaded();
+                            }
+                            std::thread::sleep(st.backoff());
+                        }
+                        Err(pe) => return Err(pe),
+                    }
+                }
+                Err(e) if st.policy.retryable(&e) => {
+                    if matches!(e, ServeError::Overloaded { .. }) {
+                        st.note_overloaded();
+                    }
+                    std::thread::sleep(st.backoff());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn page_at_once(
+        &mut self,
+        token: &Token,
+        at: PageAt,
+        len: u64,
+    ) -> Result<PageOutcome, ServeError> {
         let buf = std::mem::take(&mut self.buf);
         let kind = JobKind::Page {
             token: token.clone(),
@@ -429,7 +655,9 @@ impl Session<'_> {
                 result
             }
             Ok(Reply::Prepare(_)) => unreachable!("page jobs get page replies"),
-            Err(_) => Err(ServeError::Shutdown),
+            // The worker died carrying our buffer; `self.buf` is
+            // already a fresh default from the take above.
+            Err(_) => Err(self.server.lost_reply_error()),
         }
     }
 
@@ -439,11 +667,57 @@ impl Session<'_> {
     }
 }
 
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
+/// Deadline policy at dequeue: a job picked up **at** its deadline has
+/// zero time left to execute, so it is already late — the boundary is
+/// inclusive (`now >= deadline`), matching the zero-duration-deadline
+/// guarantee that a `Duration::ZERO` deadline always sheds.
+#[doc(hidden)] // exposed for the boundary test; not part of the API
+pub fn deadline_expired(now: Instant, deadline: Instant) -> bool {
+    now >= deadline
+}
+
+/// Keeps the live-worker gauge honest and the pool self-healing: on a
+/// panicking exit (only reachable by a panic outside the request
+/// fence, e.g. the `serve::worker` chaos site) it spawns a
+/// replacement running the same loop, so a lost worker costs one
+/// in-flight request, not a permanent slot of pool capacity.
+struct WorkerGuard {
+    shared: Arc<Shared>,
+    rx: Arc<Mutex<Receiver<Job>>>,
+}
+
+impl WorkerGuard {
+    fn new(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<Job>>>) -> WorkerGuard {
+        shared.health.alive.fetch_add(1, Ordering::Relaxed);
+        WorkerGuard { shared, rx }
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        self.shared.health.alive.fetch_sub(1, Ordering::Relaxed);
+        if !std::thread::panicking() {
+            return; // orderly shutdown: the queue closed
+        }
+        let n = self.shared.health.respawns.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(&self.shared);
+        let rx = Arc::clone(&self.rx);
+        let spawned = std::thread::Builder::new()
+            .name(format!("rda-serve-r{n}"))
+            .spawn(move || worker_loop(shared, rx));
+        if let Ok(handle) = spawned {
+            sync::lock(&self.shared.respawned).push(handle);
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<Job>>>) {
+    let guard = WorkerGuard::new(shared, rx);
+    let shared = &guard.shared;
     loop {
         let job = {
-            let guard = rx.lock().expect("worker queue not poisoned");
-            match guard.recv() {
+            let q = sync::lock(&guard.rx);
+            match q.recv() {
                 Ok(job) => job,
                 Err(_) => return, // queue closed: server dropped
             }
@@ -453,7 +727,11 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
         // deadline is re-checked after the gate so queue time counts
         // against it.
         shared.gate.wait_open();
-        if Instant::now() >= job.deadline {
+        // Chaos site OUTSIDE the fence: an injected panic here kills
+        // this worker (sacrificing the one dequeued job) and must be
+        // survived by respawn, not by catch_unwind. No lock is held.
+        let _ = fault::trip(fault::SITE_SERVE_WORKER);
+        if deadline_expired(Instant::now(), job.deadline) {
             shared
                 .stats
                 .deadline_expired
@@ -468,19 +746,61 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
             let _ = job.reply.send(reply);
             continue;
         }
+        // Panic fence: request execution is read-only against shared
+        // state (engine locks recover poison; the registry only ever
+        // gains complete `Arc` entries), so unwinding out of it leaves
+        // nothing half-mutated and the panic can soundly become a
+        // typed reply on this same worker.
         let reply = match job.kind {
-            JobKind::Prepare { spec } => Reply::Prepare(execute_prepare(shared, spec)),
+            JobKind::Prepare { spec } => {
+                let fenced = fence(shared, || execute_prepare(shared, spec));
+                Reply::Prepare(fenced.unwrap_or_else(Err))
+            }
             JobKind::Page {
                 token,
                 at,
                 len,
                 mut buf,
             } => {
-                let result = execute_page(shared, &token, at, len, &mut buf);
+                let fenced = fence(shared, || execute_page(shared, &token, at, len, &mut buf));
+                let result = match fenced {
+                    Ok(result) => result,
+                    Err(internal) => {
+                        // The panic may have interrupted a refill;
+                        // drop the partial rows so the buffer the
+                        // client gets back is unambiguously empty.
+                        buf.clear();
+                        Err(internal)
+                    }
+                };
                 Reply::Page { result, buf }
             }
         };
         let _ = job.reply.send(reply);
+    }
+}
+
+/// Run one request body under `catch_unwind`, converting a panic into
+/// the typed [`ServeError::Internal`] and counting it.
+fn fence<T>(shared: &Shared, body: impl FnOnce() -> T) -> Result<T, ServeError> {
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            shared.health.panics_caught.fetch_add(1, Ordering::Relaxed);
+            Err(ServeError::Internal {
+                detail: panic_detail(payload.as_ref()),
+            })
+        }
+    }
+}
+
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 
@@ -508,10 +828,7 @@ fn execute_prepare(shared: &Shared, spec: QuerySpec) -> Result<Prepared, ServeEr
     let (snap, plan, _) = pin_plan(shared, &spec, |_| Ok(false))?;
     let request_key = canonical_request_key(&spec.q, &spec.order, &spec.fds, spec.policy);
     let deps = plan_dependencies(&spec.q, &snap).unwrap_or_default();
-    shared
-        .registry
-        .write()
-        .expect("registry not poisoned")
+    sync::write(&shared.registry)
         .entry(request_key.clone())
         .or_insert_with(|| Arc::new(spec));
     shared.stats.prepares.fetch_add(1, Ordering::Relaxed);
@@ -537,6 +854,11 @@ fn execute_page(
     len: u64,
     buf: &mut WindowBuf,
 ) -> Result<PageOutcome, ServeError> {
+    // Chaos site INSIDE the fence: an injected panic here simulates a
+    // bug in page execution and must come back as a typed reply.
+    fault::trip(fault::SITE_SERVE_PAGE).map_err(|f| ServeError::Internal {
+        detail: f.to_string(),
+    })?;
     let cursor = match Cursor::decode(token) {
         Ok(c) => c,
         Err(e) => {
@@ -544,10 +866,7 @@ fn execute_page(
             return Err(ServeError::BadCursor(e));
         }
     };
-    let spec = shared
-        .registry
-        .read()
-        .expect("registry not poisoned")
+    let spec = sync::read(&shared.registry)
         .get(&cursor.request_key)
         .cloned();
     let spec = match spec {
@@ -597,6 +916,7 @@ fn execute_page(
         next,
         generation: snap.generation(),
         resumed,
+        repaired: false,
     })
 }
 

@@ -1,0 +1,70 @@
+//! Poison-recovering lock helpers.
+//!
+//! A `std` lock is *poisoned* when a thread panics while holding it;
+//! every later acquisition then returns `Err` forever. In this crate
+//! the panic fence already converts in-request panics into typed
+//! replies, and every structure guarded by a lock here is valid at
+//! all times mid-critical-section from another thread's perspective
+//! (counters, map inserts of `Arc`s, a boolean gate, a channel
+//! endpoint) — so propagating poison would convert one contained
+//! failure into a permanently dead server for no integrity gain.
+//! These helpers recover the guard instead, and count every recovery
+//! so chaos tests (and [`ServerHealth`](crate::ServerHealth)) can
+//! assert that poison was seen and survived rather than silently
+//! impossible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// Process-wide count of poisoned guards recovered (a lock poisoned
+/// once reports a recovery per subsequent acquisition).
+static RECOVERIES: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn poison_recoveries() -> u64 {
+    RECOVERIES.load(Ordering::Relaxed)
+}
+
+fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(|e| {
+        RECOVERIES.fetch_add(1, Ordering::Relaxed);
+        e.into_inner()
+    })
+}
+
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    recover(m.lock())
+}
+
+pub(crate) fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    recover(l.read())
+}
+
+pub(crate) fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    recover(l.write())
+}
+
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    recover(cv.wait(guard))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisoned_mutex_is_recovered_and_counted() {
+        let m = std::sync::Arc::new(Mutex::new(7));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        let before = poison_recoveries();
+        assert_eq!(*lock(&m), 7, "the guarded value is intact");
+        assert!(poison_recoveries() > before);
+    }
+}

@@ -1,0 +1,490 @@
+//! Chaos acceptance: deterministic fault schedules injected into the
+//! build sites, the page path, and the worker loop itself must be
+//! *contained* — typed errors out, workers respawned, zero lost
+//! sessions, no poisoned locks — and after the schedule runs dry the
+//! same sessions must serve answers equal to the single-threaded
+//! oracle.
+//!
+//! The fault registry is process-global, so every test here takes the
+//! `SERIAL` lock for its whole body.
+
+use rda_core::{BuildBudget, BuildError, DirectAccess, Engine, OrderSpec, PlanError, Policy};
+use rda_db::{Database, Snapshot, Tuple, Value};
+use rda_query::parser::parse;
+use rda_query::{Cq, FdSet};
+use rda_serve::fault::{self, FaultAction, FaultPlan};
+use rda_serve::{RetryPolicy, ServeError, Server, ServerConfig};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    // A failed test poisons the serial lock; later tests still run.
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Injected panics unwind through worker threads by design; silence
+/// exactly those so expected chaos does not spray the test output,
+/// while real panics keep the default report.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied());
+            if msg.is_some_and(|m| m.contains("injected panic")) {
+                return;
+            }
+            default(info);
+        }));
+    });
+}
+
+fn chaos_db(n: i64) -> Database {
+    Database::new()
+        .with_i64_rows("R", 2, (0..n).map(|i| vec![i % 11, i % 5]))
+        .with_i64_rows("S", 2, (0..n).map(|i| vec![i % 5, (i * 3) % 7]))
+        .with_i64_rows("U", 2, (0..n).map(|i| vec![(i * 7) % 13, i % 9]))
+}
+
+fn join_q() -> Cq {
+    parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap()
+}
+
+fn scan_q() -> Cq {
+    parse("P(a, b) :- U(a, b)").unwrap()
+}
+
+fn tup(a: i64, b: i64) -> Tuple {
+    [Value::int(a), Value::int(b)].into_iter().collect()
+}
+
+/// Ground truth from a fresh single-threaded engine, no server, no
+/// faults (callers arm plans only after computing oracles).
+fn oracle(snap: &Arc<Snapshot>, q: &Cq, order: OrderSpec) -> Vec<Tuple> {
+    let plan = Engine::new(Arc::clone(snap))
+        .prepare(q, order, &FdSet::empty(), Policy::Reject)
+        .unwrap();
+    plan.access_range(0..plan.len())
+}
+
+fn expect_internal(result: Result<impl std::fmt::Debug, ServeError>, site: &str) {
+    match result {
+        Err(ServeError::Internal { detail }) => {
+            assert!(
+                detail.contains(site),
+                "detail {detail:?} should name {site}"
+            )
+        }
+        other => panic!("expected Internal naming {site}, got {other:?}"),
+    }
+}
+
+/// The acceptance scenario: panics injected into BOTH build kernels
+/// and one in-flight page all come back as typed `Internal` replies,
+/// no worker dies, no lock poisons, and the *same session* then
+/// repeats each request successfully with oracle-equal results.
+#[test]
+fn injected_build_and_page_panics_are_contained_and_recoverable() {
+    let _s = serial();
+    quiet_injected_panics();
+    let db = chaos_db(48);
+    let snap = db.freeze();
+    let jq = join_q();
+    let sq = scan_q();
+    let lex_oracle = oracle(&snap, &jq, OrderSpec::lex(&jq, &["x", "y", "z"]));
+    let sum_oracle = oracle(&snap, &sq, OrderSpec::sum_by_value());
+
+    let engine = Arc::new(Engine::new(Arc::clone(&snap)));
+    let server = Server::new(Arc::clone(&engine), ServerConfig::default());
+    let mut session = server.session();
+
+    let _g = fault::install(
+        FaultPlan::new()
+            .inject(fault::SITE_LEXDA_BUILD, 0, FaultAction::Panic)
+            .inject(fault::SITE_SUMDA_BUILD, 0, FaultAction::Panic)
+            .inject(fault::SITE_SERVE_PAGE, 0, FaultAction::Panic),
+    );
+
+    // Build site 1 (lexda): the panic is fenced into a typed reply …
+    let lex_order = || OrderSpec::lex(&jq, &["x", "y", "z"]);
+    expect_internal(
+        session.prepare(&jq, lex_order(), &FdSet::empty(), Policy::Reject),
+        fault::SITE_LEXDA_BUILD,
+    );
+    // … and the identical request on the SAME session then succeeds.
+    let prepared = session
+        .prepare(&jq, lex_order(), &FdSet::empty(), Policy::Reject)
+        .unwrap();
+    assert_eq!(prepared.len as usize, lex_oracle.len());
+
+    // In-flight page: same containment, same recovery.
+    expect_internal(
+        session.page(&prepared.token, 0, prepared.len),
+        fault::SITE_SERVE_PAGE,
+    );
+    let page = session.page(&prepared.token, 0, prepared.len).unwrap();
+    assert_eq!(page.rows as usize, lex_oracle.len());
+    assert_eq!(session.rows().to_tuples(), lex_oracle);
+
+    // Build site 2 (sumda).
+    expect_internal(
+        session.prepare(
+            &sq,
+            OrderSpec::sum_by_value(),
+            &FdSet::empty(),
+            Policy::Reject,
+        ),
+        fault::SITE_SUMDA_BUILD,
+    );
+    let sum_prepared = session
+        .prepare(
+            &sq,
+            OrderSpec::sum_by_value(),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    let page = session
+        .page(&sum_prepared.token, 0, sum_prepared.len)
+        .unwrap();
+    assert_eq!(page.rows as usize, sum_oracle.len());
+    assert_eq!(session.rows().to_tuples(), sum_oracle);
+
+    // Containment audit: three panics caught, zero workers lost, the
+    // pause/resume gate (the poison-prone lock of old) still works.
+    let health = server.health();
+    assert_eq!(health.panics_caught, 3);
+    assert_eq!(health.worker_respawns, 0);
+    assert_eq!(health.workers_alive, health.workers_configured);
+    server.pause();
+    server.resume();
+    let page = session.page(&prepared.token, 2, 3).unwrap();
+    assert_eq!(page.rows, 3);
+    assert_eq!(session.rows().to_tuples(), lex_oracle[2..5]);
+}
+
+/// Satellite: kill a worker mid-queue (panic OUTSIDE the fence).
+/// Exactly one in-flight request is lost (typed `Internal`), every
+/// other queued job still drains with correct rows, and `health`
+/// records the respawn with the pool back at full strength.
+#[test]
+fn worker_death_mid_queue_drains_and_respawns() {
+    const CLIENTS: usize = 5;
+    let _s = serial();
+    quiet_injected_panics();
+    let db = chaos_db(40);
+    let snap = db.freeze();
+    let jq = join_q();
+    let lex_oracle = oracle(&snap, &jq, OrderSpec::lex(&jq, &["x", "y", "z"]));
+
+    let engine = Arc::new(Engine::new(Arc::clone(&snap)));
+    let server = Server::new(
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 2,
+            queue_limit: CLIENTS + 2,
+            ..ServerConfig::default()
+        },
+    );
+    let prepared = server
+        .session()
+        .prepare(
+            &jq,
+            OrderSpec::lex(&jq, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+
+    // Arm AFTER the prepare: the first worker through the loop from
+    // here on dies carrying whatever job it dequeued.
+    let guard =
+        fault::install(FaultPlan::new().inject(fault::SITE_SERVE_WORKER, 0, FaultAction::Panic));
+
+    // Hold all jobs at the gate so the queue is provably populated
+    // when the killing hit fires.
+    server.pause();
+    let admitted_before = server.stats().admitted;
+    let outcomes: Mutex<Vec<Result<Vec<Tuple>, ServeError>>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let (server, outcomes) = (&server, &outcomes);
+            let token = prepared.token.clone();
+            scope.spawn(move || {
+                let mut session = server.session();
+                let outcome = session
+                    .page(&token, 0, 4)
+                    .map(|_| session.rows().to_tuples());
+                outcomes.lock().unwrap().push(outcome);
+            });
+        }
+        while server.stats().admitted - admitted_before < CLIENTS as u64 {
+            std::thread::yield_now();
+        }
+        server.resume();
+    });
+
+    let outcomes = outcomes.into_inner().unwrap();
+    assert_eq!(outcomes.len(), CLIENTS);
+    let (lost, served): (Vec<_>, Vec<_>) = outcomes.into_iter().partition(Result::is_err);
+    assert_eq!(lost.len(), 1, "exactly the dying worker's job is lost");
+    match lost.into_iter().next().unwrap() {
+        Err(ServeError::Internal { detail }) => {
+            assert!(detail.contains("worker died"), "got detail {detail:?}")
+        }
+        other => panic!("expected Internal for the lost job, got {other:?}"),
+    }
+    for rows in served {
+        assert_eq!(
+            rows.unwrap(),
+            lex_oracle[..4],
+            "queued jobs drain correctly"
+        );
+    }
+
+    // The respawn is recorded and the pool returns to full strength
+    // (the replacement registers itself as it starts).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let health = server.health();
+        if health.workers_alive == health.workers_configured {
+            assert_eq!(health.worker_respawns, 1);
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "respawn never arrived: {health:?}"
+        );
+        std::thread::yield_now();
+    }
+    drop(guard);
+    // The healed pool serves fresh work.
+    let mut session = server.session();
+    let page = session.page(&prepared.token, 0, 6).unwrap();
+    assert_eq!(page.rows, 6);
+    assert_eq!(session.rows().to_tuples(), lex_oracle[..6]);
+}
+
+/// A session-level `RetryPolicy` absorbs a whole scheduled failure
+/// burst transparently: two prepare panics and two page panics in a
+/// row, yet every client-visible call succeeds on the first try.
+#[test]
+fn retry_policy_absorbs_scheduled_panic_bursts() {
+    let _s = serial();
+    quiet_injected_panics();
+    let db = chaos_db(36);
+    let snap = db.freeze();
+    let jq = join_q();
+    let lex_oracle = oracle(&snap, &jq, OrderSpec::lex(&jq, &["x", "y", "z"]));
+
+    let engine = Arc::new(Engine::new(Arc::clone(&snap)));
+    let server = Server::new(Arc::clone(&engine), ServerConfig::default());
+    let mut session = server.session();
+    session.set_retry_policy(RetryPolicy::default()); // 4 attempts
+
+    let _g = fault::install(
+        FaultPlan::new()
+            .inject(fault::SITE_ENGINE_PREPARE, 0, FaultAction::Panic)
+            .inject(fault::SITE_ENGINE_PREPARE, 1, FaultAction::Panic)
+            .inject(fault::SITE_SERVE_PAGE, 0, FaultAction::Panic)
+            .inject(fault::SITE_SERVE_PAGE, 1, FaultAction::Panic),
+    );
+
+    let prepared = session
+        .prepare(
+            &jq,
+            OrderSpec::lex(&jq, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .expect("two panics absorbed within four attempts");
+    assert_eq!(fault::hits(fault::SITE_ENGINE_PREPARE), 3);
+
+    let page = session
+        .page(&prepared.token, 0, prepared.len)
+        .expect("two page panics absorbed within four attempts");
+    assert!(!page.repaired);
+    assert_eq!(session.rows().to_tuples(), lex_oracle);
+    assert_eq!(server.health().panics_caught, 4);
+}
+
+/// Stale repair: when a write dirties the scanned relation mid-
+/// pagination, a retrying session re-prepares under the covers and
+/// resumes at the same rank of the FRESH sequence, flagging the page
+/// as `repaired` — differentially checked against a fresh oracle.
+#[test]
+fn retry_policy_repairs_stale_cursors_on_the_fresh_sequence() {
+    let _s = serial();
+    let mut db = chaos_db(40);
+    let snap0 = db.clone().freeze();
+    db.clear_mutation_log();
+    let sq = scan_q();
+    let engine = Arc::new(Engine::new(Arc::clone(&snap0)));
+    let server = Server::new(Arc::clone(&engine), ServerConfig::default());
+
+    let mut session = server.session();
+    session.set_retry_policy(RetryPolicy::default());
+    let prepared = session
+        .prepare(
+            &sq,
+            OrderSpec::lex(&sq, &["a", "b"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    let page = session.stream_next(&prepared.token, 3).unwrap();
+    let token = page.next.unwrap();
+
+    // The writer dirties U: the cursor's sequence no longer exists.
+    db.insert_into("U", tup(-3, -3));
+    let snap1 = engine.advance_delta(&mut db);
+    let fresh_oracle = oracle(&snap1, &sq, OrderSpec::lex(&sq, &["a", "b"]));
+
+    let page = session
+        .stream_next(&token, 5)
+        .expect("stale cursor repaired transparently");
+    assert!(page.repaired, "the outcome must disclose the repair");
+    assert_eq!(page.generation, 1);
+    // Resumed at rank 3 — of the fresh sequence.
+    assert_eq!(session.rows().to_tuples(), fresh_oracle[3..8]);
+
+    // Without a retry policy the same staleness surfaces typed.
+    let mut bare = server.session();
+    match bare.stream_next(&token, 5) {
+        Err(ServeError::CursorStale(_)) => {}
+        other => panic!("expected CursorStale without repair, got {other:?}"),
+    }
+}
+
+/// Budgeted builds: a hostile (here: merely real) build is rejected
+/// with the typed `BudgetExceeded` carrying the tripped resource, the
+/// server stays healthy, and lifting the budget serves the exact
+/// oracle — nothing partial was cached.
+#[test]
+fn build_budget_rejects_typed_and_lifts_cleanly() {
+    let _s = serial();
+    let db = chaos_db(48);
+    let snap = db.freeze();
+    let jq = join_q();
+    let sq = scan_q();
+    let lex_oracle = oracle(&snap, &jq, OrderSpec::lex(&jq, &["x", "y", "z"]));
+
+    let engine = Arc::new(Engine::new(Arc::clone(&snap)));
+    let server = Server::new(Arc::clone(&engine), ServerConfig::default());
+    let mut session = server.session();
+
+    engine.set_build_budget(BuildBudget::capped(1 << 30, 4));
+    let lex_order = || OrderSpec::lex(&jq, &["x", "y", "z"]);
+    match session.prepare(&jq, lex_order(), &FdSet::empty(), Policy::Reject) {
+        Err(ServeError::Plan(PlanError::Build(BuildError::BudgetExceeded {
+            resource,
+            used,
+            limit,
+        }))) => {
+            assert_eq!(resource, "dp_entries");
+            assert_eq!(limit, 4);
+            assert!(used > limit);
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+    // The sum kernel is budgeted too.
+    match session.prepare(
+        &sq,
+        OrderSpec::sum_by_value(),
+        &FdSet::empty(),
+        Policy::Reject,
+    ) {
+        Err(ServeError::Plan(PlanError::Build(BuildError::BudgetExceeded { .. }))) => {}
+        other => panic!("expected BudgetExceeded from sumda, got {other:?}"),
+    }
+    // Byte caps trip independently of entry caps.
+    engine.set_build_budget(BuildBudget {
+        max_arena_bytes: Some(64),
+        max_dp_entries: None,
+    });
+    match session.prepare(&jq, lex_order(), &FdSet::empty(), Policy::Reject) {
+        Err(ServeError::Plan(PlanError::Build(BuildError::BudgetExceeded {
+            resource, ..
+        }))) => assert_eq!(resource, "arena_bytes"),
+        other => panic!("expected arena_bytes BudgetExceeded, got {other:?}"),
+    }
+
+    // Lift the budget: the same session serves the full oracle.
+    engine.set_build_budget(BuildBudget::UNLIMITED);
+    let prepared = session
+        .prepare(&jq, lex_order(), &FdSet::empty(), Policy::Reject)
+        .unwrap();
+    let page = session.page(&prepared.token, 0, prepared.len).unwrap();
+    assert_eq!(page.rows as usize, lex_oracle.len());
+    assert_eq!(session.rows().to_tuples(), lex_oracle);
+    assert_eq!(server.health().panics_caught, 0);
+}
+
+/// A generous budget changes nothing: budgeted and unlimited builds
+/// serve identical sequences (the meter only observes).
+#[test]
+fn generous_budget_is_differentially_invisible() {
+    let _s = serial();
+    let db = chaos_db(32);
+    let snap = db.freeze();
+    let jq = join_q();
+    let unlimited = oracle(&snap, &jq, OrderSpec::lex(&jq, &["x", "y", "z"]));
+
+    let engine = Engine::new(Arc::clone(&snap));
+    engine.set_build_budget(BuildBudget::capped(1 << 24, 1 << 20));
+    let plan = engine
+        .prepare(
+            &jq,
+            OrderSpec::lex(&jq, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    assert_eq!(plan.access_range(0..plan.len()), unlimited);
+}
+
+/// Spurious (non-panic) injected failures surface as typed build
+/// errors — the `FaultAction::Fail` path end to end.
+#[test]
+fn injected_spurious_failures_are_typed_not_fatal() {
+    let _s = serial();
+    let db = chaos_db(24);
+    let snap = db.freeze();
+    let jq = join_q();
+
+    let engine = Arc::new(Engine::new(Arc::clone(&snap)));
+    let server = Server::new(Arc::clone(&engine), ServerConfig::default());
+    let mut session = server.session();
+
+    let _g = fault::install(FaultPlan::new().inject(fault::SITE_LEXDA_BUILD, 0, FaultAction::Fail));
+    match session.prepare(
+        &jq,
+        OrderSpec::lex(&jq, &["x", "y", "z"]),
+        &FdSet::empty(),
+        Policy::Reject,
+    ) {
+        Err(ServeError::Plan(PlanError::Build(BuildError::FaultInjected { site }))) => {
+            assert_eq!(site, fault::SITE_LEXDA_BUILD);
+        }
+        other => panic!("expected FaultInjected, got {other:?}"),
+    }
+    // No panic was involved: nothing caught, nobody respawned.
+    let health = server.health();
+    assert_eq!(health.panics_caught, 0);
+    assert_eq!(health.worker_respawns, 0);
+    let prepared = session
+        .prepare(
+            &jq,
+            OrderSpec::lex(&jq, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    assert!(prepared.len > 0);
+}

@@ -198,9 +198,9 @@ pub use rda_serve;
 pub mod prelude {
     pub use rda_baseline::{all_answers, ranked_prefix, MaterializedAccess, RankedEnumerator};
     pub use rda_core::{
-        AccessPlan, Backend, BuildError, DirectAccess, Engine, Explain, LexDirectAccess, OrderSpec,
-        PlanError, Policy, RankedAnswers, RankedStream, SelectionLexHandle, SelectionSumHandle,
-        SumDirectAccess, Weights, WindowBuf,
+        AccessPlan, Backend, BuildBudget, BuildError, DirectAccess, Engine, Explain,
+        LexDirectAccess, OrderSpec, PlanError, Policy, RankedAnswers, RankedStream,
+        SelectionLexHandle, SelectionSumHandle, SumDirectAccess, Weights, WindowBuf,
     };
     pub use rda_db::{Database, Relation, Snapshot, Tuple, Value};
     pub use rda_orderstat::TotalF64;
@@ -209,6 +209,7 @@ pub mod prelude {
     pub use rda_query::query::CqBuilder;
     pub use rda_query::{Cq, Fd, FdSet, VarId, VarSet};
     pub use rda_serve::{
-        PageOutcome, Prepared, ServeError, Server, ServerConfig, Session, StaleReason, Token,
+        PageOutcome, Prepared, RetryPolicy, ServeError, Server, ServerConfig, ServerHealth,
+        Session, StaleReason, Token,
     };
 }
