@@ -37,6 +37,7 @@ use crate::budget::{BudgetMeter, BuildBudget};
 use crate::error::BuildError;
 use crate::fault;
 use crate::instance::{full_reduce, positions_of, sorted_vars};
+use crate::rankdir::{self, NO_DIR};
 use crate::snapprep::{
     build_derivations_encoded, check_fds_encoded, extend_instance_encoded, normalize_encoded,
     reduce_to_full_encoded, Derivation,
@@ -68,17 +69,42 @@ pub(crate) struct RawDerivation {
     pub(crate) lookup: HashMap<Value, Value>,
 }
 
-/// No rank directory for this bucket (see [`BucketMeta::dir`]).
-const NO_DIR: u32 = u32::MAX;
-
-/// Buckets smaller than this skip the rank directory: a binary search
-/// over so few entries is already one or two cache lines.
+/// Buckets smaller than this skip the rank directory and the Eytzinger
+/// value mirror: a binary search over so few entries is already one or
+/// two cache lines.
 const DIR_MIN_ENTRIES: usize = 16;
+
+/// How the per-bucket search data of the arena is laid out — the A/B
+/// knob of the searcher-oriented layout work. Real workloads always
+/// want [`ArenaLayout::Searcher`]; [`ArenaLayout::Builder`] is retained
+/// so the layout benchmark can measure the rival layouts side by side
+/// on identical data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArenaLayout {
+    /// Searcher-oriented (the default): large buckets additionally
+    /// carry an Eytzinger (BFS-order) mirror of their sorted value run
+    /// with explicit prefetch, so the value-keyed searches of
+    /// Algorithm 2 probe cache-linear tree levels instead of the
+    /// builder-ordered sorted run.
+    #[default]
+    Searcher,
+    /// Builder-oriented: sorted runs only — the layout construction
+    /// naturally produces. Value-keyed searches binary-search the
+    /// sorted run directly.
+    Builder,
+}
 
 /// Size of the fixed stack buffers the access paths use when the query
 /// is small enough (in variables and layers) — the overwhelmingly
 /// common case, sparing the thread-local round trip.
 const STACK_SCRATCH: usize = 32;
+
+/// How many entries the batch kernel's resume layer scans forward from
+/// the previous cursor before giving up and binary-searching the rest
+/// of the bucket. A sorted batch's typical carry lands on an adjacent
+/// entry, so a handful of sequential (same-cache-line) probes beats a
+/// directory lookup plus binary search almost always.
+const LINEAR_ADVANCE: usize = 8;
 
 /// Per-bucket metadata, packed so a layer descent reads one struct
 /// (plus its neighbor's `offset` implicitly via `len`) instead of
@@ -94,6 +120,11 @@ struct BucketMeta {
     /// Offset of this bucket's rank directory in
     /// [`Layer::dir_pool`], or [`NO_DIR`].
     dir: u32,
+    /// Pair offset of this bucket's Eytzinger value mirror in
+    /// [`Layer::value_tree_pool`] (node `k`'s pair sits at flat index
+    /// `2 * (vtree + k - 1)`), or [`NO_DIR`] when the bucket is small
+    /// or the layout is [`ArenaLayout::Builder`].
+    vtree: u32,
     /// log₂ of the directory's slot count `B`.
     dir_log: u8,
 }
@@ -142,6 +173,10 @@ struct Layer {
     buckets: Vec<BucketMeta>,
     /// Backing store for the rank directories.
     dir_pool: Vec<u32>,
+    /// Backing store for the Eytzinger value mirrors: interleaved
+    /// `(code, sorted_position)` pairs (see [`rankdir`]); empty under
+    /// [`ArenaLayout::Builder`].
+    value_tree_pool: Vec<u32>,
     /// Per key variable: one code column over the buckets, sorted
     /// lexicographically — the build-time linking index for parents.
     key_cols: Vec<Vec<u32>>,
@@ -362,6 +397,22 @@ struct Scratch {
     target: Vec<(u32, bool)>,
     /// Per variable slot: the probe bound before mapping to positions.
     var_bound: Vec<(u32, bool)>,
+    /// Batch kernel: the in-range `(rank, output slot)` pairs, sorted.
+    pairs: Vec<(u64, u32)>,
+    /// Batch kernel: radix-sort double buffer for `pairs`.
+    pairs_aux: Vec<(u64, u32)>,
+    /// Batch kernel: radix-sort digit counters.
+    counts: Vec<u32>,
+    /// Batch kernel, per layer: the residual rank entering the layer in
+    /// the previous descent.
+    k_in: Vec<u64>,
+    /// Batch kernel, per layer: the exclusive residual upper bound of
+    /// the previously chosen entry (`next_start · f_div`) — the carry
+    /// detector of the k-cursor walk.
+    upper: Vec<u64>,
+    /// Batch kernel, per layer: the post-division factor (answers per
+    /// unit of the layer's `start` coordinate) of the previous descent.
+    f_div: Vec<u64>,
 }
 
 impl Scratch {
@@ -372,6 +423,9 @@ impl Scratch {
         if self.chosen.len() < layers {
             self.chosen.resize(layers, 0);
             self.entry.resize(layers, 0);
+            self.k_in.resize(layers, 0);
+            self.upper.resize(layers, 0);
+            self.f_div.resize(layers, 0);
         }
         if self.target.len() < order {
             self.target.resize(order, (0, false));
@@ -386,6 +440,12 @@ thread_local! {
             chosen: Vec::new(),
             target: Vec::new(),
             var_bound: Vec::new(),
+            pairs: Vec::new(),
+            pairs_aux: Vec::new(),
+            counts: Vec::new(),
+            k_in: Vec::new(),
+            upper: Vec::new(),
+            f_div: Vec::new(),
         })
     };
 }
@@ -481,6 +541,21 @@ impl LexDirectAccess {
         Self::from_prep(prep, Arc::clone(snap), budget)
     }
 
+    /// [`LexDirectAccess::build_on`] with an explicit [`ArenaLayout`] —
+    /// the A/B entry point of the layout benchmark. Answers are
+    /// identical under either layout; only the probe sequence of the
+    /// value-keyed searches differs.
+    pub fn build_on_with_layout(
+        q: &Cq,
+        snap: &Arc<Snapshot>,
+        lex: &[VarId],
+        fds: &FdSet,
+        layout: ArenaLayout,
+    ) -> Result<Self, BuildError> {
+        let prep = prepare_layers(q, snap, lex, fds)?;
+        Self::from_prep_with_layout(prep, Arc::clone(snap), BuildBudget::UNLIMITED, layout)
+    }
+
     /// Convenience for one-shot builds from a value-level [`Database`]:
     /// clones and freezes `db` into a private snapshot, then builds.
     /// Serving workloads that prepare more than one structure should
@@ -494,6 +569,15 @@ impl LexDirectAccess {
         prep: LayerPrep,
         snap: Arc<Snapshot>,
         budget: BuildBudget,
+    ) -> Result<Self, BuildError> {
+        Self::from_prep_with_layout(prep, snap, budget, ArenaLayout::Searcher)
+    }
+
+    fn from_prep_with_layout(
+        prep: LayerPrep,
+        snap: Arc<Snapshot>,
+        budget: BuildBudget,
+        layout: ArenaLayout,
     ) -> Result<Self, BuildError> {
         let mut meter = budget.meter();
         let LayerPrep {
@@ -593,6 +677,7 @@ impl LexDirectAccess {
                 extra_children: Vec::new(),
                 buckets: Vec::new(),
                 dir_pool: Vec::new(),
+                value_tree_pool: Vec::new(),
                 key_cols: key_positions.iter().map(|_| Vec::new()).collect(),
             };
             let extra = layer.children.len().saturating_sub(1);
@@ -628,7 +713,7 @@ impl LexDirectAccess {
                     });
                 if key_changed {
                     if open {
-                        close_bucket(&mut layer, &mut bucket_ws, &mut meter)?;
+                        close_bucket(&mut layer, &mut bucket_ws, &mut meter, layout)?;
                     }
                     open = true;
                     for (j, &p) in key_positions.iter().enumerate() {
@@ -653,7 +738,7 @@ impl LexDirectAccess {
                 bucket_ws.push(w);
             }
             if open {
-                close_bucket(&mut layer, &mut bucket_ws, &mut meter)?;
+                close_bucket(&mut layer, &mut bucket_ws, &mut meter, layout)?;
             }
             layers[i] = Some(layer);
         }
@@ -749,6 +834,249 @@ impl LexDirectAccess {
         true
     }
 
+    /// Batched [`LexDirectAccess::access`]: the answers at the given
+    /// ranks, in **input order**, skipping out-of-range ranks —
+    /// equivalent to `ranks.iter().filter_map(|&k| self.access(k))`,
+    /// but k accesses cost **one descent plus O(k) local advances**
+    /// instead of k full descents (see
+    /// [`LexDirectAccess::access_batch_into`]).
+    pub fn access_batch(&self, ranks: &[u64]) -> Vec<Tuple> {
+        let mut out = WindowBuf::new();
+        self.access_batch_into(ranks, &mut out);
+        out.to_tuples()
+    }
+
+    /// Allocation-free [`LexDirectAccess::access_batch`]: fill `out`
+    /// with the answers at the given ranks (input order, out-of-range
+    /// ranks skipped) and return how many rows were written.
+    ///
+    /// The kernel sorts the ranks, then descends the layer arenas
+    /// **once** with shared bracketing — a generalized odometer walk
+    /// keeping one cursor per layer: each next rank re-enters the
+    /// previous descent at its shallowest carry point (the first layer
+    /// whose chosen entry no longer contains the rank's residual) and
+    /// re-derives sibling buckets only from there down, with the
+    /// layer's rank-directory window clamped to start at the previous
+    /// cursor. Sorted batches over a dense rank range approach the
+    /// O(1)-amortized cost of the window walk; scattered batches still
+    /// share every common descent prefix. Ranks are walked in sorted
+    /// order, but each row is emitted directly into its input-order
+    /// output slot.
+    ///
+    /// After `out` and the per-thread scratch have grown to the batch's
+    /// size once, calls perform **zero** heap allocations.
+    pub fn access_batch_into(&self, ranks: &[u64], out: &mut WindowBuf) -> u64 {
+        out.begin(self.out_vars.len());
+        if self.layers.is_empty() {
+            // Boolean head: one empty row per in-range rank.
+            let mut n = 0;
+            for &k in ranks {
+                if k < self.total {
+                    out.push_with(|_| {});
+                    n += 1;
+                }
+            }
+            return n;
+        }
+        SCRATCH.with(|s| {
+            let mut s = s.borrow_mut();
+            s.ensure(self.var_slots, self.layers.len(), self.order.len());
+            let Scratch {
+                chosen,
+                entry,
+                pairs,
+                pairs_aux,
+                counts,
+                k_in,
+                upper,
+                f_div,
+                ..
+            } = &mut *s;
+            pairs.clear();
+            for &k in ranks {
+                if k < self.total {
+                    // Survivor j of the input order gets output slot j.
+                    pairs.push((k, pairs.len() as u32));
+                }
+            }
+            if pairs.is_empty() {
+                return 0;
+            }
+            // Pre-sorted input (a client walking rank order): slots
+            // ascend with the walk, so rows append sequentially — no
+            // placeholder pre-fill, no scattered writes. Otherwise
+            // pre-size and land each row in its input-order slot.
+            let in_order = rankdir::sort_ranks(pairs, pairs_aux, counts);
+            if !in_order {
+                out.set_rows(pairs.len());
+            }
+
+            let f = self.layers.len();
+            let mut prev = pairs[0].0;
+            self.locate_trace(
+                prev, 0, self.total, false, chosen, entry, k_in, upper, f_div,
+            );
+            if in_order {
+                out.push_with(|vals| self.emit_into(entry, vals));
+            } else {
+                self.emit_to(entry, out.row_mut(pairs[0].1 as usize));
+            }
+            for &(k, slot) in &pairs[1..] {
+                let delta = k - prev;
+                if delta > 0 {
+                    // Shallowest carry point: the first layer whose
+                    // previous entry no longer contains the residual.
+                    // Layers above it keep their cursors (residuals
+                    // shifted by `delta`); everything below re-descends.
+                    let mut d = 0;
+                    while d < f && k_in[d] + delta < upper[d] {
+                        k_in[d] += delta;
+                        d += 1;
+                    }
+                    if d == f {
+                        // Unreachable: rank ↔ answer is a bijection, so
+                        // two distinct ranks cannot agree on every
+                        // layer. Re-locate defensively in release.
+                        debug_assert!(false, "no carry point for distinct ranks");
+                        self.locate_trace(
+                            k, 0, self.total, false, chosen, entry, k_in, upper, f_div,
+                        );
+                    } else {
+                        // Resume with the layer's recorded post-division
+                        // factor: same bucket, same divisor.
+                        self.locate_trace(
+                            k_in[d] + delta,
+                            d,
+                            f_div[d],
+                            true,
+                            chosen,
+                            entry,
+                            k_in,
+                            upper,
+                            f_div,
+                        );
+                    }
+                    prev = k;
+                }
+                if in_order {
+                    out.push_with(|vals| self.emit_into(entry, vals));
+                } else {
+                    self.emit_to(entry, out.row_mut(slot as usize));
+                }
+            }
+            pairs.len() as u64
+        })
+    }
+
+    /// [`LexDirectAccess::locate`] with a resumable cursor trace: run
+    /// the descent for the residual rank `k` from layer `from` down
+    /// (layers above `from` keep their `chosen`/`entry` state), and
+    /// record per layer the entering residual (`k_in`), the
+    /// post-division factor (`f_div`), and the chosen entry's exclusive
+    /// residual bound (`upper`) — the state the batch kernel's carry
+    /// check consumes.
+    ///
+    /// With `resume` false (a fresh descent), `factor` is the
+    /// **pre-division** factor entering layer `from`. With `resume`
+    /// true, the bucket and cursor at layer `from` are unchanged from
+    /// the previous descent: the caller passes the recorded
+    /// **post-division** `f_div[from]`, the division is skipped, and —
+    /// since a batch's ranks ascend — the resume layer first tries a
+    /// short linear advance from the previous cursor (a sorted batch's
+    /// typical carry moves to an adjacent entry), falling back to a
+    /// bracketed binary search over the rest of the bucket only when
+    /// the target is farther away.
+    ///
+    /// Overflow-freedom mirrors `locate`: every recorded product counts
+    /// a subset of the answers extending the current partial
+    /// assignment, hence `≤ total`.
+    #[allow(clippy::too_many_arguments)]
+    fn locate_trace(
+        &self,
+        mut k: u64,
+        from: usize,
+        mut factor: u64,
+        resume: bool,
+        chosen: &mut [u32],
+        entry: &mut [u32],
+        k_in: &mut [u64],
+        upper: &mut [u64],
+        f_div: &mut [u64],
+    ) {
+        if from == 0 && !resume && !self.layers.is_empty() {
+            chosen[0] = 0;
+        }
+        for i in from..self.layers.len() {
+            let layer = &self.layers[i];
+            let m = &layer.buckets[chosen[i] as usize];
+            let lo = m.offset as usize;
+            let resume = i == from && resume;
+            if !resume {
+                factor = if factor == m.total {
+                    1
+                } else {
+                    factor / m.total
+                };
+            }
+            let q = if factor == 1 { k } else { k / factor };
+            k_in[i] = k;
+            f_div[i] = factor;
+            let idx = if resume {
+                let hi = lo + m.len as usize;
+                let mut idx = entry[i] as usize;
+                let mut steps = 0;
+                while steps < LINEAR_ADVANCE && idx + 1 < hi && layer.entries[idx + 1].start <= q {
+                    idx += 1;
+                    steps += 1;
+                }
+                if steps == LINEAR_ADVANCE && idx + 1 < hi && layer.entries[idx + 1].start <= q {
+                    rankdir::bracketed_partition_point(&layer.entries, idx + 1, hi, |e| {
+                        e.start <= q
+                    }) - 1
+                } else {
+                    idx
+                }
+            } else if q == 0 {
+                // Odometer reset: a carry leaves zero residual for
+                // every layer below it — the bucket's first entry
+                // (starts ascend strictly from 0), no search needed.
+                lo
+            } else {
+                let (wlo, whi) = rankdir::rank_window(
+                    &layer.dir_pool,
+                    m.dir,
+                    m.dir_log,
+                    m.total,
+                    m.len as usize,
+                    q,
+                );
+                rankdir::bracketed_partition_point(&layer.entries, lo + wlo, lo + whi, |e| {
+                    e.start <= q
+                }) - 1
+            };
+            let e = &layer.entries[idx];
+            let next_start = if idx + 1 < lo + m.len as usize {
+                layer.entries[idx + 1].start
+            } else {
+                m.total
+            };
+            upper[i] = next_start * factor;
+            k -= e.start * factor;
+            entry[i] = idx as u32;
+            if let Some((&c0, rest)) = layer.children.split_first() {
+                chosen[c0] = e.child0;
+                factor *= self.layers[c0].buckets[e.child0 as usize].total;
+                let base = idx * rest.len();
+                for (ci, &c) in rest.iter().enumerate() {
+                    let cb = layer.extra_children[base + ci];
+                    chosen[c] = cb;
+                    factor *= self.layers[c].buckets[cb as usize].total;
+                }
+            }
+        }
+        debug_assert_eq!(k, 0, "descent consumes the whole rank");
+    }
+
     /// `true` when the descent state fits the fixed stack buffers —
     /// virtually every real query; the thread-local scratch handles the
     /// rest.
@@ -758,16 +1086,14 @@ impl LexDirectAccess {
     }
 
     /// Decode the chosen layer entries into an owned answer tuple (head
-    /// order) — the access path's single allocation.
+    /// order) — the access path's single allocation: the backing store
+    /// is reserved at exactly the head arity and decoded in place, so
+    /// the `Vec → Box<[Value]>` conversion inside [`Tuple::new`] is a
+    /// pointer move, never a reallocation or copy.
     fn emit(&self, entry: &[u32]) -> Tuple {
-        let dict = self.snap.dict();
-        self.out_layers
-            .iter()
-            .map(|&i| {
-                dict.value(self.layers[i].entries[entry[i] as usize].value)
-                    .clone()
-            })
-            .collect()
+        let mut vals = Vec::with_capacity(self.out_layers.len());
+        self.emit_into(entry, &mut vals);
+        Tuple::new(vals)
     }
 
     /// Decode the chosen layer entries into `out` (head order),
@@ -778,6 +1104,18 @@ impl LexDirectAccess {
             dict.value(self.layers[i].entries[entry[i] as usize].value)
                 .clone()
         }));
+    }
+
+    /// Decode the chosen layer entries over a pre-sized row slice (head
+    /// order) — the batch kernel's positioned emit, landing each row
+    /// directly in its input-order output slot.
+    fn emit_to(&self, entry: &[u32], out: &mut [Value]) {
+        let dict = self.snap.dict();
+        for (o, &i) in out.iter_mut().zip(self.out_layers.iter()) {
+            *o = dict
+                .value(self.layers[i].entries[entry[i] as usize].value)
+                .clone();
+        }
     }
 
     /// Algorithm 2: the index of `answer` in the sorted answer array, or
@@ -902,14 +1240,17 @@ impl LexDirectAccess {
             let q = if factor == 1 { k } else { k / factor };
             // Last entry with start ≤ q, i.e. start·factor ≤ k. The
             // rank directory brackets it to an O(1) expected window.
-            let (wlo, whi) = if m.dir == NO_DIR {
-                (0, m.len as usize)
-            } else {
-                let d = m.dir as usize + ((q << m.dir_log) / m.total) as usize;
-                (layer.dir_pool[d] as usize, layer.dir_pool[d + 1] as usize)
-            };
-            let idx =
-                lo + wlo + layer.entries[lo + wlo..lo + whi].partition_point(|e| e.start <= q) - 1;
+            let (wlo, whi) = rankdir::rank_window(
+                &layer.dir_pool,
+                m.dir,
+                m.dir_log,
+                m.total,
+                m.len as usize,
+                q,
+            );
+            let idx = rankdir::bracketed_partition_point(&layer.entries, lo + wlo, lo + whi, |e| {
+                e.start <= q
+            }) - 1;
             let e = &layer.entries[idx];
             k -= e.start * factor;
             entry[i] = idx as u32;
@@ -1073,7 +1414,16 @@ impl LexDirectAccess {
             let (code, can_exact) = target[i];
             // First entry with value ≥ the probe value: codes below the
             // probe's lower-bound code decode to strictly smaller values.
-            let idx = lo + layer.value_codes[lo..hi].partition_point(|&e| e < code);
+            // Large buckets search their Eytzinger mirror (cache-linear
+            // probes, grandchild prefetch); small ones binary-search the
+            // sorted run directly.
+            let idx = if m.vtree == NO_DIR {
+                rankdir::bracketed_partition_point(&layer.value_codes[..hi], lo, hi, |&e| e < code)
+            } else {
+                let t = 2 * m.vtree as usize;
+                let tree = &layer.value_tree_pool[t..t + 2 * m.len as usize];
+                lo + rankdir::value_tree_lower_bound(tree, code)
+            };
             let before = if idx < hi {
                 layer.entries[idx].start
             } else {
@@ -1137,12 +1487,14 @@ impl Iterator for LexRangeIter<'_> {
 
 /// Close the currently open bucket: turn its entry weights into prefix
 /// sums (`starts`), record the bucket metadata, and build its rank
-/// directory — rejecting counts above `u64::MAX` and charging the
-/// directory's pool growth against the build budget.
+/// directory and (under [`ArenaLayout::Searcher`]) its Eytzinger value
+/// mirror — rejecting counts above `u64::MAX` and charging both pools'
+/// growth against the build budget.
 fn close_bucket(
     layer: &mut Layer,
     ws: &mut Vec<u128>,
     meter: &mut BudgetMeter,
+    layout: ArenaLayout,
 ) -> Result<(), BuildError> {
     let len = ws.len();
     let offset = layer.entries.len() - len;
@@ -1190,11 +1542,31 @@ fn close_bucket(
             }
         }
     }
+
+    // Eytzinger value mirror (searcher layout): large buckets regroup
+    // their sorted value run into BFS order for the value-keyed
+    // searches of Algorithm 2. Pair offsets must fit `BucketMeta::vtree`
+    // (NO_DIR excluded); an overflowing layer falls back to the sorted
+    // run for its remaining buckets.
+    let mut vtree = NO_DIR;
+    if layout == ArenaLayout::Searcher && len >= DIR_MIN_ENTRIES {
+        let base_pairs = layer.value_tree_pool.len() / 2;
+        if base_pairs.saturating_add(len) < NO_DIR as usize {
+            meter.charge((len as u64) * 8, 0)?;
+            vtree = base_pairs as u32;
+            rankdir::build_value_tree(
+                &layer.value_codes[offset..offset + len],
+                &mut layer.value_tree_pool,
+            );
+        }
+    }
+
     layer.buckets.push(BucketMeta {
         total,
         offset: offset as u32,
         len: len as u32,
         dir,
+        vtree,
         dir_log,
     });
     Ok(())
@@ -1376,6 +1748,87 @@ mod tests {
         }
         assert!(!da.access_into(da.len(), &mut buf));
         assert!(buf.is_empty());
+    }
+
+    /// The batch contract, spelled out: per-rank accesses in request
+    /// order, out-of-range ranks skipped.
+    fn batch_oracle(da: &LexDirectAccess, ranks: &[u64]) -> Vec<Tuple> {
+        ranks.iter().filter_map(|&k| da.access(k)).collect()
+    }
+
+    #[test]
+    fn access_batch_matches_oracle_on_fig2() {
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let da = build(&q, &fig2_db(), &["x", "y", "z"]);
+        for ranks in [
+            vec![],
+            vec![0],
+            vec![4, 0, 2],
+            vec![3, 3, 3],
+            vec![0, 1, 2, 3, 4],
+            vec![9, 2, 100, 0, 4, 2],
+            vec![5, 6, u64::MAX],
+        ] {
+            assert_eq!(
+                da.access_batch(&ranks),
+                batch_oracle(&da, &ranks),
+                "{ranks:?}"
+            );
+            let mut out = WindowBuf::new();
+            let n = da.access_batch_into(&ranks, &mut out);
+            assert_eq!(n as usize, out.len());
+            assert_eq!(out.to_tuples(), batch_oracle(&da, &ranks), "{ranks:?}");
+        }
+    }
+
+    #[test]
+    fn access_batch_matches_oracle_across_layers_and_layouts() {
+        // Big enough for rank directories and Eytzinger mirrors to kick
+        // in (buckets well past DIR_MIN_ENTRIES), with carries at every
+        // layer of the descent.
+        let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let r: Vec<Vec<i64>> = (0..120).map(|i| vec![i, i % 6]).collect();
+        let s: Vec<Vec<i64>> = (0..6)
+            .flat_map(|y| (0..25).map(move |z| vec![y, 100 + z]))
+            .collect();
+        let db = Database::new()
+            .with_i64_rows("R", 2, r)
+            .with_i64_rows("S", 2, s);
+        let snap = db.freeze();
+        let lex = q.vars(&["x", "y", "z"]);
+        for layout in [ArenaLayout::Searcher, ArenaLayout::Builder] {
+            let da =
+                LexDirectAccess::build_on_with_layout(&q, &snap, &lex, &FdSet::empty(), layout)
+                    .unwrap();
+            assert_eq!(da.len(), 120 * 25);
+            // Mixed strides so consecutive ranks carry at different
+            // depths, plus duplicates, reversals, and out-of-range.
+            let mut ranks: Vec<u64> = (0..da.len()).step_by(7).collect();
+            let mut coarse: Vec<u64> = (0..da.len()).step_by(193).collect();
+            coarse.reverse();
+            ranks.extend(coarse);
+            ranks.extend([0, 0, da.len() - 1, da.len(), da.len() + 5, 1, 1]);
+            assert_eq!(
+                da.access_batch(&ranks),
+                batch_oracle(&da, &ranks),
+                "{layout:?}"
+            );
+            let mut out = WindowBuf::new();
+            let n = da.access_batch_into(&ranks, &mut out);
+            assert_eq!(n, ranks.iter().filter(|&&k| k < da.len()).count() as u64);
+            assert_eq!(out.to_tuples(), batch_oracle(&da, &ranks), "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn access_batch_on_boolean_head() {
+        let q = parse("Q() :- R(x, y), S(y, z)").unwrap();
+        let da = build(&q, &fig2_db(), &[]);
+        let got = da.access_batch(&[0, 0, 1, 0]);
+        assert_eq!(got, vec![Tuple::new(vec![]); 3]);
+        let mut out = WindowBuf::new();
+        assert_eq!(da.access_batch_into(&[1, 0, 2], &mut out), 1);
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

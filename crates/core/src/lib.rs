@@ -72,6 +72,7 @@ pub mod lexda;
 pub mod lexsel;
 pub mod plan;
 pub mod random_order;
+mod rankdir;
 pub mod reference;
 pub mod snapprep;
 pub mod sumda;
@@ -85,7 +86,7 @@ pub use decompose::{lex_direct_access_decomposed, rewrite_by_decomposition};
 pub use engine::{canonical_request_key, plan_dependencies, Engine, OrderSpec, PlanError, Policy};
 pub use error::BuildError;
 pub use fault::{FaultAction, FaultGuard, FaultPlan, InjectedFault};
-pub use lexda::{LexDirectAccess, LexRangeIter};
+pub use lexda::{ArenaLayout, LexDirectAccess, LexRangeIter};
 pub use plan::{
     AccessPlan, Backend, DirectAccess, Explain, RankedAnswers, RankedEnumHandle,
     SelectionLexHandle, SelectionSumHandle,

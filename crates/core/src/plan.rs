@@ -128,6 +128,35 @@ pub trait DirectAccess {
         self.access_range_into(0..k, out)
     }
 
+    /// Batched access: the answers at the given ranks — unsorted,
+    /// duplicated, and out-of-range ranks welcome — in **input order**,
+    /// with out-of-range ranks skipped. Equivalent to
+    /// `ranks.iter().filter_map(|&k| self.access(k))`.
+    ///
+    /// The default pays one full access per rank; the native structures
+    /// override it to sort the ranks and amortize one shared descent
+    /// across the whole batch (see
+    /// [`LexDirectAccess::access_batch_into`]).
+    fn access_batch(&self, ranks: &[u64]) -> Vec<Tuple> {
+        ranks.iter().filter_map(|&k| self.access(k)).collect()
+    }
+
+    /// Allocation-free [`DirectAccess::access_batch`]: fill `out` with
+    /// the batch's rows (reusing its storage) and return how many were
+    /// written. On the native structures a refill of an already-grown
+    /// buffer performs **zero** heap allocations.
+    fn access_batch_into(&self, ranks: &[u64], out: &mut WindowBuf) -> u64 {
+        out.clear();
+        let mut n = 0;
+        for &k in ranks {
+            if let Some(t) = self.access(k) {
+                out.push_tuple(&t);
+                n += 1;
+            }
+        }
+        n
+    }
+
     /// Allocation-free [`DirectAccess::page`].
     fn page_into(&self, offset: u64, len: u64, out: &mut WindowBuf) -> u64 {
         self.access_range_into(offset..offset.saturating_add(len), out)
@@ -160,6 +189,12 @@ impl DirectAccess for LexDirectAccess {
     fn access_range_into(&self, range: Range<u64>, out: &mut WindowBuf) -> u64 {
         LexDirectAccess::access_range_into(self, range, out)
     }
+    fn access_batch(&self, ranks: &[u64]) -> Vec<Tuple> {
+        LexDirectAccess::access_batch(self, ranks)
+    }
+    fn access_batch_into(&self, ranks: &[u64], out: &mut WindowBuf) -> u64 {
+        LexDirectAccess::access_batch_into(self, ranks, out)
+    }
     fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
         Box::new(LexDirectAccess::iter(self))
     }
@@ -180,6 +215,12 @@ impl DirectAccess for SumDirectAccess {
     }
     fn access_range_into(&self, range: Range<u64>, out: &mut WindowBuf) -> u64 {
         SumDirectAccess::access_range_into(self, range, out)
+    }
+    fn access_batch(&self, ranks: &[u64]) -> Vec<Tuple> {
+        SumDirectAccess::access_batch(self, ranks)
+    }
+    fn access_batch_into(&self, ranks: &[u64], out: &mut WindowBuf) -> u64 {
+        SumDirectAccess::access_batch_into(self, ranks, out)
     }
     fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
         Box::new(SumDirectAccess::iter(self))
@@ -207,6 +248,25 @@ impl DirectAccess for MaterializedAccess {
             out.push_tuple(t);
         }
         hi - lo
+    }
+    fn access_batch(&self, ranks: &[u64]) -> Vec<Tuple> {
+        let answers = self.answers();
+        ranks
+            .iter()
+            .filter_map(|&k| answers.get(k as usize).cloned())
+            .collect()
+    }
+    fn access_batch_into(&self, ranks: &[u64], out: &mut WindowBuf) -> u64 {
+        out.clear();
+        let answers = self.answers();
+        let mut n = 0;
+        for &k in ranks {
+            if let Some(t) = answers.get(k as usize) {
+                out.push_tuple(t);
+                n += 1;
+            }
+        }
+        n
     }
     fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
         Box::new(MaterializedAccess::iter(self))
@@ -573,7 +633,7 @@ impl DirectAccess for RankedEnumHandle {
 
     fn access(&self, k: u64) -> Option<Tuple> {
         let mut s = self.state();
-        s.fill_to(k + 1);
+        s.fill_to(k.saturating_add(1));
         s.cache.get(k as usize).cloned()
     }
 
@@ -604,6 +664,35 @@ impl DirectAccess for RankedEnumHandle {
             out.push_tuple(t);
         }
         hi - lo
+    }
+
+    fn access_batch(&self, ranks: &[u64]) -> Vec<Tuple> {
+        // One lock and one fill (to the largest requested rank) for the
+        // whole batch, instead of a lock round trip per rank.
+        let mut s = self.state();
+        if let Some(&max) = ranks.iter().max() {
+            s.fill_to(max.saturating_add(1));
+        }
+        ranks
+            .iter()
+            .filter_map(|&k| s.cache.get(k as usize).cloned())
+            .collect()
+    }
+
+    fn access_batch_into(&self, ranks: &[u64], out: &mut WindowBuf) -> u64 {
+        out.clear();
+        let mut s = self.state();
+        if let Some(&max) = ranks.iter().max() {
+            s.fill_to(max.saturating_add(1));
+        }
+        let mut n = 0;
+        for &k in ranks {
+            if let Some(t) = s.cache.get(k as usize) {
+                out.push_tuple(t);
+                n += 1;
+            }
+        }
+        n
     }
 
     fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
@@ -676,6 +765,12 @@ impl DirectAccess for RankedAnswers {
     }
     fn access_range_into(&self, range: Range<u64>, out: &mut WindowBuf) -> u64 {
         dispatch!(self, b => DirectAccess::access_range_into(b, range, out))
+    }
+    fn access_batch(&self, ranks: &[u64]) -> Vec<Tuple> {
+        dispatch!(self, b => DirectAccess::access_batch(b, ranks))
+    }
+    fn access_batch_into(&self, ranks: &[u64], out: &mut WindowBuf) -> u64 {
+        dispatch!(self, b => DirectAccess::access_batch_into(b, ranks, out))
     }
     fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
         dispatch!(self, b => DirectAccess::iter(b))
@@ -962,6 +1057,22 @@ impl AccessPlan {
         self.answers.access_range_into(range, out)
     }
 
+    /// Batched access: the answers at `ranks` (any order, duplicates
+    /// allowed, out-of-range ranks skipped), in the order requested.
+    /// See [`DirectAccess::access_batch`] for the contract and
+    /// [`AccessPlan::access_batch_into`] for the allocation-free form.
+    pub fn access_batch(&self, ranks: &[u64]) -> Vec<Tuple> {
+        DirectAccess::access_batch(&self.answers, ranks)
+    }
+
+    /// Fill `out` with the answers at `ranks`, in request order,
+    /// returning how many were in range. On the lex arena backend the
+    /// whole batch costs **one** rank descent plus O(k) local cursor
+    /// advances (see [`DirectAccess::access_batch_into`]).
+    pub fn access_batch_into(&self, ranks: &[u64], out: &mut WindowBuf) -> u64 {
+        DirectAccess::access_batch_into(&self.answers, ranks, out)
+    }
+
     /// A lazy, batch-fetching ranked iterator over the plan's answers —
     /// ranked enumeration in the any-k style: answers arrive in order,
     /// the next-batch cursor lives in the stream, and nothing is
@@ -1001,6 +1112,12 @@ impl DirectAccess for AccessPlan {
     }
     fn access_range_into(&self, range: Range<u64>, out: &mut WindowBuf) -> u64 {
         self.answers.access_range_into(range, out)
+    }
+    fn access_batch(&self, ranks: &[u64]) -> Vec<Tuple> {
+        DirectAccess::access_batch(&self.answers, ranks)
+    }
+    fn access_batch_into(&self, ranks: &[u64], out: &mut WindowBuf) -> u64 {
+        DirectAccess::access_batch_into(&self.answers, ranks, out)
     }
     fn iter(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
         self.answers.iter()

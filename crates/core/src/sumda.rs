@@ -222,10 +222,14 @@ impl SumDirectAccess {
     }
 
     /// Decode row `k` into an owned tuple (the single allocation of the
-    /// access path).
+    /// access path): reserved at exactly the head arity and decoded in
+    /// place, so the `Vec → Box<[Value]>` conversion inside
+    /// [`Tuple::new`] is a pointer move, never a reallocation.
     fn decode(&self, k: usize) -> Tuple {
         let dict = self.snap.dict();
-        self.cols.iter().map(|c| dict.value(c[k]).clone()).collect()
+        let mut vals = Vec::with_capacity(self.cols.len());
+        vals.extend(self.cols.iter().map(|c| dict.value(c[k]).clone()));
+        Tuple::new(vals)
     }
 
     /// The answer at index `k` in ascending weight order, O(1).
@@ -294,6 +298,34 @@ impl SumDirectAccess {
             out.push_with(|vals| vals.extend(self.cols.iter().map(|c| dict.value(c[k]).clone())));
         }
         hi - lo
+    }
+
+    /// Batched [`SumDirectAccess::access`]: the answers at the given
+    /// ranks, in input order, skipping out-of-range ranks.
+    pub fn access_batch(&self, ranks: &[u64]) -> Vec<Tuple> {
+        let mut out = WindowBuf::new();
+        self.access_batch_into(ranks, &mut out);
+        out.to_tuples()
+    }
+
+    /// Allocation-free [`SumDirectAccess::access_batch`]: fill `out`
+    /// with the answers at the given ranks (input order, out-of-range
+    /// ranks skipped) and return how many rows were written. A columnar
+    /// gather — O(1) per rank in any order, so no sorting pass is
+    /// needed; **zero** heap allocations once `out` has grown.
+    pub fn access_batch_into(&self, ranks: &[u64], out: &mut WindowBuf) -> u64 {
+        out.begin(self.cols.len());
+        let dict = self.snap.dict();
+        let mut n = 0;
+        for &k in ranks {
+            if (k as usize) < self.len {
+                out.push_with(|vals| {
+                    vals.extend(self.cols.iter().map(|c| dict.value(c[k as usize]).clone()))
+                });
+                n += 1;
+            }
+        }
+        n
     }
 
     /// Iterate the answers at ranks `range` (clamped to `len()`) in

@@ -144,6 +144,25 @@ impl WindowBuf {
         );
         self.rows += 1;
     }
+
+    /// After [`WindowBuf::begin`]: pre-size to exactly `rows`
+    /// placeholder rows so they can then be overwritten in any order
+    /// through [`WindowBuf::row_mut`] — the batch access kernel walks
+    /// ranks in sorted order but lands each row directly in its
+    /// input-order slot, sparing a separate scatter pass. Reuses the
+    /// buffer's capacity (allocation-free once grown).
+    pub(crate) fn set_rows(&mut self, rows: usize) {
+        self.rows = rows;
+        self.values.clear();
+        self.values.resize(rows * self.arity, Value::int(0));
+    }
+
+    /// Row `i` as a mutable value slice — the positioned-write
+    /// counterpart of [`WindowBuf::row`].
+    pub(crate) fn row_mut(&mut self, i: usize) -> &mut [Value] {
+        debug_assert!(i < self.rows, "row {i} out of bounds (len {})", self.rows);
+        &mut self.values[i * self.arity..(i + 1) * self.arity]
+    }
 }
 
 /// Clamp a rank range to `0..len` in `u64` space (before any cast to

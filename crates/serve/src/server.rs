@@ -68,6 +68,7 @@ struct Stats {
     admitted: AtomicU64,
     prepares: AtomicU64,
     pages: AtomicU64,
+    batch_pages: AtomicU64,
     rows: AtomicU64,
     overloaded: AtomicU64,
     deadline_expired: AtomicU64,
@@ -82,6 +83,7 @@ pub struct StatsSnapshot {
     pub admitted: u64,
     pub prepares: u64,
     pub pages: u64,
+    pub batch_pages: u64,
     pub rows: u64,
     pub overloaded: u64,
     pub deadline_expired: u64,
@@ -177,6 +179,14 @@ enum JobKind {
         token: Token,
         at: PageAt,
         len: u64,
+        buf: WindowBuf,
+    },
+    /// Batched random access: the answers at `ranks` (any order,
+    /// duplicates allowed), served through the backend's batch kernel
+    /// — one rank descent for the whole set on the native arenas.
+    PageBatch {
+        token: Token,
+        ranks: Vec<u64>,
         buf: WindowBuf,
     },
 }
@@ -332,6 +342,7 @@ impl Server {
             admitted: s.admitted.load(Ordering::Relaxed),
             prepares: s.prepares.load(Ordering::Relaxed),
             pages: s.pages.load(Ordering::Relaxed),
+            batch_pages: s.batch_pages.load(Ordering::Relaxed),
             rows: s.rows.load(Ordering::Relaxed),
             overloaded: s.overloaded.load(Ordering::Relaxed),
             deadline_expired: s.deadline_expired.load(Ordering::Relaxed),
@@ -428,7 +439,7 @@ impl Drop for Server {
 impl Job {
     fn into_buf(self) -> Option<WindowBuf> {
         match self.kind {
-            JobKind::Page { buf, .. } => Some(buf),
+            JobKind::Page { buf, .. } | JobKind::PageBatch { buf, .. } => Some(buf),
             JobKind::Prepare { .. } => None,
         }
     }
@@ -547,6 +558,110 @@ impl Session<'_> {
     /// sequential resumption path. Rows land in [`Session::rows`].
     pub fn stream_next(&mut self, token: &Token, len: u64) -> Result<PageOutcome, ServeError> {
         self.page_at(token, PageAt::Next, len)
+    }
+
+    /// Fetch the answers at `ranks` — any order, duplicates allowed,
+    /// out-of-range ranks skipped — in the order requested. Rows land
+    /// in [`Session::rows`]. On the native arena backends the whole
+    /// batch costs **one** rank descent plus O(k) local cursor
+    /// advances (see `DirectAccess::access_batch_into`), so scattered
+    /// point lookups no longer pay the descent per row. The cursor is
+    /// not advanced (a batch is random access, not streaming); at most
+    /// `max_page_rows` ranks are served per call. Under a
+    /// [`RetryPolicy`], transient errors retry with backoff and stale
+    /// cursors are repaired — but page-length degradation does not
+    /// apply: the ranks are explicit, so dropping some would silently
+    /// change the answer.
+    pub fn page_batch(&mut self, token: &Token, ranks: &[u64]) -> Result<PageOutcome, ServeError> {
+        match self.retry.take() {
+            None => self.page_batch_once(token, ranks),
+            Some(mut st) => {
+                let result = self.page_batch_with_retry(&mut st, token, ranks);
+                self.retry = Some(st);
+                result
+            }
+        }
+    }
+
+    /// The retry loop for batches: backoff-resubmit on transient
+    /// errors, repair stale cursors by re-preparing and re-issuing the
+    /// same ranks against the fresh sequence (ranks may shift when the
+    /// data changed — that is what repair means).
+    fn page_batch_with_retry(
+        &mut self,
+        st: &mut crate::retry::RetryState,
+        token: &Token,
+        ranks: &[u64],
+    ) -> Result<PageOutcome, ServeError> {
+        let mut token = token.clone();
+        let mut repaired = false;
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.page_batch_once(&token, ranks) {
+                Ok(mut out) => {
+                    st.note_success();
+                    out.repaired = repaired;
+                    return Ok(out);
+                }
+                Err(e) if attempt >= st.policy.max_attempts => return Err(e),
+                Err(ServeError::CursorStale(reason)) if st.policy.repair_stale => {
+                    let Ok(cursor) = Cursor::decode(&token) else {
+                        return Err(ServeError::CursorStale(reason));
+                    };
+                    let spec = sync::read(&self.server.shared.registry)
+                        .get(&cursor.request_key)
+                        .cloned();
+                    let Some(spec) = spec else {
+                        return Err(ServeError::CursorStale(reason));
+                    };
+                    match self.prepare_once(QuerySpec::clone(&spec)) {
+                        Ok(fresh) => {
+                            token = fresh.token;
+                            repaired = true;
+                        }
+                        Err(pe) if st.policy.retryable(&pe) => {
+                            if matches!(pe, ServeError::Overloaded { .. }) {
+                                st.note_overloaded();
+                            }
+                            std::thread::sleep(st.backoff());
+                        }
+                        Err(pe) => return Err(pe),
+                    }
+                }
+                Err(e) if st.policy.retryable(&e) => {
+                    if matches!(e, ServeError::Overloaded { .. }) {
+                        st.note_overloaded();
+                    }
+                    std::thread::sleep(st.backoff());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn page_batch_once(&mut self, token: &Token, ranks: &[u64]) -> Result<PageOutcome, ServeError> {
+        let buf = std::mem::take(&mut self.buf);
+        let kind = JobKind::PageBatch {
+            token: token.clone(),
+            ranks: ranks.to_vec(),
+            buf,
+        };
+        let rx = match self.server.submit(kind, self.deadline) {
+            Ok(rx) => rx,
+            Err((e, buf)) => {
+                self.buf = buf.unwrap_or_default();
+                return Err(e);
+            }
+        };
+        match rx.recv() {
+            Ok(Reply::Page { result, buf }) => {
+                self.buf = buf;
+                result
+            }
+            Ok(Reply::Prepare(_)) => unreachable!("batch jobs get page replies"),
+            Err(_) => Err(self.server.lost_reply_error()),
+        }
     }
 
     fn page_at(&mut self, token: &Token, at: PageAt, len: u64) -> Result<PageOutcome, ServeError> {
@@ -738,7 +853,7 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<Job>>>) {
                 .fetch_add(1, Ordering::Relaxed);
             let reply = match job.kind {
                 JobKind::Prepare { .. } => Reply::Prepare(Err(ServeError::DeadlineExceeded)),
-                JobKind::Page { buf, .. } => Reply::Page {
+                JobKind::Page { buf, .. } | JobKind::PageBatch { buf, .. } => Reply::Page {
                     result: Err(ServeError::DeadlineExceeded),
                     buf,
                 },
@@ -769,6 +884,23 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<Job>>>) {
                         // The panic may have interrupted a refill;
                         // drop the partial rows so the buffer the
                         // client gets back is unambiguously empty.
+                        buf.clear();
+                        Err(internal)
+                    }
+                };
+                Reply::Page { result, buf }
+            }
+            JobKind::PageBatch {
+                token,
+                ranks,
+                mut buf,
+            } => {
+                let fenced = fence(shared, || {
+                    execute_page_batch(shared, &token, &ranks, &mut buf)
+                });
+                let result = match fenced {
+                    Ok(result) => result,
+                    Err(internal) => {
                         buf.clear();
                         Err(internal)
                     }
@@ -904,6 +1036,78 @@ fn execute_page(
                 snapshot_uid: snap.uid(),
                 generation: snap.generation(),
                 next_rank: end,
+                deps,
+            }
+            .encode(),
+        )
+    } else {
+        None
+    };
+    Ok(PageOutcome {
+        rows: served,
+        next,
+        generation: snap.generation(),
+        resumed,
+        repaired: false,
+    })
+}
+
+fn execute_page_batch(
+    shared: &Shared,
+    token: &Token,
+    ranks: &[u64],
+    buf: &mut WindowBuf,
+) -> Result<PageOutcome, ServeError> {
+    // Same chaos site as `execute_page`: a batch is a page-shaped
+    // request and must fail the same typed way.
+    fault::trip(fault::SITE_SERVE_PAGE).map_err(|f| ServeError::Internal {
+        detail: f.to_string(),
+    })?;
+    let cursor = match Cursor::decode(token) {
+        Ok(c) => c,
+        Err(e) => {
+            shared.stats.bad_cursors.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::BadCursor(e));
+        }
+    };
+    let spec = sync::read(&shared.registry)
+        .get(&cursor.request_key)
+        .cloned();
+    let spec = match spec {
+        Some(spec) => spec,
+        None => {
+            return Err(ServeError::UnknownQuery {
+                request_key: cursor.request_key,
+            })
+        }
+    };
+    let pinned = pin_plan(shared, &spec, |snap| validate_cursor(&cursor, snap));
+    let (snap, plan, resumed) = match pinned {
+        Ok(ok) => ok,
+        Err(e) => {
+            if matches!(e, ServeError::CursorStale(_)) {
+                shared.stats.stale_cursors.fetch_add(1, Ordering::Relaxed);
+            }
+            return Err(e);
+        }
+    };
+    // The page-size cap applies to the *count* of requested ranks: a
+    // batch is a page's worth of rows, wherever those rows live.
+    let ranks = &ranks[..ranks.len().min(shared.max_page_rows as usize)];
+    let served = plan.access_batch_into(ranks, buf);
+    shared.stats.batch_pages.fetch_add(1, Ordering::Relaxed);
+    shared.stats.rows.fetch_add(served, Ordering::Relaxed);
+    // Random access does not advance the stream: the cursor comes back
+    // at its own rank, re-stamped against the snapshot this batch was
+    // validated on, so a cleanly-resumed client keeps a fresh token.
+    let next = if cursor.next_rank < plan.len() {
+        let deps = plan_dependencies(&spec.q, &snap).unwrap_or_default();
+        Some(
+            Cursor {
+                request_key: cursor.request_key,
+                snapshot_uid: snap.uid(),
+                generation: snap.generation(),
+                next_rank: cursor.next_rank,
                 deps,
             }
             .encode(),

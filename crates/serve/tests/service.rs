@@ -481,3 +481,112 @@ fn garbage_tokens_fail_typed_and_leave_the_session_usable() {
     let page = session.stream_next(&prepared.token, 2).unwrap();
     assert_eq!(page.rows, 2);
 }
+
+/// `page_batch` serves scattered ranks in request order, skips
+/// out-of-range ranks, leaves the cursor where it was, and counts
+/// against the batch counter — the per-rank `page` oracle defines the
+/// rows.
+#[test]
+fn page_batch_matches_per_rank_pages() {
+    let db = service_db(60);
+    let snap = db.freeze();
+    let engine = Arc::new(Engine::new(Arc::clone(&snap)));
+    let server = Server::with_defaults(Arc::clone(&engine));
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let order = OrderSpec::lex(&q, &["x", "y", "z"]);
+    let truth = oracle(&snap, &q, order.clone());
+    let mut session = server.session();
+    let prepared = session
+        .prepare(&q, order, &FdSet::empty(), Policy::Reject)
+        .unwrap();
+    let total = prepared.len;
+    assert_eq!(total as usize, truth.len());
+
+    let ranks = vec![total - 1, 0, 7, 7, total, 3, total + 100, 11, 0];
+    let out = session.page_batch(&prepared.token, &ranks).unwrap();
+    let expect: Vec<Tuple> = ranks
+        .iter()
+        .filter(|&&k| k < total)
+        .map(|&k| truth[k as usize].clone())
+        .collect();
+    assert_eq!(out.rows as usize, expect.len());
+    assert_eq!(session.rows().to_tuples(), expect);
+    assert_eq!(server.stats().batch_pages, 1);
+    assert_eq!(server.stats().pages, 0);
+
+    // The cursor did not move: streaming from the returned token
+    // starts at rank 0, exactly where the prepared cursor stood.
+    let token = out.next.expect("not at the end");
+    session.stream_next(&token, 2).unwrap();
+    assert_eq!(
+        session.rows().to_tuples(),
+        truth[..2].to_vec(),
+        "batch must not advance the stream position"
+    );
+}
+
+/// The page-size cap applies to the count of requested ranks.
+#[test]
+fn page_batch_clamps_rank_count_to_max_page_rows() {
+    let db = service_db(60);
+    let engine = Arc::new(Engine::new(db.freeze()));
+    let server = Server::new(
+        Arc::clone(&engine),
+        ServerConfig {
+            max_page_rows: 4,
+            ..ServerConfig::default()
+        },
+    );
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let mut session = server.session();
+    let prepared = session
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+    let ranks: Vec<u64> = (0..10).collect();
+    let out = session.page_batch(&prepared.token, &ranks).unwrap();
+    assert_eq!(out.rows, 4, "only the first max_page_rows ranks serve");
+    assert_eq!(session.rows().len(), 4);
+}
+
+/// Stale-cursor policy through the batch path: typed failure without
+/// a retry policy, transparent repair with one.
+#[test]
+fn page_batch_stale_cursor_fails_typed_and_repairs_under_retry() {
+    let mut db = service_db(40);
+    let engine = Arc::new(Engine::new(db.clone().freeze()));
+    db.clear_mutation_log();
+    let server = Server::with_defaults(Arc::clone(&engine));
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let mut session = server.session();
+    let prepared = session
+        .prepare(
+            &q,
+            OrderSpec::lex(&q, &["x", "y", "z"]),
+            &FdSet::empty(),
+            Policy::Reject,
+        )
+        .unwrap();
+
+    // Dirty a dependency: the sequence the cursor indexes is gone.
+    db.insert_into("R", tup(2, 2));
+    engine.advance_delta(&mut db);
+    match session.page_batch(&prepared.token, &[0, 1]) {
+        Err(ServeError::CursorStale(StaleReason::DirtyDependency { relation, .. })) => {
+            assert_eq!(relation, "R");
+        }
+        other => panic!("expected DirtyDependency, got {other:?}"),
+    }
+
+    // With repair: re-prepare under the hood and serve the same ranks
+    // from the fresh sequence.
+    session.set_retry_policy(rda_serve::RetryPolicy::default());
+    let out = session.page_batch(&prepared.token, &[0, 1]).unwrap();
+    assert!(out.repaired, "stale batch must repair under the policy");
+    assert_eq!(out.rows, 2);
+    assert_eq!(out.generation, 1);
+}

@@ -198,7 +198,7 @@ pub use rda_serve;
 pub mod prelude {
     pub use rda_baseline::{all_answers, ranked_prefix, MaterializedAccess, RankedEnumerator};
     pub use rda_core::{
-        AccessPlan, Backend, BuildBudget, BuildError, DirectAccess, Engine, Explain,
+        AccessPlan, ArenaLayout, Backend, BuildBudget, BuildError, DirectAccess, Engine, Explain,
         LexDirectAccess, OrderSpec, PlanError, Policy, RankedAnswers, RankedStream,
         SelectionLexHandle, SelectionSumHandle, SumDirectAccess, Weights, WindowBuf,
     };

@@ -180,4 +180,27 @@ fn access_hot_paths_do_not_allocate() {
         }
     });
     assert_eq!(n, 0, "SUM windowed refills must not allocate");
+
+    // Batched access: after a same-sized warm-up batch has grown the
+    // output buffer and the per-thread scratch (rank pairs, scatter
+    // map, per-layer descent traces), refilling from a fresh rank set
+    // — the steady state of a point-lookup server — performs zero heap
+    // allocations on both native arenas.
+    let batch: Vec<u64> = (0..300u64).map(|i| (i * 2654435761) % da.len()).collect();
+    da.access_batch_into(&batch, &mut wbuf); // warm buffer + scratch
+    let shifted: Vec<u64> = batch.iter().map(|&k| (k + 13) % da.len()).collect();
+    let n = allocations_during(|| {
+        assert_eq!(da.access_batch_into(&shifted, &mut wbuf), 300);
+        assert_eq!(da.access_batch_into(&batch, &mut wbuf), 300);
+        std::hint::black_box(&wbuf);
+    });
+    assert_eq!(n, 0, "LEX batched refills must not allocate");
+
+    let sum_batch: Vec<u64> = (0..100u64).map(|i| (i * 7919) % sum.len()).collect();
+    sum.access_batch_into(&sum_batch, &mut wbuf); // warm for arity 2
+    let n = allocations_during(|| {
+        assert_eq!(sum.access_batch_into(&sum_batch, &mut wbuf), 100);
+        std::hint::black_box(&wbuf);
+    });
+    assert_eq!(n, 0, "SUM batched refills must not allocate");
 }
