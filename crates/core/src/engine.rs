@@ -54,12 +54,12 @@ use crate::error::BuildError;
 use crate::fault;
 use crate::plan::{
     describe_reason, AccessPlan, Backend, Explain, RankedAnswers, RankedEnumHandle,
-    SelectionLexHandle, SelectionSumHandle,
+    SelectionLexHandle, SelectionSumHandle, ShardRouting,
 };
 use crate::weights::Weights;
 use crate::{LexDirectAccess, SumDirectAccess};
 use rda_baseline::{MaterializedAccess, RankedEnumerator};
-use rda_db::{Database, Snapshot};
+use rda_db::{Database, ShardSpec, ShardedSnapshot, Snapshot};
 use rda_query::classify::{classify, Problem, Verdict};
 use rda_query::fd::FdSet;
 use rda_query::query::Cq;
@@ -394,9 +394,18 @@ impl PlanCache {
 /// forward** — re-keyed into the new generation without rebuilding a
 /// thing.
 pub struct Engine {
-    snapshot: RwLock<Arc<Snapshot>>,
+    serve: RwLock<ServeSlot>,
     cache: Mutex<PlanCache>,
     build_budget: RwLock<BuildBudget>,
+}
+
+/// What the engine currently serves, swapped as one unit: the snapshot
+/// and (when sharding is enabled) its sharded view. Keeping the pair
+/// under a single lock means a prepare can never pin a snapshot from
+/// one generation next to shard partitions from another.
+struct ServeSlot {
+    snap: Arc<Snapshot>,
+    sharded: Option<Arc<ShardedSnapshot>>,
 }
 
 // Poison recovery: every shared slot in the engine is either swapped
@@ -425,16 +434,39 @@ impl Engine {
     pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
 
     /// An engine serving the given snapshot, with the default plan-cache
-    /// capacity.
+    /// capacity. Sharding is off unless the `RDA_FORCE_SHARDS`
+    /// environment variable requests it ([`ShardSpec::from_env`]) —
+    /// the hook that re-runs an entire test suite sharded; use
+    /// [`Engine::with_shards`] for explicit control.
     pub fn new(snapshot: Arc<Snapshot>) -> Self {
         Self::with_plan_cache_capacity(snapshot, Self::DEFAULT_PLAN_CACHE_CAPACITY)
     }
 
     /// An engine with an explicit plan-cache bound. Capacity `0`
-    /// disables memoization (every `prepare` builds afresh).
+    /// disables memoization (every `prepare` builds afresh). Consults
+    /// `RDA_FORCE_SHARDS` like [`Engine::new`].
     pub fn with_plan_cache_capacity(snapshot: Arc<Snapshot>, capacity: usize) -> Self {
+        let sharded = ShardSpec::from_env().map(|spec| ShardedSnapshot::freeze(&snapshot, spec));
+        Self::assemble(snapshot, sharded, capacity)
+    }
+
+    /// An engine serving `snapshot` through a sharded view with exactly
+    /// the given spec (overriding `RDA_FORCE_SHARDS`): unlimited-budget
+    /// native direct-access builds fan out shard-parallel, and
+    /// [`Engine::advance`] re-shards only the relations each delta
+    /// dirtied.
+    pub fn with_shards(snapshot: Arc<Snapshot>, spec: ShardSpec) -> Self {
+        let sharded = Some(ShardedSnapshot::freeze(&snapshot, spec));
+        Self::assemble(snapshot, sharded, Self::DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    fn assemble(
+        snap: Arc<Snapshot>,
+        sharded: Option<Arc<ShardedSnapshot>>,
+        capacity: usize,
+    ) -> Self {
         Engine {
-            snapshot: RwLock::new(snapshot),
+            serve: RwLock::new(ServeSlot { snap, sharded }),
             cache: Mutex::new(PlanCache {
                 map: HashMap::new(),
                 capacity,
@@ -466,8 +498,22 @@ impl Engine {
     /// [`Engine::prepare`] calls are answered over exactly this
     /// generation until the next [`Engine::advance`].
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        let guard = relock(self.snapshot.read());
-        Arc::clone(&guard)
+        Arc::clone(&relock(self.serve.read()).snap)
+    }
+
+    /// The sharded view of the served snapshot, when sharding is
+    /// enabled for this engine; `None` otherwise.
+    pub fn sharded(&self) -> Option<Arc<ShardedSnapshot>> {
+        relock(self.serve.read()).sharded.clone()
+    }
+
+    /// How many shards this engine's native builds fan out over (`1`
+    /// when sharding is off).
+    pub fn shard_count(&self) -> usize {
+        relock(self.serve.read())
+            .sharded
+            .as_ref()
+            .map_or(1, |s| s.shards())
     }
 
     /// The generation of the currently served snapshot.
@@ -492,8 +538,8 @@ impl Engine {
     /// Returns how many plans were carried forward.
     pub fn advance(&self, snapshot: Arc<Snapshot>) -> usize {
         let mut cache = relock(self.cache.lock());
-        let mut slot = relock(self.snapshot.write());
-        if slot.uid() == snapshot.uid() {
+        let mut slot = relock(self.serve.write());
+        if slot.snap.uid() == snapshot.uid() {
             return 0; // advancing to the current snapshot is a no-op
         }
         let mut carried = 0;
@@ -517,7 +563,12 @@ impl Engine {
                 }
             }
         }
-        *slot = snapshot;
+        // Re-shard inside the same critical section: the snapshot and
+        // its sharded view swap as one unit. `rebase` carries the
+        // partitions of every clean relation pointer-identically, so
+        // the cost is proportional to what the delta dirtied.
+        slot.sharded = slot.sharded.as_ref().map(|sv| sv.rebase(&snapshot));
+        slot.snap = snapshot;
         carried
     }
 
@@ -582,8 +633,12 @@ impl Engine {
         fault::trip(fault::SITE_ENGINE_PREPARE)
             .map_err(|f| PlanError::Build(BuildError::FaultInjected { site: f.site }))?;
         // Pin the generation first: the whole prepare runs against one
-        // snapshot, however many `advance` calls race it.
-        let snap = self.snapshot();
+        // snapshot (and the matching sharded view, read under the same
+        // lock), however many `advance` calls race it.
+        let (snap, sharded) = {
+            let slot = relock(self.serve.read());
+            (Arc::clone(&slot.snap), slot.sharded.clone())
+        };
         let key = plan_key(snap.uid(), q, &order, fds, policy);
         if let Some(plan) = relock(self.cache.lock()).get(&key) {
             // A hit under `snap`'s uid is consistent with `snap` even
@@ -594,7 +649,15 @@ impl Engine {
         }
         // Build outside the lock so distinct keys don't serialize.
         let budget = self.build_budget();
-        let plan = Arc::new(prepare_on(&snap, q, order, fds, policy, budget)?);
+        let plan = Arc::new(prepare_on(
+            &snap,
+            sharded.as_deref(),
+            q,
+            order,
+            fds,
+            policy,
+            budget,
+        )?);
         let deps = plan_dependencies(q, &snap);
         // Cache only if the engine still serves the snapshot this plan
         // was built against: a plan that lost a race with `advance`
@@ -603,7 +666,7 @@ impl Engine {
         // future prepare can hit. Lock order (cache, then snapshot)
         // matches `advance`.
         let mut cache = relock(self.cache.lock());
-        let current_uid = relock(self.snapshot.read()).uid();
+        let current_uid = relock(self.serve.read()).snap.uid();
         if key.snapshot_uid != current_uid {
             return Ok((snap, plan));
         }
@@ -620,14 +683,28 @@ impl Engine {
         fds: &FdSet,
         policy: Policy,
     ) -> Result<AccessPlan, PlanError> {
-        prepare_on(&self.snapshot(), q, order, fds, policy, self.build_budget())
+        let (snap, sharded) = {
+            let slot = relock(self.serve.read());
+            (Arc::clone(&slot.snap), slot.sharded.clone())
+        };
+        prepare_on(
+            &snap,
+            sharded.as_deref(),
+            q,
+            order,
+            fds,
+            policy,
+            self.build_budget(),
+        )
     }
 }
 
 /// The routing logic shared by every entry point: classify, then build
-/// over the snapshot.
+/// over the snapshot (fanning native builds out over `sharded`, when
+/// the engine serves one).
 fn prepare_on(
     snap: &Arc<Snapshot>,
+    sharded: Option<&ShardedSnapshot>,
     q: &Cq,
     order: OrderSpec,
     fds: &FdSet,
@@ -635,14 +712,15 @@ fn prepare_on(
     budget: BuildBudget,
 ) -> Result<AccessPlan, PlanError> {
     let plan = match order {
-        OrderSpec::Lex(lex) => prepare_lex(snap, q, lex, fds, policy, budget),
-        OrderSpec::Sum(w) => prepare_sum(snap, q, w, fds, policy, budget),
+        OrderSpec::Lex(lex) => prepare_lex(snap, sharded, q, lex, fds, policy, budget),
+        OrderSpec::Sum(w) => prepare_sum(snap, sharded, q, w, fds, policy, budget),
     }?;
     Ok(plan.with_generation(snap.generation()))
 }
 
 fn prepare_lex(
     snap: &Arc<Snapshot>,
+    sharded: Option<&ShardedSnapshot>,
     q: &Cq,
     lex: Vec<VarId>,
     fds: &FdSet,
@@ -656,6 +734,25 @@ fn prepare_lex(
     let witness = verdict.reason().map(|r| describe_reason(q, r));
 
     if verdict.is_tractable() {
+        // Shard-parallel build, but only under an unlimited budget: the
+        // sharded builder meters each shard independently, and a capped
+        // engine's containment story depends on one global meter.
+        if let Some(sv) = sharded.filter(|_| budget.is_unlimited()) {
+            let da = LexDirectAccess::build_on_sharded(q, sv, &lex, fds, budget)?;
+            let routing = ShardRouting::contiguous(da.shard_offsets().to_vec());
+            return Ok(AccessPlan::new(
+                RankedAnswers::ShardedLex(da),
+                Explain {
+                    problem,
+                    problem_desc,
+                    verdict,
+                    selection_verdict: None,
+                    witness,
+                    backend: Backend::LexDirectAccess,
+                    routing: Some(routing),
+                },
+            ));
+        }
         let da = LexDirectAccess::build_on_budgeted(q, snap, &lex, fds, budget)?;
         return Ok(AccessPlan::new(
             RankedAnswers::Lex(da),
@@ -666,6 +763,7 @@ fn prepare_lex(
                 selection_verdict: None,
                 witness,
                 backend: Backend::LexDirectAccess,
+                routing: None,
             },
         ));
     }
@@ -682,6 +780,7 @@ fn prepare_lex(
                 selection_verdict: Some(selection_verdict),
                 witness,
                 backend: Backend::SelectionLex,
+                routing: None,
             },
         ));
     }
@@ -700,6 +799,7 @@ fn prepare_lex(
                     selection_verdict: Some(selection_verdict),
                     witness,
                     backend: Backend::Materialized,
+                    routing: None,
                 },
             ))
         }
@@ -713,6 +813,7 @@ fn prepare_lex(
 
 fn prepare_sum(
     snap: &Arc<Snapshot>,
+    sharded: Option<&ShardedSnapshot>,
     q: &Cq,
     weights: Weights,
     fds: &FdSet,
@@ -725,6 +826,23 @@ fn prepare_sum(
     let witness = verdict.reason().map(|r| describe_reason(q, r));
 
     if verdict.is_tractable() {
+        // Same budget gate as the lex path: shard-parallel only when
+        // the build is unmetered.
+        if let Some(sv) = sharded.filter(|_| budget.is_unlimited()) {
+            let (da, rows) = SumDirectAccess::build_on_sharded(q, sv, &weights, fds, budget)?;
+            return Ok(AccessPlan::new(
+                RankedAnswers::Sum(da),
+                Explain {
+                    problem,
+                    problem_desc,
+                    verdict,
+                    selection_verdict: None,
+                    witness,
+                    backend: Backend::SumDirectAccess,
+                    routing: Some(ShardRouting::merged(rows)),
+                },
+            ));
+        }
         let da = SumDirectAccess::build_on_budgeted(q, snap, &weights, fds, budget)?;
         return Ok(AccessPlan::new(
             RankedAnswers::Sum(da),
@@ -735,6 +853,7 @@ fn prepare_sum(
                 selection_verdict: None,
                 witness,
                 backend: Backend::SumDirectAccess,
+                routing: None,
             },
         ));
     }
@@ -751,6 +870,7 @@ fn prepare_sum(
                 selection_verdict: Some(selection_verdict),
                 witness,
                 backend: Backend::SelectionSum,
+                routing: None,
             },
         ));
     }
@@ -769,6 +889,7 @@ fn prepare_sum(
                     selection_verdict: Some(selection_verdict),
                     witness,
                     backend: Backend::Materialized,
+                    routing: None,
                 },
             ))
         }
@@ -794,6 +915,7 @@ fn prepare_sum(
                     selection_verdict: Some(selection_verdict),
                     witness,
                     backend: Backend::RankedEnum,
+                    routing: None,
                 },
             ))
         }

@@ -74,6 +74,7 @@ pub mod plan;
 pub mod random_order;
 mod rankdir;
 pub mod reference;
+pub mod shardlex;
 pub mod snapprep;
 pub mod sumda;
 pub mod sumsel;
@@ -89,10 +90,11 @@ pub use fault::{FaultAction, FaultGuard, FaultPlan, InjectedFault};
 pub use lexda::{ArenaLayout, LexDirectAccess, LexRangeIter};
 pub use plan::{
     AccessPlan, Backend, DirectAccess, Explain, RankedAnswers, RankedEnumHandle,
-    SelectionLexHandle, SelectionSumHandle,
+    SelectionLexHandle, SelectionSumHandle, ShardRouting,
 };
 pub use random_order::{Quantiles, RandomOrderEnumerator};
 pub use reference::HashLexDirectAccess;
+pub use shardlex::ShardedLexAccess;
 pub use sumda::SumDirectAccess;
 pub use tupleweights::{selection_sum_tw, SumDirectAccessTw, TupleWeights};
 pub use weights::Weights;

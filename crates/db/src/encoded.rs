@@ -252,6 +252,76 @@ impl EncodedRelation {
         }
     }
 
+    /// Copy rows `lo..hi` into a fresh relation (same arity). A pure
+    /// columnar copy: no value is hashed or compared and
+    /// [`relation_encode_count`] does not move.
+    ///
+    /// # Panics
+    /// Panics when `lo > hi` or `hi > len()`.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> EncodedRelation {
+        assert!(
+            lo <= hi && hi <= self.rows,
+            "slice {lo}..{hi} out of bounds"
+        );
+        EncodedRelation {
+            rows: hi - lo,
+            cols: self.cols.iter().map(|c| c[lo..hi].to_vec()).collect(),
+        }
+    }
+
+    /// Range-partition the rows by their **leading** (column 0) code:
+    /// part `i` holds the rows whose leading code is in
+    /// `[bounds[i-1], bounds[i])` (with implicit `bounds[-1] = 0` and
+    /// `bounds[len] = ∞`), so `bounds.len() + 1` parts come back. The
+    /// relation must be normalized (sorted by full row), making every
+    /// part a contiguous row slice found by binary search — the
+    /// zero-copy-cheap partitioning step of sharded snapshots. An
+    /// arity-0 relation puts all rows in part 0. Not an encoding:
+    /// [`relation_encode_count`] does not move.
+    ///
+    /// # Panics
+    /// Panics when `bounds` is not non-decreasing.
+    pub fn leading_partition(&self, bounds: &[u32]) -> Vec<EncodedRelation> {
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "bounds unsorted");
+        if self.arity() == 0 {
+            let mut parts = vec![self.clone()];
+            parts.extend(bounds.iter().map(|_| EncodedRelation::new(0)));
+            return parts;
+        }
+        let lead = &self.cols[0];
+        debug_assert!(lead.windows(2).all(|w| w[0] <= w[1]), "not normalized");
+        let mut parts = Vec::with_capacity(bounds.len() + 1);
+        let mut lo = 0usize;
+        for &b in bounds {
+            let hi = lo + lead[lo..].partition_point(|&c| c < b);
+            parts.push(self.slice_rows(lo, hi));
+            lo = hi;
+        }
+        parts.push(self.slice_rows(lo, self.rows));
+        parts
+    }
+
+    /// Keep rows whose code at `pos` lies in `[lo, hi)` (`hi = None`
+    /// means unbounded above). When `pos` is the leading column of a
+    /// normalized relation the surviving rows are one contiguous slice
+    /// found by binary search; otherwise a linear filter. Not an
+    /// encoding: [`relation_encode_count`] does not move.
+    pub fn filter_col_range(&self, pos: usize, lo: u32, hi: Option<u32>) -> EncodedRelation {
+        let c = &self.cols[pos];
+        let in_range = |x: u32| x >= lo && hi.is_none_or(|h| x < h);
+        if pos == 0 && c.windows(2).all(|w| w[0] <= w[1]) {
+            let a = c.partition_point(|&x| x < lo);
+            let b = hi.map_or(self.rows, |h| c.partition_point(|&x| x < h));
+            return self.slice_rows(a, b.max(a));
+        }
+        let keep: Vec<u32> = (0..self.rows as u32)
+            .filter(|&r| in_range(c[r as usize]))
+            .collect();
+        let mut out = self.clone();
+        out.apply_permutation(&keep);
+        out
+    }
+
     /// Decode row `row` back into an owned [`Tuple`].
     pub fn decode_row(&self, row: usize, dict: &Dictionary) -> Tuple {
         self.cols
@@ -354,6 +424,65 @@ mod tests {
                 assert_eq!(out.code(r, p), enc.code(r, p) + 1);
             }
         }
+    }
+
+    #[test]
+    fn leading_partition_splits_normalized_rows() {
+        let (_, mut enc) = setup();
+        enc.normalize(); // codes: (0,1),(0,2),(3,1)
+                         // No bounds: one part holding everything.
+        let parts = enc.leading_partition(&[]);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], enc);
+        // Split between code 0 and code 3, plus an empty top part.
+        let parts = enc.leading_partition(&[1, 4]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 2);
+        assert_eq!(parts[0].col(0), &[0, 0]);
+        assert_eq!(parts[1].len(), 1);
+        assert_eq!(parts[1].col(0), &[3]);
+        assert!(parts[2].is_empty());
+        // Duplicate bounds yield empty middle parts; totals preserved.
+        let parts = enc.leading_partition(&[1, 1, 1]);
+        assert_eq!(parts.iter().map(EncodedRelation::len).sum::<usize>(), 3);
+        assert!(parts[1].is_empty() && parts[2].is_empty());
+    }
+
+    #[test]
+    fn leading_partition_handles_arity_zero() {
+        let mut enc = EncodedRelation::new(0);
+        enc.push_row(&[]);
+        let parts = enc.leading_partition(&[5, 9]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 1);
+        assert!(parts[1].is_empty() && parts[2].is_empty());
+    }
+
+    #[test]
+    fn filter_col_range_matches_linear_filter() {
+        let (_, mut enc) = setup();
+        enc.normalize(); // rows (0,1),(0,2),(3,1)
+                         // Sorted leading column: binary-search fast path.
+        let f = enc.filter_col_range(0, 0, Some(1));
+        assert_eq!(f.len(), 2);
+        let f = enc.filter_col_range(0, 1, None);
+        assert_eq!(f.col(0), &[3]);
+        // Non-leading column: linear path.
+        let f = enc.filter_col_range(1, 1, Some(2));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.col(1), &[1, 1]);
+        // Empty range.
+        assert!(enc.filter_col_range(0, 7, Some(7)).is_empty());
+    }
+
+    #[test]
+    fn slice_rows_copies_the_range() {
+        let (_, mut enc) = setup();
+        enc.normalize();
+        let s = enc.slice_rows(1, 3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.col(0), &enc.col(0)[1..3]);
+        assert!(enc.slice_rows(3, 3).is_empty());
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod dict;
 pub mod encoded;
 pub mod parallel;
 pub mod relation;
+pub mod shard;
 pub mod snapshot;
 pub mod tuple;
 pub mod value;
@@ -26,6 +27,7 @@ pub use database::{Database, MutationLog, RelationDelta};
 pub use dict::{DictDelta, Dictionary};
 pub use encoded::{relation_encode_count, EncodedRelation};
 pub use relation::Relation;
+pub use shard::{ShardDirectory, ShardSpec, ShardedSnapshot};
 pub use snapshot::Snapshot;
 pub use tuple::Tuple;
 pub use value::Value;

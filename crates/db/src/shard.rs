@@ -1,0 +1,398 @@
+//! Range-partitioned (sharded) snapshots: the scale-out layer under
+//! shard-parallel structure builds.
+//!
+//! A [`ShardedSnapshot`] wraps a base [`Snapshot`] with one extra,
+//! derived representation: every relation's normalized encoded columns
+//! split by **leading-code range** into per-shard
+//! [`EncodedRelation`]s. Because snapshot encodings are normalized
+//! (sorted by full row), each shard is a contiguous row slice found by
+//! binary search — partitioning is a columnar copy, never a re-encode,
+//! and [`crate::relation_encode_count`] provably does not move.
+//!
+//! The shard *boundaries* are code-space cuts fixed at the base freeze:
+//! `bounds[i] = dict_len · (i+1) / n` for `n` shards, so shard `s` owns
+//! the leading codes in `[bounds[s-1], bounds[s])` (with implicit
+//! `bounds[-1] = 0`, `bounds[n-1] = ∞`). Across
+//! [`ShardedSnapshot::freeze_delta`] generations the cuts are carried
+//! by *value* (remapped monotonically through the new dictionary), so a
+//! row never migrates shards unless the domain between two cuts
+//! actually changed — and a **clean** relation's whole per-shard vector
+//! is `Arc`-shared into the next generation, pointer-provably.
+//!
+//! Correctness on a 1-core host is observable through
+//! [`ShardSpec::Forced`]: a deterministic shard count that exercises
+//! every partition/merge/route path identically to a many-core run.
+
+use crate::database::Database;
+use crate::encoded::EncodedRelation;
+use crate::snapshot::Snapshot;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How many shards a sharded freeze should produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardSpec {
+    /// One shard per available core (at least one) — the production
+    /// default.
+    Auto,
+    /// Exactly `n` shards (clamped to at least 1), whatever the host
+    /// looks like — the deterministic test mode the forced-shard
+    /// differential oracle runs under.
+    Forced(usize),
+}
+
+impl ShardSpec {
+    /// The spec requested through the `RDA_FORCE_SHARDS` environment
+    /// variable, when set to a positive integer: the hook that lets an
+    /// entire existing test suite re-run sharded without touching a
+    /// line of it.
+    pub fn from_env() -> Option<ShardSpec> {
+        std::env::var("RDA_FORCE_SHARDS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .map(ShardSpec::Forced)
+    }
+
+    /// The concrete shard count this spec resolves to on this host.
+    pub fn resolve(&self) -> usize {
+        match *self {
+            ShardSpec::Auto => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            ShardSpec::Forced(n) => n.max(1),
+        }
+    }
+}
+
+/// The routing metadata of a [`ShardedSnapshot`], in one inspectable
+/// value: the code-range boundaries plus each relation's per-shard row
+/// counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardDirectory {
+    /// Interior leading-code cuts, non-decreasing; shard `s` owns
+    /// leading codes in `[bounds[s-1], bounds[s])`.
+    pub bounds: Vec<u32>,
+    /// Relation name → rows per shard (always `bounds.len() + 1`
+    /// entries).
+    pub rows: BTreeMap<String, Vec<usize>>,
+}
+
+impl ShardDirectory {
+    /// Number of shards the directory describes.
+    pub fn shards(&self) -> usize {
+        self.bounds.len() + 1
+    }
+}
+
+/// One relation's per-shard encodings — the unit a delta freeze
+/// carries pointer-identically when the relation stayed clean.
+type ShardParts = Arc<Vec<Arc<EncodedRelation>>>;
+
+/// A clean-relation carry lookup handed to [`partition_all`]: given a
+/// relation name, yields the prior generation's per-shard vector when
+/// it may be reused verbatim.
+type CarryFn<'a> = &'a (dyn Fn(&str) -> Option<ShardParts> + Sync);
+
+/// A base [`Snapshot`] plus the per-shard split of every relation's
+/// encoded columns. See the [module docs](self) for the partitioning
+/// and carry-forward contract.
+#[derive(Debug)]
+pub struct ShardedSnapshot {
+    base: Arc<Snapshot>,
+    /// Interior leading-code cuts (`shards() - 1` of them).
+    bounds: Arc<Vec<u32>>,
+    /// Relation name → per-shard encodings. The outer `Arc` is the
+    /// clean-relation carry unit: a delta freeze that leaves a relation
+    /// untouched shares this vector pointer-identically.
+    parts: BTreeMap<String, ShardParts>,
+}
+
+impl ShardedSnapshot {
+    /// Range-partition `base` into `spec.resolve()` shards. The cuts
+    /// are dictionary-proportional (`dict_len · i / n`); domains too
+    /// small to fill every range simply leave trailing shards empty —
+    /// a valid (and tested) configuration, not an error. Partitioning
+    /// fans out over [`crate::parallel`] with a forced width of one
+    /// worker per relation.
+    pub fn freeze(base: &Arc<Snapshot>, spec: ShardSpec) -> Arc<ShardedSnapshot> {
+        let n = spec.resolve();
+        let dict_len = base.dict().len() as u64;
+        let bounds: Vec<u32> = (1..n as u64)
+            .map(|i| (dict_len * i / n as u64) as u32)
+            .collect();
+        Arc::new(ShardedSnapshot {
+            base: Arc::clone(base),
+            parts: partition_all(base, &bounds, None),
+            bounds: Arc::new(bounds),
+        })
+    }
+
+    /// Freeze the next generation of the base snapshot from `db`
+    /// ([`Snapshot::freeze_delta`]) and re-shard **only what that delta
+    /// dirtied**: a clean relation — one whose encoding `Arc` carried
+    /// verbatim — shares its entire per-shard vector pointer-
+    /// identically with this generation. Returns the new base next to
+    /// its sharded view.
+    pub fn freeze_delta(&self, db: &mut Database) -> (Arc<Snapshot>, Arc<ShardedSnapshot>) {
+        let next = self.base.freeze_delta(db);
+        let sharded = self.rebase(&next);
+        (next, sharded)
+    }
+
+    /// Re-derive this sharded view over `new_base` (a later generation
+    /// of the same lineage): carry the code-range cuts by **value**
+    /// through the new dictionary, `Arc`-share the per-shard vector of
+    /// every relation whose encoding carried verbatim, and re-partition
+    /// the rest.
+    pub fn rebase(&self, new_base: &Arc<Snapshot>) -> Arc<ShardedSnapshot> {
+        let old_dict = self.base.dict();
+        let new_dict = new_base.dict();
+        // Remap each cut by the value it points at. Monotone: old codes
+        // ascend, so their values ascend, so their lower bounds in the
+        // new dictionary are non-decreasing. (When nothing was interned
+        // a cut is 0 and stays 0.)
+        let bounds: Vec<u32> = self
+            .bounds
+            .iter()
+            .map(|&b| {
+                if (b as usize) < old_dict.len() {
+                    new_dict.lower_bound(old_dict.value(b)).0
+                } else {
+                    new_dict.len() as u32
+                }
+            })
+            .collect();
+        let carry = |name: &str| -> Option<ShardParts> {
+            if bounds != *self.bounds {
+                return None; // cuts moved: every split is stale
+            }
+            let old = self.base.encoded_arc(name)?;
+            let new = new_base.encoded_arc(name)?;
+            if !Arc::ptr_eq(old, new) {
+                return None;
+            }
+            self.parts.get(name).map(Arc::clone)
+        };
+        Arc::new(ShardedSnapshot {
+            base: Arc::clone(new_base),
+            parts: partition_all(new_base, &bounds, Some(&carry)),
+            bounds: Arc::new(bounds),
+        })
+    }
+
+    /// The base snapshot this sharded view derives from — same uid,
+    /// generation, and lineage; sharding adds no identity of its own.
+    pub fn base(&self) -> &Arc<Snapshot> {
+        &self.base
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.bounds.len() + 1
+    }
+
+    /// The interior leading-code cuts (`shards() - 1` of them).
+    pub fn bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+
+    /// The leading-code range shard `s` owns: `[lo, hi)`, `hi = None`
+    /// meaning unbounded above.
+    ///
+    /// # Panics
+    /// Panics when `s >= shards()`.
+    pub fn shard_range(&self, s: usize) -> (u32, Option<u32>) {
+        assert!(s < self.shards(), "shard {s} out of range");
+        let lo = if s == 0 { 0 } else { self.bounds[s - 1] };
+        (lo, self.bounds.get(s).copied())
+    }
+
+    /// Shard `s` of relation `name`, when the relation exists.
+    pub fn part(&self, name: &str, s: usize) -> Option<&Arc<EncodedRelation>> {
+        self.parts.get(name).and_then(|v| v.get(s))
+    }
+
+    /// The whole per-shard vector of `name` — the `Arc` tests compare
+    /// pointer-wise to prove clean relations carry across generations
+    /// without re-partitioning.
+    pub fn parts_arc(&self, name: &str) -> Option<&ShardParts> {
+        self.parts.get(name)
+    }
+
+    /// The shard directory: cuts plus per-relation, per-shard row
+    /// counts.
+    pub fn directory(&self) -> ShardDirectory {
+        ShardDirectory {
+            bounds: (*self.bounds).clone(),
+            rows: self
+                .parts
+                .iter()
+                .map(|(name, v)| {
+                    (
+                        name.clone(),
+                        v.iter().map(|p| p.len()).collect::<Vec<usize>>(),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Split every relation of `base` by `bounds`, reusing `carry(name)`'s
+/// vector where provided. The fresh splits fan out with a forced width
+/// of one worker per relation (the host's core count must not silently
+/// serialize the shard path — that is the regime the forced-shard
+/// oracle tests).
+fn partition_all(
+    base: &Arc<Snapshot>,
+    bounds: &[u32],
+    carry: Option<CarryFn<'_>>,
+) -> BTreeMap<String, ShardParts> {
+    let names: Vec<String> = base
+        .database()
+        .relations()
+        .map(|r| r.name().to_string())
+        .collect();
+    let split: Vec<Option<ShardParts>> = crate::parallel::map_with(names.len(), &names, |name| {
+        if let Some(carried) = carry.and_then(|c| c(name)) {
+            return Some(carried);
+        }
+        let enc = base.encoded(name)?;
+        Some(Arc::new(
+            enc.leading_partition(bounds)
+                .into_iter()
+                .map(Arc::new)
+                .collect(),
+        ))
+    });
+    names
+        .into_iter()
+        .zip(split)
+        .filter_map(|(name, parts)| parts.map(|p| (name, p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    fn base() -> Arc<Snapshot> {
+        Database::new()
+            .with_i64_rows("R", 2, vec![vec![1, 5], vec![1, 2], vec![6, 2], vec![8, 1]])
+            .with_i64_rows("S", 2, vec![vec![5, 3], vec![2, 5]])
+            .freeze()
+    }
+
+    #[test]
+    fn forced_shard_counts_partition_every_row_exactly_once() {
+        let b = base();
+        for n in [1usize, 2, 3, 7] {
+            let sh = ShardedSnapshot::freeze(&b, ShardSpec::Forced(n));
+            assert_eq!(sh.shards(), n);
+            for name in ["R", "S"] {
+                let enc = b.encoded(name).unwrap();
+                let total: usize = (0..n).map(|s| sh.part(name, s).unwrap().len()).sum();
+                assert_eq!(total, enc.len(), "{name} under {n} shards");
+                // Every row of shard s has its leading code in the
+                // shard's range, and concatenating shards in order
+                // reproduces the normalized relation row-for-row.
+                let mut row = 0usize;
+                for s in 0..n {
+                    let (lo, hi) = sh.shard_range(s);
+                    let part = sh.part(name, s).unwrap();
+                    for r in 0..part.len() {
+                        let lead = part.code(r, 0);
+                        assert!(lead >= lo && hi.is_none_or(|h| lead < h));
+                        for p in 0..enc.arity() {
+                            assert_eq!(part.code(r, p), enc.code(row, p));
+                        }
+                        row += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn directory_reports_counts_and_bounds() {
+        let b = base();
+        let sh = ShardedSnapshot::freeze(&b, ShardSpec::Forced(3));
+        let dir = sh.directory();
+        assert_eq!(dir.shards(), 3);
+        assert_eq!(dir.bounds.len(), 2);
+        assert_eq!(dir.rows["R"].iter().sum::<usize>(), 4);
+        assert_eq!(dir.rows["S"].iter().sum::<usize>(), 2);
+        assert_eq!(dir.rows["R"].len(), 3);
+    }
+
+    #[test]
+    fn one_shard_is_the_identity_partition() {
+        let b = base();
+        let sh = ShardedSnapshot::freeze(&b, ShardSpec::Forced(1));
+        assert_eq!(sh.shards(), 1);
+        assert!(sh.bounds().is_empty());
+        assert_eq!(sh.part("R", 0).unwrap().as_ref(), b.encoded("R").unwrap());
+        assert_eq!(sh.shard_range(0), (0, None));
+    }
+
+    #[test]
+    fn clean_relations_share_their_shard_vector_across_delta() {
+        let b = base();
+        let sh = ShardedSnapshot::freeze(&b, ShardSpec::Forced(3));
+        let mut db = b.database().clone();
+        db.insert_into("R", tup![9, 9]); // 9 > domain max: append path
+        let (next, sh2) = sh.freeze_delta(&mut db);
+        assert_eq!(next.generation(), 1);
+        assert!(Arc::ptr_eq(sh2.base(), &next));
+        // S was untouched: the very same per-shard vector Arc.
+        assert!(Arc::ptr_eq(
+            sh.parts_arc("S").unwrap(),
+            sh2.parts_arc("S").unwrap()
+        ));
+        // R was dirtied: a fresh split, totalling the new row count.
+        assert!(!Arc::ptr_eq(
+            sh.parts_arc("R").unwrap(),
+            sh2.parts_arc("R").unwrap()
+        ));
+        let total: usize = (0..3).map(|s| sh2.part("R", s).unwrap().len()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn interior_values_rebase_the_cuts_by_value() {
+        let b = base(); // domain {1, 2, 3, 5, 6, 8}
+        let sh = ShardedSnapshot::freeze(&b, ShardSpec::Forced(2));
+        let cut_value = b.dict().value(sh.bounds()[0]).clone();
+        let mut db = b.database().clone();
+        db.insert_into("S", tup![0, 0]); // below the domain: rebase path
+        let (next, sh2) = sh.freeze_delta(&mut db);
+        // The cut code moved, but it still points at the same value —
+        // no row migrated shards.
+        assert_eq!(next.dict().value(sh2.bounds()[0]), &cut_value);
+        for name in ["R", "S"] {
+            let enc = next.encoded(name).unwrap();
+            let total: usize = (0..2).map(|s| sh2.part(name, s).unwrap().len()).sum();
+            assert_eq!(total, enc.len());
+        }
+    }
+
+    #[test]
+    fn forced_spec_resolves_verbatim_and_clamps_zero() {
+        assert_eq!(ShardSpec::Forced(7).resolve(), 7);
+        assert_eq!(ShardSpec::Forced(0).resolve(), 1);
+        assert!(ShardSpec::Auto.resolve() >= 1);
+    }
+
+    #[test]
+    fn tiny_domains_leave_trailing_shards_empty() {
+        let b = Database::new()
+            .with_i64_rows("R", 1, vec![vec![1], vec![2]])
+            .freeze(); // dict len 2
+        let sh = ShardedSnapshot::freeze(&b, ShardSpec::Forced(7));
+        assert_eq!(sh.shards(), 7);
+        let total: usize = (0..7).map(|s| sh.part("R", s).unwrap().len()).sum();
+        assert_eq!(total, 2);
+        // 7 cuts over a 2-value domain: most shards own nothing.
+        assert!((0..7).any(|s| sh.part("R", s).unwrap().is_empty()));
+    }
+}

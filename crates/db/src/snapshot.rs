@@ -271,6 +271,44 @@ impl Snapshot {
         })
     }
 
+    /// Freeze `db` and range-partition the result into `spec.resolve()`
+    /// shards in one step: the generation-0 entry point of the sharded
+    /// lineage. Returns the base snapshot (identical to what
+    /// [`Database::freeze`] would produce — same uid semantics, same
+    /// encode-once contract) alongside its sharded view. Roll both
+    /// forward with [`crate::ShardedSnapshot::freeze_delta`].
+    pub fn freeze_sharded(
+        db: Database,
+        spec: crate::ShardSpec,
+    ) -> (Arc<Snapshot>, Arc<crate::ShardedSnapshot>) {
+        let base = Snapshot::new(db);
+        let sharded = crate::ShardedSnapshot::freeze(&base, spec);
+        (base, sharded)
+    }
+
+    /// A restricted view of this snapshot: the same database,
+    /// dictionary, generation, **uid**, ancestry and per-relation
+    /// versions, with the listed relations' encodings replaced. The
+    /// zero-cost trick behind per-shard structure builds — a builder
+    /// handed such a view sees only one shard's rows of the overridden
+    /// relations, while everything identity-related (what cursors and
+    /// caches key on) is untouched. Overrides for names this snapshot
+    /// does not hold are ignored.
+    ///
+    /// Not an encoding: [`crate::relation_encode_count`] does not move.
+    pub fn with_encoding_overrides(
+        &self,
+        overrides: BTreeMap<String, Arc<EncodedRelation>>,
+    ) -> Arc<Snapshot> {
+        let mut view = self.clone();
+        for (name, rel) in overrides {
+            if let Some(entry) = view.encoded.get_mut(&name) {
+                entry.rel = rel;
+            }
+        }
+        Arc::new(view)
+    }
+
     /// The value-level database the snapshot was frozen from.
     pub fn database(&self) -> &Database {
         &self.db

@@ -200,9 +200,12 @@ pub mod prelude {
     pub use rda_core::{
         AccessPlan, ArenaLayout, Backend, BuildBudget, BuildError, DirectAccess, Engine, Explain,
         LexDirectAccess, OrderSpec, PlanError, Policy, RankedAnswers, RankedStream,
-        SelectionLexHandle, SelectionSumHandle, SumDirectAccess, Weights, WindowBuf,
+        SelectionLexHandle, SelectionSumHandle, ShardRouting, ShardedLexAccess, SumDirectAccess,
+        Weights, WindowBuf,
     };
-    pub use rda_db::{Database, Relation, Snapshot, Tuple, Value};
+    pub use rda_db::{
+        Database, Relation, ShardDirectory, ShardSpec, ShardedSnapshot, Snapshot, Tuple, Value,
+    };
     pub use rda_orderstat::TotalF64;
     pub use rda_query::classify::{classify, Problem, Reason, Verdict};
     pub use rda_query::parser::parse;

@@ -84,11 +84,10 @@ fn random_db(q: &Cq, rows: usize, domain: i64, seed: u64) -> Database {
 
 /// The oracle order matching `LexDirectAccess`'s internal completion:
 /// compare answers on the structure's full internal order.
-fn oracle_sorted(q: &Cq, db: &Database, order: &[VarId], da: &LexDirectAccess) -> Vec<Tuple> {
+fn oracle_sorted(q: &Cq, db: &Database, order: &[VarId], internal: &[VarId]) -> Vec<Tuple> {
     let _ = order;
     let mut answers = all_answers(q, db);
-    let positions: Vec<usize> = da
-        .internal_order()
+    let positions: Vec<usize> = internal
         .iter()
         .filter_map(|v| q.free().iter().position(|f| f == v))
         .collect();
@@ -100,6 +99,19 @@ fn oracle_sorted(q: &Cq, db: &Database, order: &[VarId], da: &LexDirectAccess) -
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     answers
+}
+
+/// Engine-prepared native lex plans come back as `Lex` normally and as
+/// `ShardedLex` when `RDA_FORCE_SHARDS` shards the engine; both expose
+/// the same inherent API, so run one block against either.
+macro_rules! native_lex {
+    ($plan:expr, $da:ident => $body:block) => {
+        match $plan.answers() {
+            RankedAnswers::Lex($da) => $body,
+            RankedAnswers::ShardedLex($da) => $body,
+            _ => panic!("expected the native lex backend, got {}", $plan.backend()),
+        }
+    };
 }
 
 proptest! {
@@ -114,20 +126,19 @@ proptest! {
             let plan = Engine::new(db.clone().freeze())
                 .prepare(&q, OrderSpec::Lex(lex.clone()), &FdSet::empty(), Policy::Reject)
                 .unwrap();
-            let RankedAnswers::Lex(ref da) = *plan.answers() else {
-                panic!("expected the native lex backend, got {}", plan.backend());
-            };
-            let oracle = oracle_sorted(&q, &db, &lex, da);
-            prop_assert_eq!(da.len(), oracle.len() as u64, "count mismatch on {}", q);
-            // Full equality on the internal order (a strict refinement of
-            // the requested order).
-            let got: Vec<Tuple> = da.iter().collect();
-            prop_assert_eq!(&got, &oracle, "order mismatch on {}", q);
-            // Inverted access round-trips; out-of-bound is rejected.
-            for (k, t) in got.iter().enumerate() {
-                prop_assert_eq!(da.inverted_access(t), Some(k as u64));
-            }
-            prop_assert_eq!(da.access(da.len()), None);
+            native_lex!(plan, da => {
+                let oracle = oracle_sorted(&q, &db, &lex, da.internal_order());
+                prop_assert_eq!(da.len(), oracle.len() as u64, "count mismatch on {}", q);
+                // Full equality on the internal order (a strict refinement
+                // of the requested order).
+                let got: Vec<Tuple> = da.iter().collect();
+                prop_assert_eq!(&got, &oracle, "order mismatch on {}", q);
+                // Inverted access round-trips; out-of-bound is rejected.
+                for (k, t) in got.iter().enumerate() {
+                    prop_assert_eq!(da.inverted_access(t), Some(k as u64));
+                }
+                prop_assert_eq!(da.access(da.len()), None);
+            });
         }
     }
 
