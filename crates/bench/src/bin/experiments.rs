@@ -2,8 +2,8 @@
 //!
 //! Usage: `cargo run --release -p rda_bench --bin experiments [id…]`
 //! where ids are `fig1 fig2 fig45 fig8 t33 t41 t61 t73 t8x t25 scale
-//! access serve window batch update traffic chaos shard`. With no arguments,
-//! all experiments run.
+//! access serve window batch update traffic chaos shard persist`. With
+//! no arguments, all experiments run.
 //! The `access` id additionally writes `BENCH_access.json`
 //! (machine-readable median ns/op for the access hot paths,
 //! old-vs-new), `serve` writes `BENCH_serve.json` (encode-once vs
@@ -24,8 +24,10 @@
 //! isolated recovery-latency, respawn, and shed/degrade probes), and
 //! `shard` writes `BENCH_shard.json` (sharded vs unsharded build
 //! latency, delta re-shard vs full re-partition, and the access-time
-//! overhead of rank routing, across forced shard counts); add
-//! `--smoke` for the small CI-sized variants.
+//! overhead of rank routing, across forced shard counts), and
+//! `persist` writes `BENCH_persist.json` (cold-opening a persisted
+//! snapshot vs re-freezing the database from scratch, plus save cost
+//! and file size); add `--smoke` for the small CI-sized variants.
 
 use rda_bench::stats::{json_num, json_str, median, median_round_ns};
 use rda_bench::workloads;
@@ -3051,6 +3053,127 @@ fn shard_bench(smoke: bool) {
     );
 }
 
+/// E19 — the persistence benchmark behind `BENCH_persist.json`: the
+/// restart economics of `rda_db::persist`. One 8-relation × `rows`
+/// database is frozen once, saved once, and then the two cold-start
+/// strategies race: re-freezing the database from scratch (dictionary
+/// build + 8 encodings) vs `open_snapshot` (mmap + checksum walk,
+/// columns served zero-copy from the file). The asserted invariant is
+/// the ROADMAP's: cold-open beats re-freeze by ≥ 5x. Save cost and
+/// file size are recorded alongside so the write path stays honest.
+fn persist_bench(smoke: bool) {
+    use rda_db::{open_snapshot, relation_encode_count, save_snapshot, Database, Relation, Value};
+
+    let (reps, rows) = if smoke {
+        (3usize, 2_000i64)
+    } else {
+        (5, 20_000)
+    };
+    println!(
+        "== E19 / persistent snapshots: cold-open vs re-freeze ({}) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    // The acceptance workload: 8 binary relations × `rows` rows over
+    // overlapping domains, so all eight share one dictionary.
+    let mut db = Database::new();
+    for r in 0..8i64 {
+        db.add(Relation::from_tuples(
+            format!("R{r}"),
+            2,
+            (0..rows)
+                .map(|i| {
+                    [Value::int((i * 7 + r * 1_001) % (rows * 2)), Value::int(i)]
+                        .into_iter()
+                        .collect()
+                })
+                .collect(),
+        ));
+    }
+    let snap = db.clone().freeze();
+    let dir = std::env::temp_dir().join(format!("rda-bench-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    let path = dir.join("base.rdas");
+
+    let save_ns = median(
+        (0..reps)
+            .map(|_| {
+                let (n, d) = timed(|| save_snapshot(&snap, &path).expect("save_snapshot"));
+                std::hint::black_box(n);
+                d.as_nanos() as f64
+            })
+            .collect(),
+    );
+    let file_bytes = std::fs::metadata(&path).expect("stat snapshot file").len();
+
+    // Restart strategy A: pay the preprocessing phase again.
+    let refreeze_ns = median(
+        (0..reps)
+            .map(|_| {
+                let (s, d) = timed(|| db.clone().freeze());
+                std::hint::black_box(&s);
+                d.as_nanos() as f64
+            })
+            .collect(),
+    );
+    // Restart strategy B: open the file.
+    let open_ns = median(
+        (0..reps)
+            .map(|_| {
+                let (s, d) = timed(|| open_snapshot(&path).expect("open_snapshot"));
+                std::hint::black_box(&s);
+                d.as_nanos() as f64
+            })
+            .collect(),
+    );
+
+    // The open must be zero-copy (no re-encoding) and content-exact.
+    let before = relation_encode_count();
+    let cold = open_snapshot(&path).expect("open_snapshot");
+    assert_eq!(relation_encode_count(), before, "cold open re-encoded");
+    assert_eq!(cold.dict().len(), snap.dict().len());
+    assert_eq!(cold.relation_count(), snap.relation_count());
+    assert_eq!(cold.uid(), snap.uid());
+
+    let speedup = refreeze_ns / open_ns;
+    // The acceptance bar is >= 5x on the full workload; the smoke run
+    // is tiny (constant costs loom large, CI timers are noisy), so it
+    // asserts a looser regression bound rather than the full-size bar.
+    let floor = if smoke { 2.0 } else { 5.0 };
+    assert!(
+        speedup >= floor,
+        "cold-open must beat re-freeze >= {floor}x, got {speedup:.2}x \
+         (re-freeze {refreeze_ns:.0} ns, open {open_ns:.0} ns)"
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"bench_persist/v1\",\n  \"command\": \"cargo run --release -p rda_bench --bin experiments -- persist{}\",\n  \"mode\": {},\n  \"rounds\": {},\n  \"relations\": 8,\n  \"rows_per_relation\": {},\n  \"dict_len\": {},\n  \"host_parallelism\": {},\n  \"file_bytes\": {},\n  \"save_ns\": {},\n  \"refreeze_ns\": {},\n  \"cold_open_ns\": {},\n  \"cold_open_speedup\": {}\n}}\n",
+        if smoke { " --smoke" } else { "" },
+        json_str(if smoke { "smoke" } else { "full" }),
+        reps,
+        rows,
+        snap.dict().len(),
+        host_parallelism(),
+        file_bytes,
+        json_num(save_ns),
+        json_num(refreeze_ns),
+        json_num(open_ns),
+        json_num(speedup),
+    );
+    std::fs::write("BENCH_persist.json", &json).expect("write BENCH_persist.json");
+    println!(
+        "re-freeze {:.1} ms, save {:.1} ms, cold-open {:.2} ms ({:.1}x faster than re-freeze), {} bytes on disk (host_parallelism {})\nwrote BENCH_persist.json\n",
+        refreeze_ns / 1e6,
+        save_ns / 1e6,
+        open_ns / 1e6,
+        speedup,
+        file_bytes,
+        host_parallelism(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -3067,6 +3190,7 @@ fn main() {
         traffic_bench(true);
         chaos_bench(true);
         shard_bench(true);
+        persist_bench(true);
         return;
     }
     let all = args.is_empty();
@@ -3127,5 +3251,8 @@ fn main() {
     }
     if want("shard") {
         shard_bench(smoke);
+    }
+    if want("persist") {
+        persist_bench(smoke);
     }
 }

@@ -59,7 +59,7 @@ use crate::plan::{
 use crate::weights::Weights;
 use crate::{LexDirectAccess, SumDirectAccess};
 use rda_baseline::{MaterializedAccess, RankedEnumerator};
-use rda_db::{Database, ShardSpec, ShardedSnapshot, Snapshot};
+use rda_db::{Database, ShardConfigError, ShardSpec, ShardedSnapshot, Snapshot, SnapshotStore};
 use rda_query::classify::{classify, Problem, Verdict};
 use rda_query::fd::FdSet;
 use rda_query::query::Cq;
@@ -418,6 +418,47 @@ fn relock<T>(r: Result<T, PoisonError<T>>) -> T {
     r.unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Why [`Engine::open`] could not cold-start from a persisted
+/// snapshot store.
+#[derive(Debug)]
+pub enum OpenError {
+    /// The store could not be opened, verified, or replayed.
+    Persist(rda_db::PersistError),
+    /// `RDA_FORCE_SHARDS` is set to something that cannot be honored
+    /// (non-numeric or zero).
+    ShardConfig(ShardConfigError),
+}
+
+impl fmt::Display for OpenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpenError::Persist(e) => write!(f, "cannot open persisted snapshot: {e}"),
+            OpenError::ShardConfig(e) => write!(f, "cannot honor shard configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OpenError::Persist(e) => Some(e),
+            OpenError::ShardConfig(e) => Some(e),
+        }
+    }
+}
+
+impl From<rda_db::PersistError> for OpenError {
+    fn from(e: rda_db::PersistError) -> Self {
+        OpenError::Persist(e)
+    }
+}
+
+impl From<ShardConfigError> for OpenError {
+    fn from(e: ShardConfigError) -> Self {
+        OpenError::ShardConfig(e)
+    }
+}
+
 impl fmt::Debug for Engine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let snap = self.snapshot();
@@ -448,6 +489,31 @@ impl Engine {
     pub fn with_plan_cache_capacity(snapshot: Arc<Snapshot>, capacity: usize) -> Self {
         let sharded = ShardSpec::from_env().map(|spec| ShardedSnapshot::freeze(&snapshot, spec));
         Self::assemble(snapshot, sharded, capacity)
+    }
+
+    /// Cold-start an engine from a persisted snapshot store directory
+    /// (see [`rda_db::SnapshotStore`]): open the base file zero-copy,
+    /// replay its delta chain to the newest generation, and serve the
+    /// result — no relation is re-encoded, and the restored snapshot
+    /// keeps its original uid and lineage, so cursor tokens issued
+    /// before the restart resume cleanly against this engine when their
+    /// dependencies are unchanged.
+    ///
+    /// Unlike the infallible constructors, a *misconfigured*
+    /// `RDA_FORCE_SHARDS` is reported here as a typed
+    /// [`OpenError::ShardConfig`] instead of being ignored — a cold
+    /// open is the deliberate configuration moment, so a setting that
+    /// cannot be honored should fail loudly rather than silently serve
+    /// unsharded.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Self, OpenError> {
+        let spec = ShardSpec::from_env_checked()?;
+        let snapshot = SnapshotStore::open(dir)?.load()?;
+        let sharded = spec.map(|s| ShardedSnapshot::freeze(&snapshot, s));
+        Ok(Self::assemble(
+            snapshot,
+            sharded,
+            Self::DEFAULT_PLAN_CACHE_CAPACITY,
+        ))
     }
 
     /// An engine serving `snapshot` through a sharded view with exactly

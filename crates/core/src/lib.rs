@@ -84,7 +84,9 @@ pub mod window;
 
 pub use budget::{BudgetMeter, BuildBudget};
 pub use decompose::{lex_direct_access_decomposed, rewrite_by_decomposition};
-pub use engine::{canonical_request_key, plan_dependencies, Engine, OrderSpec, PlanError, Policy};
+pub use engine::{
+    canonical_request_key, plan_dependencies, Engine, OpenError, OrderSpec, PlanError, Policy,
+};
 pub use error::BuildError;
 pub use fault::{FaultAction, FaultGuard, FaultPlan, InjectedFault};
 pub use lexda::{ArenaLayout, LexDirectAccess, LexRangeIter};

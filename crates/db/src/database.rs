@@ -188,6 +188,20 @@ impl Database {
         removed
     }
 
+    /// A relation's storage `Arc` — for [`crate::persist`]'s delta
+    /// replay, which carries a clean relation's value-level storage from
+    /// the parent snapshot without copying tuples.
+    pub(crate) fn relation_arc(&self, name: &str) -> Option<&std::sync::Arc<Relation>> {
+        self.relations.get(name)
+    }
+
+    /// Insert a relation sharing `rel`'s existing storage (no tuple
+    /// copy, no dirty mark) — the [`crate::persist`] replay counterpart
+    /// of [`Database::add`]. Callers re-baseline the log themselves.
+    pub(crate) fn insert_arc(&mut self, name: String, rel: std::sync::Arc<Relation>) {
+        self.relations.insert(name, rel);
+    }
+
     /// The mutations recorded since the last freeze.
     pub fn mutation_log(&self) -> &MutationLog {
         &self.log

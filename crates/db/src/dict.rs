@@ -66,6 +66,23 @@ impl Dictionary {
         Dictionary { values, codes }
     }
 
+    /// Rebuild a dictionary from values already sorted ascending and
+    /// distinct — the [`crate::persist`] open path, which validates the
+    /// order before calling (skipping the O(m log m) re-sort).
+    pub(crate) fn from_sorted(values: Vec<Value>) -> Self {
+        debug_assert!(values.windows(2).all(|w| w[0] < w[1]));
+        assert!(
+            values.len() <= u32::MAX as usize,
+            "active domain exceeds the u32 code space"
+        );
+        let codes = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
+        Dictionary { values, codes }
+    }
+
     /// Intern every value appearing in `rels`.
     pub fn from_relations<'a>(rels: impl IntoIterator<Item = &'a crate::Relation>) -> Self {
         Self::from_values(

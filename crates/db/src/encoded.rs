@@ -11,9 +11,11 @@
 //! representation.
 
 use crate::dict::Dictionary;
+use crate::persist::MappedSlice;
 use crate::relation::Relation;
 use crate::tuple::Tuple;
 use std::cmp::Ordering;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// Process-wide count of [`EncodedRelation::encode`] calls.
@@ -30,15 +32,87 @@ pub fn relation_encode_count() -> u64 {
     ENCODE_CALLS.load(AtomicOrdering::Relaxed)
 }
 
+/// One encoded column: a run of `u32` codes, either owned by this
+/// process or a **zero-copy view** into a persisted snapshot's mapped
+/// bytes (see [`crate::persist`]). Reading is uniform through `Deref`;
+/// the first mutation of a mapped column copies it out of the map
+/// ([`Column::make_mut`]) — snapshot columns are immutable after
+/// normalization, so in practice mapped columns are never copied by
+/// the serving paths.
+#[derive(Clone)]
+enum Column {
+    /// Codes owned in process memory.
+    Owned(Vec<u32>),
+    /// Codes read in place from a mapped snapshot file.
+    Mapped(MappedSlice),
+}
+
+impl Column {
+    /// Mutable access, copying a mapped column into owned memory first.
+    fn make_mut(&mut self) -> &mut Vec<u32> {
+        if let Column::Mapped(m) = self {
+            *self = Column::Owned(m.as_slice().to_vec());
+        }
+        match self {
+            Column::Owned(v) => v,
+            Column::Mapped(_) => unreachable!("just converted to owned"),
+        }
+    }
+
+    /// The sub-column `lo..hi`: a copy for owned columns, a narrowed
+    /// view (no copy at all) for mapped ones.
+    fn slice(&self, lo: usize, hi: usize) -> Column {
+        match self {
+            Column::Owned(v) => Column::Owned(v[lo..hi].to_vec()),
+            Column::Mapped(m) => Column::Mapped(m.slice(lo, hi)),
+        }
+    }
+}
+
+impl Deref for Column {
+    type Target = [u32];
+    fn deref(&self) -> &[u32] {
+        match self {
+            Column::Owned(v) => v,
+            Column::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
+impl From<Vec<u32>> for Column {
+    fn from(v: Vec<u32>) -> Column {
+        Column::Owned(v)
+    }
+}
+
+impl std::fmt::Debug for Column {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Column::Owned(v) => write!(f, "Owned({v:?})"),
+            Column::Mapped(m) => write!(f, "Mapped({:?})", m.as_slice()),
+        }
+    }
+}
+
+impl PartialEq for Column {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Column {}
+
 /// A dictionary-encoded relation in columnar (struct-of-arrays) layout.
 ///
 /// Row `r`'s attribute `p` lives at `col(p)[r]`. Operations mirror the
 /// [`Relation`] operators the preprocessing phases use, restricted to
-/// what the builders need; all are linear or quasilinear.
+/// what the builders need; all are linear or quasilinear. Equality is
+/// by content — an owned relation and a mapped view of the same rows
+/// compare equal.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EncodedRelation {
     rows: usize,
-    cols: Vec<Vec<u32>>,
+    cols: Vec<Column>,
 }
 
 impl EncodedRelation {
@@ -59,7 +133,7 @@ impl EncodedRelation {
         }
         EncodedRelation {
             rows: rel.len(),
-            cols,
+            cols: cols.into_iter().map(Column::from).collect(),
         }
     }
 
@@ -67,7 +141,31 @@ impl EncodedRelation {
     pub fn new(arity: usize) -> Self {
         EncodedRelation {
             rows: 0,
-            cols: (0..arity).map(|_| Vec::new()).collect(),
+            cols: (0..arity).map(|_| Column::from(Vec::new())).collect(),
+        }
+    }
+
+    /// Assemble a relation over already-encoded columns — the zero-copy
+    /// open path of [`crate::persist`]. Not an encoding:
+    /// [`relation_encode_count`] does not move.
+    pub(crate) fn from_mapped_columns(rows: usize, cols: Vec<MappedSlice>) -> Self {
+        debug_assert!(cols.iter().all(|c| c.as_slice().len() == rows));
+        EncodedRelation {
+            rows,
+            cols: cols.into_iter().map(Column::Mapped).collect(),
+        }
+    }
+
+    /// Assemble a relation over already-encoded owned columns — the
+    /// materializing open path of [`crate::persist`] (big-endian hosts,
+    /// where the file's little-endian cells cannot be viewed in place).
+    /// Not an encoding: [`relation_encode_count`] does not move.
+    #[cfg_attr(target_endian = "little", allow(dead_code))]
+    pub(crate) fn from_owned_columns(rows: usize, cols: Vec<Vec<u32>>) -> Self {
+        debug_assert!(cols.iter().all(|c| c.len() == rows));
+        EncodedRelation {
+            rows,
+            cols: cols.into_iter().map(Column::Owned).collect(),
         }
     }
 
@@ -103,7 +201,7 @@ impl EncodedRelation {
     pub fn push_row(&mut self, codes: &[u32]) {
         assert_eq!(codes.len(), self.arity(), "arity mismatch");
         for (c, &v) in self.cols.iter_mut().zip(codes) {
-            c.push(v);
+            c.make_mut().push(v);
         }
         self.rows += 1;
     }
@@ -139,7 +237,7 @@ impl EncodedRelation {
     fn apply_permutation(&mut self, perm: &[u32]) {
         for c in self.cols.iter_mut() {
             let reordered: Vec<u32> = perm.iter().map(|&old| c[old as usize]).collect();
-            *c = reordered;
+            *c = Column::from(reordered);
         }
         self.rows = perm.len();
     }
@@ -247,13 +345,14 @@ impl EncodedRelation {
             cols: self
                 .cols
                 .iter()
-                .map(|c| c.iter().map(|&x| remap[x as usize]).collect())
+                .map(|c| Column::from(c.iter().map(|&x| remap[x as usize]).collect::<Vec<u32>>()))
                 .collect(),
         }
     }
 
-    /// Copy rows `lo..hi` into a fresh relation (same arity). A pure
-    /// columnar copy: no value is hashed or compared and
+    /// Rows `lo..hi` as a fresh relation (same arity). A pure columnar
+    /// copy for owned columns — and a **zero-copy narrowed view** for
+    /// mapped ones; either way no value is hashed or compared and
     /// [`relation_encode_count`] does not move.
     ///
     /// # Panics
@@ -265,7 +364,7 @@ impl EncodedRelation {
         );
         EncodedRelation {
             rows: hi - lo,
-            cols: self.cols.iter().map(|c| c[lo..hi].to_vec()).collect(),
+            cols: self.cols.iter().map(|c| c.slice(lo, hi)).collect(),
         }
     }
 

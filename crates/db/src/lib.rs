@@ -17,6 +17,7 @@ pub mod database;
 pub mod dict;
 pub mod encoded;
 pub mod parallel;
+pub mod persist;
 pub mod relation;
 pub mod shard;
 pub mod snapshot;
@@ -26,8 +27,11 @@ pub mod value;
 pub use database::{Database, MutationLog, RelationDelta};
 pub use dict::{DictDelta, Dictionary};
 pub use encoded::{relation_encode_count, EncodedRelation};
+pub use persist::{
+    open_delta, open_snapshot, save_delta, save_snapshot, PersistError, SnapshotStore,
+};
 pub use relation::Relation;
-pub use shard::{ShardDirectory, ShardSpec, ShardedSnapshot};
+pub use shard::{ShardConfigError, ShardDirectory, ShardSpec, ShardedSnapshot};
 pub use snapshot::Snapshot;
 pub use tuple::Tuple;
 pub use value::Value;

@@ -41,17 +41,59 @@ pub enum ShardSpec {
     Forced(usize),
 }
 
+/// Why a `RDA_FORCE_SHARDS` setting could not be honored. A
+/// misconfigured variable is never a panic and never a silent shard
+/// count of zero: strict callers ([`ShardSpec::from_env_checked`])
+/// receive this typed error, lenient ones ([`ShardSpec::from_env`])
+/// documentedly ignore the setting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardConfigError {
+    /// The variable is set but does not parse as an unsigned integer.
+    NotANumber(String),
+    /// The variable parses to zero — no shard could own any row.
+    Zero,
+}
+
+impl std::fmt::Display for ShardConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardConfigError::NotANumber(s) => {
+                write!(f, "RDA_FORCE_SHARDS={s:?} is not an unsigned integer")
+            }
+            ShardConfigError::Zero => write!(f, "RDA_FORCE_SHARDS=0: shard count must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for ShardConfigError {}
+
 impl ShardSpec {
     /// The spec requested through the `RDA_FORCE_SHARDS` environment
     /// variable, when set to a positive integer: the hook that lets an
     /// entire existing test suite re-run sharded without touching a
     /// line of it.
+    ///
+    /// Lenient: an unset variable and a misconfigured one both yield
+    /// `None` (the engine falls back to its unsharded path). Use
+    /// [`ShardSpec::from_env_checked`] to distinguish them.
     pub fn from_env() -> Option<ShardSpec> {
-        std::env::var("RDA_FORCE_SHARDS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .map(ShardSpec::Forced)
+        Self::from_env_checked().ok().flatten()
+    }
+
+    /// The strict form of [`ShardSpec::from_env`]: `Ok(None)` when the
+    /// variable is unset, `Ok(Some(spec))` when it names a positive
+    /// shard count, and a typed [`ShardConfigError`] when it is set but
+    /// non-numeric or zero — never a panic, never a forced count of 0.
+    pub fn from_env_checked() -> Result<Option<ShardSpec>, ShardConfigError> {
+        let Ok(raw) = std::env::var("RDA_FORCE_SHARDS") else {
+            return Ok(None);
+        };
+        let trimmed = raw.trim();
+        match trimmed.parse::<usize>() {
+            Ok(0) => Err(ShardConfigError::Zero),
+            Ok(n) => Ok(Some(ShardSpec::Forced(n))),
+            Err(_) => Err(ShardConfigError::NotANumber(trimmed.to_string())),
+        }
     }
 
     /// The concrete shard count this spec resolves to on this host.
@@ -117,7 +159,7 @@ impl ShardedSnapshot {
         let n = spec.resolve();
         let dict_len = base.dict().len() as u64;
         let bounds: Vec<u32> = (1..n as u64)
-            .map(|i| (dict_len * i / n as u64) as u32)
+            .map(|i| shard_cut(dict_len, i, n as u64))
             .collect();
         Arc::new(ShardedSnapshot {
             base: Arc::clone(base),
@@ -235,6 +277,20 @@ impl ShardedSnapshot {
                 .collect(),
         }
     }
+}
+
+/// One interior shard cut: `⌊dict_len · i / n⌋` for `0 < i < n`.
+///
+/// Computed in u128: the straightforward `dict_len * i` overflows u64
+/// once the dictionary nears the full u32 code domain and the shard
+/// count is large (`dict_len ≈ 2³², i ≥ 2³²`), and the old `as u32`
+/// cast then silently truncated the garbage. The narrowing back to the
+/// code space is checked — it cannot fail, since the cut is strictly
+/// below `dict_len ≤ u32::MAX + 1`.
+fn shard_cut(dict_len: u64, i: u64, n: u64) -> u32 {
+    debug_assert!(0 < i && i < n, "interior cut index {i} of {n}");
+    let cut = u128::from(dict_len) * u128::from(i) / u128::from(n);
+    u32::try_from(cut).expect("cut < dict_len, which fits the u32 code space")
 }
 
 /// Split every relation of `base` by `bounds`, reusing `carry(name)`'s
@@ -374,6 +430,30 @@ mod tests {
             let total: usize = (0..2).map(|s| sh2.part(name, s).unwrap().len()).sum();
             assert_eq!(total, enc.len());
         }
+    }
+
+    #[test]
+    fn shard_cuts_survive_the_full_u32_code_domain() {
+        // The largest dictionary the code space admits...
+        let dict_len = u32::MAX as u64;
+        // ...under a shard count big enough that `dict_len * i` used to
+        // overflow u64 for the upper cuts (i ≥ 2³²) and come back
+        // silently truncated.
+        let n = 1u64 << 33;
+        assert_eq!(shard_cut(dict_len, 1, n), 0);
+        assert_eq!(shard_cut(dict_len, n / 2, n), u32::MAX / 2);
+        assert_eq!(shard_cut(dict_len, n - 1, n), u32::MAX - 1);
+        // Cuts stay monotone through the formerly-overflowing region
+        // and strictly inside the code space.
+        let mut prev = 0u32;
+        for i in (1..n).step_by((n / 64) as usize) {
+            let cut = shard_cut(dict_len, i, n);
+            assert!(cut >= prev, "cuts must be non-decreasing");
+            assert!((cut as u64) < dict_len, "cuts stay below dict_len");
+            prev = cut;
+        }
+        // Small-count sanity at the same extreme domain.
+        assert_eq!(shard_cut(dict_len, 1, 2), u32::MAX / 2);
     }
 
     #[test]

@@ -375,6 +375,60 @@ impl Snapshot {
         self.uid == uid || self.ancestry.binary_search(&uid).is_ok()
     }
 
+    /// The uids of every remembered ancestor, base freeze first
+    /// (ascending — uids are assigned in chain order).
+    pub fn ancestry(&self) -> &[u64] {
+        &self.ancestry
+    }
+
+    /// The ancestry a child of this snapshot records: this snapshot's
+    /// ancestry plus its own uid, trimmed to the bounded window — the
+    /// exact lineage arithmetic of [`Snapshot::freeze_delta`], shared
+    /// with [`crate::persist`]'s delta replay.
+    pub(crate) fn child_ancestry(&self) -> Vec<u64> {
+        let mut ancestry = (*self.ancestry).clone();
+        ancestry.push(self.uid);
+        if ancestry.len() > MAX_ANCESTRY {
+            let excess = ancestry.len() - MAX_ANCESTRY;
+            ancestry.drain(..excess);
+        }
+        ancestry
+    }
+
+    /// Ensure freshly assigned uids land strictly above `uid` — called
+    /// by [`crate::persist`] when a persisted snapshot re-enters the
+    /// process with its original identity, so no future freeze can
+    /// collide with a restored uid.
+    pub(crate) fn claim_uid(uid: u64) {
+        NEXT_UID.fetch_max(uid.saturating_add(1), Ordering::Relaxed);
+    }
+
+    /// Reassemble a snapshot from persisted parts, identity included —
+    /// the [`crate::persist`] open path. Not an encoding: the encoded
+    /// relations are taken as-is and
+    /// [`crate::relation_encode_count`] does not move. Callers must
+    /// [`Snapshot::claim_uid`] the restored uid first.
+    pub(crate) fn assemble(
+        db: Database,
+        dict: Arc<Dictionary>,
+        encoded: BTreeMap<String, (Arc<EncodedRelation>, u64)>,
+        generation: u64,
+        uid: u64,
+        ancestry: Vec<u64>,
+    ) -> Arc<Snapshot> {
+        Arc::new(Snapshot {
+            db,
+            dict,
+            encoded: encoded
+                .into_iter()
+                .map(|(name, (rel, version))| (name, EncodedEntry { rel, version }))
+                .collect(),
+            generation,
+            uid,
+            ancestry: Arc::new(ancestry),
+        })
+    }
+
     /// Total number of tuples (the paper's `n`).
     pub fn size(&self) -> usize {
         self.db.size()

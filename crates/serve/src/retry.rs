@@ -118,11 +118,24 @@ impl RetryState {
     /// The next decorrelated-jitter delay:
     /// `min(cap, uniform(base, prev·3))`.
     pub(crate) fn backoff(&mut self) -> Duration {
-        let base = self.policy.base_backoff.as_nanos() as u64;
-        let hi = (self.prev_delay.as_nanos() as u64)
-            .saturating_mul(3)
-            .max(base + 1);
-        let picked = Duration::from_nanos(self.rng.random_range(base..hi));
+        // All arithmetic in u128 nanoseconds, clamped to the configured
+        // ceiling *before* sampling. The previous version did
+        // `as_nanos() as u64` (silently truncating large durations) and
+        // `base + 1` / `prev · 3` in u64 — once the delay grows toward
+        // the top of the u64 range at high attempt counts, that
+        // arithmetic overflows: a panic in debug, a wrapped (possibly
+        // empty, panicking) sample range in release.
+        let cap = self.policy.max_backoff.as_nanos();
+        let base = self.policy.base_backoff.as_nanos().min(cap);
+        let prev = self.prev_delay.as_nanos().min(cap);
+        // prev ≤ cap ≤ Duration::MAX.as_nanos() < 2^94, so the u128
+        // product cannot overflow.
+        let hi = (prev * 3).clamp(base, cap);
+        // `Duration::from_nanos` takes u64, so delays past ~584 years
+        // pin there — still within the configured ceiling's intent.
+        let lo64 = u64::try_from(base).unwrap_or(u64::MAX);
+        let hi64 = u64::try_from(hi).unwrap_or(u64::MAX).max(lo64);
+        let picked = Duration::from_nanos(self.rng.random_range(lo64..=hi64));
         self.prev_delay = picked.min(self.policy.max_backoff);
         self.prev_delay
     }
@@ -184,6 +197,54 @@ mod tests {
         let mut c = RetryState::new(RetryPolicy { seed: 8, ..policy });
         let same = (0..32).filter(|_| a.backoff() == c.backoff()).count();
         assert!(same < 32, "different seeds diverge");
+    }
+
+    #[test]
+    fn backoff_saturates_at_extreme_durations_without_overflow() {
+        // base == cap == Duration::MAX: as_nanos() exceeds u64, and the
+        // old `base + 1` overflowed before any sample was drawn.
+        let mut st = RetryState::new(RetryPolicy {
+            base_backoff: Duration::MAX,
+            max_backoff: Duration::MAX,
+            ..RetryPolicy::default()
+        });
+        for _ in 0..8 {
+            // Pinned at the largest representable nanosecond delay.
+            assert_eq!(st.backoff(), Duration::from_nanos(u64::MAX));
+        }
+        // The exact u64-boundary base the old arithmetic overflowed on.
+        let mut st = RetryState::new(RetryPolicy {
+            base_backoff: Duration::from_nanos(u64::MAX),
+            max_backoff: Duration::from_nanos(u64::MAX),
+            ..RetryPolicy::default()
+        });
+        assert_eq!(st.backoff(), Duration::from_nanos(u64::MAX));
+        // A base above the cap clamps to the cap instead of sampling an
+        // inverted range.
+        let mut st = RetryState::new(RetryPolicy {
+            base_backoff: Duration::from_secs(10),
+            max_backoff: Duration::from_secs(1),
+            ..RetryPolicy::default()
+        });
+        assert_eq!(st.backoff(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn backoff_stays_inside_the_ceiling_at_high_attempt_counts() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            seed: 3,
+            ..RetryPolicy::default()
+        };
+        let mut st = RetryState::new(policy.clone());
+        for attempt in 0..10_000u32 {
+            let d = st.backoff();
+            assert!(
+                d >= policy.base_backoff && d <= policy.max_backoff,
+                "attempt {attempt}: {d:?} escaped [base, cap]"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Cursor tokens survive a process restart.
+//!
+//! The persistence layer's serving claim: because a cold-opened
+//! snapshot keeps its original uid, generation, and ancestry,
+//! a token minted *before* the restart still satisfies the cursor
+//! contract *after* `Engine::open` — it resumes (clean dependencies)
+//! or fails typed (dirty dependency), exactly as it would have against
+//! the engine that issued it. Restart is invisible at the cursor layer.
+
+use rda_core::{Engine, OrderSpec, Policy};
+use rda_db::{Database, SnapshotStore, Tuple, Value};
+use rda_query::parser::parse;
+use rda_query::FdSet;
+use rda_serve::{ServeError, Server, StaleReason};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tup(a: i64, b: i64) -> Tuple {
+    [Value::int(a), Value::int(b)].into_iter().collect()
+}
+
+/// Join deps `R`, `S`; `U` is the clean-generation lever.
+fn seed_db() -> Database {
+    Database::new()
+        .with_i64_rows("R", 2, (0..24i64).map(|i| vec![i % 9, i % 5]))
+        .with_i64_rows("S", 2, (0..24i64).map(|i| vec![i % 5, (i * 3) % 8]))
+        .with_i64_rows("U", 2, vec![vec![0, 0]])
+}
+
+fn scratch_dir(label: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("rda-restart-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+#[test]
+fn cursor_tokens_survive_a_cold_restart() {
+    let dir = scratch_dir("tokens");
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let order = || OrderSpec::lex(&q, &["x", "y", "z"]);
+    let fds = FdSet::empty();
+
+    // ---- Before the restart: issue a token, persist the chain. ----
+    let mut db = seed_db();
+    let engine = Arc::new(Engine::new(db.clone().freeze()));
+    db.clear_mutation_log();
+    let store = SnapshotStore::create(&dir, &engine.snapshot()).unwrap();
+
+    let server = Server::with_defaults(Arc::clone(&engine));
+    let mut session = server.session();
+    let prepared = session.prepare(&q, order(), &fds, Policy::Reject).unwrap();
+    assert!(prepared.len > 10, "the join must be non-trivial");
+    session.page(&prepared.token, 2, 5).unwrap();
+    let page_before: Vec<Tuple> = session.rows().to_tuples();
+
+    // One clean generation (only `U` dirtied), persisted as a delta.
+    let parent = engine.snapshot();
+    db.insert_into("U", tup(1, 1));
+    let child = engine.advance_delta(&mut db);
+    store.append_delta(&parent, &child).unwrap();
+    drop(store);
+    drop(session);
+    drop(server);
+
+    // ---- The restart: a brand-new engine, cold from the files. ----
+    let reopened = Engine::open(&dir).unwrap();
+    assert_eq!(reopened.snapshot().uid(), child.uid(), "same identity");
+    assert_eq!(reopened.snapshot().generation(), 1);
+    let engine2 = Arc::new(reopened);
+    let server2 = Server::with_defaults(Arc::clone(&engine2));
+    let mut session2 = server2.session();
+
+    // Re-registering the query (any client's first prepare) restores
+    // the request registry; the *old* token then pages normally.
+    let prepared2 = session2.prepare(&q, order(), &fds, Policy::Reject).unwrap();
+    assert_eq!(prepared2.len, prepared.len, "same answers after restart");
+
+    let out = session2.page(&prepared.token, 2, 5).unwrap();
+    assert!(out.resumed, "a pre-restart gen-0 token resumes on gen 1");
+    assert_eq!(out.generation, 1);
+    assert_eq!(
+        session2.rows().to_tuples(),
+        page_before,
+        "the resumed page is byte-identical to the pre-restart page"
+    );
+
+    // Scattered batches through the old token agree with the fresh one.
+    let ranks: Vec<u64> = vec![prepared.len - 1, 0, 3, 3, prepared.len + 9];
+    session2.page_batch(&prepared.token, &ranks).unwrap();
+    let via_old = session2.rows().to_tuples();
+    session2.page_batch(&prepared2.token, &ranks).unwrap();
+    assert_eq!(via_old, session2.rows().to_tuples());
+
+    // Dirtying a real dependency *after* the restart makes the
+    // pre-restart token fail typed — staleness checks still see the
+    // whole lineage.
+    db.insert_into("R", tup(100, 100));
+    engine2.advance_delta(&mut db);
+    match session2.page(&prepared.token, 0, 3) {
+        Err(ServeError::CursorStale(StaleReason::DirtyDependency {
+            relation,
+            cursor_version,
+            ..
+        })) => {
+            assert_eq!(relation, "R");
+            assert_eq!(cursor_version, 0);
+        }
+        other => panic!("expected DirtyDependency, got {other:?}"),
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

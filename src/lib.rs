@@ -176,11 +176,44 @@
 //! freeze-internally `build` conveniences), plus the classification
 //! procedures in [`mod@rda_query::classify`].
 //!
+//! ## Cold starts: persistent snapshots
+//!
+//! Generations can outlive the process. A
+//! [`SnapshotStore`](prelude::SnapshotStore) persists the frozen base
+//! plus one small file per delta, and
+//! [`Engine::open`](prelude::Engine::open) cold-starts a serving
+//! engine from the directory — zero-copy (the files are mmapped; no
+//! value is re-interned, no relation re-encoded), with every damage
+//! mode surfacing as a typed
+//! [`PersistError`](prelude::PersistError) rather than a panic. The
+//! restored snapshot keeps its uid, ancestry, and per-relation
+//! versions, so cursor tokens minted before a restart resume after it.
+//!
+//! ```
+//! use ranked_access::prelude::*;
+//!
+//! let mut db = Database::new().with_i64_rows("R", 2, vec![vec![1, 2]]);
+//! let base = db.clone().freeze();                      // generation 0
+//! db.clear_mutation_log();
+//!
+//! let dir = std::env::temp_dir().join(format!("rda-doc-store-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let store = SnapshotStore::create(&dir, &base).unwrap();
+//!
+//! db.insert_into("R", [Value::int(3), Value::int(4)].into_iter().collect());
+//! store.freeze_delta(&base, &mut db).unwrap();         // freeze + append delta
+//!
+//! // ... process restarts ...
+//! let engine = Engine::open(&dir).unwrap();            // mmap + replay
+//! assert_eq!(engine.snapshot().generation(), 1);
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+//!
 //! ## Crate map
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`rda_db`] | values, tuples, relations, databases, frozen dictionary-encoded snapshots |
+//! | [`rda_db`] | values, tuples, relations, databases, frozen dictionary-encoded snapshots, the checksummed on-disk snapshot format |
 //! | [`rda_query`] | CQ AST/parser, hypergraphs, join trees, connexity, disruptive trios, layered join trees, contraction, FDs, classification |
 //! | [`rda_orderstat`] | quickselect, weighted selection, sorted-matrix selection |
 //! | [`rda_core`] | the `Engine`/`AccessPlan` serving core plus the paper's access/selection algorithms |
@@ -199,12 +232,13 @@ pub mod prelude {
     pub use rda_baseline::{all_answers, ranked_prefix, MaterializedAccess, RankedEnumerator};
     pub use rda_core::{
         AccessPlan, ArenaLayout, Backend, BuildBudget, BuildError, DirectAccess, Engine, Explain,
-        LexDirectAccess, OrderSpec, PlanError, Policy, RankedAnswers, RankedStream,
+        LexDirectAccess, OpenError, OrderSpec, PlanError, Policy, RankedAnswers, RankedStream,
         SelectionLexHandle, SelectionSumHandle, ShardRouting, ShardedLexAccess, SumDirectAccess,
         Weights, WindowBuf,
     };
     pub use rda_db::{
-        Database, Relation, ShardDirectory, ShardSpec, ShardedSnapshot, Snapshot, Tuple, Value,
+        Database, PersistError, Relation, ShardConfigError, ShardDirectory, ShardSpec,
+        ShardedSnapshot, Snapshot, SnapshotStore, Tuple, Value,
     };
     pub use rda_orderstat::TotalF64;
     pub use rda_query::classify::{classify, Problem, Reason, Verdict};

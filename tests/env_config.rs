@@ -1,0 +1,162 @@
+//! `RDA_FORCE_SHARDS` parsing, end to end. Misconfiguration must be a
+//! *typed* outcome — never a panic, never a silent shard count of 0:
+//!
+//! * [`ShardSpec::from_env_checked`] is the strict reading: unset is
+//!   `Ok(None)`, a positive integer is `Ok(Some(Forced(n)))`, and
+//!   garbage or zero is a [`ShardConfigError`] naming the value.
+//! * [`ShardSpec::from_env`] is the lenient reading the infallible
+//!   constructors use: misconfiguration degrades to "unsharded".
+//! * [`Engine::open`] — the cold-start path, where a silently ignored
+//!   config would be operator-hostile — uses the strict reading and
+//!   fails loudly with [`OpenError::ShardConfig`].
+//!
+//! Env vars are process-global, so this file is its own test binary and
+//! every test holds one mutex and restores the variable on exit.
+
+use ranked_access::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+const VAR: &str = "RDA_FORCE_SHARDS";
+
+/// Serialize the tests and restore the caller's value afterwards (CI
+/// runs this suite both with and without the variable set).
+struct EnvGuard {
+    saved: Option<String>,
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl EnvGuard {
+    fn lock() -> EnvGuard {
+        static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+        let lock = GUARD
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        EnvGuard {
+            saved: std::env::var(VAR).ok(),
+            _lock: lock,
+        }
+    }
+
+    fn set(&self, v: &str) {
+        std::env::set_var(VAR, v);
+    }
+
+    fn unset(&self) {
+        std::env::remove_var(VAR);
+    }
+}
+
+impl Drop for EnvGuard {
+    fn drop(&mut self) {
+        match &self.saved {
+            Some(v) => std::env::set_var(VAR, v),
+            None => std::env::remove_var(VAR),
+        }
+    }
+}
+
+#[test]
+fn strict_parsing_is_typed_and_never_panics() {
+    let g = EnvGuard::lock();
+
+    g.unset();
+    assert!(matches!(ShardSpec::from_env_checked(), Ok(None)));
+
+    g.set("3");
+    assert!(matches!(
+        ShardSpec::from_env_checked(),
+        Ok(Some(ShardSpec::Forced(3)))
+    ));
+
+    // Surrounding whitespace is operator noise, not an error.
+    g.set(" 5 ");
+    assert!(matches!(
+        ShardSpec::from_env_checked(),
+        Ok(Some(ShardSpec::Forced(5)))
+    ));
+
+    // Zero shards is meaningless and must be its own typed error.
+    g.set("0");
+    let err = ShardSpec::from_env_checked().unwrap_err();
+    assert!(matches!(err, ShardConfigError::Zero));
+    assert!(err.to_string().contains("shard count must be >= 1"));
+
+    // Garbage names the offending value in the error.
+    for bad in ["banana", "", "-2", "3.5", "0x10", "1 2"] {
+        g.set(bad);
+        let err = ShardSpec::from_env_checked().unwrap_err();
+        match &err {
+            ShardConfigError::NotANumber(s) => {
+                assert_eq!(s, bad.trim(), "the error carries the raw value");
+            }
+            other => panic!("{bad:?}: expected NotANumber, got {other:?}"),
+        }
+        assert!(err.to_string().contains("RDA_FORCE_SHARDS"));
+    }
+}
+
+#[test]
+fn lenient_reading_degrades_to_unsharded() {
+    let g = EnvGuard::lock();
+    g.set("not-a-number");
+    assert_eq!(ShardSpec::from_env(), None, "garbage degrades");
+    g.set("0");
+    assert_eq!(ShardSpec::from_env(), None, "zero degrades");
+    g.set("7");
+    assert_eq!(ShardSpec::from_env(), Some(ShardSpec::Forced(7)));
+    g.unset();
+    assert_eq!(ShardSpec::from_env(), None);
+}
+
+#[test]
+fn infallible_constructors_tolerate_garbage_but_cold_open_fails_loudly() {
+    let g = EnvGuard::lock();
+    let dir = std::env::temp_dir().join(format!("rda-env-open-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = Database::new()
+        .with_i64_rows("R", 2, vec![vec![1, 2], vec![3, 4]])
+        .freeze();
+    SnapshotStore::create(&dir, &snap).unwrap();
+
+    g.set("certainly-not-a-number");
+    // The in-process constructor path stays infallible: a bad value
+    // means "unsharded", and serving proceeds.
+    let engine = Engine::new(
+        Database::new()
+            .with_i64_rows("R", 1, vec![vec![1]])
+            .freeze(),
+    );
+    assert_eq!(engine.shard_count(), 1);
+    // Cold open is where an ignored config would silently change a
+    // restarted deployment, so it surfaces the typed error instead.
+    match Engine::open(&dir) {
+        Err(OpenError::ShardConfig(ShardConfigError::NotANumber(s))) => {
+            assert_eq!(s, "certainly-not-a-number");
+        }
+        other => panic!("expected OpenError::ShardConfig, got {other:?}"),
+    }
+
+    g.set("0");
+    assert!(matches!(
+        Engine::open(&dir),
+        Err(OpenError::ShardConfig(ShardConfigError::Zero))
+    ));
+
+    // With a sane value the very same store cold-opens sharded.
+    g.set("3");
+    let engine = Engine::open(&dir).unwrap();
+    assert_eq!(engine.shard_count(), 3);
+    assert_eq!(engine.snapshot().uid(), snap.uid());
+
+    // And a missing store is a persistence error, not a config one.
+    g.unset();
+    let missing = dir.join("definitely-absent");
+    assert!(matches!(
+        Engine::open(&missing),
+        Err(OpenError::Persist(PersistError::Io(_)))
+    ));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,581 @@
+//! The persistence differential oracle: freeze → save → cold-open must
+//! be invisible to every consumer of a snapshot.
+//!
+//! * **Round-trip identity** — a cold-opened base file reproduces the
+//!   in-memory snapshot exactly: uid, generation, ancestry, the full
+//!   dictionary, every raw relation, every encoded column, every
+//!   per-relation version. And it does so **zero-copy**:
+//!   [`relation_encode_count`] must not move across `open_snapshot` or
+//!   a whole delta-chain replay — columns are served straight from the
+//!   mapped file, never re-encoded.
+//! * **Backend differential** — for all six `Backend` variants, an
+//!   engine over the cold-opened snapshot serves bit-identical answers
+//!   to an engine over the original at every rank, window, batch,
+//!   inverted probe, and lower-bound probe.
+//! * **Delta chains** — a [`SnapshotStore`] replays base + deltas
+//!   (append-only extension, interior rebase, deletion, relation
+//!   birth, no-op) to exactly the last in-memory generation, lineage
+//!   included.
+//! * **Corruption** — every strict prefix of a valid file, targeted
+//!   bit-flips, forged checksums, wrong kinds, and broken lineage all
+//!   fail with a typed [`PersistError`]; nothing panics.
+
+use ranked_access::prelude::*;
+use ranked_access::rda_db::{
+    open_delta, open_snapshot, relation_encode_count, save_delta, save_snapshot,
+};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// `relation_encode_count` is process-global, so every test here holds
+/// this lock: a concurrent freeze in another test must not move the
+/// counter between a test's before/after reads.
+fn guard() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// A unique scratch directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> TempDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let p = std::env::temp_dir().join(format!(
+            "rda-persist-{}-{}-{}",
+            std::process::id(),
+            label,
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+
+    fn file(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn t1(a: i64) -> Tuple {
+    [Value::int(a)].into_iter().collect()
+}
+
+fn t2(a: i64, b: i64) -> Tuple {
+    [Value::int(a), Value::int(b)].into_iter().collect()
+}
+
+/// A 2-path instance over a *gappy* domain (multiples of ten), so later
+/// inserts can land either past the top (dictionary extension) or in an
+/// interior gap (dictionary rebase).
+fn seed_db() -> Database {
+    Database::new()
+        .with_i64_rows(
+            "R",
+            2,
+            (0..30i64).map(|i| vec![(i * 3) % 13 * 10, (i * 5 + 1) % 11 * 10]),
+        )
+        .with_i64_rows(
+            "S",
+            2,
+            (0..26i64).map(|i| vec![(i * 5 + 1) % 11 * 10, (i * 7 + 2) % 9 * 10]),
+        )
+        .with_i64_rows("T", 1, vec![vec![0], vec![40]])
+}
+
+/// Full structural equality of two snapshots: identity, dictionary,
+/// raw relations, encoded columns, versions.
+fn assert_snapshot_eq(a: &Snapshot, b: &Snapshot, ctx: &str) {
+    assert_eq!(a.generation(), b.generation(), "{ctx}: generation");
+    assert_eq!(a.uid(), b.uid(), "{ctx}: uid");
+    assert_eq!(a.ancestry(), b.ancestry(), "{ctx}: ancestry");
+    assert_eq!(a.dict().len(), b.dict().len(), "{ctx}: dictionary size");
+    for code in 0..a.dict().len() as u32 {
+        assert_eq!(
+            a.dict().value(code),
+            b.dict().value(code),
+            "{ctx}: dictionary value at code {code}"
+        );
+    }
+    let names: Vec<&str> = a.database().relations().map(|r| r.name()).collect();
+    let names_b: Vec<&str> = b.database().relations().map(|r| r.name()).collect();
+    assert_eq!(names, names_b, "{ctx}: relation names");
+    assert_eq!(a.relation_count(), b.relation_count(), "{ctx}: count");
+    for name in names {
+        let (ra, rb) = (a.relation(name).unwrap(), b.relation(name).unwrap());
+        assert_eq!(ra.arity(), rb.arity(), "{ctx}: {name} arity");
+        assert_eq!(ra.tuples(), rb.tuples(), "{ctx}: {name} raw tuples");
+        assert_eq!(
+            a.relation_version(name),
+            b.relation_version(name),
+            "{ctx}: {name} version"
+        );
+        let (ea, eb) = (a.encoded(name).unwrap(), b.encoded(name).unwrap());
+        assert_eq!(ea.len(), eb.len(), "{ctx}: {name} encoded rows");
+        assert_eq!(ea.arity(), eb.arity(), "{ctx}: {name} encoded arity");
+        for p in 0..ea.arity() {
+            assert_eq!(ea.col(p), eb.col(p), "{ctx}: {name} column {p}");
+        }
+    }
+}
+
+/// One scenario per backend, as in `tests/engine.rs`: (query, lex order
+/// or empty-for-sum, is_sum, policy, expected backend).
+fn backend_catalog() -> Vec<(&'static str, Vec<&'static str>, bool, Policy, Backend)> {
+    vec![
+        (
+            "Q(x, y, z) :- R(x, y), S(y, z)",
+            vec!["x", "y", "z"],
+            false,
+            Policy::Reject,
+            Backend::LexDirectAccess,
+        ),
+        (
+            "Q(x, y, z) :- R(x, y), S(y, z)",
+            vec!["x", "z", "y"],
+            false,
+            Policy::Reject,
+            Backend::SelectionLex,
+        ),
+        (
+            "Q(x, y) :- R(x, y), S(y, z)",
+            vec![],
+            true,
+            Policy::Reject,
+            Backend::SumDirectAccess,
+        ),
+        (
+            "Q(x, y, z) :- R(x, y), S(y, z)",
+            vec![],
+            true,
+            Policy::Reject,
+            Backend::SelectionSum,
+        ),
+        (
+            "Q(x, z) :- R(x, y), S(y, z)",
+            vec!["x", "z"],
+            false,
+            Policy::Materialize,
+            Backend::Materialized,
+        ),
+        (
+            "Q(x, y, z, u) :- R(x, y), S(y, z), T(z, u)",
+            vec![],
+            true,
+            Policy::RankedEnum,
+            Backend::RankedEnum,
+        ),
+    ]
+}
+
+/// Fill every relation a query mentions with random rows over a small
+/// domain (forcing join hits).
+fn random_db(q: &Cq, rows: usize, domain: i64, seed: u64) -> Database {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let mut seen = std::collections::HashSet::new();
+    for atom in q.atoms() {
+        if !seen.insert(atom.relation.clone()) {
+            continue;
+        }
+        let arity = atom.terms.len();
+        let tuples: Vec<Tuple> = (0..rows)
+            .map(|_| {
+                (0..arity)
+                    .map(|_| Value::int(rng.random_range(0..domain)))
+                    .collect()
+            })
+            .collect();
+        db.add(Relation::from_tuples(&atom.relation, arity, tuples));
+    }
+    db
+}
+
+/// The cold plan must match the hot plan on the whole access surface,
+/// with the hot plan's enumeration as the oracle.
+fn check_plan_pair(hot: &AccessPlan, cold: &AccessPlan, ctx: &str) {
+    let oracle: Vec<Tuple> = hot.iter().collect();
+    let len = cold.len();
+    assert_eq!(len, oracle.len() as u64, "{ctx}: answer count");
+    for (k, expect) in oracle.iter().enumerate() {
+        let k = k as u64;
+        assert_eq!(cold.access(k).as_ref(), Some(expect), "{ctx}: access({k})");
+        assert_eq!(
+            cold.inverted_access(expect),
+            Some(k),
+            "{ctx}: inverted_access at rank {k}"
+        );
+    }
+    assert_eq!(cold.access(len), None, "{ctx}: out of bounds");
+    let streamed: Vec<Tuple> = cold.stream().collect();
+    assert_eq!(streamed, oracle, "{ctx}: full stream");
+
+    for r in [0..len, 0..0, len / 3..(2 * len) / 3, len / 2..len + 7] {
+        let expect = &oracle[(r.start.min(len) as usize)..(r.end.min(len) as usize)];
+        assert_eq!(cold.access_range(r.clone()), expect, "{ctx}: window {r:?}");
+    }
+
+    let batches: Vec<Vec<u64>> = vec![
+        vec![],
+        (0..len).rev().collect(),
+        vec![len, len + 9, u64::MAX],
+        (0..64u64)
+            .map(|i| i.wrapping_mul(7919) % (len + 3))
+            .collect(),
+    ];
+    let mut buf = WindowBuf::new();
+    for ranks in &batches {
+        let expect: Vec<Tuple> = ranks
+            .iter()
+            .filter(|&&k| k < len)
+            .map(|&k| oracle[k as usize].clone())
+            .collect();
+        assert_eq!(cold.access_batch(ranks), expect, "{ctx}: batch {ranks:?}");
+        let n = cold.access_batch_into(ranks, &mut buf);
+        assert_eq!(n as usize, expect.len(), "{ctx}: batch_into count");
+        assert_eq!(buf.to_tuples(), expect, "{ctx}: batch_into rows");
+    }
+
+    // Native lex plans additionally expose lower-bound probes.
+    if let (RankedAnswers::Lex(h), RankedAnswers::Lex(c)) = (hot.answers(), cold.answers()) {
+        for probe in &oracle {
+            assert_eq!(
+                c.rank_of_lower_bound(probe),
+                h.rank_of_lower_bound(probe),
+                "{ctx}: lower bound of {probe}"
+            );
+        }
+    }
+}
+
+#[test]
+fn base_round_trip_is_exact_and_zero_copy() {
+    let _g = guard();
+    let td = TempDir::new("base");
+    let snap = seed_db().freeze();
+    let path = td.file("base.rdas");
+    let written = save_snapshot(&snap, &path).unwrap();
+    assert_eq!(
+        written,
+        std::fs::metadata(&path).unwrap().len(),
+        "save_snapshot reports the bytes it wrote"
+    );
+
+    let before = relation_encode_count();
+    let cold = open_snapshot(&path).unwrap();
+    assert_eq!(
+        relation_encode_count(),
+        before,
+        "cold open must map columns, not re-encode them"
+    );
+    assert_snapshot_eq(&snap, &cold, "base round trip");
+
+    // The reopened snapshot claims its uid: later freezes in this
+    // process must never collide with (or sort below) it.
+    let fresh = Database::new()
+        .with_i64_rows("Z", 1, vec![vec![1]])
+        .freeze();
+    assert!(
+        fresh.uid() > cold.uid(),
+        "fresh uid {} must exceed the reopened uid {}",
+        fresh.uid(),
+        cold.uid()
+    );
+
+    // A reopened snapshot is a working delta parent: an untouched
+    // database rolls forward sharing everything.
+    let mut db = cold.database().clone();
+    let next = cold.freeze_delta(&mut db);
+    assert_eq!(next.generation(), cold.generation() + 1);
+    assert!(next.descends_from(cold.uid()));
+}
+
+#[test]
+fn cold_open_serves_identical_answers_on_every_backend() {
+    let _g = guard();
+    let td = TempDir::new("backends");
+    for (i, (src, lex, is_sum, policy, backend)) in backend_catalog().into_iter().enumerate() {
+        let q = parse(src).unwrap();
+        let db = random_db(&q, 18, 5, 0xC0FFEE + i as u64);
+        let snap = db.freeze();
+        let path = td.file(&format!("b{i}.rdas"));
+        save_snapshot(&snap, &path).unwrap();
+        let before = relation_encode_count();
+        let cold = open_snapshot(&path).unwrap();
+        assert_eq!(relation_encode_count(), before, "{src}: open re-encoded");
+
+        let spec = || {
+            if is_sum {
+                OrderSpec::sum_by_value()
+            } else {
+                OrderSpec::lex(&q, &lex)
+            }
+        };
+        let hot = Engine::new(snap)
+            .prepare(&q, spec(), &FdSet::empty(), policy)
+            .unwrap();
+        let cold = Engine::new(cold)
+            .prepare(&q, spec(), &FdSet::empty(), policy)
+            .unwrap();
+        assert_eq!(hot.backend(), backend, "{src}: hot routing");
+        assert_eq!(cold.backend(), backend, "{src}: cold routing");
+        check_plan_pair(&hot, &cold, src);
+    }
+}
+
+#[test]
+fn delta_chain_replays_to_the_live_snapshot() {
+    let _g = guard();
+    let td = TempDir::new("chain");
+    let mut db = seed_db();
+    let base = db.clone().freeze();
+    db.clear_mutation_log();
+    let store = SnapshotStore::create(td.path(), &base).unwrap();
+
+    // With only the base on disk, the store replays to the base.
+    assert_snapshot_eq(&base, &store.load().unwrap(), "base-only store");
+
+    // Generation 1: a value past the top of the domain — the
+    // append-only dictionary extension path.
+    db.insert_into("R", t2(500, 510));
+    let g1 = store.freeze_delta(&base, &mut db).unwrap();
+    assert_eq!(g1.generation(), 1);
+
+    // Generation 2: a value in an interior domain gap (55 sorts between
+    // 50 and 60) forces a dictionary *rebase*, alongside a deletion.
+    db.insert_into("S", t2(55, 60));
+    db.delete_from("T", &t1(0));
+    let g2 = store.freeze_delta(&g1, &mut db).unwrap();
+
+    // Generation 3: a brand-new relation is born mid-chain.
+    db.add(Relation::from_tuples("U", 2, vec![t2(55, 500), t2(1, 2)]));
+    let g3 = store.freeze_delta(&g2, &mut db).unwrap();
+
+    // Generation 4: a no-op delta (empty mutation log) shares
+    // everything and still persists/replays.
+    let g4 = store.freeze_delta(&g3, &mut db).unwrap();
+    assert_eq!(g4.generation(), 4);
+
+    let reopened = SnapshotStore::open(td.path()).unwrap();
+    let before = relation_encode_count();
+    let replayed = reopened.load().unwrap();
+    assert_eq!(
+        relation_encode_count(),
+        before,
+        "replaying the chain must not re-encode anything"
+    );
+    assert_snapshot_eq(&g4, &replayed, "replayed chain");
+    for uid in [base.uid(), g1.uid(), g2.uid(), g3.uid()] {
+        assert!(replayed.descends_from(uid), "lineage survives the disk");
+    }
+
+    // The replayed snapshot serves answers identically to the live one.
+    let q = parse("Q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+    let spec = || OrderSpec::lex(&q, &["x", "y", "z"]);
+    let hot = Engine::new(g4)
+        .prepare(&q, spec(), &FdSet::empty(), Policy::Reject)
+        .unwrap();
+    let cold = Engine::new(replayed)
+        .prepare(&q, spec(), &FdSet::empty(), Policy::Reject)
+        .unwrap();
+    check_plan_pair(&hot, &cold, "replayed chain plan");
+}
+
+#[test]
+fn degenerate_snapshots_round_trip() {
+    let _g = guard();
+    let td = TempDir::new("edge");
+
+    // Zero relations.
+    let empty = Database::new().freeze();
+    let path = td.file("empty.rdas");
+    save_snapshot(&empty, &path).unwrap();
+    assert_snapshot_eq(&empty, &open_snapshot(&path).unwrap(), "empty database");
+
+    // An empty relation plus every value shape the wire format speaks:
+    // extreme ints, empty and non-ASCII strings, nested pairs.
+    let mut db = Database::new();
+    db.add(Relation::new("E", 3));
+    db.add(Relation::from_tuples(
+        "V",
+        2,
+        vec![
+            [Value::int(i64::MIN), Value::str("")].into_iter().collect(),
+            [Value::int(i64::MAX), Value::str("déjà vu ☂")]
+                .into_iter()
+                .collect(),
+            [
+                Value::pair(
+                    Value::str("k"),
+                    Value::pair(Value::int(-1), Value::str("v")),
+                ),
+                Value::int(0),
+            ]
+            .into_iter()
+            .collect(),
+        ],
+    ));
+    let snap = db.freeze();
+    let path = td.file("values.rdas");
+    save_snapshot(&snap, &path).unwrap();
+    assert_snapshot_eq(&snap, &open_snapshot(&path).unwrap(), "exotic values");
+}
+
+#[test]
+fn corrupted_files_fail_typed_and_never_panic() {
+    let _g = guard();
+    let td = TempDir::new("corrupt");
+    let snap = seed_db().freeze();
+    let path = td.file("victim.rdas");
+    save_snapshot(&snap, &path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+    open_snapshot(&path).unwrap();
+
+    let reopen = |bytes: &[u8]| {
+        let p = td.file("mutant.rdas");
+        std::fs::write(&p, bytes).unwrap();
+        open_snapshot(&p)
+    };
+
+    // Every strict prefix of a valid file must fail with a typed
+    // error — a truncated header, a cut section table, a half payload,
+    // missing padding: all of it.
+    for cut in 0..pristine.len() {
+        let err = reopen(&pristine[..cut])
+            .expect_err(&format!("prefix of {cut}/{} bytes opened", pristine.len()));
+        assert!(!err.to_string().is_empty(), "error at cut {cut} displays");
+    }
+
+    // Targeted single-bit flips. Offsets: header magic at 0, version at
+    // 8, header checksum at 24; the first section header starts at 32
+    // with its checksum at 48; its payload starts at 56.
+    let flip = |off: usize, bit: u8| {
+        let mut bytes = pristine.clone();
+        bytes[off] ^= 1 << bit;
+        reopen(&bytes)
+    };
+    assert!(
+        matches!(flip(0, 0).unwrap_err(), PersistError::BadMagic),
+        "flipped magic"
+    );
+    assert!(
+        matches!(flip(8, 1).unwrap_err(), PersistError::UnsupportedVersion(3)),
+        "flipped version"
+    );
+    assert!(
+        matches!(
+            flip(24, 3).unwrap_err(),
+            PersistError::ChecksumMismatch { section: "header" }
+        ),
+        "flipped header checksum"
+    );
+    assert!(
+        matches!(
+            flip(56, 5).unwrap_err(),
+            PersistError::ChecksumMismatch { .. }
+        ),
+        "flipped section payload byte"
+    );
+    assert!(
+        flip(pristine.len() - 1, 7).is_err(),
+        "flipped final byte of the file"
+    );
+
+    // A forged section checksum (inverted in place) must be caught.
+    let mut forged = pristine.clone();
+    for b in &mut forged[48..56] {
+        *b = !*b;
+    }
+    assert!(
+        matches!(
+            reopen(&forged).unwrap_err(),
+            PersistError::ChecksumMismatch { .. }
+        ),
+        "forged section checksum"
+    );
+
+    // Trailing garbage after the last section is corruption, not slack.
+    let mut padded = pristine.clone();
+    padded.extend_from_slice(&[0u8; 8]);
+    assert!(reopen(&padded).is_err(), "trailing bytes");
+
+    // Kind confusion: a delta file is not a base file and vice versa.
+    let mut db = snap.database().clone();
+    db.insert_into("R", t2(7, 17));
+    let child = snap.freeze_delta(&mut db);
+    let delta_path = td.file("delta.rdas");
+    save_delta(&snap, &child, &delta_path).unwrap();
+    assert!(
+        matches!(
+            open_snapshot(&delta_path).unwrap_err(),
+            PersistError::WrongKind {
+                expected: 0,
+                found: 1
+            }
+        ),
+        "base open of a delta file"
+    );
+    assert!(
+        matches!(
+            open_delta(&snap, &path).unwrap_err(),
+            PersistError::WrongKind {
+                expected: 1,
+                found: 0
+            }
+        ),
+        "delta open of a base file"
+    );
+
+    // Lineage: a delta only replays onto the parent it was written
+    // against, and only records a true parent→child step.
+    let stranger = Database::new()
+        .with_i64_rows("R", 2, vec![vec![1, 2]])
+        .freeze();
+    assert!(
+        matches!(
+            open_delta(&stranger, &delta_path).unwrap_err(),
+            PersistError::LineageMismatch { .. }
+        ),
+        "replay onto the wrong parent"
+    );
+    assert!(
+        matches!(
+            save_delta(&stranger, &child, td.file("bogus.rdas")).unwrap_err(),
+            PersistError::LineageMismatch { .. }
+        ),
+        "persisting a non-step as a delta"
+    );
+
+    // Store lifecycle errors are typed I/O, not panics.
+    let store_dir = TempDir::new("store-errors");
+    assert!(
+        matches!(
+            SnapshotStore::open(store_dir.path()).unwrap_err(),
+            PersistError::Io(e) if e.kind() == std::io::ErrorKind::NotFound
+        ),
+        "opening a store with no base"
+    );
+    SnapshotStore::create(store_dir.path(), &snap).unwrap();
+    assert!(
+        matches!(
+            SnapshotStore::create(store_dir.path(), &snap).unwrap_err(),
+            PersistError::Io(e) if e.kind() == std::io::ErrorKind::AlreadyExists
+        ),
+        "creating a store over an existing base"
+    );
+}
